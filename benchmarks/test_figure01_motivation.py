@@ -1,0 +1,32 @@
+"""Figure 1: judicious participant/target selection substantially improves PPW.
+
+Paper claim: compared with random selection, selecting participants for performance
+(``Performance``) and additionally selecting per-device execution targets (``OFL``) improves
+FL energy efficiency by up to ~5.4x, and OFL dominates Performance.
+"""
+
+from _helpers import comparison_rows, print_policy_table, realistic_spec
+
+POLICIES = ("fedavg-random", "performance", "ofl")
+WORKLOADS = ("cnn-mnist", "lstm-shakespeare", "mobilenet-imagenet")
+
+
+def _run():
+    return {
+        workload: comparison_rows(realistic_spec(workload), POLICIES, max_rounds=200)
+        for workload in WORKLOADS
+    }
+
+
+def test_figure01_motivation(benchmark):
+    per_workload = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for workload, rows in per_workload.items():
+        print_policy_table(f"Figure 1 — {workload}", rows)
+        # OFL (participants + execution targets) beats the random baseline by a wide margin
+        # and also beats performance-only selection.
+        assert rows["ofl"].ppw_global > 1.5
+        assert rows["ofl"].ppw_global > rows["performance"].ppw_global
+        assert rows["ofl"].ppw_local > rows["fedavg-random"].ppw_local
+    # The largest observed improvement should be a multi-x factor (paper: up to 5.4x).
+    best = max(rows["ofl"].ppw_global for rows in per_workload.values())
+    assert best > 2.0

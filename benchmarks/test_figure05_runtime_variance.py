@@ -1,0 +1,49 @@
+"""Figure 5: runtime variance shifts the optimal cluster of participants.
+
+Paper claim (CNN-MNIST, S3): with no runtime variance a balanced cluster is optimal; with
+on-device interference the optimum shifts toward high-end devices (C1); with a weak network
+it shifts toward low-power devices (C5).
+"""
+
+from _helpers import print_series
+
+from repro.experiments.harness import run_cluster_sweep
+from repro.sim.scenarios import ScenarioSpec
+
+SCENARIOS = {
+    "ideal": dict(),
+    "interference": dict(interference="heavy"),
+    "weak-network": dict(network="weak"),
+}
+
+
+def _run():
+    sweeps = {}
+    for name, overrides in SCENARIOS.items():
+        spec = ScenarioSpec(
+            workload="cnn-mnist", setting="S3", num_devices=200, seed=2, **overrides
+        )
+        sweeps[name] = run_cluster_sweep(spec, rounds=12)
+    return sweeps
+
+
+def test_figure05_optimal_cluster_vs_runtime_variance(benchmark):
+    sweeps = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for name, series in sweeps.items():
+        print_series(f"Figure 5 — {name} (PPW vs C0)", series)
+
+    ideal, interference, weak = sweeps["ideal"], sweeps["interference"], sweeps["weak-network"]
+
+    # On-device interference favours high-end devices: C1's standing improves markedly
+    # relative to the ideal environment and beats the low-power cluster C7.
+    assert interference["C1"] > ideal["C1"]
+    assert interference["C1"] > interference["C7"]
+
+    # A weak network favours low-power devices: the all-high-end cluster C1 falls behind the
+    # mid/low-power clusters (C4-C7), the opposite of the interference case.
+    low_power_best = max(weak[name] for name in ("C4", "C5", "C6", "C7"))
+    assert weak["C1"] < low_power_best
+    assert weak["C1"] < interference["C1"]
+
+    # The interference and weak-network optima differ, demonstrating the shift of Figure 5.
+    assert max(interference, key=interference.get) != max(weak, key=weak.get)

@@ -1,0 +1,40 @@
+"""Figure 8: overview result — AutoFL improves PPW, convergence time and accuracy.
+
+Paper claim: across CNN-MNIST, LSTM-Shakespeare and MobileNet-ImageNet, AutoFL achieves
+several-fold higher energy efficiency than the FedAvg-Random / Power / Performance baselines
+while also converging faster and preserving accuracy, and approaches the oracle policies.
+"""
+
+from _helpers import comparison_rows, print_policy_table, realistic_spec
+
+from repro.experiments.settings import EVALUATION_POLICIES
+
+WORKLOADS = ("cnn-mnist", "lstm-shakespeare", "mobilenet-imagenet")
+
+
+def _run():
+    return {
+        workload: comparison_rows(
+            realistic_spec(workload, seed=4), EVALUATION_POLICIES, max_rounds=200
+        )
+        for workload in WORKLOADS
+    }
+
+
+def test_figure08_overview(benchmark):
+    per_workload = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for workload, rows in per_workload.items():
+        print_policy_table(f"Figure 8 — {workload}", rows)
+
+        autofl = rows["autofl"]
+        # AutoFL clearly beats the three baseline settings in global energy efficiency.
+        assert autofl.ppw_global > 1.25
+        assert autofl.ppw_global > rows["power"].ppw_global
+        assert autofl.ppw_global > rows["fedavg-random"].ppw_global
+        # Accuracy is maintained (within noise of the baseline).
+        assert autofl.final_accuracy >= rows["fedavg-random"].final_accuracy - 0.03
+        # Convergence is no slower than the random baseline.
+        assert autofl.convergence_speedup > 0.95
+        # The oracles bound the achievable efficiency and AutoFL moves toward them.
+        assert rows["ofl"].ppw_global >= rows["oparticipant"].ppw_global * 0.95
+        assert rows["ofl"].ppw_global > rows["performance"].ppw_global

@@ -1,0 +1,31 @@
+"""Figure 9: AutoFL adapts to different FL global parameter settings (S1-S4).
+
+Paper claim: although the optimal participant cluster changes with (B, E, K), AutoFL beats
+FedAvg-Random, Performance and Power in energy efficiency and convergence time for every
+setting, and improves on participant-only optimisation by also choosing execution targets.
+"""
+
+from _helpers import comparison_rows, print_policy_table, realistic_spec
+
+POLICIES = ("fedavg-random", "power", "performance", "oparticipant", "autofl")
+SETTINGS = ("S1", "S2", "S3", "S4")
+
+
+def _run():
+    return {
+        setting: comparison_rows(
+            realistic_spec("cnn-mnist", setting=setting, seed=11), POLICIES, max_rounds=200
+        )
+        for setting in SETTINGS
+    }
+
+
+def test_figure09_adaptability_to_global_params(benchmark):
+    per_setting = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for setting, rows in per_setting.items():
+        print_policy_table(f"Figure 9 — CNN-MNIST {setting}", rows)
+        autofl = rows["autofl"]
+        assert autofl.ppw_global > 1.15, setting
+        assert autofl.ppw_global > rows["power"].ppw_global, setting
+        assert autofl.ppw_global > rows["fedavg-random"].ppw_global, setting
+        assert autofl.final_accuracy >= rows["fedavg-random"].final_accuracy - 0.03, setting

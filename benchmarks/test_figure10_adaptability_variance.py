@@ -1,0 +1,37 @@
+"""Figure 10: AutoFL adapts to stochastic runtime variance.
+
+Paper claim: with no variance, with on-device interference from co-running applications, and
+with network variance, AutoFL consistently improves time-to-convergence and energy
+efficiency over FedAvg-Random / Power / Performance and tracks the oracle OFL.
+"""
+
+from _helpers import comparison_rows, print_policy_table, realistic_spec
+
+POLICIES = ("fedavg-random", "power", "performance", "autofl", "ofl")
+SCENARIOS = {
+    "no-variance": dict(interference="none", network="stable"),
+    "interference": dict(interference="heavy", network="stable"),
+    "network-variance": dict(interference="none", network="weak"),
+}
+
+
+def _run():
+    return {
+        name: comparison_rows(
+            realistic_spec("cnn-mnist", seed=13, **overrides), POLICIES, max_rounds=250
+        )
+        for name, overrides in SCENARIOS.items()
+    }
+
+
+def test_figure10_adaptability_to_runtime_variance(benchmark):
+    per_scenario = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for name, rows in per_scenario.items():
+        print_policy_table(f"Figure 10 — {name}", rows)
+        autofl = rows["autofl"]
+        assert autofl.ppw_global > 1.15, name
+        assert autofl.ppw_global > rows["power"].ppw_global, name
+        assert autofl.ppw_global > rows["fedavg-random"].ppw_global, name
+        assert autofl.final_accuracy >= rows["fedavg-random"].final_accuracy - 0.03, name
+    # Under interference the gap over the random baseline is large (paper: ~5x).
+    assert per_scenario["interference"]["autofl"].ppw_global > 1.5

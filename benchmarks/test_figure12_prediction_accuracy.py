@@ -1,0 +1,49 @@
+"""Figure 12: AutoFL tracks the decisions of the optimal policy (OFL).
+
+Paper claim: after the reward converges, AutoFL's participant selections and execution-target
+choices closely track the oracle's (≈94 % participant and ≈93 % target prediction accuracy),
+and the learned tier mix follows the oracle's workload-dependent preferences.
+"""
+
+from _helpers import print_series, realistic_spec
+
+from repro.experiments.harness import run_with_reference
+
+
+def _run():
+    return {
+        workload: run_with_reference(
+            realistic_spec(workload, num_devices=100, seed=5),
+            policy_name="autofl",
+            reference_name="ofl",
+            rounds=80,
+        )
+        for workload in ("cnn-mnist", "lstm-shakespeare")
+    }
+
+
+def test_figure12_prediction_accuracy(benchmark):
+    reports = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for workload, report in reports.items():
+        print_series(
+            f"Figure 12 — {workload} prediction accuracy",
+            {
+                "participant accuracy": report.participant_accuracy,
+                "target accuracy": report.target_accuracy,
+            },
+        )
+        print_series(f"Figure 12 — {workload} AutoFL tier mix", report.tier_composition)
+        print_series(
+            f"Figure 12 — {workload} OFL tier mix", report.reference_tier_composition
+        )
+
+        # After the warm-up window AutoFL's selections overlap with the oracle's well above
+        # what random K-of-N selection would give (~K/N = 20 %), and the chosen execution
+        # targets mostly agree.  The overlap is far below the paper's ~94 % — the coarse
+        # Table 1 state bins cannot identify the oracle's exact per-device picks in this
+        # simulator — see EXPERIMENTS.md for the discussion of this deviation.
+        assert report.participant_accuracy > 0.25, workload
+        assert report.target_accuracy > 0.5, workload
+        # Tier mixes are proper distributions.
+        assert abs(sum(report.tier_composition.values()) - 1.0) < 1e-6
+        assert abs(sum(report.reference_tier_composition.values()) - 1.0) < 1e-6

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the ``src`` layout importable without an installed package.
+
+``pip install -e .`` is the supported workflow; this fallback keeps the test and benchmark
+suites runnable in minimal environments (e.g. offline CI images without the ``wheel``
+package needed for PEP 660 editable installs).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

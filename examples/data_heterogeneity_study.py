@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Data-heterogeneity study (paper Figures 6 and 11).
+
+Sweeps the four data distributions of the paper — Ideal IID and Non-IID(50/75/100 %) — and
+shows how random participant selection degrades (and eventually fails to converge) while
+AutoFL keeps selecting devices with useful data.
+
+Run with:  python examples/data_heterogeneity_study.py
+"""
+
+from repro.experiments.harness import run_policy_comparison
+from repro.experiments.reporting import format_table
+from repro.sim.scenarios import ScenarioSpec
+
+DISTRIBUTIONS = ("iid", "non_iid_50", "non_iid_75", "non_iid_100")
+
+
+def main() -> None:
+    rows_out = []
+    for distribution in DISTRIBUTIONS:
+        spec = ScenarioSpec(
+            workload="cnn-mnist",
+            setting="S3",
+            num_devices=200,
+            data_distribution=distribution,
+            max_rounds=300,
+            seed=4,
+        )
+        results, rows = run_policy_comparison(
+            spec, policies=("fedavg-random", "autofl"), max_rounds=300
+        )
+        by_name = {row.policy: row for row in rows}
+        random_summary = results["fedavg-random"].summary()
+        rows_out.append(
+            [
+                distribution,
+                "yes" if random_summary.converged else "no",
+                random_summary.final_accuracy,
+                by_name["autofl"].converged,
+                by_name["autofl"].final_accuracy,
+                by_name["autofl"].ppw_global,
+            ]
+        )
+    headers = [
+        "distribution",
+        "random converged",
+        "random accuracy",
+        "autofl converged",
+        "autofl accuracy",
+        "autofl PPW gain",
+    ]
+    print("Impact of data heterogeneity on FedAvg-Random vs AutoFL\n")
+    print(format_table(headers, rows_out))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Runtime-variance study (paper Figures 5 and 10).
+
+Compares the Table 4 cluster templates (C0-C7) and the selection policies under three
+execution environments: no runtime variance, heavy on-device interference, and a weak
+network.  The optimal cluster shifts with the environment, and AutoFL adapts automatically.
+
+Run with:  python examples/runtime_variance_study.py
+"""
+
+from repro.experiments.harness import run_cluster_sweep, run_policy_comparison
+from repro.experiments.reporting import format_table
+from repro.sim.scenarios import ScenarioSpec
+
+SCENARIOS = {
+    "ideal": dict(interference="none", network="stable"),
+    "interference": dict(interference="heavy", network="stable"),
+    "weak-network": dict(interference="none", network="weak"),
+}
+
+
+def main() -> None:
+    print("Cluster characterisation (global PPW normalised to FedAvg-Random, CNN-MNIST S3)\n")
+    sweep_rows = []
+    for name, overrides in SCENARIOS.items():
+        spec = ScenarioSpec(workload="cnn-mnist", setting="S3", num_devices=200, seed=2, **overrides)
+        ppw = run_cluster_sweep(spec, rounds=12)
+        best = max(ppw, key=ppw.get)
+        sweep_rows.append([name] + [ppw[f"C{i}"] for i in range(8)] + [best])
+    headers = ["scenario"] + [f"C{i}" for i in range(8)] + ["best"]
+    print(format_table(headers, sweep_rows))
+
+    print("\nPolicy comparison under each environment (Non-IID(50 %) data)\n")
+    policy_rows = []
+    for name, overrides in SCENARIOS.items():
+        spec = ScenarioSpec(
+            workload="cnn-mnist",
+            setting="S3",
+            num_devices=100,
+            data_distribution="non_iid_50",
+            max_rounds=250,
+            seed=13,
+            **overrides,
+        )
+        _results, rows = run_policy_comparison(
+            spec, policies=("fedavg-random", "performance", "autofl", "ofl"), max_rounds=250
+        )
+        for row in rows:
+            policy_rows.append([name, row.policy, row.ppw_global, row.convergence_speedup, row.final_accuracy])
+    print(format_table(["scenario", "policy", "PPW", "speedup", "accuracy"], policy_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+All project metadata lives in ``pyproject.toml``; this shim exists so that editable
+installs also work on environments whose pip/setuptools predate PEP 660 support
+(``python setup.py develop`` or legacy ``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Reproduction of *AutoFL: Enabling Heterogeneity-Aware Energy Efficient Federated Learning*.
+
+The package is organised as a set of substrates (devices, network, interference, data,
+neural networks, federated learning, simulator) plus the paper's primary contribution — the
+AutoFL reinforcement-learning controller — in :mod:`repro.core`.
+
+Quickstart
+----------
+>>> from repro import build_default_experiment
+>>> result = build_default_experiment(policy="autofl", rounds=30).run()
+>>> result.summary()  # doctest: +SKIP
+"""
+
+from repro.api import build_default_experiment, run_policy_comparison
+from repro.config import GlobalParams, SimulationConfig
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "GlobalParams",
+    "SimulationConfig",
+    "build_default_experiment",
+    "run_policy_comparison",
+]

@@ -1,0 +1,79 @@
+"""Convenience top-level API.
+
+These helpers wrap the lower-level building blocks (scenario spec, environment, backend,
+policy, simulation) into one-call entry points for the common "run a policy on a scenario"
+and "compare policies" use cases; the examples and quickstart use them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.selection import make_policy
+from repro.experiments.harness import ComparisonRow, run_policy_comparison as _run_comparison
+from repro.sim.runner import FLSimulation
+from repro.sim.scenarios import ScenarioSpec, build_environment, build_surrogate_backend
+
+
+def build_default_experiment(
+    policy: str = "autofl",
+    workload: str = "cnn-mnist",
+    setting: str = "S3",
+    interference: str = "none",
+    network: str = "stable",
+    data_distribution: str = "iid",
+    num_devices: int = 200,
+    rounds: int = 100,
+    aggregator: str = "fedavg",
+    seed: int = 0,
+) -> FLSimulation:
+    """Build a ready-to-run FL simulation for one policy on one evaluation scenario.
+
+    Returns an :class:`~repro.sim.runner.FLSimulation`; call ``.run()`` to obtain a
+    :class:`~repro.sim.results.SimulationResult`.
+    """
+    spec = ScenarioSpec(
+        workload=workload,
+        setting=setting,
+        interference=interference,
+        network=network,
+        data_distribution=data_distribution,
+        num_devices=num_devices,
+        max_rounds=rounds,
+        seed=seed,
+        aggregator=aggregator,
+    )
+    environment = build_environment(spec)
+    backend = build_surrogate_backend(environment, aggregator=aggregator)
+    return FLSimulation(
+        environment=environment,
+        policy=make_policy(policy, rng=np.random.default_rng(seed + 10_000)),
+        backend=backend,
+        max_rounds=rounds,
+    )
+
+
+def run_policy_comparison(
+    policies: tuple[str, ...] = ("fedavg-random", "power", "performance", "autofl"),
+    workload: str = "cnn-mnist",
+    setting: str = "S3",
+    interference: str = "none",
+    network: str = "stable",
+    data_distribution: str = "iid",
+    num_devices: int = 200,
+    rounds: int = 100,
+    seed: int = 0,
+) -> list[ComparisonRow]:
+    """Compare several policies on one scenario; rows are normalised to FedAvg-Random."""
+    spec = ScenarioSpec(
+        workload=workload,
+        setting=setting,
+        interference=interference,
+        network=network,
+        data_distribution=data_distribution,
+        num_devices=num_devices,
+        max_rounds=rounds,
+        seed=seed,
+    )
+    _results, rows = _run_comparison(spec, policies=policies, max_rounds=rounds)
+    return rows

@@ -1,0 +1,137 @@
+"""Global configuration objects shared across the library.
+
+Two configuration dataclasses are defined here:
+
+* :class:`GlobalParams` — the FL global parameters ``(B, E, K)`` that the paper's Table 5
+  sweeps (settings S1–S4).  These are chosen by the FL service provider and stay fixed for
+  the lifetime of a training job.
+* :class:`SimulationConfig` — everything describing the emulated edge-cloud deployment:
+  fleet size and tier mix, the maximum number of aggregation rounds, the target accuracy
+  used to detect convergence, and the random seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+#: Paper Table 5 — global parameter settings used throughout the evaluation.
+GLOBAL_PARAMETER_SETTINGS: dict[str, tuple[int, int, int]] = {
+    "S1": (32, 10, 20),
+    "S2": (32, 5, 20),
+    "S3": (16, 5, 20),
+    "S4": (16, 5, 10),
+}
+
+#: Paper Section 5.1 — fleet composition of the 200-device testbed.
+DEFAULT_TIER_COUNTS: dict[str, int] = {"high": 30, "mid": 70, "low": 100}
+
+
+@dataclass(frozen=True)
+class GlobalParams:
+    """FL global parameters ``(B, E, K)`` as defined by FedAvg.
+
+    Attributes
+    ----------
+    batch_size:
+        Local minibatch size ``B`` used by every participant.
+    local_epochs:
+        Number of local epochs ``E`` each participant trains before uploading gradients.
+    num_participants:
+        Number of participant devices ``K`` selected each aggregation round.
+    """
+
+    batch_size: int = 16
+    local_epochs: int = 5
+    num_participants: int = 20
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {self.batch_size}")
+        if self.local_epochs <= 0:
+            raise ConfigurationError(f"local_epochs must be positive, got {self.local_epochs}")
+        if self.num_participants <= 0:
+            raise ConfigurationError(
+                f"num_participants must be positive, got {self.num_participants}"
+            )
+
+    @classmethod
+    def from_setting(cls, name: str) -> "GlobalParams":
+        """Build the global parameters for one of the paper's settings ``S1``–``S4``."""
+        key = name.upper()
+        if key not in GLOBAL_PARAMETER_SETTINGS:
+            raise ConfigurationError(
+                f"unknown global parameter setting {name!r}; "
+                f"expected one of {sorted(GLOBAL_PARAMETER_SETTINGS)}"
+            )
+        batch_size, local_epochs, num_participants = GLOBAL_PARAMETER_SETTINGS[key]
+        return cls(
+            batch_size=batch_size,
+            local_epochs=local_epochs,
+            num_participants=num_participants,
+        )
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """Return ``(B, E, K)`` as a plain tuple."""
+        return (self.batch_size, self.local_epochs, self.num_participants)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of the emulated edge-cloud FL deployment.
+
+    Attributes
+    ----------
+    num_devices:
+        Total number of devices ``N`` participating in the FL population.
+    tier_counts:
+        Mapping from tier name (``"high"``, ``"mid"``, ``"low"``) to the number of devices
+        of that tier.  Must sum to ``num_devices``.
+    max_rounds:
+        Upper bound on the number of aggregation rounds to simulate.
+    target_accuracy:
+        Accuracy threshold used to declare convergence (as a fraction in ``[0, 1]``).
+    seed:
+        Seed for the simulation-wide :class:`numpy.random.Generator`.
+    """
+
+    num_devices: int = 200
+    tier_counts: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_TIER_COUNTS))
+    max_rounds: int = 200
+    target_accuracy: float = 0.95
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_devices <= 0:
+            raise ConfigurationError(f"num_devices must be positive, got {self.num_devices}")
+        if self.max_rounds <= 0:
+            raise ConfigurationError(f"max_rounds must be positive, got {self.max_rounds}")
+        if not 0.0 < self.target_accuracy <= 1.0:
+            raise ConfigurationError(
+                f"target_accuracy must be in (0, 1], got {self.target_accuracy}"
+            )
+        unknown = set(self.tier_counts) - {"high", "mid", "low"}
+        if unknown:
+            raise ConfigurationError(f"unknown device tiers in tier_counts: {sorted(unknown)}")
+        total = sum(self.tier_counts.values())
+        if total != self.num_devices:
+            raise ConfigurationError(
+                f"tier_counts sum to {total} but num_devices is {self.num_devices}"
+            )
+
+    @classmethod
+    def small(cls, num_devices: int = 20, seed: int = 0) -> "SimulationConfig":
+        """A scaled-down configuration (same tier proportions) for tests and examples."""
+        high = max(1, round(num_devices * 0.15))
+        mid = max(1, round(num_devices * 0.35))
+        low = num_devices - high - mid
+        if low < 1:
+            raise ConfigurationError("num_devices too small to represent all three tiers")
+        return cls(
+            num_devices=num_devices,
+            tier_counts={"high": high, "mid": mid, "low": low},
+            max_rounds=100,
+            target_accuracy=0.95,
+            seed=seed,
+        )

@@ -1,0 +1,229 @@
+"""The AutoFL Q-learning agent (paper Algorithm 1).
+
+The agent maintains the Q-tables, performs epsilon-greedy participant/target selection and
+applies the Q-learning update once the next round's state is observed (the bootstrap term
+``max_a' Q(S', a')`` of Algorithm 1 needs the *new* state, so updates for round *t* are
+completed at the start of round *t + 1*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.actions import ActionCatalog, IDLE_ACTION
+from repro.core.qtable import QTableStore
+from repro.core.state import GlobalState, LocalState
+from repro.devices.fleet import Fleet
+from repro.exceptions import PolicyError
+
+
+@dataclass(frozen=True)
+class QLearningConfig:
+    """Hyperparameters of the Q-learning agent (paper Section 5.3)."""
+
+    learning_rate: float = 0.9
+    discount_factor: float = 0.1
+    epsilon: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise PolicyError("learning_rate must be in (0, 1]")
+        if not 0.0 <= self.discount_factor < 1.0:
+            raise PolicyError("discount_factor must be in [0, 1)")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise PolicyError("epsilon must be in [0, 1]")
+
+
+@dataclass
+class PendingTransition:
+    """A (state, action, reward) tuple awaiting its next-state bootstrap."""
+
+    global_state: GlobalState
+    local_state: LocalState
+    action_id: int
+    reward: float = 0.0
+    reward_ready: bool = False
+
+
+@dataclass
+class AgentSelection:
+    """Result of one agent decision: ranked participants and their chosen actions."""
+
+    participant_ids: list[int]
+    actions: dict[int, int]
+    explored: bool = False
+    pending: dict[int, PendingTransition] = field(default_factory=dict)
+
+
+class AutoFLAgent:
+    """Per-fleet Q-learning agent selecting participants and execution targets."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        catalog: ActionCatalog | None = None,
+        config: QLearningConfig | None = None,
+        qtable_sharing: str = QTableStore.PER_TIER,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._fleet = fleet
+        self._catalog = catalog or ActionCatalog()
+        self._config = config or QLearningConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._store = QTableStore(sharing=qtable_sharing, rng=self._rng)
+        self._pending: dict[int, PendingTransition] = {}
+        self._reward_history: list[float] = []
+
+    @property
+    def catalog(self) -> ActionCatalog:
+        """The per-device execution-target action catalog."""
+        return self._catalog
+
+    @property
+    def config(self) -> QLearningConfig:
+        """The Q-learning hyperparameters."""
+        return self._config
+
+    @property
+    def qtable_store(self) -> QTableStore:
+        """The underlying Q-table store."""
+        return self._store
+
+    @property
+    def reward_history(self) -> list[float]:
+        """Mean per-round reward over time (used for convergence analysis, Figure 15)."""
+        return list(self._reward_history)
+
+    # ------------------------------------------------------------------ selection
+    def _device_value(
+        self, device_id: int, global_state: GlobalState, local_state: LocalState
+    ) -> tuple[int, float]:
+        device = self._fleet[device_id]
+        table = self._store.table_for(device_id, device.tier)
+        return table.best_action(global_state, local_state, self._catalog.action_ids)
+
+    def select(
+        self,
+        global_state: GlobalState,
+        local_states: dict[int, LocalState],
+        num_participants: int,
+    ) -> AgentSelection:
+        """Epsilon-greedy selection of participants and their execution-target actions.
+
+        Before ranking, any pending Q-updates from the previous round are completed using
+        the newly observed states (the ``S'`` of Algorithm 1).
+        """
+        if num_participants <= 0:
+            raise PolicyError("num_participants must be positive")
+        if len(local_states) < num_participants:
+            raise PolicyError("not enough devices with observed local states")
+        self._complete_pending_updates(global_state, local_states)
+
+        device_ids = list(local_states)
+        explored = bool(self._rng.random() < self._config.epsilon)
+        if explored:
+            chosen = list(
+                self._rng.choice(device_ids, size=num_participants, replace=False).astype(int)
+            )
+            actions = {
+                device_id: int(self._rng.choice(self._catalog.action_ids))
+                for device_id in chosen
+            }
+        else:
+            # Ties (devices sharing a Q-table entry) are broken randomly to avoid a biased
+            # selection among equivalent devices (paper Section 4.2).
+            scored = [
+                (
+                    device_id,
+                    *self._device_value(device_id, global_state, local_states[device_id]),
+                )
+                for device_id in device_ids
+            ]
+            jitter = {device_id: self._rng.random() * 1e-6 for device_id in device_ids}
+            scored.sort(key=lambda item: item[2] + jitter[item[0]], reverse=True)
+            top = scored[:num_participants]
+            chosen = [device_id for device_id, _action, _value in top]
+            actions = {device_id: action for device_id, action, _value in top}
+
+        pending: dict[int, PendingTransition] = {}
+        for device_id in device_ids:
+            action_id = actions.get(device_id, IDLE_ACTION)
+            pending[device_id] = PendingTransition(
+                global_state=global_state,
+                local_state=local_states[device_id],
+                action_id=action_id,
+            )
+        self._pending = pending
+        return AgentSelection(
+            participant_ids=chosen, actions=actions, explored=explored, pending=pending
+        )
+
+    # ------------------------------------------------------------------ learning
+    def record_rewards(self, rewards: dict[int, float]) -> None:
+        """Attach the computed per-device rewards to the round's pending transitions."""
+        if not self._pending:
+            raise PolicyError("record_rewards called with no pending transitions")
+        for device_id, reward in rewards.items():
+            transition = self._pending.get(device_id)
+            if transition is None:
+                continue
+            transition.reward = reward
+            transition.reward_ready = True
+        ready = [t.reward for t in self._pending.values() if t.reward_ready]
+        if ready:
+            self._reward_history.append(float(np.mean(ready)))
+
+    def _complete_pending_updates(
+        self, new_global_state: GlobalState, new_local_states: dict[int, LocalState]
+    ) -> None:
+        """Apply the Q-learning update of Algorithm 1 for the previous round's transitions."""
+        if not self._pending:
+            return
+        lr = self._config.learning_rate
+        discount = self._config.discount_factor
+        for device_id, transition in self._pending.items():
+            if not transition.reward_ready:
+                continue
+            new_local = new_local_states.get(device_id)
+            if new_local is None:
+                continue
+            device = self._fleet[device_id]
+            table = self._store.table_for(device_id, device.tier)
+            action_ids = self._catalog.action_ids
+            if transition.action_id == IDLE_ACTION:
+                # Track a dedicated idle entry so non-participation also accumulates value.
+                current = table.get(transition.global_state, transition.local_state, IDLE_ACTION)
+                lookup_ids = action_ids + [IDLE_ACTION]
+            else:
+                current = table.get(
+                    transition.global_state, transition.local_state, transition.action_id
+                )
+                lookup_ids = action_ids
+            _best_next_action, best_next_value = table.best_action(
+                new_global_state, new_local, lookup_ids
+            )
+            updated = current + lr * (
+                transition.reward + discount * best_next_value - current
+            )
+            table.set(
+                transition.global_state, transition.local_state, transition.action_id, updated
+            )
+        self._pending = {}
+
+    def flush(self, fallback_local_states: dict[int, LocalState] | None = None) -> None:
+        """Finalise any pending updates without a next state (end of a training job).
+
+        Uses the stored transition's own state as the bootstrap state, which is exact when
+        the discount factor is zero and a close approximation for the paper's 0.1.
+        """
+        if not self._pending:
+            return
+        states = {
+            device_id: transition.local_state for device_id, transition in self._pending.items()
+        }
+        if fallback_local_states:
+            states.update(fallback_local_states)
+        any_transition = next(iter(self._pending.values()))
+        self._complete_pending_updates(any_transition.global_state, states)

@@ -1,0 +1,123 @@
+"""The AutoFL policy: the Q-learning agent plugged into the FL aggregation server."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.actions import ActionCatalog
+from repro.core.agent import AutoFLAgent, QLearningConfig
+from repro.core.qtable import QTableStore
+from repro.core.reward import RewardCalculator, RewardWeights
+from repro.core.selection import Policy
+from repro.core.state import GlobalState, LocalState, StateEncoder
+from repro.exceptions import PolicyError
+from repro.fl.server import RoundTrainingResult
+from repro.sim.context import RoundContext, SelectionDecision
+from repro.sim.results import RoundExecution
+
+
+class AutoFLPolicy(Policy):
+    """AutoFL: heterogeneity-aware, energy-efficient participant and target selection.
+
+    Every round the policy (1) observes the global configuration and each device's runtime
+    conditions and data coverage, (2) asks the Q-learning agent for the K participants and
+    their execution targets, and (3) after aggregation converts the measured energies and
+    accuracy into per-device rewards that update the Q-tables (paper Figure 7).
+    """
+
+    name = "autofl"
+
+    def __init__(
+        self,
+        rng: np.random.Generator | None = None,
+        config: QLearningConfig | None = None,
+        reward_weights: RewardWeights | None = None,
+        qtable_sharing: str = QTableStore.PER_TIER,
+        catalog: ActionCatalog | None = None,
+    ) -> None:
+        super().__init__(rng)
+        self._config = config or QLearningConfig()
+        self._reward = RewardCalculator(reward_weights)
+        self._qtable_sharing = qtable_sharing
+        self._catalog = catalog or ActionCatalog()
+        self._encoder = StateEncoder()
+        self._agent: AutoFLAgent | None = None
+
+    @property
+    def agent(self) -> AutoFLAgent:
+        """The underlying Q-learning agent (created on first use)."""
+        if self._agent is None:
+            raise PolicyError("the AutoFL agent is created on the first select() call")
+        return self._agent
+
+    def _ensure_agent(self, ctx: RoundContext) -> AutoFLAgent:
+        if self._agent is None:
+            self._agent = AutoFLAgent(
+                fleet=ctx.environment.fleet,
+                catalog=self._catalog,
+                config=self._config,
+                qtable_sharing=self._qtable_sharing,
+                rng=self._rng,
+            )
+        return self._agent
+
+    def _encode_states(
+        self, ctx: RoundContext
+    ) -> tuple[GlobalState, dict[int, LocalState]]:
+        environment = ctx.environment
+        global_state = self._encoder.encode_global(environment.workload, environment.global_params)
+        local_states = {
+            device_id: self._encoder.encode_local(
+                ctx.condition(device_id), environment.data_profile(device_id)
+            )
+            for device_id in environment.fleet.device_ids
+        }
+        return global_state, local_states
+
+    def select(self, ctx: RoundContext) -> SelectionDecision:
+        agent = self._ensure_agent(ctx)
+        global_state, local_states = self._encode_states(ctx)
+        selection = agent.select(
+            global_state, local_states, ctx.environment.global_params.num_participants
+        )
+        targets = {
+            device_id: self._catalog.to_target(action_id, ctx.environment.fleet[device_id])
+            for device_id, action_id in selection.actions.items()
+        }
+        return SelectionDecision(participants=selection.participant_ids, targets=targets)
+
+    def feedback(
+        self,
+        ctx: RoundContext,
+        decision: SelectionDecision,
+        execution: RoundExecution,
+        training: RoundTrainingResult,
+    ) -> None:
+        agent = self._ensure_agent(ctx)
+        selected = set(decision.participants)
+        global_energy = execution.energy.global_j
+        participant_energies = [
+            execution.energy.device(device_id).total_j for device_id in selected
+        ]
+        mean_participant = float(np.mean(participant_energies)) if participant_energies else 0.0
+        self._reward.observe_round(global_energy, mean_participant)
+
+        rewards: dict[int, float] = {}
+        for device in ctx.environment.fleet:
+            device_id = device.device_id
+            energy = execution.energy.device(device_id)
+            local_energy = energy.total_j if device_id in selected else energy.idle_j
+            rewards[device_id] = self._reward.reward(
+                global_energy_j=global_energy,
+                local_energy_j=local_energy,
+                accuracy=training.accuracy,
+                previous_accuracy=training.previous_accuracy,
+                selected=device_id in selected,
+            )
+        agent.record_rewards(rewards)
+
+    def reward_history(self) -> list[float]:
+        """Mean per-round reward trajectory (Figure 15 convergence analysis)."""
+        if self._agent is None:
+            return []
+        return self._agent.reward_history

@@ -1,0 +1,109 @@
+"""DBSCAN clustering used to discretise continuous state features.
+
+Paper Section 4.1: "When a feature has a continuous value, it is difficult to define the
+state in a discrete manner for the lookup table of Q-learning.  To convert the continuous
+features into discrete values, we applied the DBSCAN clustering algorithm to each feature —
+DBSCAN determines the optimal number of clusters for the given data."
+
+:class:`DBSCAN1D` is a density-based clusterer for one-dimensional feature observations and
+:func:`derive_bins` converts its clusters into bin edges compatible with
+:class:`repro.core.state.StateEncoder`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PolicyError
+
+#: Label assigned to noise points (DBSCAN convention).
+NOISE = -1
+
+
+class DBSCAN1D:
+    """Density-based spatial clustering for one-dimensional data."""
+
+    def __init__(self, eps: float, min_samples: int = 3) -> None:
+        if eps <= 0:
+            raise PolicyError("eps must be positive")
+        if min_samples < 1:
+            raise PolicyError("min_samples must be >= 1")
+        self.eps = eps
+        self.min_samples = min_samples
+
+    def fit_predict(self, values: np.ndarray) -> np.ndarray:
+        """Cluster ``values`` and return per-point labels (``-1`` marks noise).
+
+        The 1-D case admits a simple O(n log n) implementation: sort the points, then a
+        point is a core point if at least ``min_samples`` points (including itself) lie
+        within ``eps``; contiguous runs of density-reachable points form clusters.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1:
+            raise PolicyError("DBSCAN1D expects a 1-D array")
+        count = len(values)
+        labels = np.full(count, NOISE, dtype=int)
+        if count == 0:
+            return labels
+        order = np.argsort(values)
+        ordered = values[order]
+
+        neighbor_counts = np.array(
+            [
+                np.searchsorted(ordered, value + self.eps, side="right")
+                - np.searchsorted(ordered, value - self.eps, side="left")
+                for value in ordered
+            ]
+        )
+        is_core = neighbor_counts >= self.min_samples
+
+        cluster_id = -1
+        previous_core_value: float | None = None
+        ordered_labels = np.full(count, NOISE, dtype=int)
+        for index, value in enumerate(ordered):
+            if not is_core[index]:
+                continue
+            if previous_core_value is None or value - previous_core_value > self.eps:
+                cluster_id += 1
+            ordered_labels[index] = cluster_id
+            previous_core_value = value
+        # Border points: non-core points within eps of a core point join that cluster.
+        core_values = ordered[is_core]
+        core_labels = ordered_labels[is_core]
+        if len(core_values) > 0:
+            for index, value in enumerate(ordered):
+                if ordered_labels[index] != NOISE:
+                    continue
+                nearest = int(np.argmin(np.abs(core_values - value)))
+                if abs(core_values[nearest] - value) <= self.eps:
+                    ordered_labels[index] = core_labels[nearest]
+        labels[order] = ordered_labels
+        return labels
+
+    def num_clusters(self, values: np.ndarray) -> int:
+        """Number of clusters found in ``values`` (excluding noise)."""
+        labels = self.fit_predict(values)
+        return int(labels.max() + 1) if (labels >= 0).any() else 0
+
+
+def derive_bins(values: np.ndarray, eps: float, min_samples: int = 3) -> list[float]:
+    """Derive discretisation thresholds from observations via DBSCAN.
+
+    Each threshold is the midpoint between the maximum of one cluster and the minimum of
+    the next (in value order); feeding the result to ``_bin_value``-style binning assigns
+    every cluster its own discrete symbol.  Returns an empty list when fewer than two
+    clusters are found (the feature is effectively constant).
+    """
+    values = np.asarray(values, dtype=float)
+    clusterer = DBSCAN1D(eps=eps, min_samples=min_samples)
+    labels = clusterer.fit_predict(values)
+    cluster_ids = sorted(set(labels[labels >= 0]))
+    if len(cluster_ids) < 2:
+        return []
+    ranges = sorted(
+        (float(values[labels == cluster].min()), float(values[labels == cluster].max()))
+        for cluster in cluster_ids
+    )
+    return [
+        (ranges[index][1] + ranges[index + 1][0]) / 2.0 for index in range(len(ranges) - 1)
+    ]

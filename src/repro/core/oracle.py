@@ -1,0 +1,206 @@
+"""Oracle selection policies ``Oparticipant`` and ``OFL`` (paper Section 5.1).
+
+``Oparticipant`` picks, with full knowledge of the round's true conditions and of every
+device's data profile, the cluster of K participants that maximises a performance-per-watt
+proxy (expected convergence progress divided by the round's global energy).  ``OFL``
+additionally chooses each selected device's execution target, exploiting straggler slack
+with lower DVFS steps or the GPU.  AutoFL's prediction accuracy (Figure 12) is measured
+against ``OFL``'s decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.actions import ActionCatalog
+from repro.core.selection import CLUSTER_TEMPLATES, Policy, scale_template
+from repro.devices.device import ExecutionTarget
+from repro.devices.specs import DeviceTier
+from repro.exceptions import PolicyError
+from repro.fl.surrogate import STALL_QUALITY_THRESHOLD
+from repro.sim.context import RoundContext, SelectionDecision
+from repro.sim.results import DeviceRoundOutcome
+from repro.sim.round_engine import RoundEngine
+
+
+@dataclass(frozen=True)
+class _CandidatePlan:
+    """One evaluated candidate selection."""
+
+    template_name: str
+    participants: list[int]
+    targets: dict[int, ExecutionTarget]
+    round_time_s: float
+    global_energy_j: float
+    expected_gain: float
+
+    @property
+    def score(self) -> float:
+        """PPW proxy: expected convergence progress per Joule of global energy."""
+        if self.global_energy_j <= 0:
+            return 0.0
+        return (0.05 + self.expected_gain) / self.global_energy_j
+
+
+class OracleParticipantPolicy(Policy):
+    """``Oparticipant``: oracle participant selection with default execution targets."""
+
+    name = "oparticipant"
+
+    #: Composite device-ranking weights used to realise a template into concrete devices.
+    DATA_WEIGHT = 3.0
+    INTERFERENCE_WEIGHT = 1.0
+    NETWORK_WEIGHT = 0.5
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        super().__init__(rng)
+        self._catalog = ActionCatalog()
+
+    # ------------------------------------------------------------------ device ranking
+    def _device_goodness(self, ctx: RoundContext, device_id: int) -> float:
+        profile = ctx.environment.data_profile(device_id)
+        condition = ctx.condition(device_id)
+        network_score = min(1.0, condition.bandwidth_mbps / 100.0)
+        return (
+            self.DATA_WEIGHT * profile.data_quality
+            - self.INTERFERENCE_WEIGHT * (condition.co_cpu_util + 0.5 * condition.co_mem_util)
+            + self.NETWORK_WEIGHT * network_score
+        )
+
+    def _realize_template(
+        self, ctx: RoundContext, template: dict[DeviceTier, int]
+    ) -> list[int]:
+        fleet = ctx.environment.fleet
+        num_participants = ctx.environment.global_params.num_participants
+        counts = scale_template(template, num_participants)
+        chosen: list[int] = []
+        for tier in (DeviceTier.HIGH, DeviceTier.MID, DeviceTier.LOW):
+            wanted = counts.get(tier, 0)
+            if wanted == 0:
+                continue
+            candidates = [device.device_id for device in fleet.by_tier(tier)]
+            candidates.sort(key=lambda device_id: self._device_goodness(ctx, device_id), reverse=True)
+            chosen.extend(candidates[:wanted])
+        if len(chosen) < num_participants:
+            remaining = [
+                device_id
+                for device_id in sorted(
+                    fleet.device_ids,
+                    key=lambda device_id: self._device_goodness(ctx, device_id),
+                    reverse=True,
+                )
+                if device_id not in set(chosen)
+            ]
+            chosen.extend(remaining[: num_participants - len(chosen)])
+        return chosen[:num_participants]
+
+    # ------------------------------------------------------------------ plan evaluation
+    def _expected_gain(self, ctx: RoundContext, participants: list[int]) -> float:
+        profiles = [ctx.environment.data_profile(device_id) for device_id in participants]
+        total_samples = sum(profile.num_samples for profile in profiles)
+        if total_samples == 0:
+            return 0.0
+        quality = (
+            sum(profile.data_quality * profile.num_samples for profile in profiles) / total_samples
+        )
+        if quality <= STALL_QUALITY_THRESHOLD:
+            return 0.0
+        return (quality - STALL_QUALITY_THRESHOLD) / (1.0 - STALL_QUALITY_THRESHOLD)
+
+    def _plan_energy(
+        self,
+        ctx: RoundContext,
+        outcomes: dict[int, DeviceRoundOutcome],
+    ) -> tuple[float, float]:
+        round_time = max(outcome.total_time_s for outcome in outcomes.values())
+        active_energy = sum(outcome.energy.active_j for outcome in outcomes.values())
+        idle_energy = sum(
+            device.idle_power() * round_time
+            for device in ctx.environment.fleet
+            if device.device_id not in outcomes
+        )
+        return round_time, active_energy + idle_energy
+
+    def _targets_for(
+        self, ctx: RoundContext, engine: RoundEngine, participants: list[int]
+    ) -> dict[int, ExecutionTarget]:
+        """Execution targets used when evaluating a plan.  Overridden by :class:`OracleFLPolicy`."""
+        return {
+            device_id: ctx.environment.fleet[device_id].default_target()
+            for device_id in participants
+        }
+
+    def _evaluate_plan(
+        self, ctx: RoundContext, engine: RoundEngine, name: str, participants: list[int]
+    ) -> _CandidatePlan:
+        targets = self._targets_for(ctx, engine, participants)
+        outcomes = {
+            device_id: engine.estimate_device(
+                ctx.environment.fleet[device_id], targets[device_id], ctx.condition(device_id)
+            )
+            for device_id in participants
+        }
+        round_time, global_energy = self._plan_energy(ctx, outcomes)
+        return _CandidatePlan(
+            template_name=name,
+            participants=participants,
+            targets=targets,
+            round_time_s=round_time,
+            global_energy_j=global_energy,
+            expected_gain=self._expected_gain(ctx, participants),
+        )
+
+    def select(self, ctx: RoundContext) -> SelectionDecision:
+        engine = RoundEngine(ctx.environment)
+        plans = [
+            self._evaluate_plan(ctx, engine, name, self._realize_template(ctx, template))
+            for name, template in CLUSTER_TEMPLATES.items()
+        ]
+        if not plans:
+            raise PolicyError("no candidate plans could be evaluated")
+        best = max(plans, key=lambda plan: plan.score)
+        return SelectionDecision(participants=best.participants, targets=best.targets)
+
+
+class OracleFLPolicy(OracleParticipantPolicy):
+    """``OFL``: oracle participant selection plus per-device execution-target selection."""
+
+    name = "ofl"
+
+    def _targets_for(
+        self, ctx: RoundContext, engine: RoundEngine, participants: list[int]
+    ) -> dict[int, ExecutionTarget]:
+        fleet = ctx.environment.fleet
+        # First pass with default (highest-performance CPU) targets establishes the round
+        # deadline set by the slowest participant.
+        default_outcomes = {
+            device_id: engine.estimate_device(
+                fleet[device_id], fleet[device_id].default_target(), ctx.condition(device_id)
+            )
+            for device_id in participants
+        }
+        deadline = max(outcome.total_time_s for outcome in default_outcomes.values())
+        targets: dict[int, ExecutionTarget] = {}
+        for device_id in participants:
+            device = fleet[device_id]
+            condition = ctx.condition(device_id)
+            best_target = device.default_target()
+            best_energy = default_outcomes[device_id].energy.active_j
+            best_time = default_outcomes[device_id].total_time_s
+            for action_id in self._catalog.action_ids:
+                target = self._catalog.to_target(action_id, device)
+                outcome = engine.estimate_device(device, target, condition)
+                meets_deadline = outcome.total_time_s <= deadline * 1.001
+                if meets_deadline and outcome.energy.active_j < best_energy:
+                    best_target = target
+                    best_energy = outcome.energy.active_j
+                    best_time = outcome.total_time_s
+                elif not meets_deadline and best_time > deadline and outcome.total_time_s < best_time:
+                    # The device is a straggler either way; minimise its time instead.
+                    best_target = target
+                    best_energy = outcome.energy.active_j
+                    best_time = outcome.total_time_s
+            targets[device_id] = best_target
+        return targets

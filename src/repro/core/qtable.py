@@ -1,0 +1,104 @@
+"""Q-table storage: per-device lookup tables with optional per-tier sharing.
+
+Paper Section 4: AutoFL keeps a Q-table per device; to scale to large populations (and to
+speed up early training), devices of the same performance category can share one table at
+the cost of a small prediction-accuracy loss (Section 6.4, Figure 15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import GlobalState, LocalState
+from repro.devices.specs import DeviceTier
+from repro.exceptions import PolicyError
+
+QKey = tuple[tuple[int, ...], tuple[int, ...], int]
+
+
+class QTable:
+    """A sparse Q(S_global, S_local, A) lookup table."""
+
+    def __init__(self, rng: np.random.Generator | None = None, init_scale: float = 0.01) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._init_scale = init_scale
+        self._values: dict[QKey, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @staticmethod
+    def _key(global_state: GlobalState, local_state: LocalState, action_id: int) -> QKey:
+        return (global_state.as_tuple(), local_state.as_tuple(), action_id)
+
+    def get(self, global_state: GlobalState, local_state: LocalState, action_id: int) -> float:
+        """Q-value of a (state, action) pair, lazily initialised to a small random value."""
+        key = self._key(global_state, local_state, action_id)
+        if key not in self._values:
+            self._values[key] = float(self._rng.normal(0.0, self._init_scale))
+        return self._values[key]
+
+    def set(
+        self, global_state: GlobalState, local_state: LocalState, action_id: int, value: float
+    ) -> None:
+        """Overwrite the Q-value of a (state, action) pair."""
+        self._values[self._key(global_state, local_state, action_id)] = float(value)
+
+    def best_action(
+        self, global_state: GlobalState, local_state: LocalState, action_ids: list[int]
+    ) -> tuple[int, float]:
+        """The action (among ``action_ids``) with the highest Q-value, and that value."""
+        if not action_ids:
+            raise PolicyError("action_ids must not be empty")
+        best_id = action_ids[0]
+        best_value = self.get(global_state, local_state, best_id)
+        for action_id in action_ids[1:]:
+            value = self.get(global_state, local_state, action_id)
+            if value > best_value:
+                best_id, best_value = action_id, value
+        return best_id, best_value
+
+    def memory_entries(self) -> int:
+        """Number of materialised table entries (a proxy for memory footprint)."""
+        return len(self._values)
+
+
+class QTableStore:
+    """Holds the Q-tables of a fleet, either one per device or one per performance tier."""
+
+    PER_DEVICE = "per-device"
+    PER_TIER = "per-tier"
+
+    def __init__(
+        self,
+        sharing: str = PER_TIER,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if sharing not in (self.PER_DEVICE, self.PER_TIER):
+            raise PolicyError(
+                f"sharing must be {self.PER_DEVICE!r} or {self.PER_TIER!r}, got {sharing!r}"
+            )
+        self._sharing = sharing
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._tables: dict[object, QTable] = {}
+
+    @property
+    def sharing(self) -> str:
+        """The sharing mode (``"per-device"`` or ``"per-tier"``)."""
+        return self._sharing
+
+    def table_for(self, device_id: int, tier: DeviceTier) -> QTable:
+        """The Q-table responsible for a device."""
+        key: object = device_id if self._sharing == self.PER_DEVICE else tier
+        if key not in self._tables:
+            self._tables[key] = QTable(rng=self._rng)
+        return self._tables[key]
+
+    @property
+    def num_tables(self) -> int:
+        """Number of distinct tables materialised so far."""
+        return len(self._tables)
+
+    def total_entries(self) -> int:
+        """Total number of Q-table entries across all tables."""
+        return sum(table.memory_entries() for table in self._tables.values())

@@ -1,0 +1,104 @@
+"""AutoFL reward computation (paper Section 4.1, Equations 5-7).
+
+The reward mixes the global energy of the whole population, the device's own local energy,
+the achieved test accuracy and the accuracy improvement over the previous round.  If the
+round failed to improve accuracy, the reward collapses to ``accuracy - 100`` (how far the
+model still is from 100 %), strongly discouraging re-selecting the action that caused it.
+
+Energies from different fleets/workloads differ by orders of magnitude, so before entering
+the reward they are normalised by running means (maintained per reward calculator), keeping
+the energy terms commensurate with the accuracy terms exactly as the paper's weighting
+(``alpha``, ``beta``) presumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import PolicyError
+
+
+@dataclass(frozen=True)
+class RewardWeights:
+    """Weights of the accuracy terms in Eq. 7."""
+
+    alpha: float = 0.5
+    beta: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise PolicyError("reward weights must be non-negative")
+
+
+class _RunningMean:
+    """Numerically simple running mean used for energy normalisation."""
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._count = 0
+
+    def update(self, value: float) -> None:
+        self._total += value
+        self._count += 1
+
+    @property
+    def value(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+
+class RewardCalculator:
+    """Computes per-device rewards for one aggregation round."""
+
+    #: Scale of the normalised energy terms (a typical round's global energy maps to this).
+    ENERGY_SCALE = 10.0
+
+    def __init__(self, weights: RewardWeights | None = None) -> None:
+        self._weights = weights or RewardWeights()
+        self._global_mean = _RunningMean()
+        self._local_mean = _RunningMean()
+
+    @property
+    def weights(self) -> RewardWeights:
+        """The accuracy/improvement weights in use."""
+        return self._weights
+
+    def observe_round(self, global_energy_j: float, mean_local_energy_j: float) -> None:
+        """Update the normalisation statistics with this round's measured energies."""
+        if global_energy_j < 0 or mean_local_energy_j < 0:
+            raise PolicyError("energies must be non-negative")
+        self._global_mean.update(global_energy_j)
+        self._local_mean.update(mean_local_energy_j)
+
+    def _normalise(self, value: float, mean: _RunningMean) -> float:
+        reference = mean.value
+        if reference <= 0:
+            return self.ENERGY_SCALE
+        return self.ENERGY_SCALE * value / reference
+
+    def reward(
+        self,
+        global_energy_j: float,
+        local_energy_j: float,
+        accuracy: float,
+        previous_accuracy: float,
+        selected: bool = True,
+    ) -> float:
+        """Reward of one device for one round (Eq. 7).
+
+        ``accuracy`` and ``previous_accuracy`` are fractions in ``[0, 1]``; the paper's
+        percent-scale formulation is recovered internally.
+        """
+        if not 0.0 <= accuracy <= 1.0 or not 0.0 <= previous_accuracy <= 1.0:
+            raise PolicyError("accuracies must be fractions in [0, 1]")
+        accuracy_pct = accuracy * 100.0
+        improvement_pct = (accuracy - previous_accuracy) * 100.0
+        if selected and improvement_pct <= 0.0:
+            # The selected action failed to improve the model: Eq. 7's penalty branch.
+            return accuracy_pct - 100.0
+        improvement_pct = max(0.0, improvement_pct)
+        return (
+            -self._normalise(global_energy_j, self._global_mean)
+            - self._normalise(local_energy_j, self._local_mean)
+            + self._weights.alpha * accuracy_pct
+            + self._weights.beta * improvement_pct
+        )

@@ -1,0 +1,229 @@
+"""Synthetic stand-ins for the paper's datasets.
+
+The generators below produce datasets with the same label structure as MNIST / ImageNet /
+Shakespeare but with synthetic, learnable content:
+
+* **Image datasets** draw each class from a class-specific Gaussian blob over pixel space
+  with class-dependent spatial patterns, so a small CNN can actually separate them.
+* **The character dataset** generates text from a class of character-level Markov chains,
+  so an LSTM genuinely benefits from temporal context when predicting the next character.
+
+This keeps the full training code path (forward, backward, aggregation, accuracy) honest
+while remaining dependency-free and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class SyntheticClassificationDataset:
+    """An in-memory image-classification dataset.
+
+    Attributes
+    ----------
+    features:
+        Array of shape ``(num_samples, channels, height, width)`` with values in ``[0, 1]``.
+    labels:
+        Integer class labels of shape ``(num_samples,)``.
+    num_classes:
+        Number of distinct classes.
+    name:
+        Human-readable dataset name.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.features.ndim != 4:
+            raise DataError(
+                f"{self.name}: features must have shape (N, C, H, W), got {self.features.shape}"
+            )
+        if self.labels.ndim != 1 or len(self.labels) != len(self.features):
+            raise DataError(f"{self.name}: labels must be 1-D and aligned with features")
+        if self.num_classes < 2:
+            raise DataError(f"{self.name}: num_classes must be >= 2")
+        if self.labels.min() < 0 or self.labels.max() >= self.num_classes:
+            raise DataError(f"{self.name}: labels out of range [0, {self.num_classes})")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def sample_shape(self) -> tuple[int, ...]:
+        """Shape of a single sample (channels, height, width)."""
+        return tuple(self.features.shape[1:])
+
+    def subset(self, indices: np.ndarray) -> "SyntheticClassificationDataset":
+        """Return a view-like subset dataset restricted to ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return SyntheticClassificationDataset(
+            features=self.features[indices],
+            labels=self.labels[indices],
+            num_classes=self.num_classes,
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class SyntheticSequenceDataset:
+    """An in-memory next-token-prediction dataset (Shakespeare stand-in).
+
+    Attributes
+    ----------
+    sequences:
+        Integer token sequences of shape ``(num_samples, sequence_length)``.
+    labels:
+        Next-token targets of shape ``(num_samples,)``.
+    num_classes:
+        Vocabulary size.
+    """
+
+    sequences: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.sequences.ndim != 2:
+            raise DataError(f"{self.name}: sequences must be 2-D, got {self.sequences.shape}")
+        if self.labels.ndim != 1 or len(self.labels) != len(self.sequences):
+            raise DataError(f"{self.name}: labels must be 1-D and aligned with sequences")
+        if self.num_classes < 2:
+            raise DataError(f"{self.name}: num_classes must be >= 2")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def sequence_length(self) -> int:
+        """Length of each input sequence."""
+        return int(self.sequences.shape[1])
+
+    @property
+    def features(self) -> np.ndarray:
+        """Alias so sequence datasets can be consumed like classification datasets."""
+        return self.sequences
+
+    def subset(self, indices: np.ndarray) -> "SyntheticSequenceDataset":
+        """Return a subset dataset restricted to ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return SyntheticSequenceDataset(
+            sequences=self.sequences[indices],
+            labels=self.labels[indices],
+            num_classes=self.num_classes,
+            name=self.name,
+        )
+
+
+def _class_image(
+    rng: np.random.Generator,
+    label: int,
+    num_classes: int,
+    channels: int,
+    height: int,
+    width: int,
+) -> np.ndarray:
+    """Draw one image for ``label``: a class-specific spatial pattern plus pixel noise."""
+    yy, xx = np.meshgrid(np.linspace(0, 1, height), np.linspace(0, 1, width), indexing="ij")
+    phase = 2.0 * np.pi * label / num_classes
+    pattern = 0.5 + 0.5 * np.sin(2.0 * np.pi * (xx + yy) * (1 + label % 3) + phase)
+    image = np.empty((channels, height, width), dtype=np.float64)
+    for channel in range(channels):
+        shift = channel / max(1, channels)
+        noise = rng.normal(0.0, 0.15, size=(height, width))
+        image[channel] = np.clip(pattern * (0.6 + 0.4 * shift) + noise, 0.0, 1.0)
+    return image
+
+
+def make_synthetic_mnist(
+    num_samples: int = 2000, seed: int = 0
+) -> SyntheticClassificationDataset:
+    """Synthetic MNIST stand-in: 10 classes of 1x28x28 images."""
+    return _make_image_dataset("synthetic-mnist", num_samples, 10, 1, 28, 28, seed)
+
+
+def make_synthetic_imagenet(
+    num_samples: int = 2000, num_classes: int = 100, seed: int = 0
+) -> SyntheticClassificationDataset:
+    """Synthetic ImageNet stand-in: ``num_classes`` classes of 3x32x32 images.
+
+    The spatial resolution is reduced from 224x224 to 32x32 so that from-scratch numpy
+    training stays tractable; the FLOP/byte accounting used by the energy model uses the
+    full-resolution MobileNet profile (see :mod:`repro.nn.workloads`), so the reduction does
+    not distort the systems results.
+    """
+    return _make_image_dataset("synthetic-imagenet", num_samples, num_classes, 3, 32, 32, seed)
+
+
+def _make_image_dataset(
+    name: str,
+    num_samples: int,
+    num_classes: int,
+    channels: int,
+    height: int,
+    width: int,
+    seed: int,
+) -> SyntheticClassificationDataset:
+    if num_samples < num_classes:
+        raise DataError(f"{name}: need at least one sample per class")
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=num_samples)
+    # Guarantee every class appears at least once so partitioners always have full support.
+    labels[:num_classes] = np.arange(num_classes)
+    rng.shuffle(labels)
+    features = np.stack(
+        [
+            _class_image(rng, int(label), num_classes, channels, height, width)
+            for label in labels
+        ]
+    )
+    return SyntheticClassificationDataset(
+        features=features, labels=labels.astype(np.int64), num_classes=num_classes, name=name
+    )
+
+
+def make_synthetic_shakespeare(
+    num_samples: int = 2000,
+    sequence_length: int = 20,
+    vocab_size: int = 40,
+    seed: int = 0,
+) -> SyntheticSequenceDataset:
+    """Synthetic Shakespeare stand-in: next-character prediction over a Markov corpus.
+
+    A random (but fixed per seed) character-level Markov chain with strong transition
+    structure generates the corpus; windows of ``sequence_length`` characters are the inputs
+    and the following character is the target.  The class label of a window — used for
+    non-IID partitioning — is its target character, mirroring how next-character prediction
+    data is skewed per user in the real federated Shakespeare split.
+    """
+    if vocab_size < 2 or sequence_length < 2:
+        raise DataError("vocab_size and sequence_length must each be >= 2")
+    if num_samples < 1:
+        raise DataError("num_samples must be >= 1")
+    rng = np.random.default_rng(seed)
+    # Sparse, peaked transition matrix: each character strongly prefers a few successors.
+    transitions = rng.dirichlet(np.full(vocab_size, 0.1), size=vocab_size)
+    corpus_length = num_samples + sequence_length + 1
+    corpus = np.empty(corpus_length, dtype=np.int64)
+    corpus[0] = rng.integers(0, vocab_size)
+    for position in range(1, corpus_length):
+        corpus[position] = rng.choice(vocab_size, p=transitions[corpus[position - 1]])
+    sequences = np.stack(
+        [corpus[start : start + sequence_length] for start in range(num_samples)]
+    )
+    labels = corpus[sequence_length : sequence_length + num_samples]
+    return SyntheticSequenceDataset(
+        sequences=sequences,
+        labels=labels,
+        num_classes=vocab_size,
+        name="synthetic-shakespeare",
+    )

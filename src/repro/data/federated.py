@@ -1,0 +1,146 @@
+"""Federated dataset: a global dataset plus per-device shards and class statistics.
+
+The AutoFL state ``S_Data`` (paper Table 1) is "the number of data classes each device has
+for this round"; the per-device class statistics required to compute it live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import SyntheticClassificationDataset, SyntheticSequenceDataset
+from repro.data.partition import (
+    DataDistribution,
+    class_histogram,
+    mixed_partition,
+)
+from repro.exceptions import DataError
+
+Dataset = SyntheticClassificationDataset | SyntheticSequenceDataset
+
+
+@dataclass(frozen=True)
+class DeviceShard:
+    """The local training shard of one device."""
+
+    device_id: int
+    indices: np.ndarray
+    class_counts: np.ndarray
+    is_non_iid: bool
+
+    @property
+    def num_samples(self) -> int:
+        """Number of local training samples."""
+        return int(len(self.indices))
+
+    @property
+    def num_classes_present(self) -> int:
+        """Number of distinct classes with at least one local sample."""
+        return int(np.count_nonzero(self.class_counts))
+
+    @property
+    def class_fraction(self) -> float:
+        """Fraction of the global label space covered locally (drives ``S_Data``)."""
+        total_classes = len(self.class_counts)
+        if total_classes == 0:
+            return 0.0
+        return self.num_classes_present / total_classes
+
+    def balance_score(self) -> float:
+        """How close the local class mix is to uniform, in ``[0, 1]``.
+
+        Defined as the normalised entropy of the local class histogram; 1.0 means a
+        perfectly balanced IID-like shard, values near 0 mean the shard is concentrated on
+        very few classes.  This is the per-device "data quality" signal consumed by the
+        surrogate convergence model.
+        """
+        total = self.class_counts.sum()
+        if total == 0:
+            return 0.0
+        probabilities = self.class_counts[self.class_counts > 0] / total
+        entropy = float(-(probabilities * np.log(probabilities)).sum())
+        max_entropy = float(np.log(len(self.class_counts)))
+        if max_entropy == 0.0:
+            return 1.0
+        return entropy / max_entropy
+
+
+class FederatedDataset:
+    """A dataset partitioned across a device population."""
+
+    def __init__(self, dataset: Dataset, shards: list[DeviceShard]) -> None:
+        if not shards:
+            raise DataError("a federated dataset needs at least one shard")
+        self._dataset = dataset
+        self._shards = {shard.device_id: shard for shard in shards}
+        if len(self._shards) != len(shards):
+            raise DataError("shard device ids must be unique")
+
+    @property
+    def dataset(self) -> Dataset:
+        """The underlying global dataset."""
+        return self._dataset
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices holding a shard."""
+        return len(self._shards)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes in the global dataset."""
+        return self._dataset.num_classes
+
+    @property
+    def device_ids(self) -> list[int]:
+        """Sorted device ids holding shards."""
+        return sorted(self._shards)
+
+    def shard(self, device_id: int) -> DeviceShard:
+        """Shard belonging to a device."""
+        try:
+            return self._shards[device_id]
+        except KeyError as exc:
+            raise DataError(f"no shard for device {device_id}") from exc
+
+    def local_dataset(self, device_id: int) -> Dataset:
+        """Materialise the local dataset of a device."""
+        return self._dataset.subset(self.shard(device_id).indices)
+
+    def non_iid_device_ids(self) -> list[int]:
+        """Device ids flagged as holding non-IID data."""
+        return sorted(
+            device_id for device_id, shard in self._shards.items() if shard.is_non_iid
+        )
+
+    @classmethod
+    def partition(
+        cls,
+        dataset: Dataset,
+        num_devices: int,
+        distribution: DataDistribution | str = DataDistribution.IID,
+        rng: np.random.Generator | None = None,
+        device_ids: list[int] | None = None,
+    ) -> "FederatedDataset":
+        """Partition ``dataset`` across ``num_devices`` devices for a heterogeneity scenario."""
+        distribution = DataDistribution.from_name(distribution)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if device_ids is None:
+            device_ids = list(range(num_devices))
+        if len(device_ids) != num_devices:
+            raise DataError("device_ids length must equal num_devices")
+        shards_indices, non_iid_mask = mixed_partition(
+            dataset.labels, num_devices, distribution.non_iid_fraction, rng
+        )
+        shards = [
+            DeviceShard(
+                device_id=device_id,
+                indices=indices,
+                class_counts=class_histogram(dataset.labels, indices, dataset.num_classes),
+                is_non_iid=bool(non_iid_mask[position]),
+            )
+            for position, (device_id, indices) in enumerate(zip(device_ids, shards_indices))
+        ]
+        return cls(dataset, shards)

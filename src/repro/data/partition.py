@@ -1,0 +1,158 @@
+"""Partitioning a dataset across the device population.
+
+Paper Section 5.2, "Data Distribution": four levels of heterogeneity are emulated —
+Ideal IID, Non-IID(50 %), Non-IID(75 %) and Non-IID(100 %).  In the ``Non-IID(M%)`` setting,
+M % of the devices receive data whose class proportions follow a Dirichlet distribution with
+concentration 0.1 (each class concentrated on few devices) while the remaining devices hold
+IID samples covering every class.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+#: Dirichlet concentration parameter used by the paper for non-IID devices.
+DIRICHLET_CONCENTRATION = 0.1
+
+
+class DataDistribution(enum.Enum):
+    """The paper's four data-heterogeneity scenarios."""
+
+    IID = "iid"
+    NON_IID_50 = "non_iid_50"
+    NON_IID_75 = "non_iid_75"
+    NON_IID_100 = "non_iid_100"
+
+    @property
+    def non_iid_fraction(self) -> float:
+        """Fraction of devices holding non-IID data under this scenario."""
+        return {
+            DataDistribution.IID: 0.0,
+            DataDistribution.NON_IID_50: 0.5,
+            DataDistribution.NON_IID_75: 0.75,
+            DataDistribution.NON_IID_100: 1.0,
+        }[self]
+
+    @classmethod
+    def from_name(cls, name: "str | DataDistribution") -> "DataDistribution":
+        """Coerce a scenario name (e.g. ``"non_iid_75"`` or ``"iid"``) into an enum member."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(name.lower())
+        except ValueError as exc:
+            raise DataError(
+                f"unknown data distribution {name!r}; expected one of "
+                f"{[member.value for member in cls]}"
+            ) from exc
+
+
+def _validate_inputs(labels: np.ndarray, num_devices: int) -> np.ndarray:
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise DataError("labels must be a 1-D array")
+    if len(labels) == 0:
+        raise DataError("labels must be non-empty")
+    if num_devices < 1:
+        raise DataError("num_devices must be >= 1")
+    return labels
+
+
+def iid_partition(
+    labels: np.ndarray, num_devices: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Split sample indices evenly and randomly across devices (Ideal IID).
+
+    Every device receives a uniformly random subset, so its class proportions match the
+    population's in expectation.
+    """
+    labels = _validate_inputs(labels, num_devices)
+    order = rng.permutation(len(labels))
+    return [np.sort(chunk) for chunk in np.array_split(order, num_devices)]
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    num_devices: int,
+    rng: np.random.Generator,
+    concentration: float = DIRICHLET_CONCENTRATION,
+) -> list[np.ndarray]:
+    """Split sample indices with Dirichlet-distributed class proportions per class.
+
+    For every class, the class's samples are divided across devices according to a draw
+    from ``Dirichlet(concentration)``; a small concentration concentrates each class onto a
+    handful of devices, which is exactly the paper's non-IID construction.
+    """
+    labels = _validate_inputs(labels, num_devices)
+    if concentration <= 0:
+        raise DataError("concentration must be positive")
+    shards: list[list[int]] = [[] for _ in range(num_devices)]
+    for class_id in np.unique(labels):
+        class_indices = np.flatnonzero(labels == class_id)
+        class_indices = rng.permutation(class_indices)
+        proportions = rng.dirichlet(np.full(num_devices, concentration))
+        boundaries = (np.cumsum(proportions)[:-1] * len(class_indices)).astype(int)
+        for device_id, chunk in enumerate(np.split(class_indices, boundaries)):
+            shards[device_id].extend(int(index) for index in chunk)
+    return [np.sort(np.asarray(shard, dtype=np.int64)) for shard in shards]
+
+
+def mixed_partition(
+    labels: np.ndarray,
+    num_devices: int,
+    non_iid_fraction: float,
+    rng: np.random.Generator,
+    concentration: float = DIRICHLET_CONCENTRATION,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Build the paper's ``Non-IID(M%)`` split.
+
+    ``non_iid_fraction`` of the devices (chosen uniformly at random) receive
+    Dirichlet-concentrated data; the rest receive IID data.  Returns the per-device index
+    arrays plus a boolean mask marking which devices are non-IID.
+    """
+    labels = _validate_inputs(labels, num_devices)
+    if not 0.0 <= non_iid_fraction <= 1.0:
+        raise DataError("non_iid_fraction must be in [0, 1]")
+    num_non_iid = int(round(non_iid_fraction * num_devices))
+    non_iid_mask = np.zeros(num_devices, dtype=bool)
+    if num_non_iid > 0:
+        non_iid_devices = rng.choice(num_devices, size=num_non_iid, replace=False)
+        non_iid_mask[non_iid_devices] = True
+
+    # Split the sample pool proportionally between the IID and non-IID device groups so all
+    # devices end up with comparable shard sizes.
+    order = rng.permutation(len(labels))
+    split_point = int(round(len(labels) * (num_non_iid / num_devices)))
+    non_iid_pool, iid_pool = order[:split_point], order[split_point:]
+
+    shards: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * num_devices
+    iid_device_ids = np.flatnonzero(~non_iid_mask)
+    non_iid_device_ids = np.flatnonzero(non_iid_mask)
+
+    if len(iid_device_ids) > 0 and len(iid_pool) > 0:
+        iid_shards = iid_partition(labels[iid_pool], len(iid_device_ids), rng)
+        for device_id, local_indices in zip(iid_device_ids, iid_shards):
+            shards[device_id] = np.sort(iid_pool[local_indices])
+    if len(non_iid_device_ids) > 0 and len(non_iid_pool) > 0:
+        non_iid_shards = dirichlet_partition(
+            labels[non_iid_pool], len(non_iid_device_ids), rng, concentration
+        )
+        for device_id, local_indices in zip(non_iid_device_ids, non_iid_shards):
+            shards[device_id] = np.sort(non_iid_pool[local_indices])
+    return shards, non_iid_mask
+
+
+def class_histogram(labels: np.ndarray, indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Count of samples per class within ``indices``."""
+    if num_classes < 1:
+        raise DataError("num_classes must be >= 1")
+    histogram = np.zeros(num_classes, dtype=np.int64)
+    if len(indices) == 0:
+        return histogram
+    values, counts = np.unique(np.asarray(labels)[indices], return_counts=True)
+    histogram[values.astype(np.int64)] = counts
+    return histogram

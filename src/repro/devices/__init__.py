@@ -1,0 +1,46 @@
+"""Mobile device models: hardware specifications, power, performance, DVFS and fleets.
+
+This subpackage is the hardware substrate of the reproduction.  The paper measured three
+real smartphones (Mi8Pro, Galaxy S10e, Moto X Force) with a Monsoon power meter and emulated
+a 200-device fleet with EC2 instances; here the same three tiers are modelled analytically
+using the published specifications (paper Tables 2 and 3) and reported performance/power
+ratios (paper Section 3).
+"""
+
+from repro.devices.device import ExecutionTarget, MobileDevice, RoundConditions
+from repro.devices.dvfs import DvfsGovernor
+from repro.devices.energy import DeviceEnergy, RoundEnergyAccount
+from repro.devices.fleet import Fleet, build_fleet
+from repro.devices.performance import TrainingTimeModel
+from repro.devices.power import CpuPowerModel, GpuPowerModel, busy_power_at_frequency
+from repro.devices.specs import (
+    DeviceSpec,
+    DeviceTier,
+    ProcessorSpec,
+    GALAXY_S10E,
+    MI8_PRO,
+    MOTO_X_FORCE,
+    TIER_SPECS,
+)
+
+__all__ = [
+    "CpuPowerModel",
+    "DeviceEnergy",
+    "DeviceSpec",
+    "DeviceTier",
+    "DvfsGovernor",
+    "ExecutionTarget",
+    "Fleet",
+    "GALAXY_S10E",
+    "GpuPowerModel",
+    "MI8_PRO",
+    "MOTO_X_FORCE",
+    "MobileDevice",
+    "ProcessorSpec",
+    "RoundConditions",
+    "RoundEnergyAccount",
+    "TIER_SPECS",
+    "TrainingTimeModel",
+    "build_fleet",
+    "busy_power_at_frequency",
+]

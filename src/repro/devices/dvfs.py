@@ -1,0 +1,92 @@
+"""DVFS governor used to exploit straggler slack for energy savings.
+
+AutoFL augments the per-device execution-target action with CPU/GPU DVFS settings
+(paper Section 4.1, "Action"): when a participant finishes well before the round's
+straggler, its frequency can be lowered so it finishes just-in-time at lower energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.performance import ComputeWorkload, TrainingTimeModel
+from repro.devices.power import busy_power_at_frequency
+from repro.devices.specs import ProcessorSpec
+from repro.exceptions import DeviceError
+
+
+@dataclass(frozen=True)
+class DvfsDecision:
+    """Result of a governor query: the chosen V-F step and its predicted time/energy."""
+
+    step: int
+    predicted_time_s: float
+    predicted_energy_j: float
+
+
+class DvfsGovernor:
+    """Selects V-F steps for a processor, optionally under a deadline.
+
+    Two policies are provided:
+
+    * :meth:`max_performance` — always the highest step (the paper's baselines).
+    * :meth:`energy_optimal_under_deadline` — the lowest-energy step whose predicted
+      training time still meets a deadline (AutoFL's slack exploitation).
+    """
+
+    def __init__(self, time_model: TrainingTimeModel | None = None) -> None:
+        self._time_model = time_model or TrainingTimeModel()
+
+    def max_performance(self, spec: ProcessorSpec) -> int:
+        """Return the highest available V-F step."""
+        return spec.num_vf_steps - 1
+
+    def _evaluate(
+        self,
+        workload: ComputeWorkload,
+        spec: ProcessorSpec,
+        step: int,
+        power_scale: float,
+        compute_slowdown: float,
+        memory_slowdown: float,
+    ) -> DvfsDecision:
+        time_s = self._time_model.training_time(
+            workload, spec, step, compute_slowdown, memory_slowdown
+        )
+        utilization = self._time_model.utilization(workload, spec, step)
+        power = busy_power_at_frequency(spec, step, utilization, power_scale)
+        return DvfsDecision(step=step, predicted_time_s=time_s, predicted_energy_j=power * time_s)
+
+    def energy_optimal_under_deadline(
+        self,
+        workload: ComputeWorkload,
+        spec: ProcessorSpec,
+        deadline_s: float,
+        power_scale: float = 1.0,
+        compute_slowdown: float = 1.0,
+        memory_slowdown: float = 1.0,
+    ) -> DvfsDecision:
+        """Lowest-energy V-F step that still meets ``deadline_s``.
+
+        If no step meets the deadline, the highest-performance step is returned — the
+        device is a straggler regardless, so running as fast as possible minimises the
+        round-time penalty it imposes.
+        """
+        if deadline_s <= 0:
+            raise DeviceError(f"deadline_s must be positive, got {deadline_s}")
+        best: DvfsDecision | None = None
+        fallback: DvfsDecision | None = None
+        for step in range(spec.num_vf_steps):
+            decision = self._evaluate(
+                workload, spec, step, power_scale, compute_slowdown, memory_slowdown
+            )
+            if fallback is None or decision.predicted_time_s < fallback.predicted_time_s:
+                fallback = decision
+            if decision.predicted_time_s > deadline_s:
+                continue
+            if best is None or decision.predicted_energy_j < best.predicted_energy_j:
+                best = decision
+        if best is not None:
+            return best
+        assert fallback is not None  # num_vf_steps >= 1 guarantees at least one evaluation
+        return fallback

@@ -1,0 +1,82 @@
+"""Fleet construction: building the heterogeneous 200-device FL population."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.devices.device import MobileDevice
+from repro.devices.specs import DeviceTier, TIER_SPECS
+from repro.exceptions import DeviceError
+
+
+class Fleet:
+    """An ordered collection of :class:`MobileDevice` with tier-based helpers."""
+
+    def __init__(self, devices: Sequence[MobileDevice]) -> None:
+        if not devices:
+            raise DeviceError("a fleet must contain at least one device")
+        ids = [device.device_id for device in devices]
+        if len(set(ids)) != len(ids):
+            raise DeviceError("fleet device ids must be unique")
+        self._devices = list(devices)
+        self._by_id = {device.device_id: device for device in self._devices}
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __iter__(self) -> Iterator[MobileDevice]:
+        return iter(self._devices)
+
+    def __getitem__(self, device_id: int) -> MobileDevice:
+        try:
+            return self._by_id[device_id]
+        except KeyError as exc:
+            raise DeviceError(f"no device with id {device_id} in fleet") from exc
+
+    @property
+    def device_ids(self) -> list[int]:
+        """All device ids in fleet order."""
+        return [device.device_id for device in self._devices]
+
+    @property
+    def devices(self) -> list[MobileDevice]:
+        """All devices in fleet order (a copy)."""
+        return list(self._devices)
+
+    def by_tier(self, tier: DeviceTier | str) -> list[MobileDevice]:
+        """All devices of the requested tier."""
+        tier = DeviceTier.from_name(tier)
+        return [device for device in self._devices if device.tier is tier]
+
+    def tier_counts(self) -> dict[DeviceTier, int]:
+        """Number of devices per tier."""
+        counts = {tier: 0 for tier in DeviceTier}
+        for device in self._devices:
+            counts[device.tier] += 1
+        return counts
+
+    def tier_of(self, device_id: int) -> DeviceTier:
+        """Tier of a device id."""
+        return self[device_id].tier
+
+
+def build_fleet(config: SimulationConfig, rng: np.random.Generator | None = None) -> Fleet:
+    """Build a fleet matching ``config.tier_counts`` with shuffled device-id assignment.
+
+    Device ids are assigned randomly across tiers (seeded by ``config.seed`` unless an
+    explicit generator is provided) so that id ordering carries no tier information — the
+    random-selection baseline must not accidentally benefit from id structure.
+    """
+    rng = rng if rng is not None else np.random.default_rng(config.seed)
+    tiers: list[DeviceTier] = []
+    for name, count in config.tier_counts.items():
+        tiers.extend([DeviceTier.from_name(name)] * count)
+    order = rng.permutation(len(tiers))
+    devices = [
+        MobileDevice(device_id=int(device_id), spec=TIER_SPECS[tiers[position]])
+        for device_id, position in enumerate(order)
+    ]
+    return Fleet(devices)

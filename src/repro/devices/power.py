@@ -1,0 +1,127 @@
+"""Power models for on-device training (paper Equations 1, 2 and 4).
+
+The paper computes computation energy with a utilisation-based CPU power model
+(Eq. 1) and a frequency-indexed GPU power model (Eq. 2); the busy/idle residency times come
+from ``procfs``/``sysfs`` and the per-frequency busy powers from Monsoon measurements.
+Here the per-frequency busy power is derived analytically from the measured peak power
+using a standard DVFS power curve ``P(f) = P_static + (P_peak - P_static) * (f / f_max)^e``
+with exponent ``e = 2.4`` (dynamic power scales roughly with ``f * V^2`` and voltage scales
+with frequency on mobile SoCs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.specs import ProcessorSpec
+from repro.exceptions import DeviceError
+
+#: Exponent of the frequency-power curve (f * V^2 with V roughly proportional to f).
+DVFS_POWER_EXPONENT = 2.4
+
+#: Fraction of the peak power that is static (leakage + uncore) and does not scale with DVFS.
+STATIC_POWER_FRACTION = 0.15
+
+#: Fraction of the CPU's peak power a participant draws while it is awake for the FL round
+#: but not actively computing (wakelock held, cores online, radio connected, waiting for the
+#: round to close).  This is the overhead that makes long straggler-gated rounds expensive
+#: for every participant, not just the straggler.
+AWAKE_OVERHEAD_FRACTION = 0.12
+
+
+def awake_power(peak_power_watt: float, idle_power_watt: float, power_scale: float = 1.0) -> float:
+    """Power (W) a participant draws while awake in a round but not training."""
+    if peak_power_watt <= 0 or idle_power_watt < 0:
+        raise DeviceError("power values must be positive")
+    return idle_power_watt + AWAKE_OVERHEAD_FRACTION * peak_power_watt * power_scale
+
+
+def busy_power_at_frequency(
+    spec: ProcessorSpec,
+    step: int,
+    utilization: float = 1.0,
+    power_scale: float = 1.0,
+) -> float:
+    """Busy power (W) of a processor at V-F ``step`` and the given utilisation.
+
+    Parameters
+    ----------
+    spec:
+        Processor specification providing peak power and the V-F table.
+    step:
+        V-F step index (0 = lowest frequency).
+    utilization:
+        Fraction of cycles the training workload keeps the processor busy, in ``[0, 1]``.
+    power_scale:
+        Tier-level calibration multiplier (see :class:`repro.devices.specs.DeviceSpec`).
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise DeviceError(f"utilization must be in [0, 1], got {utilization}")
+    rel_f = spec.relative_frequency(step)
+    static = STATIC_POWER_FRACTION * spec.peak_power_watt
+    dynamic_peak = spec.peak_power_watt - static
+    dynamic = dynamic_peak * (rel_f**DVFS_POWER_EXPONENT) * utilization
+    return power_scale * (static + dynamic)
+
+
+@dataclass(frozen=True)
+class BusyInterval:
+    """Time spent busy at one V-F step (the ``t_busy^f`` terms of Eq. 1 / Eq. 2)."""
+
+    step: int
+    duration_s: float
+    utilization: float = 1.0
+
+
+class CpuPowerModel:
+    """Utilisation-based CPU power/energy model (paper Eq. 1).
+
+    The paper sums per-core energy; because every tier is modelled with a single
+    representative big-core cluster spec, the per-core sum collapses into a single
+    cluster-level term with the utilisation capturing multi-core occupancy.
+    """
+
+    def __init__(self, spec: ProcessorSpec, power_scale: float = 1.0) -> None:
+        self._spec = spec
+        self._power_scale = power_scale
+
+    @property
+    def spec(self) -> ProcessorSpec:
+        """Processor specification backing this model."""
+        return self._spec
+
+    def busy_power(self, step: int, utilization: float = 1.0) -> float:
+        """Busy power (W) at a V-F step (``P_busy^f`` of Eq. 1)."""
+        return busy_power_at_frequency(self._spec, step, utilization, self._power_scale)
+
+    def idle_power(self) -> float:
+        """Idle power (W) (``P_idle`` of Eq. 1)."""
+        return self._spec.idle_power_watt
+
+    def energy(self, busy: list[BusyInterval], idle_time_s: float = 0.0) -> float:
+        """Energy (J) for the given busy residencies plus idle time (Eq. 1)."""
+        if idle_time_s < 0:
+            raise DeviceError(f"idle_time_s must be non-negative, got {idle_time_s}")
+        total = self.idle_power() * idle_time_s
+        for interval in busy:
+            if interval.duration_s < 0:
+                raise DeviceError("busy interval duration must be non-negative")
+            total += self.busy_power(interval.step, interval.utilization) * interval.duration_s
+        return total
+
+
+class GpuPowerModel(CpuPowerModel):
+    """GPU power/energy model (paper Eq. 2).
+
+    Structurally identical to the CPU model — per-frequency busy power plus idle power —
+    which mirrors the paper's Eq. 2 being the single-unit version of Eq. 1.
+    """
+
+
+def idle_energy(idle_power_watt: float, duration_s: float) -> float:
+    """Idle energy of a non-selected device over a round (paper Eq. 4)."""
+    if duration_s < 0:
+        raise DeviceError(f"duration_s must be non-negative, got {duration_s}")
+    if idle_power_watt < 0:
+        raise DeviceError(f"idle_power_watt must be non-negative, got {idle_power_watt}")
+    return idle_power_watt * duration_s

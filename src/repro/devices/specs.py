@@ -1,0 +1,236 @@
+"""Hardware specifications for the three device tiers used in the paper.
+
+Paper Table 3 gives, for each representative phone, the CPU and GPU maximum frequency, the
+number of available voltage-frequency (V-F) steps, and the peak power draw measured with a
+Monsoon power meter.  Paper Table 2 gives the theoretical GFLOPS of the EC2 instances used
+to emulate each tier.  Those numbers are encoded here verbatim; quantities the paper does
+not publish directly (idle power, memory bandwidth, GPU training efficiency) are chosen so
+that the ratios reported in Section 3 hold (see DESIGN.md, "Key modelling notes").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import DeviceError
+
+
+class DeviceTier(enum.Enum):
+    """Performance tier of a mobile device (paper: high-end, mid-end, low-end)."""
+
+    HIGH = "high"
+    MID = "mid"
+    LOW = "low"
+
+    @classmethod
+    def from_name(cls, name: "str | DeviceTier") -> "DeviceTier":
+        """Coerce a tier name (``"high"``/``"mid"``/``"low"``) into a :class:`DeviceTier`."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(name.lower())
+        except ValueError as exc:
+            raise DeviceError(f"unknown device tier {name!r}") from exc
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Specification of one execution target (a CPU cluster or a GPU).
+
+    Attributes
+    ----------
+    name:
+        Marketing name of the processor (e.g. ``"Cortex A75"``).
+    max_frequency_ghz:
+        Maximum clock frequency in GHz.
+    num_vf_steps:
+        Number of discrete voltage-frequency steps exposed by the DVFS driver.
+    peak_power_watt:
+        Power draw at the maximum frequency under full training load (Monsoon measurement).
+    idle_power_watt:
+        Power draw when the processor is idle (screen-off baseline attributed to this unit).
+    peak_gflops:
+        Achievable training throughput at maximum frequency, in GFLOP/s.
+    mem_bandwidth_gbs:
+        Effective memory bandwidth available to training, in GB/s.
+    saturation_batch:
+        Minibatch size needed to saturate the processor's parallel resources.  Wider
+        processors need larger batches to reach peak throughput, which is why the tier
+        performance gap shrinks when the FL service lowers ``B`` (paper Section 3.1).
+    """
+
+    name: str
+    max_frequency_ghz: float
+    num_vf_steps: int
+    peak_power_watt: float
+    idle_power_watt: float
+    peak_gflops: float
+    mem_bandwidth_gbs: float
+    saturation_batch: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_vf_steps < 1:
+            raise DeviceError(f"{self.name}: num_vf_steps must be >= 1")
+        if self.max_frequency_ghz <= 0:
+            raise DeviceError(f"{self.name}: max_frequency_ghz must be positive")
+        if self.peak_power_watt <= 0 or self.idle_power_watt < 0:
+            raise DeviceError(f"{self.name}: power values must be positive")
+        if self.peak_gflops <= 0 or self.mem_bandwidth_gbs <= 0:
+            raise DeviceError(f"{self.name}: throughput values must be positive")
+
+    @property
+    def min_frequency_ghz(self) -> float:
+        """Lowest available frequency (the first V-F step)."""
+        return self.frequency_at_step(0)
+
+    def frequency_at_step(self, step: int) -> float:
+        """Frequency in GHz at V-F step ``step`` (0 = lowest, ``num_vf_steps - 1`` = highest).
+
+        Steps are spaced linearly between 40 % and 100 % of the maximum frequency, which is
+        representative of the governor tables of the SoCs in paper Table 3.
+        """
+        if not 0 <= step < self.num_vf_steps:
+            raise DeviceError(
+                f"{self.name}: V-F step {step} out of range [0, {self.num_vf_steps - 1}]"
+            )
+        if self.num_vf_steps == 1:
+            return self.max_frequency_ghz
+        lowest = 0.4 * self.max_frequency_ghz
+        span = self.max_frequency_ghz - lowest
+        return lowest + span * (step / (self.num_vf_steps - 1))
+
+    def relative_frequency(self, step: int) -> float:
+        """Frequency at ``step`` as a fraction of the maximum frequency."""
+        return self.frequency_at_step(step) / self.max_frequency_ghz
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Full specification of a device model (one CPU target plus one GPU target)."""
+
+    name: str
+    tier: DeviceTier
+    cpu: ProcessorSpec
+    gpu: ProcessorSpec
+    ram_gb: float
+    #: Multiplier applied to busy power to capture the tier's average training power draw.
+    #: Calibrated so mid/low-end devices draw 35.7 % / 46.4 % less power than high-end
+    #: devices during training, as reported in paper Section 3.1.
+    training_power_scale: float = 1.0
+
+    def processor(self, kind: str) -> ProcessorSpec:
+        """Return the :class:`ProcessorSpec` for ``"cpu"`` or ``"gpu"``."""
+        if kind == "cpu":
+            return self.cpu
+        if kind == "gpu":
+            return self.gpu
+        raise DeviceError(f"unknown processor kind {kind!r} (expected 'cpu' or 'gpu')")
+
+
+def _mi8_pro() -> DeviceSpec:
+    """High-end tier: Xiaomi Mi8 Pro (paper Table 3, Table 2 row H)."""
+    return DeviceSpec(
+        name="Mi8Pro",
+        tier=DeviceTier.HIGH,
+        cpu=ProcessorSpec(
+            name="Cortex A75",
+            max_frequency_ghz=2.8,
+            num_vf_steps=23,
+            peak_power_watt=5.5,
+            idle_power_watt=0.030,
+            peak_gflops=153.6,
+            mem_bandwidth_gbs=16.0,
+            saturation_batch=32,
+        ),
+        gpu=ProcessorSpec(
+            name="Adreno 630",
+            max_frequency_ghz=0.7,
+            num_vf_steps=7,
+            peak_power_watt=2.8,
+            idle_power_watt=0.020,
+            # On-device training on mobile GPUs is less efficient than inference; the
+            # effective training throughput is modelled at ~45 % of the CPU throughput so
+            # that, absent interference, the CPU is the more energy-efficient target
+            # (paper Section 6.2, "Prediction Accuracy").
+            peak_gflops=69.0,
+            mem_bandwidth_gbs=14.0,
+            saturation_batch=32,
+        ),
+        ram_gb=8.0,
+        training_power_scale=1.0,
+    )
+
+
+def _galaxy_s10e() -> DeviceSpec:
+    """Mid-end tier: Samsung Galaxy S10e (paper Table 3, Table 2 row M)."""
+    return DeviceSpec(
+        name="GalaxyS10e",
+        tier=DeviceTier.MID,
+        cpu=ProcessorSpec(
+            name="Mongoose",
+            max_frequency_ghz=2.7,
+            num_vf_steps=21,
+            peak_power_watt=5.6,
+            idle_power_watt=0.025,
+            peak_gflops=80.0,
+            mem_bandwidth_gbs=14.0,
+            saturation_batch=16,
+        ),
+        gpu=ProcessorSpec(
+            name="Mali-G76",
+            max_frequency_ghz=0.7,
+            num_vf_steps=9,
+            peak_power_watt=2.4,
+            idle_power_watt=0.018,
+            peak_gflops=36.0,
+            mem_bandwidth_gbs=12.0,
+            saturation_batch=16,
+        ),
+        ram_gb=4.0,
+        # 35.7 % lower average training power than the high-end tier (paper Section 3.1).
+        training_power_scale=0.643 * 5.5 / 5.6,
+    )
+
+
+def _moto_x_force() -> DeviceSpec:
+    """Low-end tier: Motorola Moto X Force (paper Table 3, Table 2 row L)."""
+    return DeviceSpec(
+        name="MotoXForce",
+        tier=DeviceTier.LOW,
+        cpu=ProcessorSpec(
+            name="Cortex A57",
+            max_frequency_ghz=1.9,
+            num_vf_steps=15,
+            peak_power_watt=3.6,
+            idle_power_watt=0.020,
+            peak_gflops=52.8,
+            mem_bandwidth_gbs=11.5,
+            saturation_batch=8,
+        ),
+        gpu=ProcessorSpec(
+            name="Adreno 430",
+            max_frequency_ghz=0.6,
+            num_vf_steps=6,
+            peak_power_watt=2.0,
+            idle_power_watt=0.015,
+            peak_gflops=24.0,
+            mem_bandwidth_gbs=9.0,
+            saturation_batch=8,
+        ),
+        ram_gb=2.0,
+        # 46.4 % lower average training power than the high-end tier (paper Section 3.1).
+        training_power_scale=0.536 * 5.5 / 3.6,
+    )
+
+
+MI8_PRO: DeviceSpec = _mi8_pro()
+GALAXY_S10E: DeviceSpec = _galaxy_s10e()
+MOTO_X_FORCE: DeviceSpec = _moto_x_force()
+
+#: Tier name -> representative device spec (paper Section 5.1).
+TIER_SPECS: dict[DeviceTier, DeviceSpec] = {
+    DeviceTier.HIGH: MI8_PRO,
+    DeviceTier.MID: GALAXY_S10E,
+    DeviceTier.LOW: MOTO_X_FORCE,
+}

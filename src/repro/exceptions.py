@@ -1,0 +1,33 @@
+"""Exception hierarchy for the AutoFL reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can catch a single
+base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is internally inconsistent."""
+
+
+class DeviceError(ReproError):
+    """Raised for invalid device specifications or execution-target requests."""
+
+
+class DataError(ReproError):
+    """Raised for invalid dataset or partitioning requests."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid neural-network construction or shape mismatches."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot proceed (e.g. no eligible participants)."""
+
+
+class PolicyError(ReproError):
+    """Raised for invalid selection-policy configuration or unknown policy names."""

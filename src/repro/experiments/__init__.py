@@ -1,0 +1,31 @@
+"""Experiment harness: the paper's evaluation settings, sweep runners and report formatting."""
+
+from repro.experiments.harness import (
+    ComparisonRow,
+    PredictionAccuracyReport,
+    run_cluster_sweep,
+    run_policy_comparison,
+    run_simulation,
+    run_with_reference,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.settings import (
+    CLUSTER_TEMPLATES,
+    GLOBAL_PARAMETER_SETTINGS,
+    BASELINE_POLICIES,
+    EVALUATION_POLICIES,
+)
+
+__all__ = [
+    "BASELINE_POLICIES",
+    "CLUSTER_TEMPLATES",
+    "ComparisonRow",
+    "EVALUATION_POLICIES",
+    "GLOBAL_PARAMETER_SETTINGS",
+    "PredictionAccuracyReport",
+    "format_table",
+    "run_cluster_sweep",
+    "run_policy_comparison",
+    "run_simulation",
+    "run_with_reference",
+]

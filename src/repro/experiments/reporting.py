@@ -1,0 +1,45 @@
+"""Plain-text report formatting for experiment results."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Format rows as a fixed-width text table (the benches print these to stdout).
+
+    Numeric cells are rendered with three significant decimals; column widths adapt to the
+    longest cell in each column.
+    """
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        rendered_rows.append([_render_cell(cell) for cell in row])
+    widths = [
+        max(len(str(headers[column])), *(len(row[column]) for row in rendered_rows), 1)
+        if rendered_rows
+        else len(str(headers[column]))
+        for column in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(header).ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,30 @@
+"""Evaluation constants: the paper's Tables 4 and 5 plus the policy line-ups per figure."""
+
+from __future__ import annotations
+
+from repro.config import GLOBAL_PARAMETER_SETTINGS
+from repro.core.selection import CLUSTER_TEMPLATES
+
+#: The baseline policies every overview figure compares AutoFL against (Figures 8-11).
+BASELINE_POLICIES: tuple[str, ...] = ("fedavg-random", "power", "performance")
+
+#: The full policy line-up of the overview figures, in presentation order.
+EVALUATION_POLICIES: tuple[str, ...] = (
+    "fedavg-random",
+    "power",
+    "performance",
+    "oparticipant",
+    "ofl",
+    "autofl",
+)
+
+#: The prior-work comparison line-up of Figures 13-14 (aggregator-based baselines).
+PRIOR_WORK_AGGREGATORS: tuple[str, ...] = ("fednova", "fedl")
+
+__all__ = [
+    "BASELINE_POLICIES",
+    "CLUSTER_TEMPLATES",
+    "EVALUATION_POLICIES",
+    "GLOBAL_PARAMETER_SETTINGS",
+    "PRIOR_WORK_AGGREGATORS",
+]

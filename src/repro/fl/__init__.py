@@ -1,0 +1,40 @@
+"""Federated-learning framework: clients, server, aggregation algorithms, training backends.
+
+Implements the FedAvg baseline the paper builds on (Section 2.1) plus the comparison
+algorithms of Section 6.3 — FedProx, FedNova and FEDL — and the two training backends used
+by the simulator: real numpy gradient training (for correctness and small-scale runs) and a
+surrogate convergence model (for 200-device, 1000-round experiments).
+"""
+
+from repro.fl.aggregation import (
+    Aggregator,
+    ClientUpdate,
+    FedAvgAggregator,
+    FedNovaAggregator,
+    FedProxAggregator,
+    FEDLAggregator,
+    get_aggregator,
+)
+from repro.fl.client import FLClient
+from repro.fl.metrics import ConvergenceTracker, EfficiencySummary
+from repro.fl.server import NumpyTrainingBackend, RoundTrainingResult, SurrogateTrainingBackend
+from repro.fl.surrogate import SurrogateConvergenceModel
+from repro.fl.trainer import LocalTrainer
+
+__all__ = [
+    "Aggregator",
+    "ClientUpdate",
+    "ConvergenceTracker",
+    "EfficiencySummary",
+    "FEDLAggregator",
+    "FLClient",
+    "FedAvgAggregator",
+    "FedNovaAggregator",
+    "FedProxAggregator",
+    "LocalTrainer",
+    "NumpyTrainingBackend",
+    "RoundTrainingResult",
+    "SurrogateConvergenceModel",
+    "SurrogateTrainingBackend",
+    "get_aggregator",
+]

@@ -1,0 +1,77 @@
+"""FL client: a device-side wrapper around local training (paper Figure 2, steps 3-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.fl.aggregation import ClientUpdate, Weights
+from repro.fl.trainer import LocalTrainer
+from repro.nn.model import Sequential
+from repro.nn.optimizers import ProximalSGD, SGD
+
+
+class FLClient:
+    """One data owner: holds a local shard and produces model updates on request."""
+
+    def __init__(
+        self,
+        device_id: int,
+        features: np.ndarray,
+        labels: np.ndarray,
+        learning_rate: float = 0.05,
+    ) -> None:
+        if len(features) != len(labels):
+            raise DataError("client features and labels must be aligned")
+        self._device_id = device_id
+        self._features = features
+        self._labels = labels
+        self._learning_rate = learning_rate
+        self._trainer = LocalTrainer()
+
+    @property
+    def device_id(self) -> int:
+        """Identifier of the device this client runs on."""
+        return self._device_id
+
+    @property
+    def num_samples(self) -> int:
+        """Number of local training samples."""
+        return len(self._labels)
+
+    def local_update(
+        self,
+        model: Sequential,
+        global_weights: Weights,
+        batch_size: int,
+        epochs: int,
+        rng: np.random.Generator,
+        proximal_mu: float = 0.0,
+    ) -> ClientUpdate:
+        """Run local training starting from ``global_weights`` and return the update.
+
+        The shared ``model`` instance is reused across clients (weights are overwritten
+        before training), which keeps memory bounded when simulating many clients.
+        """
+        model.set_weights(global_weights)
+        if proximal_mu > 0.0:
+            optimizer: SGD = ProximalSGD(learning_rate=self._learning_rate, mu=proximal_mu)
+            optimizer.set_reference(global_weights)
+        else:
+            optimizer = SGD(learning_rate=self._learning_rate)
+        result = self._trainer.train(
+            model,
+            self._features,
+            self._labels,
+            batch_size=batch_size,
+            epochs=epochs,
+            optimizer=optimizer,
+            rng=rng,
+        )
+        return ClientUpdate(
+            device_id=self._device_id,
+            weights=model.get_weights(),
+            num_samples=result.num_samples,
+            num_steps=result.num_steps,
+            train_loss=result.mean_loss,
+        )

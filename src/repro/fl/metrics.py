@@ -1,0 +1,97 @@
+"""Convergence and energy-efficiency metrics.
+
+The paper reports three quantities per configuration (Figures 8-11, 13-14): energy
+efficiency in performance-per-watt (PPW), time-to-convergence, and training accuracy, with
+PPW and convergence time normalised to the FedAvg-Random baseline.  Following the paper's
+definition, "performance" is the fixed amount of learning work needed to reach the target
+accuracy, so PPW reduces to the reciprocal of the energy consumed to get there (lower
+energy-to-target means proportionally higher PPW).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class EfficiencySummary:
+    """Aggregate efficiency metrics of one simulated FL training job."""
+
+    converged: bool
+    rounds_executed: int
+    convergence_round: int | None
+    convergence_time_s: float
+    total_time_s: float
+    final_accuracy: float
+    participant_energy_j: float
+    global_energy_j: float
+
+    @property
+    def local_ppw(self) -> float:
+        """Performance-per-watt of the participating devices (paper's "local" efficiency)."""
+        if self.participant_energy_j <= 0:
+            return 0.0
+        return 1.0 / self.participant_energy_j
+
+    @property
+    def global_ppw(self) -> float:
+        """Performance-per-watt over the whole cluster including idle devices."""
+        if self.global_energy_j <= 0:
+            return 0.0
+        return 1.0 / self.global_energy_j
+
+    @property
+    def convergence_speedup_reference_s(self) -> float:
+        """Time used for convergence-time comparisons (total time when never converged)."""
+        return self.convergence_time_s if self.converged else self.total_time_s
+
+
+class ConvergenceTracker:
+    """Tracks accuracy progress and detects when the target accuracy is first sustained."""
+
+    def __init__(self, target_accuracy: float, patience: int = 1) -> None:
+        if not 0.0 < target_accuracy <= 1.0:
+            raise SimulationError("target_accuracy must be in (0, 1]")
+        if patience < 1:
+            raise SimulationError("patience must be >= 1")
+        self._target = target_accuracy
+        self._patience = patience
+        self._hits = 0
+        self._converged_round: int | None = None
+
+    @property
+    def target_accuracy(self) -> float:
+        """The accuracy threshold being tracked."""
+        return self._target
+
+    @property
+    def converged(self) -> bool:
+        """Whether the target has been reached (and sustained for ``patience`` rounds)."""
+        return self._converged_round is not None
+
+    @property
+    def converged_round(self) -> int | None:
+        """Round index at which convergence was declared (None if not converged)."""
+        return self._converged_round
+
+    def update(self, round_index: int, accuracy: float) -> bool:
+        """Record one round's accuracy; returns True if convergence is (now) declared."""
+        if self._converged_round is not None:
+            return True
+        if accuracy >= self._target:
+            self._hits += 1
+            if self._hits >= self._patience:
+                self._converged_round = round_index
+                return True
+        else:
+            self._hits = 0
+        return False
+
+
+def relative_improvement(value: float, baseline: float) -> float:
+    """``value / baseline`` guarding against a zero baseline."""
+    if baseline == 0:
+        raise SimulationError("baseline must be non-zero for a relative comparison")
+    return value / baseline

@@ -1,0 +1,69 @@
+"""Local on-device training loop for the numpy backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD
+
+
+@dataclass(frozen=True)
+class LocalTrainingResult:
+    """Outcome of one device's local training."""
+
+    mean_loss: float
+    num_steps: int
+    num_samples: int
+
+
+class LocalTrainer:
+    """Runs the FedAvg local-training step: ``E`` epochs of minibatch SGD on the local shard."""
+
+    def __init__(self, loss: SoftmaxCrossEntropy | None = None) -> None:
+        self._loss = loss or SoftmaxCrossEntropy()
+
+    def train(
+        self,
+        model: Sequential,
+        features: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int,
+        epochs: int,
+        optimizer: SGD,
+        rng: np.random.Generator,
+    ) -> LocalTrainingResult:
+        """Train ``model`` in place and return the mean loss and step count."""
+        if len(features) != len(labels):
+            raise ModelError("features and labels must be aligned")
+        if len(features) == 0:
+            return LocalTrainingResult(mean_loss=0.0, num_steps=0, num_samples=0)
+        if batch_size <= 0 or epochs <= 0:
+            raise ModelError("batch_size and epochs must be positive")
+        losses: list[float] = []
+        steps = 0
+        for _ in range(epochs):
+            order = rng.permutation(len(features))
+            for start in range(0, len(order), batch_size):
+                batch = order[start : start + batch_size]
+                logits = model.forward(features[batch], training=True)
+                loss_value = self._loss.forward(logits, labels[batch])
+                model.backward(self._loss.backward())
+                optimizer.step(model)
+                model.zero_grads()
+                losses.append(loss_value)
+                steps += 1
+        return LocalTrainingResult(
+            mean_loss=float(np.mean(losses)), num_steps=steps, num_samples=len(features)
+        )
+
+    def evaluate(self, model: Sequential, features: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy of ``model`` on the given evaluation set."""
+        if len(features) == 0:
+            raise ModelError("cannot evaluate on an empty dataset")
+        logits = model.predict(features)
+        return SoftmaxCrossEntropy.accuracy(logits, labels)

@@ -1,0 +1,26 @@
+"""Runtime-variance substrate: co-running application interference and thermal throttling.
+
+The paper emulates on-device interference by launching a synthetic co-running application
+whose CPU and memory utilisation follow a web-browsing pattern (Section 5.2), and observes
+that interference shifts the optimal participant cluster and the optimal execution target
+(Sections 3.2 and 6.2).  This subpackage generates those interference patterns and converts
+them into compute/memory slowdown factors.
+"""
+
+from repro.interference.corunner import (
+    CoRunnerProfile,
+    InterferenceGenerator,
+    InterferenceScenario,
+    WEB_BROWSING_PROFILE,
+)
+from repro.interference.slowdown import SlowdownModel
+from repro.interference.thermal import ThermalModel
+
+__all__ = [
+    "CoRunnerProfile",
+    "InterferenceGenerator",
+    "InterferenceScenario",
+    "SlowdownModel",
+    "ThermalModel",
+    "WEB_BROWSING_PROFILE",
+]

@@ -1,0 +1,142 @@
+"""Synthetic co-running application generator.
+
+Paper Section 5.2: "To emulate realistic on-device interference, we initiate a synthetic
+co-running application on a random subset of devices, mimicking the effect of a real-world
+application, i.e., web browsing.  The synthetic application generates CPU and memory
+utilization patterns following those of web browsing."
+
+The generator reproduces exactly that: each round, a configurable fraction of devices hosts
+a co-runner whose CPU/memory utilisation is drawn from a web-browsing-like distribution
+(bursty CPU around 30–60 %, moderate memory pressure).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class InterferenceScenario(enum.Enum):
+    """Interference execution scenarios used throughout the evaluation."""
+
+    NONE = "none"
+    MODERATE = "moderate"
+    HEAVY = "heavy"
+
+
+@dataclass(frozen=True)
+class CoRunnerProfile:
+    """Statistical profile of a co-running application's resource usage.
+
+    CPU and memory utilisation are sampled from Beta distributions, which are bounded on
+    ``[0, 1]`` and capture the bursty, right-skewed utilisation of interactive mobile apps.
+    """
+
+    name: str
+    cpu_alpha: float
+    cpu_beta: float
+    mem_alpha: float
+    mem_beta: float
+
+    def __post_init__(self) -> None:
+        if min(self.cpu_alpha, self.cpu_beta, self.mem_alpha, self.mem_beta) <= 0:
+            raise ConfigurationError("Beta distribution parameters must be positive")
+
+    def sample(self, rng: np.random.Generator) -> tuple[float, float]:
+        """Sample one (cpu_util, mem_util) pair in ``[0, 1]``."""
+        cpu = float(rng.beta(self.cpu_alpha, self.cpu_beta))
+        mem = float(rng.beta(self.mem_alpha, self.mem_beta))
+        return cpu, mem
+
+    @property
+    def mean_cpu_util(self) -> float:
+        """Mean CPU utilisation of the profile."""
+        return self.cpu_alpha / (self.cpu_alpha + self.cpu_beta)
+
+    @property
+    def mean_mem_util(self) -> float:
+        """Mean memory utilisation of the profile."""
+        return self.mem_alpha / (self.mem_alpha + self.mem_beta)
+
+
+#: Web-browsing-like co-runner: mean CPU utilisation ~45 %, mean memory usage ~35 %.
+WEB_BROWSING_PROFILE = CoRunnerProfile(
+    name="web-browsing",
+    cpu_alpha=4.5,
+    cpu_beta=5.5,
+    mem_alpha=3.5,
+    mem_beta=6.5,
+)
+
+#: Fraction of devices that host a co-runner in each scenario.
+SCENARIO_ACTIVE_FRACTION: dict[InterferenceScenario, float] = {
+    InterferenceScenario.NONE: 0.0,
+    InterferenceScenario.MODERATE: 0.5,
+    InterferenceScenario.HEAVY: 0.9,
+}
+
+
+@dataclass(frozen=True)
+class InterferenceSample:
+    """Co-runner activity observed on one device for one round."""
+
+    co_cpu_util: float
+    co_mem_util: float
+
+    @property
+    def active(self) -> bool:
+        """Whether any co-runner activity is present."""
+        return self.co_cpu_util > 0.0 or self.co_mem_util > 0.0
+
+
+class InterferenceGenerator:
+    """Samples per-device co-runner activity for each aggregation round."""
+
+    def __init__(
+        self,
+        scenario: InterferenceScenario | str = InterferenceScenario.NONE,
+        profile: CoRunnerProfile = WEB_BROWSING_PROFILE,
+        active_fraction: float | None = None,
+    ) -> None:
+        if isinstance(scenario, str):
+            try:
+                scenario = InterferenceScenario(scenario.lower())
+            except ValueError as exc:
+                raise ConfigurationError(f"unknown interference scenario {scenario!r}") from exc
+        self._scenario = scenario
+        self._profile = profile
+        fraction = (
+            active_fraction
+            if active_fraction is not None
+            else SCENARIO_ACTIVE_FRACTION[scenario]
+        )
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("active_fraction must be in [0, 1]")
+        self._active_fraction = fraction
+
+    @property
+    def scenario(self) -> InterferenceScenario:
+        """The configured interference scenario."""
+        return self._scenario
+
+    @property
+    def active_fraction(self) -> float:
+        """Fraction of devices hosting a co-runner each round."""
+        return self._active_fraction
+
+    def sample(self, rng: np.random.Generator, num_devices: int) -> list[InterferenceSample]:
+        """Sample the co-runner activity of every device for one round."""
+        if num_devices < 1:
+            raise ConfigurationError("num_devices must be >= 1")
+        samples: list[InterferenceSample] = []
+        for _ in range(num_devices):
+            if rng.random() < self._active_fraction:
+                cpu, mem = self._profile.sample(rng)
+                samples.append(InterferenceSample(co_cpu_util=cpu, co_mem_util=mem))
+            else:
+                samples.append(InterferenceSample(co_cpu_util=0.0, co_mem_util=0.0))
+        return samples

@@ -1,0 +1,23 @@
+"""Wireless network substrate: signal strength, bandwidth variability and communication cost.
+
+The paper models real-world network variability with a Gaussian bandwidth distribution
+(Section 5.2) and computes communication energy from a signal-strength-based power model
+(Eq. 3).  Both are implemented here.
+"""
+
+from repro.network.bandwidth import (
+    BandwidthModel,
+    NetworkScenario,
+    SignalStrength,
+    signal_from_bandwidth,
+)
+from repro.network.channel import CommunicationEstimate, CommunicationModel
+
+__all__ = [
+    "BandwidthModel",
+    "CommunicationEstimate",
+    "CommunicationModel",
+    "NetworkScenario",
+    "SignalStrength",
+    "signal_from_bandwidth",
+]

@@ -1,0 +1,57 @@
+"""A small from-scratch numpy neural-network library.
+
+The paper trains three workloads on device — a CNN on MNIST, an LSTM on Shakespeare and
+MobileNet on ImageNet.  This subpackage provides the layers, losses, optimizers and model
+container needed to train scaled-down versions of those models with real gradient
+computation, plus per-layer FLOP / memory-traffic accounting that feeds the device
+performance and energy models.
+"""
+
+from repro.nn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2D,
+    LSTM,
+    Layer,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.models import build_cnn_mnist, build_lstm_shakespeare, build_mobilenet_lite
+from repro.nn.optimizers import ProximalSGD, SGD
+from repro.nn.workloads import (
+    WORKLOAD_PROFILES,
+    WorkloadProfile,
+    get_workload_profile,
+)
+
+__all__ = [
+    "AvgPool2D",
+    "Conv2D",
+    "Dense",
+    "DepthwiseConv2D",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GlobalAvgPool2D",
+    "LSTM",
+    "Layer",
+    "MaxPool2D",
+    "ProximalSGD",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "WORKLOAD_PROFILES",
+    "WorkloadProfile",
+    "build_cnn_mnist",
+    "build_lstm_shakespeare",
+    "build_mobilenet_lite",
+    "get_workload_profile",
+]

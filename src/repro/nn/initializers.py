@@ -1,0 +1,34 @@
+"""Weight initializers for the numpy neural-network library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+def glorot_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Samples uniformly from ``[-limit, limit]`` with ``limit = sqrt(6 / (fan_in + fan_out))``,
+    which keeps activation variance stable across layers for tanh/sigmoid-style units.
+    """
+    if fan_in <= 0 or fan_out <= 0:
+        raise ModelError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He uniform initialisation, appropriate for ReLU-activated layers."""
+    if fan_in <= 0:
+        raise ModelError("fan_in must be positive")
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialisation (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

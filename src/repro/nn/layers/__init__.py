@@ -1,0 +1,28 @@
+"""Layer implementations for the numpy neural-network library."""
+
+from repro.nn.layers.activations import ReLU, Sigmoid, Tanh
+from repro.nn.layers.base import Layer, LayerCost
+from repro.nn.layers.conv import Conv2D, DepthwiseConv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.embedding import Embedding
+from repro.nn.layers.misc import Dropout, Flatten
+from repro.nn.layers.pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from repro.nn.layers.recurrent import LSTM
+
+__all__ = [
+    "AvgPool2D",
+    "Conv2D",
+    "Dense",
+    "DepthwiseConv2D",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GlobalAvgPool2D",
+    "LSTM",
+    "Layer",
+    "LayerCost",
+    "MaxPool2D",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+]

@@ -1,0 +1,74 @@
+"""Element-wise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit: ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        mask = inputs > 0
+        if training:
+            self._mask = mask
+        return inputs * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ModelError("ReLU.backward called before forward")
+        return grad_output * self._mask
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._outputs: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        outputs = 1.0 / (1.0 + np.exp(-np.clip(inputs, -60.0, 60.0)))
+        if training:
+            self._outputs = outputs
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._outputs is None:
+            raise ModelError("Sigmoid.backward called before forward")
+        return grad_output * self._outputs * (1.0 - self._outputs)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._outputs: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        outputs = np.tanh(inputs)
+        if training:
+            self._outputs = outputs
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._outputs is None:
+            raise ModelError("Tanh.backward called before forward")
+        return grad_output * (1.0 - self._outputs**2)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape

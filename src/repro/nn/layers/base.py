@@ -1,0 +1,104 @@
+"""Base class and cost accounting shared by every layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+#: Backward pass costs roughly twice the forward pass (gradients w.r.t. inputs and weights),
+#: so training FLOPs per sample are about three times the forward FLOPs.
+TRAINING_FLOP_MULTIPLIER = 3.0
+
+#: Bytes per element for the float32 arithmetic assumed by the on-device cost model.
+BYTES_PER_ELEMENT = 4
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Per-sample computational cost of one layer during training."""
+
+    flops: float
+    memory_bytes: float
+
+    def __add__(self, other: "LayerCost") -> "LayerCost":
+        return LayerCost(
+            flops=self.flops + other.flops,
+            memory_bytes=self.memory_bytes + other.memory_bytes,
+        )
+
+
+class Layer:
+    """Base class for all layers.
+
+    Sub-classes implement :meth:`forward` and :meth:`backward` and expose their trainable
+    parameters and gradients through the ``params`` / ``grads`` dictionaries.  ``kind``
+    labels the layer family (``"conv"``, ``"fc"``, ``"rc"``, ``"other"``), which is what the
+    AutoFL state features count (paper Table 1: ``S_CONV``, ``S_FC``, ``S_RC``).
+    """
+
+    #: Layer family used by the AutoFL NN-characteristic state features.
+    kind: str = "other"
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        """Compute the layer output for a batch of inputs."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and return the gradient w.r.t. the inputs."""
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Per-sample output shape for a per-sample ``input_shape``."""
+        raise NotImplementedError
+
+    def cost(self, input_shape: tuple[int, ...]) -> LayerCost:
+        """Per-sample training cost for a per-sample ``input_shape``.
+
+        The default accounts only for activation traffic; layers with parameters or heavy
+        arithmetic override this.
+        """
+        activations = float(np.prod(input_shape)) + float(np.prod(self.output_shape(input_shape)))
+        return LayerCost(flops=0.0, memory_bytes=activations * BYTES_PER_ELEMENT)
+
+    @property
+    def num_params(self) -> int:
+        """Total number of trainable scalars in the layer."""
+        return int(sum(param.size for param in self.params.values()))
+
+    def zero_grads(self) -> None:
+        """Reset all gradient accumulators to zero."""
+        for name, param in self.params.items():
+            self.grads[name] = np.zeros_like(param)
+
+    def get_weights(self) -> dict[str, np.ndarray]:
+        """Copy of the layer's parameters."""
+        return {name: param.copy() for name, param in self.params.items()}
+
+    def set_weights(self, weights: dict[str, np.ndarray]) -> None:
+        """Overwrite the layer's parameters (shapes must match)."""
+        for name, value in weights.items():
+            if name not in self.params:
+                raise ModelError(f"{type(self).__name__}: unknown parameter {name!r}")
+            if self.params[name].shape != value.shape:
+                raise ModelError(
+                    f"{type(self).__name__}: shape mismatch for {name!r}: "
+                    f"{self.params[name].shape} vs {value.shape}"
+                )
+            self.params[name] = value.copy()
+
+
+def dense_cost(
+    fan_in: int, fan_out: int, input_elements: float, output_elements: float, num_params: int
+) -> LayerCost:
+    """Shared cost formula for matmul-style layers (Dense and the conv im2col matmul)."""
+    forward_flops = 2.0 * fan_in * fan_out
+    flops = TRAINING_FLOP_MULTIPLIER * forward_flops
+    memory = (input_elements + output_elements + 3.0 * num_params) * BYTES_PER_ELEMENT
+    return LayerCost(flops=flops, memory_bytes=memory)

@@ -1,0 +1,242 @@
+"""2-D convolution layers (standard and depthwise) implemented with im2col."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.initializers import he_uniform, zeros
+from repro.nn.layers.base import BYTES_PER_ELEMENT, Layer, LayerCost, TRAINING_FLOP_MULTIPLIER
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ModelError(
+            f"convolution produces non-positive output size for input {size}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return out
+
+
+def im2col(
+    inputs: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(N, C, H, W)`` inputs into ``(N * out_h * out_w, C * kernel * kernel)`` columns."""
+    batch, channels, height, width = inputs.shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    padded = np.pad(
+        inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    columns = np.empty((batch, channels, kernel, kernel, out_h, out_w))
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            columns[:, :, ky, kx, :, :] = padded[:, :, ky:y_end:stride, kx:x_end:stride]
+    flat = columns.transpose(0, 4, 5, 1, 2, 3).reshape(batch * out_h * out_w, -1)
+    return flat, out_h, out_w
+
+
+def col2im(
+    columns: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Fold ``im2col`` columns back into an ``(N, C, H, W)`` gradient (inverse scatter-add)."""
+    batch, channels, height, width = input_shape
+    reshaped = columns.reshape(batch, out_h, out_w, channels, kernel, kernel).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding))
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += reshaped[:, :, ky, kx, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+class Conv2D(Layer):
+    """Standard 2-D convolution with square kernels."""
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 1,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) < 1 or padding < 0:
+            raise ModelError("invalid Conv2D hyperparameters")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.params = {
+            "weight": he_uniform(rng, (out_channels, fan_in), fan_in),
+            "bias": zeros((out_channels,)),
+        }
+        self.zero_grads()
+        self._columns: np.ndarray | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+        self._spatial: tuple[int, int] | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ModelError(
+                f"Conv2D expects (N, {self.in_channels}, H, W) input, got {inputs.shape}"
+            )
+        columns, out_h, out_w = im2col(inputs, self.kernel_size, self.stride, self.padding)
+        outputs = columns @ self.params["weight"].T + self.params["bias"]
+        batch = inputs.shape[0]
+        outputs = outputs.reshape(batch, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        if training:
+            self._columns = columns
+            self._input_shape = inputs.shape
+            self._spatial = (out_h, out_w)
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._columns is None or self._input_shape is None or self._spatial is None:
+            raise ModelError("Conv2D.backward called before forward")
+        out_h, out_w = self._spatial
+        batch = self._input_shape[0]
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(
+            batch * out_h * out_w, self.out_channels
+        )
+        self.grads["weight"] = grad_flat.T @ self._columns
+        self.grads["bias"] = grad_flat.sum(axis=0)
+        grad_columns = grad_flat @ self.params["weight"]
+        return col2im(
+            grad_columns,
+            self._input_shape,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            out_h,
+            out_w,
+        )
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        _channels, height, width = input_shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def cost(self, input_shape: tuple[int, ...]) -> LayerCost:
+        out_channels, out_h, out_w = self.output_shape(input_shape)
+        fan_in = self.in_channels * self.kernel_size * self.kernel_size
+        forward_flops = 2.0 * fan_in * out_channels * out_h * out_w
+        activations = float(np.prod(input_shape)) + float(out_channels * out_h * out_w)
+        memory = (activations + 3.0 * self.num_params) * BYTES_PER_ELEMENT
+        return LayerCost(flops=TRAINING_FLOP_MULTIPLIER * forward_flops, memory_bytes=memory)
+
+
+class DepthwiseConv2D(Layer):
+    """Depthwise 2-D convolution: one filter per input channel (MobileNet building block)."""
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 1,
+    ) -> None:
+        super().__init__()
+        if min(channels, kernel_size, stride) < 1 or padding < 0:
+            raise ModelError("invalid DepthwiseConv2D hyperparameters")
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = kernel_size * kernel_size
+        self.params = {
+            "weight": he_uniform(rng, (channels, fan_in), fan_in),
+            "bias": zeros((channels,)),
+        }
+        self.zero_grads()
+        self._columns: list[np.ndarray] | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+        self._spatial: tuple[int, int] | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1] != self.channels:
+            raise ModelError(
+                f"DepthwiseConv2D expects (N, {self.channels}, H, W) input, got {inputs.shape}"
+            )
+        batch = inputs.shape[0]
+        columns_per_channel: list[np.ndarray] = []
+        outputs_per_channel: list[np.ndarray] = []
+        out_h = out_w = 0
+        for channel in range(self.channels):
+            columns, out_h, out_w = im2col(
+                inputs[:, channel : channel + 1], self.kernel_size, self.stride, self.padding
+            )
+            channel_out = columns @ self.params["weight"][channel] + self.params["bias"][channel]
+            columns_per_channel.append(columns)
+            outputs_per_channel.append(channel_out.reshape(batch, out_h, out_w))
+        outputs = np.stack(outputs_per_channel, axis=1)
+        if training:
+            self._columns = columns_per_channel
+            self._input_shape = inputs.shape
+            self._spatial = (out_h, out_w)
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._columns is None or self._input_shape is None or self._spatial is None:
+            raise ModelError("DepthwiseConv2D.backward called before forward")
+        out_h, out_w = self._spatial
+        batch, _channels, height, width = self._input_shape
+        grad_input = np.empty(self._input_shape)
+        weight_grads = np.zeros_like(self.params["weight"])
+        bias_grads = np.zeros_like(self.params["bias"])
+        for channel in range(self.channels):
+            grad_flat = grad_output[:, channel].reshape(batch * out_h * out_w)
+            columns = self._columns[channel]
+            weight_grads[channel] = grad_flat @ columns
+            bias_grads[channel] = grad_flat.sum()
+            grad_columns = np.outer(grad_flat, self.params["weight"][channel])
+            grad_input[:, channel : channel + 1] = col2im(
+                grad_columns,
+                (batch, 1, height, width),
+                self.kernel_size,
+                self.stride,
+                self.padding,
+                out_h,
+                out_w,
+            )
+        self.grads["weight"] = weight_grads
+        self.grads["bias"] = bias_grads
+        return grad_input
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        channels, height, width = input_shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        return (channels, out_h, out_w)
+
+    def cost(self, input_shape: tuple[int, ...]) -> LayerCost:
+        channels, out_h, out_w = self.output_shape(input_shape)
+        forward_flops = 2.0 * self.kernel_size * self.kernel_size * channels * out_h * out_w
+        activations = float(np.prod(input_shape)) + float(channels * out_h * out_w)
+        memory = (activations + 3.0 * self.num_params) * BYTES_PER_ELEMENT
+        return LayerCost(flops=TRAINING_FLOP_MULTIPLIER * forward_flops, memory_bytes=memory)

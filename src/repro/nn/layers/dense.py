@@ -1,0 +1,56 @@
+"""Fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.initializers import glorot_uniform, zeros
+from repro.nn.layers.base import BYTES_PER_ELEMENT, Layer, LayerCost, TRAINING_FLOP_MULTIPLIER
+
+
+class Dense(Layer):
+    """Affine transform ``y = x W + b`` over the last axis of a 2-D input."""
+
+    kind = "fc"
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ModelError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params = {
+            "weight": glorot_uniform(rng, (in_features, out_features), in_features, out_features),
+            "bias": zeros((out_features,)),
+        }
+        self.zero_grads()
+        self._inputs: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
+            raise ModelError(
+                f"Dense expects input of shape (N, {self.in_features}), got {inputs.shape}"
+            )
+        if training:
+            self._inputs = inputs
+        return inputs @ self.params["weight"] + self.params["bias"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise ModelError("Dense.backward called before forward")
+        self.grads["weight"] = self._inputs.T @ grad_output
+        self.grads["bias"] = grad_output.sum(axis=0)
+        return grad_output @ self.params["weight"].T
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (self.out_features,)
+
+    def cost(self, input_shape: tuple[int, ...]) -> LayerCost:
+        forward_flops = 2.0 * self.in_features * self.out_features
+        memory = (
+            self.in_features + self.out_features + 3.0 * self.num_params
+        ) * BYTES_PER_ELEMENT
+        return LayerCost(
+            flops=TRAINING_FLOP_MULTIPLIER * forward_flops, memory_bytes=memory
+        )

@@ -1,0 +1,55 @@
+"""Token embedding layer for sequence models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.layers.base import BYTES_PER_ELEMENT, Layer, LayerCost
+
+
+class Embedding(Layer):
+    """Maps integer token ids of shape ``(N, T)`` to vectors of shape ``(N, T, D)``."""
+
+    def __init__(self, vocab_size: int, embedding_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if vocab_size < 1 or embedding_dim < 1:
+            raise ModelError("vocab_size and embedding_dim must be positive")
+        self.vocab_size = vocab_size
+        self.embedding_dim = embedding_dim
+        self.params = {"weight": rng.normal(0.0, 0.1, size=(vocab_size, embedding_dim))}
+        self.zero_grads()
+        self._token_ids: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        tokens = np.asarray(inputs)
+        if tokens.ndim != 2:
+            raise ModelError(f"Embedding expects (N, T) token ids, got shape {tokens.shape}")
+        if tokens.min() < 0 or tokens.max() >= self.vocab_size:
+            raise ModelError("token ids out of vocabulary range")
+        if training:
+            self._token_ids = tokens
+        return self.params["weight"][tokens]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._token_ids is None:
+            raise ModelError("Embedding.backward called before forward")
+        grad_weight = np.zeros_like(self.params["weight"])
+        np.add.at(
+            grad_weight,
+            self._token_ids.reshape(-1),
+            grad_output.reshape(-1, self.embedding_dim),
+        )
+        self.grads["weight"] = grad_weight
+        # Token ids are discrete inputs; there is no gradient to propagate further back.
+        return np.zeros(self._token_ids.shape)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        (sequence_length,) = input_shape
+        return (sequence_length, self.embedding_dim)
+
+    def cost(self, input_shape: tuple[int, ...]) -> LayerCost:
+        (sequence_length,) = input_shape
+        lookups = float(sequence_length * self.embedding_dim)
+        memory = (lookups * 2.0 + self.num_params) * BYTES_PER_ELEMENT
+        return LayerCost(flops=lookups, memory_bytes=memory)

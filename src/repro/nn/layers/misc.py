@@ -1,0 +1,59 @@
+"""Utility layers: flatten and dropout."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.layers.base import Layer
+
+
+class Flatten(Layer):
+    """Flattens every per-sample dimension into one feature axis."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ModelError("Flatten.backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (int(math.prod(input_shape)),)
+
+
+class Dropout(Layer):
+    """Inverted dropout: zeroes activations with probability ``rate`` during training."""
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ModelError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape

@@ -1,0 +1,122 @@
+"""Spatial pooling layers for 4-D (N, C, H, W) activations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.layers.base import Layer
+
+
+def _check_4d(inputs: np.ndarray, layer: str) -> None:
+    if inputs.ndim != 4:
+        raise ModelError(f"{layer} expects (N, C, H, W) input, got shape {inputs.shape}")
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling with a square window."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size < 1:
+            raise ModelError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self._inputs: np.ndarray | None = None
+        self._max_mask: np.ndarray | None = None
+
+    def _window(self, inputs: np.ndarray) -> np.ndarray:
+        size = self.pool_size
+        batch, channels, height, width = inputs.shape
+        out_h, out_w = height // size, width // size
+        trimmed = inputs[:, :, : out_h * size, : out_w * size]
+        return trimmed.reshape(batch, channels, out_h, size, out_w, size)
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        _check_4d(inputs, "MaxPool2D")
+        windows = self._window(inputs)
+        outputs = windows.max(axis=(3, 5))
+        if training:
+            self._inputs = inputs
+            self._max_mask = windows == outputs[:, :, :, None, :, None]
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None or self._max_mask is None:
+            raise ModelError("MaxPool2D.backward called before forward")
+        size = self.pool_size
+        grad_windows = self._max_mask * grad_output[:, :, :, None, :, None]
+        batch, channels, height, width = self._inputs.shape
+        out_h, out_w = height // size, width // size
+        grad_input = np.zeros_like(self._inputs)
+        grad_input[:, :, : out_h * size, : out_w * size] = grad_windows.reshape(
+            batch, channels, out_h * size, out_w * size
+        )
+        return grad_input
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        channels, height, width = input_shape
+        return (channels, height // self.pool_size, width // self.pool_size)
+
+
+class AvgPool2D(Layer):
+    """Non-overlapping average pooling with a square window."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size < 1:
+            raise ModelError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        _check_4d(inputs, "AvgPool2D")
+        size = self.pool_size
+        batch, channels, height, width = inputs.shape
+        out_h, out_w = height // size, width // size
+        trimmed = inputs[:, :, : out_h * size, : out_w * size]
+        windows = trimmed.reshape(batch, channels, out_h, size, out_w, size)
+        if training:
+            self._input_shape = inputs.shape
+        return windows.mean(axis=(3, 5))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ModelError("AvgPool2D.backward called before forward")
+        size = self.pool_size
+        batch, channels, height, width = self._input_shape
+        out_h, out_w = height // size, width // size
+        grad_input = np.zeros(self._input_shape)
+        expanded = np.repeat(np.repeat(grad_output, size, axis=2), size, axis=3) / (size * size)
+        grad_input[:, :, : out_h * size, : out_w * size] = expanded
+        return grad_input
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        channels, height, width = input_shape
+        return (channels, height // self.pool_size, width // self.pool_size)
+
+
+class GlobalAvgPool2D(Layer):
+    """Averages each channel over its full spatial extent, producing (N, C)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        _check_4d(inputs, "GlobalAvgPool2D")
+        if training:
+            self._input_shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ModelError("GlobalAvgPool2D.backward called before forward")
+        batch, channels, height, width = self._input_shape
+        scale = 1.0 / (height * width)
+        return np.broadcast_to(
+            grad_output[:, :, None, None] * scale, self._input_shape
+        ).copy()
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        channels, _height, _width = input_shape
+        return (channels,)

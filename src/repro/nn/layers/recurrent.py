@@ -1,0 +1,144 @@
+"""LSTM layer with full back-propagation through time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.initializers import glorot_uniform, zeros
+from repro.nn.layers.base import BYTES_PER_ELEMENT, Layer, LayerCost, TRAINING_FLOP_MULTIPLIER
+
+
+def _sigmoid(values: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(values, -60.0, 60.0)))
+
+
+@dataclass
+class _StepCache:
+    """Intermediate values of one LSTM time step needed for the backward pass."""
+
+    inputs: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    gates_i: np.ndarray
+    gates_f: np.ndarray
+    gates_o: np.ndarray
+    gates_g: np.ndarray
+    cell: np.ndarray
+    cell_tanh: np.ndarray
+
+
+class LSTM(Layer):
+    """Single-layer LSTM over ``(N, T, D)`` inputs returning the final hidden state ``(N, H)``.
+
+    The gate layout is ``[input, forget, output, candidate]`` along the last axis of the
+    packed weight matrices.  Returning only the final hidden state matches the
+    next-character-prediction use of the Shakespeare workload.
+    """
+
+    kind = "rc"
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if input_dim < 1 or hidden_dim < 1:
+            raise ModelError("input_dim and hidden_dim must be positive")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        gate_dim = 4 * hidden_dim
+        self.params = {
+            "w_x": glorot_uniform(rng, (input_dim, gate_dim), input_dim, gate_dim),
+            "w_h": glorot_uniform(rng, (hidden_dim, gate_dim), hidden_dim, gate_dim),
+            "bias": zeros((gate_dim,)),
+        }
+        # Positive forget-gate bias is standard practice to ease gradient flow early on.
+        self.params["bias"][hidden_dim : 2 * hidden_dim] = 1.0
+        self.zero_grads()
+        self._caches: list[_StepCache] | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        if inputs.ndim != 3 or inputs.shape[2] != self.input_dim:
+            raise ModelError(
+                f"LSTM expects (N, T, {self.input_dim}) input, got shape {inputs.shape}"
+            )
+        batch, steps, _ = inputs.shape
+        hidden = np.zeros((batch, self.hidden_dim))
+        cell = np.zeros((batch, self.hidden_dim))
+        caches: list[_StepCache] = []
+        h_dim = self.hidden_dim
+        for step in range(steps):
+            x_t = inputs[:, step, :]
+            gates = x_t @ self.params["w_x"] + hidden @ self.params["w_h"] + self.params["bias"]
+            gate_i = _sigmoid(gates[:, 0:h_dim])
+            gate_f = _sigmoid(gates[:, h_dim : 2 * h_dim])
+            gate_o = _sigmoid(gates[:, 2 * h_dim : 3 * h_dim])
+            gate_g = np.tanh(gates[:, 3 * h_dim :])
+            new_cell = gate_f * cell + gate_i * gate_g
+            cell_tanh = np.tanh(new_cell)
+            new_hidden = gate_o * cell_tanh
+            if training:
+                caches.append(
+                    _StepCache(
+                        inputs=x_t,
+                        h_prev=hidden,
+                        c_prev=cell,
+                        gates_i=gate_i,
+                        gates_f=gate_f,
+                        gates_o=gate_o,
+                        gates_g=gate_g,
+                        cell=new_cell,
+                        cell_tanh=cell_tanh,
+                    )
+                )
+            hidden, cell = new_hidden, new_cell
+        if training:
+            self._caches = caches
+        return hidden
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._caches is None:
+            raise ModelError("LSTM.backward called before forward")
+        caches = self._caches
+        batch = grad_output.shape[0]
+        steps = len(caches)
+        h_dim = self.hidden_dim
+        grad_inputs = np.zeros((batch, steps, self.input_dim))
+        grad_w_x = np.zeros_like(self.params["w_x"])
+        grad_w_h = np.zeros_like(self.params["w_h"])
+        grad_bias = np.zeros_like(self.params["bias"])
+        grad_h = grad_output.copy()
+        grad_c = np.zeros((batch, h_dim))
+        for step in range(steps - 1, -1, -1):
+            cache = caches[step]
+            grad_c_total = grad_c + grad_h * cache.gates_o * (1.0 - cache.cell_tanh**2)
+            grad_gate_o = grad_h * cache.cell_tanh
+            grad_gate_i = grad_c_total * cache.gates_g
+            grad_gate_g = grad_c_total * cache.gates_i
+            grad_gate_f = grad_c_total * cache.c_prev
+            grad_c = grad_c_total * cache.gates_f
+            pre_i = grad_gate_i * cache.gates_i * (1.0 - cache.gates_i)
+            pre_f = grad_gate_f * cache.gates_f * (1.0 - cache.gates_f)
+            pre_o = grad_gate_o * cache.gates_o * (1.0 - cache.gates_o)
+            pre_g = grad_gate_g * (1.0 - cache.gates_g**2)
+            grad_gates = np.concatenate([pre_i, pre_f, pre_o, pre_g], axis=1)
+            grad_w_x += cache.inputs.T @ grad_gates
+            grad_w_h += cache.h_prev.T @ grad_gates
+            grad_bias += grad_gates.sum(axis=0)
+            grad_inputs[:, step, :] = grad_gates @ self.params["w_x"].T
+            grad_h = grad_gates @ self.params["w_h"].T
+        self.grads["w_x"] = grad_w_x
+        self.grads["w_h"] = grad_w_h
+        self.grads["bias"] = grad_bias
+        return grad_inputs
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (self.hidden_dim,)
+
+    def cost(self, input_shape: tuple[int, ...]) -> LayerCost:
+        sequence_length, _input_dim = input_shape
+        per_step = 2.0 * (self.input_dim + self.hidden_dim) * 4 * self.hidden_dim
+        forward_flops = per_step * sequence_length
+        activations = float(sequence_length * (self.input_dim + 6 * self.hidden_dim))
+        memory = (activations + 3.0 * self.num_params) * BYTES_PER_ELEMENT
+        return LayerCost(flops=TRAINING_FLOP_MULTIPLIER * forward_flops, memory_bytes=memory)

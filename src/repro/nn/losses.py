@@ -1,0 +1,49 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+class SoftmaxCrossEntropy:
+    """Combined softmax + cross-entropy loss for integer class labels."""
+
+    def __init__(self) -> None:
+        self._probabilities: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    @staticmethod
+    def softmax(logits: np.ndarray) -> np.ndarray:
+        """Numerically stable softmax over the last axis."""
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exponentials = np.exp(shifted)
+        return exponentials / exponentials.sum(axis=-1, keepdims=True)
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy of ``logits`` of shape ``(N, C)`` against integer ``labels``."""
+        if logits.ndim != 2:
+            raise ModelError(f"logits must have shape (N, C), got {logits.shape}")
+        labels = np.asarray(labels)
+        if labels.ndim != 1 or len(labels) != len(logits):
+            raise ModelError("labels must be 1-D and aligned with logits")
+        probabilities = self.softmax(logits)
+        self._probabilities = probabilities
+        self._labels = labels
+        selected = probabilities[np.arange(len(labels)), labels]
+        return float(-np.log(np.clip(selected, 1e-12, None)).mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        if self._probabilities is None or self._labels is None:
+            raise ModelError("SoftmaxCrossEntropy.backward called before forward")
+        grad = self._probabilities.copy()
+        grad[np.arange(len(self._labels)), self._labels] -= 1.0
+        return grad / len(self._labels)
+
+    @staticmethod
+    def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy of ``logits`` against integer ``labels``."""
+        predictions = logits.argmax(axis=-1)
+        return float((predictions == np.asarray(labels)).mean())

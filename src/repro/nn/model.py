@@ -1,0 +1,104 @@
+"""The :class:`Sequential` model container."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.layers.base import Layer, LayerCost
+
+
+class Sequential:
+    """A feed-forward stack of layers with weight (de)serialisation and cost accounting."""
+
+    def __init__(self, layers: Sequence[Layer], input_shape: tuple[int, ...], name: str = "") -> None:
+        if not layers:
+            raise ModelError("a Sequential model needs at least one layer")
+        self.layers = list(layers)
+        self.input_shape = tuple(input_shape)
+        self.name = name or "sequential"
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        """Run the full forward pass."""
+        outputs = inputs
+        for layer in self.layers:
+            outputs = layer.forward(outputs, training=training)
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Run the full backward pass, populating every layer's gradients."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Forward pass in inference mode (no caches, dropout disabled)."""
+        return self.forward(inputs, training=False)
+
+    def zero_grads(self) -> None:
+        """Reset gradient accumulators in every layer."""
+        for layer in self.layers:
+            layer.zero_grads()
+
+    # ------------------------------------------------------------------ weights
+    def get_weights(self) -> list[dict[str, np.ndarray]]:
+        """Copy of all layer parameters, ordered by layer."""
+        return [layer.get_weights() for layer in self.layers]
+
+    def set_weights(self, weights: list[dict[str, np.ndarray]]) -> None:
+        """Overwrite all layer parameters from :meth:`get_weights`-formatted data."""
+        if len(weights) != len(self.layers):
+            raise ModelError(
+                f"expected weights for {len(self.layers)} layers, got {len(weights)}"
+            )
+        for layer, layer_weights in zip(self.layers, weights):
+            layer.set_weights(layer_weights)
+
+    @property
+    def num_params(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(layer.num_params for layer in self.layers)
+
+    @property
+    def model_size_mb(self) -> float:
+        """Serialized model size in megabytes (float32 parameters)."""
+        return self.num_params * 4 / 1e6
+
+    # ------------------------------------------------------------------ structure
+    def layer_counts(self) -> dict[str, int]:
+        """Count layers per family (``conv`` / ``fc`` / ``rc`` / ``other``)."""
+        counts = {"conv": 0, "fc": 0, "rc": 0, "other": 0}
+        for layer in self.layers:
+            counts[layer.kind] = counts.get(layer.kind, 0) + 1
+        return counts
+
+    def per_sample_cost(self) -> LayerCost:
+        """Aggregate per-sample training cost (FLOPs and DRAM bytes) over all layers."""
+        total = LayerCost(flops=0.0, memory_bytes=0.0)
+        shape = self.input_shape
+        for layer in self.layers:
+            total = total + layer.cost(shape)
+            shape = layer.output_shape(shape)
+        return total
+
+    def output_shape(self) -> tuple[int, ...]:
+        """Per-sample output shape of the full model."""
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def summary(self) -> str:
+        """Human-readable model summary."""
+        lines = [f"Model: {self.name} (input {self.input_shape})"]
+        shape = self.input_shape
+        for index, layer in enumerate(self.layers):
+            shape = layer.output_shape(shape)
+            lines.append(
+                f"  [{index:02d}] {type(layer).__name__:<18s} out={shape} params={layer.num_params}"
+            )
+        lines.append(f"Total params: {self.num_params} ({self.model_size_mb:.2f} MB)")
+        return "\n".join(lines)

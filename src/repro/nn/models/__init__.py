@@ -1,0 +1,7 @@
+"""Builders for the paper's three FL workload models (scaled to numpy-trainable sizes)."""
+
+from repro.nn.models.cnn_mnist import build_cnn_mnist
+from repro.nn.models.lstm_shakespeare import build_lstm_shakespeare
+from repro.nn.models.mobilenet import build_mobilenet_lite
+
+__all__ = ["build_cnn_mnist", "build_lstm_shakespeare", "build_mobilenet_lite"]

@@ -1,0 +1,39 @@
+"""CNN-MNIST workload model (paper workload 1).
+
+A down-scaled version of the two-conv-layer CNN used by FedAvg for MNIST: two convolution
+blocks followed by two fully-connected layers.  Channel counts are reduced so from-scratch
+numpy training remains fast; the systems-side FLOP/byte accounting of the full-size model
+is provided separately by :mod:`repro.nn.workloads`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.model import Sequential
+
+
+def build_cnn_mnist(
+    num_classes: int = 10,
+    image_size: int = 28,
+    channels: int = 1,
+    seed: int = 0,
+) -> Sequential:
+    """Build the CNN-MNIST model for ``image_size`` x ``image_size`` inputs."""
+    rng = np.random.default_rng(seed)
+    conv1_channels, conv2_channels, hidden = 8, 16, 64
+    pooled = image_size // 4
+    layers = [
+        Conv2D(channels, conv1_channels, kernel_size=3, rng=rng, padding=1),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(conv1_channels, conv2_channels, kernel_size=3, rng=rng, padding=1),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(conv2_channels * pooled * pooled, hidden, rng=rng),
+        ReLU(),
+        Dense(hidden, num_classes, rng=rng),
+    ]
+    return Sequential(layers, input_shape=(channels, image_size, image_size), name="cnn-mnist")

@@ -1,0 +1,31 @@
+"""LSTM-Shakespeare workload model (paper workload 2).
+
+Next-character prediction: an embedding, an LSTM over the character window and a dense
+classifier over the final hidden state.  Hidden sizes are reduced from the paper's 256-unit
+stacked LSTM so numpy BPTT stays fast; the full-size cost profile lives in
+:mod:`repro.nn.workloads`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dense, Embedding, LSTM
+from repro.nn.model import Sequential
+
+
+def build_lstm_shakespeare(
+    vocab_size: int = 40,
+    sequence_length: int = 20,
+    embedding_dim: int = 16,
+    hidden_dim: int = 32,
+    seed: int = 0,
+) -> Sequential:
+    """Build the LSTM next-character-prediction model."""
+    rng = np.random.default_rng(seed)
+    layers = [
+        Embedding(vocab_size, embedding_dim, rng=rng),
+        LSTM(embedding_dim, hidden_dim, rng=rng),
+        Dense(hidden_dim, vocab_size, rng=rng),
+    ]
+    return Sequential(layers, input_shape=(sequence_length,), name="lstm-shakespeare")

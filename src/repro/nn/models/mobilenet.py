@@ -1,0 +1,56 @@
+"""MobileNet-ImageNet workload model (paper workload 3), scaled down ("lite").
+
+The defining structure of MobileNet — a stem convolution followed by depthwise-separable
+blocks (depthwise conv + pointwise 1x1 conv) and a global-average-pooled classifier — is
+preserved; width and depth are reduced so numpy training remains tractable on 32x32 inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    GlobalAvgPool2D,
+    Layer,
+    ReLU,
+)
+from repro.nn.model import Sequential
+
+
+def _separable_block(
+    channels_in: int, channels_out: int, rng: np.random.Generator, stride: int = 1
+) -> list[Layer]:
+    """One depthwise-separable convolution block (depthwise 3x3 + pointwise 1x1)."""
+    return [
+        DepthwiseConv2D(channels_in, kernel_size=3, rng=rng, stride=stride, padding=1),
+        ReLU(),
+        Conv2D(channels_in, channels_out, kernel_size=1, rng=rng, stride=1, padding=0),
+        ReLU(),
+    ]
+
+
+def build_mobilenet_lite(
+    num_classes: int = 100,
+    image_size: int = 32,
+    channels: int = 3,
+    seed: int = 0,
+) -> Sequential:
+    """Build the scaled-down MobileNet image classifier."""
+    rng = np.random.default_rng(seed)
+    layers: list[Layer] = [
+        Conv2D(channels, 8, kernel_size=3, rng=rng, stride=2, padding=1),
+        ReLU(),
+    ]
+    layers += _separable_block(8, 16, rng)
+    layers += _separable_block(16, 24, rng, stride=2)
+    layers += _separable_block(24, 32, rng)
+    layers += [
+        GlobalAvgPool2D(),
+        Dense(32, num_classes, rng=rng),
+    ]
+    return Sequential(
+        layers, input_shape=(channels, image_size, image_size), name="mobilenet-lite"
+    )

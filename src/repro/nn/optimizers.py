@@ -1,0 +1,82 @@
+"""Optimizers for local on-device training.
+
+FedAvg runs vanilla SGD locally (paper Section 1); FedProx adds a proximal term pulling
+local weights toward the last global model, which :class:`ProximalSGD` implements so the
+FedProx baseline of Section 6.3 exercises a genuinely different local objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.model import Sequential
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.05, momentum: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ModelError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ModelError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self, model: Sequential) -> None:
+        """Apply one update to every trainable parameter of ``model`` using stored grads."""
+        for layer_index, layer in enumerate(model.layers):
+            for name, param in layer.params.items():
+                grad = layer.grads.get(name)
+                if grad is None:
+                    continue
+                update = self._direction(layer_index, name, grad)
+                layer.params[name] = param - self.learning_rate * update
+
+    def _direction(self, layer_index: int, name: str, grad: np.ndarray) -> np.ndarray:
+        if self.momentum == 0.0:
+            return grad
+        key = (layer_index, name)
+        velocity = self._velocity.get(key)
+        if velocity is None:
+            velocity = np.zeros_like(grad)
+        velocity = self.momentum * velocity + grad
+        self._velocity[key] = velocity
+        return velocity
+
+
+class ProximalSGD(SGD):
+    """SGD with a FedProx proximal term ``(mu / 2) * ||w - w_global||^2``.
+
+    The proximal gradient ``mu * (w - w_global)`` is added to every parameter update, which
+    limits how far a straggling or non-IID client can drift from the global model.
+    """
+
+    def __init__(
+        self, learning_rate: float = 0.05, momentum: float = 0.0, mu: float = 0.01
+    ) -> None:
+        super().__init__(learning_rate=learning_rate, momentum=momentum)
+        if mu < 0:
+            raise ModelError("mu must be non-negative")
+        self.mu = mu
+        self._reference: list[dict[str, np.ndarray]] | None = None
+
+    def set_reference(self, global_weights: list[dict[str, np.ndarray]]) -> None:
+        """Record the global model weights the proximal term pulls toward."""
+        self._reference = [
+            {name: value.copy() for name, value in layer.items()} for layer in global_weights
+        ]
+
+    def step(self, model: Sequential) -> None:
+        if self._reference is not None:
+            if len(self._reference) != len(model.layers):
+                raise ModelError("proximal reference does not match model structure")
+            for layer, reference in zip(model.layers, self._reference):
+                for name, param in layer.params.items():
+                    if name in reference and name in layer.grads:
+                        layer.grads[name] = layer.grads[name] + self.mu * (
+                            param - reference[name]
+                        )
+        super().step(model)

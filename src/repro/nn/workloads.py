@@ -1,0 +1,182 @@
+"""Workload profiles: the systems-side description of each FL use case.
+
+A :class:`WorkloadProfile` carries everything the edge-cloud simulator and the AutoFL state
+features need to know about a workload *without* instantiating the numpy model:
+
+* NN-characteristic counts (number of CONV / FC / RC layers) — the paper's ``S_CONV``,
+  ``S_FC``, ``S_RC`` state features (Table 1);
+* per-sample training FLOPs and DRAM traffic of the full-size model — these drive the
+  training-time and energy models (the numpy models are width-reduced for fast real
+  training, so the cost numbers here are the full-size ones, estimated from the published
+  architectures);
+* the model's over-the-air size in MB — this drives communication time/energy;
+* surrogate-convergence parameters (achievable accuracy, base per-round gain) used by the
+  fast analytical training backend.
+
+Profiles for the paper's three workloads are predefined; custom profiles can be created for
+new workloads, including directly from a numpy :class:`~repro.nn.model.Sequential` via
+:meth:`WorkloadProfile.from_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigurationError, ModelError
+from repro.nn.model import Sequential
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Systems-level description of one FL workload."""
+
+    name: str
+    num_conv_layers: int
+    num_fc_layers: int
+    num_rc_layers: int
+    flops_per_sample: float
+    bytes_per_sample: float
+    model_size_mb: float
+    max_accuracy: float
+    base_gain: float
+    target_accuracy: float
+    samples_per_device: int = 300
+
+    def __post_init__(self) -> None:
+        if min(self.num_conv_layers, self.num_fc_layers, self.num_rc_layers) < 0:
+            raise ConfigurationError(f"{self.name}: layer counts must be non-negative")
+        if self.flops_per_sample <= 0 or self.bytes_per_sample <= 0:
+            raise ConfigurationError(f"{self.name}: per-sample costs must be positive")
+        if self.model_size_mb <= 0:
+            raise ConfigurationError(f"{self.name}: model_size_mb must be positive")
+        if not 0.0 < self.max_accuracy <= 1.0:
+            raise ConfigurationError(f"{self.name}: max_accuracy must be in (0, 1]")
+        if not 0.0 < self.base_gain < 1.0:
+            raise ConfigurationError(f"{self.name}: base_gain must be in (0, 1)")
+        if not 0.0 < self.target_accuracy <= self.max_accuracy:
+            raise ConfigurationError(
+                f"{self.name}: target_accuracy must be in (0, max_accuracy]"
+            )
+        if self.samples_per_device <= 0:
+            raise ConfigurationError(f"{self.name}: samples_per_device must be positive")
+
+    @property
+    def compute_intensity(self) -> float:
+        """FLOPs per DRAM byte — high for CONV-dominated models, low for RC-dominated ones."""
+        return self.flops_per_sample / self.bytes_per_sample
+
+    def with_overrides(self, **changes: object) -> "WorkloadProfile":
+        """Return a copy of the profile with selected fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_model(
+        cls,
+        model: Sequential,
+        name: str | None = None,
+        max_accuracy: float = 0.95,
+        base_gain: float = 0.10,
+        target_accuracy: float = 0.90,
+        samples_per_device: int = 300,
+    ) -> "WorkloadProfile":
+        """Derive a profile directly from a numpy model's structure and cost accounting."""
+        if not isinstance(model, Sequential):
+            raise ModelError("from_model expects a Sequential model")
+        counts = model.layer_counts()
+        cost = model.per_sample_cost()
+        return cls(
+            name=name or model.name,
+            num_conv_layers=counts.get("conv", 0),
+            num_fc_layers=counts.get("fc", 0),
+            num_rc_layers=counts.get("rc", 0),
+            flops_per_sample=cost.flops,
+            bytes_per_sample=cost.memory_bytes,
+            model_size_mb=model.model_size_mb,
+            max_accuracy=max_accuracy,
+            base_gain=base_gain,
+            target_accuracy=target_accuracy,
+            samples_per_device=samples_per_device,
+        )
+
+
+#: CNN-MNIST: the FedAvg 2-conv CNN (~1.6 M params).  Compute-dominated (CONV + FC), small
+#: gradient payload, converges quickly to ~99 % on MNIST.
+CNN_MNIST = WorkloadProfile(
+    name="cnn-mnist",
+    num_conv_layers=2,
+    num_fc_layers=2,
+    num_rc_layers=0,
+    flops_per_sample=45e6,
+    bytes_per_sample=1.5e6,
+    model_size_mb=6.4,
+    max_accuracy=0.99,
+    base_gain=0.14,
+    target_accuracy=0.95,
+    samples_per_device=300,
+)
+
+#: LSTM-Shakespeare: 2-layer 256-unit character LSTM (~0.8 M params).  Memory-intensive RC
+#: layers — the compute intensity is an order of magnitude lower than the CNN, which is
+#: what compresses the tier performance gap (paper Section 3.1).
+LSTM_SHAKESPEARE = WorkloadProfile(
+    name="lstm-shakespeare",
+    num_conv_layers=0,
+    num_fc_layers=1,
+    num_rc_layers=2,
+    flops_per_sample=95e6,
+    bytes_per_sample=48e6,
+    model_size_mb=3.3,
+    max_accuracy=0.58,
+    base_gain=0.09,
+    target_accuracy=0.50,
+    samples_per_device=400,
+)
+
+#: MobileNet-ImageNet: MobileNetV1 at 224x224 (~4.2 M params, ~0.57 GFLOPs forward per
+#: sample → ~1.7 GFLOPs training).  Largest compute and communication payload of the three.
+MOBILENET_IMAGENET = WorkloadProfile(
+    name="mobilenet-imagenet",
+    num_conv_layers=27,
+    num_fc_layers=1,
+    num_rc_layers=0,
+    flops_per_sample=1.7e9,
+    bytes_per_sample=40e6,
+    model_size_mb=16.8,
+    max_accuracy=0.70,
+    base_gain=0.05,
+    target_accuracy=0.60,
+    samples_per_device=200,
+)
+
+#: Registry of the paper's three workloads by canonical name.
+WORKLOAD_PROFILES: dict[str, WorkloadProfile] = {
+    CNN_MNIST.name: CNN_MNIST,
+    LSTM_SHAKESPEARE.name: LSTM_SHAKESPEARE,
+    MOBILENET_IMAGENET.name: MOBILENET_IMAGENET,
+}
+
+#: Accepted aliases for workload lookup.
+_WORKLOAD_ALIASES: dict[str, str] = {
+    "cnn": CNN_MNIST.name,
+    "cnn_mnist": CNN_MNIST.name,
+    "mnist": CNN_MNIST.name,
+    "lstm": LSTM_SHAKESPEARE.name,
+    "lstm_shakespeare": LSTM_SHAKESPEARE.name,
+    "shakespeare": LSTM_SHAKESPEARE.name,
+    "mobilenet": MOBILENET_IMAGENET.name,
+    "mobilenet_imagenet": MOBILENET_IMAGENET.name,
+    "imagenet": MOBILENET_IMAGENET.name,
+}
+
+
+def get_workload_profile(name: "str | WorkloadProfile") -> WorkloadProfile:
+    """Look up a predefined workload profile by name (several aliases accepted)."""
+    if isinstance(name, WorkloadProfile):
+        return name
+    key = name.lower().replace("-", "_")
+    canonical = _WORKLOAD_ALIASES.get(key, key.replace("_", "-"))
+    if canonical in WORKLOAD_PROFILES:
+        return WORKLOAD_PROFILES[canonical]
+    raise ConfigurationError(
+        f"unknown workload {name!r}; expected one of {sorted(WORKLOAD_PROFILES)}"
+    )

@@ -1,0 +1,30 @@
+"""Edge-cloud FL simulator: environment, round execution engine, runner and scenarios.
+
+This subpackage replaces the paper's EC2-emulated 200-device testbed.  It combines the
+device, network, interference and data substrates into an
+:class:`~repro.sim.environment.EdgeCloudEnvironment`, executes aggregation rounds with the
+:class:`~repro.sim.round_engine.RoundEngine` (per-device compute/communication time and
+energy, straggler handling) and drives complete training jobs with
+:class:`~repro.sim.runner.FLSimulation`.
+"""
+
+from repro.sim.context import RoundContext, SelectionDecision
+from repro.sim.environment import EdgeCloudEnvironment
+from repro.sim.results import DeviceRoundOutcome, RoundExecution, RoundRecord, SimulationResult
+from repro.sim.round_engine import RoundEngine
+from repro.sim.runner import FLSimulation
+from repro.sim.scenarios import ScenarioSpec, build_environment
+
+__all__ = [
+    "DeviceRoundOutcome",
+    "EdgeCloudEnvironment",
+    "FLSimulation",
+    "RoundContext",
+    "RoundEngine",
+    "RoundExecution",
+    "RoundRecord",
+    "ScenarioSpec",
+    "SelectionDecision",
+    "SimulationResult",
+    "build_environment",
+]

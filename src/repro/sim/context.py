@@ -1,0 +1,53 @@
+"""Round context and selection decision: the interface between simulator and policies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.devices.device import ExecutionTarget, RoundConditions
+from repro.exceptions import PolicyError
+
+if TYPE_CHECKING:  # pragma: no cover - import only used for typing
+    from repro.sim.environment import EdgeCloudEnvironment
+
+
+@dataclass(frozen=True)
+class RoundContext:
+    """Everything a selection policy may observe at the start of an aggregation round.
+
+    This mirrors the information AutoFL's server-side agent observes (paper Figure 7): the
+    FL global configuration and workload (through ``environment``), the per-device runtime
+    conditions collected by the FL protocol, and the current global-model accuracy.
+    """
+
+    round_index: int
+    environment: "EdgeCloudEnvironment"
+    conditions: dict[int, RoundConditions]
+    accuracy: float
+
+    def condition(self, device_id: int) -> RoundConditions:
+        """Runtime conditions observed for one device this round."""
+        try:
+            return self.conditions[device_id]
+        except KeyError as exc:
+            raise PolicyError(f"no round conditions for device {device_id}") from exc
+
+
+@dataclass
+class SelectionDecision:
+    """A policy's decision for one round: which devices participate and on which targets."""
+
+    participants: list[int]
+    targets: dict[int, ExecutionTarget] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.participants)) != len(self.participants):
+            raise PolicyError("participant ids must be unique")
+        unknown = set(self.targets) - set(self.participants)
+        if unknown:
+            raise PolicyError(f"targets specified for non-participants: {sorted(unknown)}")
+
+    def target_for(self, device_id: int, default: ExecutionTarget) -> ExecutionTarget:
+        """The execution target for a participant, falling back to ``default``."""
+        return self.targets.get(device_id, default)

@@ -1,0 +1,100 @@
+"""The edge-cloud execution environment: fleet + network + interference + data."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import GlobalParams, SimulationConfig
+from repro.data.partition import DataDistribution
+from repro.data.profiles import DeviceDataProfile, synthesize_data_profiles
+from repro.devices.device import RoundConditions
+from repro.devices.fleet import Fleet, build_fleet
+from repro.exceptions import SimulationError
+from repro.interference.corunner import InterferenceGenerator, InterferenceScenario
+from repro.interference.slowdown import SlowdownModel
+from repro.interference.thermal import ThermalModel
+from repro.network.bandwidth import BandwidthModel, NetworkScenario
+from repro.network.channel import CommunicationModel
+from repro.nn.workloads import WorkloadProfile, get_workload_profile
+
+#: Number of classes assumed per workload when synthesising data profiles.
+_WORKLOAD_NUM_CLASSES: dict[str, int] = {
+    "cnn-mnist": 10,
+    "lstm-shakespeare": 40,
+    "mobilenet-imagenet": 100,
+}
+
+
+class EdgeCloudEnvironment:
+    """All state shared by a federated-learning training job in the emulated edge cloud."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        global_params: GlobalParams,
+        workload: WorkloadProfile | str,
+        fleet: Fleet | None = None,
+        data_profiles: dict[int, DeviceDataProfile] | None = None,
+        data_distribution: DataDistribution | str = DataDistribution.IID,
+        interference: InterferenceGenerator | None = None,
+        bandwidth: BandwidthModel | None = None,
+        slowdown: SlowdownModel | None = None,
+        thermal: ThermalModel | None = None,
+        communication: CommunicationModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.config = config
+        self.global_params = global_params
+        self.workload = get_workload_profile(workload)
+        self.rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self.fleet = fleet if fleet is not None else build_fleet(config, self.rng)
+        self.data_distribution = DataDistribution.from_name(data_distribution)
+        if data_profiles is None:
+            num_classes = _WORKLOAD_NUM_CLASSES.get(self.workload.name, 10)
+            data_profiles = synthesize_data_profiles(
+                device_ids=self.fleet.device_ids,
+                distribution=self.data_distribution,
+                num_classes=num_classes,
+                samples_per_device=self.workload.samples_per_device,
+                rng=self.rng,
+            )
+        missing = set(self.fleet.device_ids) - set(data_profiles)
+        if missing:
+            raise SimulationError(f"data profiles missing for devices {sorted(missing)[:5]}...")
+        self.data_profiles = data_profiles
+        for device in self.fleet:
+            device.assign_samples(self.data_profiles[device.device_id].num_samples)
+        self.interference = interference or InterferenceGenerator(InterferenceScenario.NONE)
+        self.bandwidth = bandwidth or BandwidthModel(NetworkScenario.STABLE)
+        self.slowdown = slowdown or SlowdownModel()
+        self.thermal = thermal or ThermalModel()
+        self.communication = communication or CommunicationModel()
+        if global_params.num_participants > len(self.fleet):
+            raise SimulationError(
+                f"K={global_params.num_participants} exceeds fleet size {len(self.fleet)}"
+            )
+
+    def data_profile(self, device_id: int) -> DeviceDataProfile:
+        """Data profile of one device."""
+        try:
+            return self.data_profiles[device_id]
+        except KeyError as exc:
+            raise SimulationError(f"no data profile for device {device_id}") from exc
+
+    def sample_round_conditions(self) -> dict[int, RoundConditions]:
+        """Sample every device's runtime conditions for one aggregation round.
+
+        Co-runner activity and network bandwidth are redrawn every round, which is the
+        stochastic runtime variance the paper emphasises (Section 2.2).
+        """
+        device_ids = self.fleet.device_ids
+        interference_samples = self.interference.sample(self.rng, len(device_ids))
+        bandwidths = self.bandwidth.sample(self.rng, len(device_ids))
+        return {
+            device_id: RoundConditions(
+                co_cpu_util=sample.co_cpu_util,
+                co_mem_util=sample.co_mem_util,
+                bandwidth_mbps=float(bandwidth),
+            )
+            for device_id, sample, bandwidth in zip(device_ids, interference_samples, bandwidths)
+        }

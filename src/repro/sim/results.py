@@ -1,0 +1,152 @@
+"""Result containers for round execution and full simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.device import ExecutionTarget
+from repro.devices.energy import DeviceEnergy, RoundEnergyAccount
+from repro.exceptions import SimulationError
+from repro.fl.metrics import EfficiencySummary
+
+
+@dataclass(frozen=True)
+class DeviceRoundOutcome:
+    """What one selected device did during one aggregation round."""
+
+    device_id: int
+    target: ExecutionTarget
+    compute_time_s: float
+    communication_time_s: float
+    energy: DeviceEnergy
+    dropped: bool = False
+
+    @property
+    def total_time_s(self) -> float:
+        """Compute plus communication time of the device."""
+        return self.compute_time_s + self.communication_time_s
+
+
+@dataclass
+class RoundExecution:
+    """System-level outcome of one aggregation round (before model aggregation)."""
+
+    outcomes: dict[int, DeviceRoundOutcome]
+    round_time_s: float
+    energy: RoundEnergyAccount
+
+    @property
+    def participant_ids(self) -> list[int]:
+        """Devices whose updates made it into the aggregation (stragglers excluded)."""
+        return sorted(
+            device_id for device_id, outcome in self.outcomes.items() if not outcome.dropped
+        )
+
+    @property
+    def dropped_ids(self) -> list[int]:
+        """Selected devices whose updates were dropped as stragglers."""
+        return sorted(
+            device_id for device_id, outcome in self.outcomes.items() if outcome.dropped
+        )
+
+    @property
+    def participant_energy_j(self) -> float:
+        """Energy drawn by the selected devices this round (compute, radio and waiting)."""
+        return sum(outcome.energy.total_j for outcome in self.outcomes.values())
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Full record of one aggregation round: selection, execution and training outcome."""
+
+    round_index: int
+    selected_ids: tuple[int, ...]
+    dropped_ids: tuple[int, ...]
+    targets: dict[int, ExecutionTarget]
+    round_time_s: float
+    participant_energy_j: float
+    global_energy_j: float
+    accuracy: float
+    accuracy_improvement: float
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a complete simulated FL training job."""
+
+    policy_name: str
+    workload_name: str
+    target_accuracy: float
+    records: list[RoundRecord] = field(default_factory=list)
+    converged_round: int | None = None
+
+    def append(self, record: RoundRecord) -> None:
+        """Append one round's record."""
+        self.records.append(record)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of executed rounds."""
+        return len(self.records)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy after the last executed round."""
+        if not self.records:
+            raise SimulationError("simulation produced no rounds")
+        return self.records[-1].accuracy
+
+    @property
+    def accuracy_history(self) -> list[float]:
+        """Accuracy after every round."""
+        return [record.accuracy for record in self.records]
+
+    @property
+    def total_time_s(self) -> float:
+        """Wall-clock time of all executed rounds."""
+        return sum(record.round_time_s for record in self.records)
+
+    @property
+    def total_participant_energy_j(self) -> float:
+        """Total active energy of participants over all executed rounds."""
+        return sum(record.participant_energy_j for record in self.records)
+
+    @property
+    def total_global_energy_j(self) -> float:
+        """Total population-wide energy over all executed rounds."""
+        return sum(record.global_energy_j for record in self.records)
+
+    @property
+    def mean_round_time_s(self) -> float:
+        """Mean per-round time."""
+        if not self.records:
+            raise SimulationError("simulation produced no rounds")
+        return float(np.mean([record.round_time_s for record in self.records]))
+
+    def _until_convergence(self) -> list[RoundRecord]:
+        if self.converged_round is None:
+            return self.records
+        return [record for record in self.records if record.round_index <= self.converged_round]
+
+    def summary(self) -> EfficiencySummary:
+        """Aggregate efficiency metrics, computed up to the convergence round when reached."""
+        if not self.records:
+            raise SimulationError("simulation produced no rounds")
+        effective = self._until_convergence()
+        convergence_time = sum(record.round_time_s for record in effective)
+        return EfficiencySummary(
+            converged=self.converged_round is not None,
+            rounds_executed=self.num_rounds,
+            convergence_round=self.converged_round,
+            convergence_time_s=convergence_time,
+            total_time_s=self.total_time_s,
+            final_accuracy=self.final_accuracy,
+            participant_energy_j=sum(record.participant_energy_j for record in effective),
+            global_energy_j=sum(record.global_energy_j for record in effective),
+        )
+
+    def selection_history(self) -> list[tuple[int, ...]]:
+        """The selected device ids of every round (used for prediction-accuracy analysis)."""
+        return [record.selected_ids for record in self.records]

@@ -1,0 +1,174 @@
+"""Round execution engine: per-device compute/communication time, energy and stragglers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.device import ExecutionTarget, MobileDevice, RoundConditions
+from repro.devices.energy import DeviceEnergy, RoundEnergyAccount
+from repro.devices.performance import ComputeWorkload
+from repro.devices.power import busy_power_at_frequency
+from repro.exceptions import SimulationError
+from repro.sim.context import SelectionDecision
+from repro.sim.environment import EdgeCloudEnvironment
+from repro.sim.results import DeviceRoundOutcome, RoundExecution
+
+#: A selected device whose round time exceeds this multiple of the median participant's
+#: round time is treated as a severe straggler and excluded from the aggregation, mirroring
+#: the FedAvg deployment behaviour the paper describes (Sections 2.2 and 6.2).
+STRAGGLER_CUTOFF_FACTOR = 2.5
+
+
+class RoundEngine:
+    """Executes the system side of one aggregation round for a given selection decision."""
+
+    def __init__(
+        self, environment: EdgeCloudEnvironment, straggler_cutoff: float = STRAGGLER_CUTOFF_FACTOR
+    ) -> None:
+        if straggler_cutoff <= 1.0:
+            raise SimulationError("straggler_cutoff must be > 1.0")
+        self._env = environment
+        self._straggler_cutoff = straggler_cutoff
+
+    # ------------------------------------------------------------------ estimation
+    def device_round_workload(self, device: MobileDevice) -> ComputeWorkload:
+        """Local-training computational demand of one device for the current job."""
+        params = self._env.global_params
+        return ComputeWorkload.for_round(
+            flops_per_sample=self._env.workload.flops_per_sample,
+            bytes_per_sample=self._env.workload.bytes_per_sample,
+            num_samples=device.num_local_samples,
+            batch_size=params.batch_size,
+            local_epochs=params.local_epochs,
+        )
+
+    def estimate_device(
+        self,
+        device: MobileDevice,
+        target: ExecutionTarget,
+        conditions: RoundConditions,
+    ) -> DeviceRoundOutcome:
+        """Predict one selected device's time and energy for the round.
+
+        Interference from co-running applications slows the selected processor, sustained
+        power above the thermal budget adds throttling, and the sampled bandwidth determines
+        communication time and radio energy.
+        """
+        workload = self.device_round_workload(device)
+        slowdown = self._env.slowdown
+        capability = device.spec.processor("cpu").peak_gflops
+        compute_slowdown = slowdown.compute_slowdown(
+            conditions.co_cpu_util, conditions.co_mem_util, target.processor, capability
+        )
+        memory_slowdown = slowdown.memory_slowdown(
+            conditions.co_cpu_util, conditions.co_mem_util, target.processor, capability
+        )
+        estimate = device.estimate_compute(workload, target, compute_slowdown, memory_slowdown)
+
+        # Thermal throttling: sustained power above the chassis budget slows the CPU further.
+        if target.processor == "cpu" and estimate.time_s > 0:
+            spec = device.spec.processor(target.processor)
+            sustained_power = busy_power_at_frequency(
+                spec, target.vf_step, estimate.utilization, device.spec.training_power_scale
+            ) + 1.5 * conditions.co_cpu_util
+            throttle = self._env.thermal.throttle_slowdown(sustained_power)
+            if throttle > 1.0:
+                estimate = device.estimate_compute(
+                    workload, target, compute_slowdown * throttle, memory_slowdown
+                )
+
+        communication = self._env.communication.estimate(
+            model_size_mb=self._env.workload.model_size_mb,
+            bandwidth_mbps=conditions.bandwidth_mbps,
+        )
+        # The radio front-end and modem of lower-tier platforms draw proportionally less
+        # power, mirroring the tier-level platform power calibration of the compute side.
+        communication_energy = communication.energy_j * device.spec.training_power_scale
+        energy = DeviceEnergy(
+            compute_j=estimate.energy_j,
+            communication_j=communication_energy,
+            idle_j=0.0,
+        )
+        return DeviceRoundOutcome(
+            device_id=device.device_id,
+            target=target,
+            compute_time_s=estimate.time_s,
+            communication_time_s=communication.total_time_s,
+            energy=energy,
+        )
+
+    # ------------------------------------------------------------------ execution
+    def execute(
+        self, decision: SelectionDecision, conditions: dict[int, RoundConditions]
+    ) -> RoundExecution:
+        """Execute the round: evaluate every selected device, apply the straggler cutoff,
+        and account idle energy for non-selected devices."""
+        if not decision.participants:
+            raise SimulationError("a round needs at least one selected participant")
+        outcomes: dict[int, DeviceRoundOutcome] = {}
+        for device_id in decision.participants:
+            device = self._env.fleet[device_id]
+            target = decision.target_for(device_id, device.default_target())
+            condition = conditions.get(device_id, RoundConditions())
+            outcomes[device_id] = self.estimate_device(device, target, condition)
+
+        times = np.array([outcome.total_time_s for outcome in outcomes.values()])
+        median_time = float(np.median(times))
+        deadline = self._straggler_cutoff * median_time if median_time > 0 else float(times.max())
+
+        final_outcomes: dict[int, DeviceRoundOutcome] = {}
+        retained_times: list[float] = []
+        for device_id, outcome in outcomes.items():
+            dropped = outcome.total_time_s > deadline
+            if dropped:
+                # The server closes the round at the deadline; the straggler aborts, so it
+                # only spends energy up to the deadline (scaled proportionally).
+                truncation = deadline / outcome.total_time_s
+                final_outcomes[device_id] = DeviceRoundOutcome(
+                    device_id=device_id,
+                    target=outcome.target,
+                    compute_time_s=outcome.compute_time_s * truncation,
+                    communication_time_s=outcome.communication_time_s * truncation,
+                    energy=DeviceEnergy(
+                        compute_j=outcome.energy.compute_j * truncation,
+                        communication_j=outcome.energy.communication_j * truncation,
+                        idle_j=outcome.energy.idle_j,
+                    ),
+                    dropped=True,
+                )
+            else:
+                final_outcomes[device_id] = outcome
+                retained_times.append(outcome.total_time_s)
+
+        round_time = max(retained_times) if retained_times else deadline
+
+        energy_account = RoundEnergyAccount()
+        selected_ids = set(decision.participants)
+        for device in self._env.fleet:
+            if device.device_id in selected_ids:
+                outcome = final_outcomes[device.device_id]
+                # Participants that finish before the round closes stay awake (wakelock,
+                # radio connected) waiting for the aggregated model, at awake power.
+                waiting_time = max(0.0, round_time - min(outcome.total_time_s, round_time))
+                energy_with_wait = DeviceEnergy(
+                    compute_j=outcome.energy.compute_j,
+                    communication_j=outcome.energy.communication_j,
+                    idle_j=device.awake_power() * waiting_time,
+                )
+                final_outcomes[device.device_id] = DeviceRoundOutcome(
+                    device_id=outcome.device_id,
+                    target=outcome.target,
+                    compute_time_s=outcome.compute_time_s,
+                    communication_time_s=outcome.communication_time_s,
+                    energy=energy_with_wait,
+                    dropped=outcome.dropped,
+                )
+                energy_account.record(device.device_id, energy_with_wait)
+            else:
+                energy_account.record(
+                    device.device_id,
+                    DeviceEnergy(idle_j=device.idle_power() * round_time),
+                )
+        return RoundExecution(
+            outcomes=final_outcomes, round_time_s=round_time, energy=energy_account
+        )

@@ -1,0 +1,123 @@
+"""Simulation runner: drives complete FL training jobs end to end."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.exceptions import SimulationError
+from repro.fl.metrics import ConvergenceTracker
+from repro.fl.server import RoundTrainingResult, TrainingBackend
+from repro.sim.context import RoundContext, SelectionDecision
+from repro.sim.environment import EdgeCloudEnvironment
+from repro.sim.results import RoundExecution, RoundRecord, SimulationResult
+from repro.sim.round_engine import RoundEngine
+
+
+class SelectionPolicy(Protocol):
+    """Structural interface every participant-selection policy implements.
+
+    Policies live in :mod:`repro.core`; the simulator only relies on this protocol so that
+    the simulator layer stays free of any dependency on the AutoFL implementation.
+    """
+
+    name: str
+
+    def select(self, ctx: RoundContext) -> SelectionDecision:
+        """Choose the round's participants and their execution targets."""
+        ...
+
+    def feedback(
+        self,
+        ctx: RoundContext,
+        decision: SelectionDecision,
+        execution: RoundExecution,
+        training: RoundTrainingResult,
+    ) -> None:
+        """Receive the measured outcome of the round (used by learning policies)."""
+        ...
+
+
+class FLSimulation:
+    """One federated-learning training job under a given selection policy."""
+
+    def __init__(
+        self,
+        environment: EdgeCloudEnvironment,
+        policy: SelectionPolicy,
+        backend: TrainingBackend,
+        max_rounds: int | None = None,
+        target_accuracy: float | None = None,
+        stop_at_convergence: bool = True,
+    ) -> None:
+        self._env = environment
+        self._policy = policy
+        self._backend = backend
+        self._engine = RoundEngine(environment)
+        self._max_rounds = max_rounds if max_rounds is not None else environment.config.max_rounds
+        if self._max_rounds <= 0:
+            raise SimulationError("max_rounds must be positive")
+        target = (
+            target_accuracy
+            if target_accuracy is not None
+            else min(environment.workload.target_accuracy, environment.config.target_accuracy)
+        )
+        self._tracker = ConvergenceTracker(target)
+        self._stop_at_convergence = stop_at_convergence
+
+    @property
+    def environment(self) -> EdgeCloudEnvironment:
+        """The environment this simulation runs in."""
+        return self._env
+
+    @property
+    def policy(self) -> SelectionPolicy:
+        """The participant-selection policy driving this simulation."""
+        return self._policy
+
+    @property
+    def target_accuracy(self) -> float:
+        """The accuracy threshold used to declare convergence."""
+        return self._tracker.target_accuracy
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute a single aggregation round and return its record."""
+        conditions = self._env.sample_round_conditions()
+        ctx = RoundContext(
+            round_index=round_index,
+            environment=self._env,
+            conditions=conditions,
+            accuracy=self._backend.accuracy,
+        )
+        decision = self._policy.select(ctx)
+        if not decision.participants:
+            raise SimulationError(f"policy {self._policy.name!r} selected no participants")
+        execution = self._engine.execute(decision, conditions)
+        training = self._backend.run_round(execution.participant_ids)
+        self._policy.feedback(ctx, decision, execution, training)
+        return RoundRecord(
+            round_index=round_index,
+            selected_ids=tuple(sorted(decision.participants)),
+            dropped_ids=tuple(execution.dropped_ids),
+            targets=dict(decision.targets),
+            round_time_s=execution.round_time_s,
+            participant_energy_j=execution.participant_energy_j,
+            global_energy_j=execution.energy.global_j,
+            accuracy=training.accuracy,
+            accuracy_improvement=training.accuracy_improvement,
+        )
+
+    def run(self) -> SimulationResult:
+        """Run rounds until convergence (or the round budget) and return the full result."""
+        result = SimulationResult(
+            policy_name=self._policy.name,
+            workload_name=self._env.workload.name,
+            target_accuracy=self._tracker.target_accuracy,
+        )
+        for round_index in range(self._max_rounds):
+            record = self.run_round(round_index)
+            result.append(record)
+            if self._tracker.update(round_index, record.accuracy):
+                result.converged_round = self._tracker.converged_round
+                if self._stop_at_convergence:
+                    break
+        return result

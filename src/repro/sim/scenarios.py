@@ -1,0 +1,89 @@
+"""Scenario builders: one-call construction of evaluation environments and backends.
+
+The paper's evaluation sweeps four axes — workload, FL global parameters (S1-S4), runtime
+variance (no variance / on-device interference / weak network), and data heterogeneity
+(Ideal IID / Non-IID(M %)).  A :class:`ScenarioSpec` names a point in that space and
+:func:`build_environment` turns it into a ready-to-run
+:class:`~repro.sim.environment.EdgeCloudEnvironment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import GlobalParams, SimulationConfig
+from repro.data.partition import DataDistribution
+from repro.fl.aggregation import get_aggregator
+from repro.fl.server import SurrogateTrainingBackend, TrainingBackend
+from repro.interference.corunner import InterferenceGenerator, InterferenceScenario
+from repro.network.bandwidth import BandwidthModel, NetworkScenario
+from repro.sim.environment import EdgeCloudEnvironment
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named point in the paper's evaluation space."""
+
+    workload: str = "cnn-mnist"
+    setting: str = "S3"
+    interference: str = "none"
+    network: str = "stable"
+    data_distribution: str = "iid"
+    num_devices: int = 200
+    max_rounds: int = 200
+    seed: int = 0
+    aggregator: str = "fedavg"
+    tier_counts: dict[str, int] | None = field(default=None)
+
+    def simulation_config(self) -> SimulationConfig:
+        """Build the :class:`SimulationConfig` for this scenario."""
+        if self.tier_counts is not None:
+            return SimulationConfig(
+                num_devices=self.num_devices,
+                tier_counts=dict(self.tier_counts),
+                max_rounds=self.max_rounds,
+                seed=self.seed,
+            )
+        if self.num_devices == 200:
+            return SimulationConfig(max_rounds=self.max_rounds, seed=self.seed)
+        config = SimulationConfig.small(num_devices=self.num_devices, seed=self.seed)
+        return SimulationConfig(
+            num_devices=config.num_devices,
+            tier_counts=config.tier_counts,
+            max_rounds=self.max_rounds,
+            seed=self.seed,
+        )
+
+    def global_params(self) -> GlobalParams:
+        """Build the FL global parameters for this scenario."""
+        return GlobalParams.from_setting(self.setting)
+
+
+def build_environment(spec: ScenarioSpec) -> EdgeCloudEnvironment:
+    """Construct the edge-cloud environment described by ``spec``."""
+    config = spec.simulation_config()
+    return EdgeCloudEnvironment(
+        config=config,
+        global_params=spec.global_params(),
+        workload=spec.workload,
+        data_distribution=DataDistribution.from_name(spec.data_distribution),
+        interference=InterferenceGenerator(InterferenceScenario(spec.interference)),
+        bandwidth=BandwidthModel(NetworkScenario(spec.network)),
+        rng=np.random.default_rng(spec.seed),
+    )
+
+
+def build_surrogate_backend(
+    environment: EdgeCloudEnvironment, aggregator: str = "fedavg", seed: int | None = None
+) -> TrainingBackend:
+    """Construct the surrogate training backend for an environment."""
+    rng_seed = seed if seed is not None else environment.config.seed + 1
+    return SurrogateTrainingBackend(
+        workload=environment.workload,
+        data_profiles=environment.data_profiles,
+        aggregator=get_aggregator(aggregator),
+        global_params=environment.global_params,
+        rng=np.random.default_rng(rng_seed),
+    )

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GlobalParams, SimulationConfig
+from repro.devices.fleet import build_fleet
+from repro.devices.specs import GALAXY_S10E, MI8_PRO, MOTO_X_FORCE
+from repro.sim.scenarios import ScenarioSpec, build_environment, build_surrogate_backend
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_config() -> SimulationConfig:
+    """A 20-device configuration with the standard tier proportions."""
+    return SimulationConfig.small(num_devices=20, seed=7)
+
+
+@pytest.fixture
+def small_fleet(small_config, rng):
+    """A 20-device fleet."""
+    return build_fleet(small_config, rng)
+
+
+@pytest.fixture
+def global_params() -> GlobalParams:
+    """The S4 global parameters (K = 10), small enough for 20-device fleets."""
+    return GlobalParams.from_setting("S4")
+
+
+@pytest.fixture
+def small_scenario() -> ScenarioSpec:
+    """A small, fast scenario spec used by simulator and policy tests."""
+    return ScenarioSpec(
+        workload="cnn-mnist", setting="S4", num_devices=30, max_rounds=40, seed=11
+    )
+
+
+@pytest.fixture
+def small_environment(small_scenario):
+    """The environment built from the small scenario."""
+    return build_environment(small_scenario)
+
+
+@pytest.fixture
+def small_backend(small_environment):
+    """A surrogate training backend for the small environment."""
+    return build_surrogate_backend(small_environment)
+
+
+@pytest.fixture
+def device_specs():
+    """The three tier specs as a dict for parametrised tests."""
+    return {"high": MI8_PRO, "mid": GALAXY_S10E, "low": MOTO_X_FORCE}

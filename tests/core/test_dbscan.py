@@ -1,0 +1,77 @@
+"""Tests for the DBSCAN feature discretiser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dbscan import DBSCAN1D, NOISE, derive_bins
+from repro.exceptions import PolicyError
+
+
+class TestDBSCAN1D:
+    def test_two_well_separated_clusters(self):
+        values = np.concatenate([np.linspace(0, 1, 20), np.linspace(10, 11, 20)])
+        clusterer = DBSCAN1D(eps=0.5, min_samples=3)
+        labels = clusterer.fit_predict(values)
+        assert clusterer.num_clusters(values) == 2
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert set(labels[:20]) != set(labels[20:])
+
+    def test_noise_points_labelled_minus_one(self):
+        values = np.concatenate([np.zeros(10), np.array([100.0])])
+        labels = DBSCAN1D(eps=1.0, min_samples=3).fit_predict(values)
+        assert labels[-1] == NOISE
+        assert (labels[:10] >= 0).all()
+
+    def test_single_cluster(self):
+        values = np.linspace(0, 1, 30)
+        assert DBSCAN1D(eps=0.2, min_samples=3).num_clusters(values) == 1
+
+    def test_empty_input(self):
+        labels = DBSCAN1D(eps=1.0).fit_predict(np.array([]))
+        assert labels.size == 0
+
+    def test_border_points_join_nearest_cluster(self):
+        values = np.array([0.0, 0.1, 0.2, 0.3, 0.9])
+        labels = DBSCAN1D(eps=0.35, min_samples=3).fit_predict(values)
+        # 0.9 is within eps of a core point's neighbourhood edge? it is 0.6 away -> noise.
+        assert labels[-1] == NOISE
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PolicyError):
+            DBSCAN1D(eps=0.0)
+        with pytest.raises(PolicyError):
+            DBSCAN1D(eps=1.0, min_samples=0)
+        with pytest.raises(PolicyError):
+            DBSCAN1D(eps=1.0).fit_predict(np.zeros((2, 2)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        offsets=st.lists(
+            st.floats(min_value=5.0, max_value=50.0), min_size=1, max_size=4, unique=True
+        )
+    )
+    def test_number_of_clusters_matches_generated_groups(self, offsets):
+        rng = np.random.default_rng(0)
+        centers = np.cumsum(np.asarray(sorted(offsets)))
+        values = np.concatenate([center + rng.uniform(-0.5, 0.5, 25) for center in centers])
+        assert DBSCAN1D(eps=1.0, min_samples=3).num_clusters(values) == len(centers)
+
+
+class TestDeriveBins:
+    def test_thresholds_separate_clusters(self):
+        values = np.concatenate([np.full(20, 1.0), np.full(20, 10.0), np.full(20, 30.0)])
+        bins = derive_bins(values, eps=2.0, min_samples=3)
+        assert len(bins) == 2
+        assert 1.0 < bins[0] < 10.0
+        assert 10.0 < bins[1] < 30.0
+
+    def test_single_cluster_gives_no_bins(self):
+        assert derive_bins(np.linspace(0, 1, 50), eps=0.5) == []
+
+    def test_bins_usable_for_discretisation(self):
+        values = np.concatenate([np.full(30, 0.0), np.full(30, 0.5), np.full(30, 1.0)])
+        bins = derive_bins(values, eps=0.1, min_samples=3)
+        digitised = np.digitize(values, bins)
+        assert set(digitised) == {0, 1, 2}

@@ -1,0 +1,96 @@
+"""Tests for the AutoFL state features and discretisation (paper Table 1)."""
+
+import pytest
+
+from repro.config import GlobalParams
+from repro.data.profiles import DeviceDataProfile
+from repro.devices.device import RoundConditions
+from repro.core.state import GlobalState, LocalState, StateEncoder
+from repro.nn.workloads import CNN_MNIST, LSTM_SHAKESPEARE, MOBILENET_IMAGENET
+
+
+@pytest.fixture
+def encoder():
+    return StateEncoder()
+
+
+def _profile(class_fraction):
+    return DeviceDataProfile(
+        device_id=0,
+        num_samples=100,
+        class_fraction=class_fraction,
+        balance_score=class_fraction,
+        is_non_iid=class_fraction < 0.9,
+    )
+
+
+class TestGlobalStateEncoding:
+    def test_cnn_and_lstm_differ(self, encoder):
+        params = GlobalParams.from_setting("S3")
+        cnn = encoder.encode_global(CNN_MNIST, params)
+        lstm = encoder.encode_global(LSTM_SHAKESPEARE, params)
+        assert cnn != lstm
+        assert cnn.s_rc == 0 and lstm.s_rc > 0
+
+    def test_mobilenet_has_larger_conv_bin(self, encoder):
+        params = GlobalParams.from_setting("S3")
+        cnn = encoder.encode_global(CNN_MNIST, params)
+        mobilenet = encoder.encode_global(MOBILENET_IMAGENET, params)
+        assert mobilenet.s_conv > cnn.s_conv
+
+    def test_global_parameter_bins(self, encoder):
+        # Table 1 bins: K = 10 and K = 20 both fall in the "medium" (<50) bin, K = 5 is small.
+        k5 = encoder.encode_global(CNN_MNIST, GlobalParams(num_participants=5))
+        k10 = encoder.encode_global(CNN_MNIST, GlobalParams.from_setting("S4"))
+        k20 = encoder.encode_global(CNN_MNIST, GlobalParams.from_setting("S3"))
+        k80 = encoder.encode_global(CNN_MNIST, GlobalParams(num_participants=80))
+        assert k5.s_participants < k10.s_participants == k20.s_participants < k80.s_participants
+        b32 = encoder.encode_global(CNN_MNIST, GlobalParams.from_setting("S1"))
+        b16 = encoder.encode_global(CNN_MNIST, GlobalParams.from_setting("S3"))
+        assert b32.s_batch > b16.s_batch
+
+    def test_epoch_bins_follow_table1(self, encoder):
+        e10 = encoder.encode_global(CNN_MNIST, GlobalParams(local_epochs=10))
+        e5 = encoder.encode_global(CNN_MNIST, GlobalParams(local_epochs=5))
+        e3 = encoder.encode_global(CNN_MNIST, GlobalParams(local_epochs=3))
+        assert e3.s_epochs == 0 and e5.s_epochs == 1 and e10.s_epochs == 2
+
+    def test_as_tuple_is_hashable_and_stable(self, encoder):
+        params = GlobalParams.from_setting("S2")
+        state = encoder.encode_global(CNN_MNIST, params)
+        assert state.as_tuple() == encoder.encode_global(CNN_MNIST, params).as_tuple()
+        assert hash(state.as_tuple())
+
+
+class TestLocalStateEncoding:
+    def test_interference_bins(self, encoder):
+        idle = encoder.encode_local(RoundConditions(), _profile(1.0))
+        light = encoder.encode_local(RoundConditions(co_cpu_util=0.1), _profile(1.0))
+        heavy = encoder.encode_local(RoundConditions(co_cpu_util=0.9), _profile(1.0))
+        assert idle.s_co_cpu == 0
+        assert light.s_co_cpu == 1
+        assert heavy.s_co_cpu == 3
+
+    def test_network_bin_threshold_at_40mbps(self, encoder):
+        good = encoder.encode_local(RoundConditions(bandwidth_mbps=80), _profile(1.0))
+        bad = encoder.encode_local(RoundConditions(bandwidth_mbps=30), _profile(1.0))
+        assert good.s_network == 0
+        assert bad.s_network == 1
+
+    def test_data_bins(self, encoder):
+        concentrated = encoder.encode_local(RoundConditions(), _profile(0.1))
+        partial = encoder.encode_local(RoundConditions(), _profile(0.6))
+        full = encoder.encode_local(RoundConditions(), _profile(1.0))
+        assert concentrated.s_data == 0
+        assert partial.s_data == 1
+        assert full.s_data == 2
+
+    def test_memory_bins(self, encoder):
+        medium = encoder.encode_local(RoundConditions(co_mem_util=0.5), _profile(1.0))
+        assert medium.s_co_mem == 2
+
+    def test_states_are_dataclasses_with_tuples(self):
+        state = LocalState(1, 2, 0, 1)
+        assert state.as_tuple() == (1, 2, 0, 1)
+        global_state = GlobalState(1, 0, 0, 2, 1, 1)
+        assert len(global_state.as_tuple()) == 6

@@ -1,0 +1,113 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    SyntheticClassificationDataset,
+    make_synthetic_imagenet,
+    make_synthetic_mnist,
+    make_synthetic_shakespeare,
+)
+from repro.exceptions import DataError
+
+
+class TestSyntheticMnist:
+    def test_shapes_and_labels(self):
+        dataset = make_synthetic_mnist(num_samples=200, seed=0)
+        assert dataset.features.shape == (200, 1, 28, 28)
+        assert dataset.num_classes == 10
+        assert set(np.unique(dataset.labels)) == set(range(10))
+        assert dataset.features.min() >= 0.0 and dataset.features.max() <= 1.0
+
+    def test_determinism(self):
+        first = make_synthetic_mnist(num_samples=50, seed=3)
+        second = make_synthetic_mnist(num_samples=50, seed=3)
+        assert np.array_equal(first.labels, second.labels)
+        assert np.allclose(first.features, second.features)
+
+    def test_different_seeds_differ(self):
+        first = make_synthetic_mnist(num_samples=50, seed=1)
+        second = make_synthetic_mnist(num_samples=50, seed=2)
+        assert not np.allclose(first.features, second.features)
+
+    def test_subset(self):
+        dataset = make_synthetic_mnist(num_samples=100, seed=0)
+        subset = dataset.subset(np.arange(10))
+        assert len(subset) == 10
+        assert subset.num_classes == dataset.num_classes
+
+    def test_classes_are_separable_by_mean_pattern(self):
+        """Per-class mean images must differ, otherwise the CNN could learn nothing."""
+        dataset = make_synthetic_mnist(num_samples=500, seed=0)
+        means = [
+            dataset.features[dataset.labels == label].mean(axis=0) for label in range(10)
+        ]
+        distances = [
+            np.abs(means[i] - means[j]).mean() for i in range(10) for j in range(i + 1, 10)
+        ]
+        assert min(distances) > 0.01
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(DataError):
+            make_synthetic_mnist(num_samples=5)
+
+
+class TestSyntheticImagenet:
+    def test_shapes(self):
+        dataset = make_synthetic_imagenet(num_samples=150, num_classes=20, seed=0)
+        assert dataset.features.shape == (150, 3, 32, 32)
+        assert dataset.num_classes == 20
+        assert dataset.sample_shape == (3, 32, 32)
+
+
+class TestSyntheticShakespeare:
+    def test_shapes_and_vocab(self):
+        dataset = make_synthetic_shakespeare(
+            num_samples=300, sequence_length=15, vocab_size=30, seed=0
+        )
+        assert dataset.sequences.shape == (300, 15)
+        assert dataset.labels.shape == (300,)
+        assert dataset.num_classes == 30
+        assert dataset.sequence_length == 15
+        assert dataset.sequences.max() < 30
+        assert dataset.labels.max() < 30
+
+    def test_markov_structure_is_learnable(self):
+        """The next character must be predictable above chance from the last character."""
+        dataset = make_synthetic_shakespeare(num_samples=3000, vocab_size=20, seed=1)
+        last_chars = dataset.sequences[:, -1]
+        # Majority-vote predictor conditioned on the previous character.
+        correct = 0
+        for char in range(20):
+            mask = last_chars == char
+            if mask.sum() == 0:
+                continue
+            values, counts = np.unique(dataset.labels[mask], return_counts=True)
+            correct += counts.max()
+        accuracy = correct / len(dataset)
+        assert accuracy > 2.0 / 20
+
+    def test_features_alias(self):
+        dataset = make_synthetic_shakespeare(num_samples=10, seed=0)
+        assert np.array_equal(dataset.features, dataset.sequences)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DataError):
+            make_synthetic_shakespeare(num_samples=0)
+        with pytest.raises(DataError):
+            make_synthetic_shakespeare(num_samples=10, vocab_size=1)
+
+
+class TestValidation:
+    def test_misaligned_labels_rejected(self):
+        features = np.zeros((10, 1, 4, 4))
+        labels = np.zeros(5, dtype=np.int64)
+        with pytest.raises(DataError):
+            SyntheticClassificationDataset(features, labels, 2, "bad")
+
+    def test_out_of_range_labels_rejected(self):
+        features = np.zeros((4, 1, 4, 4))
+        labels = np.array([0, 1, 2, 5])
+        with pytest.raises(DataError):
+            SyntheticClassificationDataset(features, labels, 3, "bad")

@@ -1,0 +1,63 @@
+"""Tests for the federated dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import make_synthetic_mnist
+from repro.data.federated import FederatedDataset
+from repro.data.partition import DataDistribution
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def dataset():
+    return make_synthetic_mnist(num_samples=400, seed=0)
+
+
+class TestFederatedDataset:
+    def test_partition_covers_all_devices(self, dataset, rng):
+        federated = FederatedDataset.partition(dataset, 10, DataDistribution.IID, rng)
+        assert federated.num_devices == 10
+        assert federated.device_ids == list(range(10))
+        total = sum(federated.shard(device_id).num_samples for device_id in range(10))
+        assert total == len(dataset)
+
+    def test_iid_shards_have_full_coverage(self, dataset, rng):
+        federated = FederatedDataset.partition(dataset, 5, "iid", rng)
+        for device_id in federated.device_ids:
+            shard = federated.shard(device_id)
+            assert not shard.is_non_iid
+            assert shard.class_fraction > 0.8
+            assert shard.balance_score() > 0.8
+
+    def test_non_iid_shards_flagged_and_concentrated(self, dataset, rng):
+        federated = FederatedDataset.partition(dataset, 20, "non_iid_100", rng)
+        assert len(federated.non_iid_device_ids()) == 20
+        fractions = [federated.shard(d).class_fraction for d in federated.device_ids]
+        assert np.mean(fractions) < 0.7
+
+    def test_custom_device_ids(self, dataset, rng):
+        ids = [100, 200, 300]
+        federated = FederatedDataset.partition(dataset, 3, "iid", rng, device_ids=ids)
+        assert federated.device_ids == ids
+
+    def test_device_id_mismatch_rejected(self, dataset, rng):
+        with pytest.raises(DataError):
+            FederatedDataset.partition(dataset, 3, "iid", rng, device_ids=[1, 2])
+
+    def test_local_dataset_matches_shard(self, dataset, rng):
+        federated = FederatedDataset.partition(dataset, 4, "iid", rng)
+        local = federated.local_dataset(2)
+        shard = federated.shard(2)
+        assert len(local) == shard.num_samples
+        assert np.array_equal(local.labels, dataset.labels[shard.indices])
+
+    def test_missing_shard(self, dataset, rng):
+        federated = FederatedDataset.partition(dataset, 4, "iid", rng)
+        with pytest.raises(DataError):
+            federated.shard(99)
+
+    def test_balance_score_bounds(self, dataset, rng):
+        federated = FederatedDataset.partition(dataset, 30, "non_iid_50", rng)
+        for device_id in federated.device_ids:
+            assert 0.0 <= federated.shard(device_id).balance_score() <= 1.0

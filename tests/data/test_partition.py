@@ -1,0 +1,141 @@
+"""Tests for IID / Dirichlet non-IID partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.partition import (
+    DataDistribution,
+    class_histogram,
+    dirichlet_partition,
+    iid_partition,
+    mixed_partition,
+)
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def labels(rng):
+    return rng.integers(0, 10, size=600)
+
+
+def _all_indices(shards):
+    return np.sort(np.concatenate([shard for shard in shards if len(shard)]))
+
+
+class TestIidPartition:
+    def test_partition_is_exact_and_disjoint(self, labels, rng):
+        shards = iid_partition(labels, 12, rng)
+        assert len(shards) == 12
+        combined = _all_indices(shards)
+        assert np.array_equal(combined, np.arange(len(labels)))
+
+    def test_shards_are_balanced(self, labels, rng):
+        shards = iid_partition(labels, 12, rng)
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shards_cover_most_classes(self, labels, rng):
+        shards = iid_partition(labels, 6, rng)
+        for shard in shards:
+            histogram = class_histogram(labels, shard, 10)
+            assert np.count_nonzero(histogram) >= 8
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(DataError):
+            iid_partition(np.array([]), 3, rng)
+        with pytest.raises(DataError):
+            iid_partition(np.zeros((3, 2)), 3, rng)
+
+
+class TestDirichletPartition:
+    def test_partition_is_exact_and_disjoint(self, labels, rng):
+        shards = dirichlet_partition(labels, 12, rng)
+        combined = _all_indices(shards)
+        assert np.array_equal(combined, np.arange(len(labels)))
+
+    def test_low_concentration_concentrates_classes(self, rng):
+        labels = np.repeat(np.arange(10), 100)
+        shards = dirichlet_partition(labels, 20, rng, concentration=0.1)
+        coverages = [
+            np.count_nonzero(class_histogram(labels, shard, 10)) for shard in shards if len(shard)
+        ]
+        # Dirichlet(0.1) shards cover far fewer classes than IID shards would.
+        assert np.mean(coverages) < 6
+
+    def test_high_concentration_approaches_iid(self, rng):
+        labels = np.repeat(np.arange(10), 100)
+        shards = dirichlet_partition(labels, 10, rng, concentration=100.0)
+        coverages = [
+            np.count_nonzero(class_histogram(labels, shard, 10)) for shard in shards if len(shard)
+        ]
+        assert np.mean(coverages) > 8
+
+    def test_invalid_concentration(self, labels, rng):
+        with pytest.raises(DataError):
+            dirichlet_partition(labels, 5, rng, concentration=0.0)
+
+
+class TestMixedPartition:
+    @pytest.mark.parametrize("fraction", [0.0, 0.5, 0.75, 1.0])
+    def test_mask_matches_fraction(self, labels, rng, fraction):
+        _shards, mask = mixed_partition(labels, 20, fraction, rng)
+        assert mask.sum() == int(round(fraction * 20))
+
+    def test_partition_is_exact_and_disjoint(self, labels, rng):
+        shards, _mask = mixed_partition(labels, 16, 0.5, rng)
+        combined = _all_indices(shards)
+        assert np.array_equal(combined, np.arange(len(labels)))
+
+    def test_non_iid_devices_have_fewer_classes(self, rng):
+        labels = np.repeat(np.arange(10), 200)
+        shards, mask = mixed_partition(labels, 40, 0.5, rng)
+        iid_cov, non_iid_cov = [], []
+        for device_id, shard in enumerate(shards):
+            if len(shard) == 0:
+                continue
+            coverage = np.count_nonzero(class_histogram(labels, shard, 10))
+            (non_iid_cov if mask[device_id] else iid_cov).append(coverage)
+        assert np.mean(non_iid_cov) < np.mean(iid_cov)
+
+    def test_invalid_fraction(self, labels, rng):
+        with pytest.raises(DataError):
+            mixed_partition(labels, 10, 1.5, rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_devices=st.integers(min_value=1, max_value=40),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_no_sample_lost_or_duplicated(self, num_devices, fraction, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 5, size=200)
+        shards, mask = mixed_partition(labels, num_devices, fraction, rng)
+        assert len(shards) == num_devices
+        assert len(mask) == num_devices
+        combined = np.concatenate([shard for shard in shards if len(shard)])
+        assert len(combined) == len(np.unique(combined)) == len(labels)
+
+
+class TestDataDistribution:
+    def test_fraction_mapping(self):
+        assert DataDistribution.IID.non_iid_fraction == 0.0
+        assert DataDistribution.NON_IID_75.non_iid_fraction == 0.75
+
+    def test_from_name(self):
+        assert DataDistribution.from_name("non_iid_50") is DataDistribution.NON_IID_50
+        assert DataDistribution.from_name(DataDistribution.IID) is DataDistribution.IID
+        with pytest.raises(DataError):
+            DataDistribution.from_name("non_iid_33")
+
+
+class TestClassHistogram:
+    def test_counts(self):
+        labels = np.array([0, 0, 1, 2, 2, 2])
+        histogram = class_histogram(labels, np.arange(6), 4)
+        assert histogram.tolist() == [2, 1, 3, 0]
+
+    def test_empty_indices(self):
+        histogram = class_histogram(np.array([0, 1]), np.array([], dtype=int), 3)
+        assert histogram.tolist() == [0, 0, 0]

@@ -1,0 +1,80 @@
+"""Tests for per-device data profiles."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import make_synthetic_mnist
+from repro.data.federated import FederatedDataset
+from repro.data.profiles import (
+    DeviceDataProfile,
+    profiles_from_federated_dataset,
+    synthesize_data_profiles,
+)
+from repro.exceptions import DataError
+
+
+class TestDeviceDataProfile:
+    def test_quality_combines_coverage_and_balance(self):
+        good = DeviceDataProfile(0, 100, class_fraction=1.0, balance_score=1.0, is_non_iid=False)
+        poor = DeviceDataProfile(1, 100, class_fraction=0.2, balance_score=0.1, is_non_iid=True)
+        assert good.data_quality == pytest.approx(1.0)
+        assert poor.data_quality < 0.2
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            DeviceDataProfile(0, -1, 0.5, 0.5, False)
+        with pytest.raises(DataError):
+            DeviceDataProfile(0, 1, 1.5, 0.5, False)
+
+
+class TestSynthesizedProfiles:
+    def test_iid_profiles_have_high_quality(self, rng):
+        profiles = synthesize_data_profiles(list(range(50)), "iid", 10, 300, rng)
+        qualities = [profile.data_quality for profile in profiles.values()]
+        assert min(qualities) > 0.85
+        assert not any(profile.is_non_iid for profile in profiles.values())
+
+    def test_non_iid_profiles_have_low_quality(self, rng):
+        profiles = synthesize_data_profiles(list(range(50)), "non_iid_100", 10, 300, rng)
+        qualities = [profile.data_quality for profile in profiles.values()]
+        assert np.mean(qualities) < 0.6
+        assert all(profile.is_non_iid for profile in profiles.values())
+
+    def test_mixed_fraction_respected(self, rng):
+        profiles = synthesize_data_profiles(list(range(80)), "non_iid_50", 10, 300, rng)
+        non_iid = sum(profile.is_non_iid for profile in profiles.values())
+        assert non_iid == 40
+
+    def test_iid_quality_exceeds_non_iid_quality(self, rng):
+        profiles = synthesize_data_profiles(list(range(100)), "non_iid_50", 10, 300, rng)
+        iid_quality = np.mean(
+            [p.data_quality for p in profiles.values() if not p.is_non_iid]
+        )
+        non_iid_quality = np.mean([p.data_quality for p in profiles.values() if p.is_non_iid])
+        assert iid_quality > non_iid_quality + 0.2
+
+    def test_sample_counts_vary_around_target(self, rng):
+        profiles = synthesize_data_profiles(list(range(60)), "iid", 10, 300, rng)
+        counts = [profile.num_samples for profile in profiles.values()]
+        assert 200 <= min(counts) and max(counts) <= 400
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(DataError):
+            synthesize_data_profiles([], "iid", 10, 300, rng)
+        with pytest.raises(DataError):
+            synthesize_data_profiles([0], "iid", 1, 300, rng)
+        with pytest.raises(DataError):
+            synthesize_data_profiles([0], "iid", 10, 0, rng)
+
+
+class TestProfilesFromFederatedDataset:
+    def test_consistency_with_shards(self, rng):
+        dataset = make_synthetic_mnist(num_samples=300, seed=0)
+        federated = FederatedDataset.partition(dataset, 6, "non_iid_50", rng)
+        profiles = profiles_from_federated_dataset(federated)
+        assert set(profiles) == set(federated.device_ids)
+        for device_id, profile in profiles.items():
+            shard = federated.shard(device_id)
+            assert profile.num_samples == shard.num_samples
+            assert profile.is_non_iid == shard.is_non_iid
+            assert profile.class_fraction == pytest.approx(shard.class_fraction)

@@ -1,0 +1,59 @@
+"""Tests for the DVFS governor (straggler-slack exploitation)."""
+
+import pytest
+
+from repro.devices.dvfs import DvfsGovernor
+from repro.devices.performance import ComputeWorkload, TrainingTimeModel
+from repro.devices.specs import MI8_PRO
+from repro.exceptions import DeviceError
+
+
+@pytest.fixture
+def governor():
+    return DvfsGovernor()
+
+
+@pytest.fixture
+def workload():
+    return ComputeWorkload.for_round(45e6, 1.5e6, 300, 16, 5)
+
+
+class TestDvfsGovernor:
+    def test_max_performance_is_top_step(self, governor):
+        assert governor.max_performance(MI8_PRO.cpu) == MI8_PRO.cpu.num_vf_steps - 1
+
+    def test_tight_deadline_falls_back_to_fastest(self, governor, workload):
+        spec = MI8_PRO.cpu
+        fastest_time = TrainingTimeModel().training_time(workload, spec, spec.num_vf_steps - 1)
+        decision = governor.energy_optimal_under_deadline(workload, spec, fastest_time * 0.5)
+        assert decision.step == spec.num_vf_steps - 1
+
+    def test_loose_deadline_picks_lower_step_and_saves_energy(self, governor, workload):
+        spec = MI8_PRO.cpu
+        fastest_time = TrainingTimeModel().training_time(workload, spec, spec.num_vf_steps - 1)
+        fastest = governor.energy_optimal_under_deadline(workload, spec, fastest_time * 1.001)
+        relaxed = governor.energy_optimal_under_deadline(workload, spec, fastest_time * 3.0)
+        assert relaxed.step < spec.num_vf_steps - 1
+        assert relaxed.predicted_energy_j < fastest.predicted_energy_j
+        assert relaxed.predicted_time_s <= fastest_time * 3.0
+
+    def test_deadline_always_respected_when_feasible(self, governor, workload):
+        spec = MI8_PRO.cpu
+        for factor in (1.2, 1.5, 2.0, 4.0):
+            deadline = (
+                TrainingTimeModel().training_time(workload, spec, spec.num_vf_steps - 1) * factor
+            )
+            decision = governor.energy_optimal_under_deadline(workload, spec, deadline)
+            assert decision.predicted_time_s <= deadline + 1e-9
+
+    def test_invalid_deadline(self, governor, workload):
+        with pytest.raises(DeviceError):
+            governor.energy_optimal_under_deadline(workload, MI8_PRO.cpu, 0.0)
+
+    def test_interference_raises_predicted_time(self, governor, workload):
+        spec = MI8_PRO.cpu
+        clean = governor.energy_optimal_under_deadline(workload, spec, 1e6)
+        congested = governor.energy_optimal_under_deadline(
+            workload, spec, 1e6, compute_slowdown=2.0
+        )
+        assert congested.predicted_time_s > clean.predicted_time_s

@@ -1,0 +1,131 @@
+"""Tests for the roofline training-time model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.performance import ComputeWorkload, TrainingTimeModel
+from repro.devices.specs import GALAXY_S10E, MI8_PRO, MOTO_X_FORCE
+from repro.exceptions import DeviceError
+
+
+@pytest.fixture
+def model():
+    return TrainingTimeModel()
+
+
+@pytest.fixture
+def workload():
+    return ComputeWorkload.for_round(
+        flops_per_sample=45e6,
+        bytes_per_sample=1.5e6,
+        num_samples=300,
+        batch_size=32,
+        local_epochs=5,
+    )
+
+
+class TestComputeWorkload:
+    def test_for_round_scales_with_epochs(self):
+        one = ComputeWorkload.for_round(1e6, 1e5, 100, 10, 1)
+        five = ComputeWorkload.for_round(1e6, 1e5, 100, 10, 5)
+        assert five.flops == pytest.approx(5 * one.flops)
+        assert five.memory_bytes == pytest.approx(5 * one.memory_bytes)
+
+    def test_rounds_up_partial_batches(self):
+        workload = ComputeWorkload.for_round(1e6, 0.0 + 1e3, 101, 10, 1)
+        # 11 batches of 10 samples -> 110 samples processed.
+        assert workload.flops == pytest.approx(110 * 1e6)
+
+    def test_empty_shard(self):
+        workload = ComputeWorkload.for_round(1e6, 1e5, 0, 10, 3)
+        assert workload.flops == 0.0
+        assert workload.memory_bytes == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DeviceError):
+            ComputeWorkload.for_round(1e6, 1e5, -1, 10, 1)
+        with pytest.raises(DeviceError):
+            ComputeWorkload.for_round(1e6, 1e5, 10, 0, 1)
+        with pytest.raises(DeviceError):
+            ComputeWorkload(flops=-1.0, memory_bytes=0.0)
+
+
+class TestBatchEfficiency:
+    def test_saturated_batch_reaches_full_efficiency(self, model):
+        assert model.batch_efficiency(MI8_PRO.cpu, 32) == 1.0
+        assert model.batch_efficiency(MOTO_X_FORCE.cpu, 8) == 1.0
+
+    def test_small_batch_hurts_wide_processor_more(self, model):
+        high = model.batch_efficiency(MI8_PRO.cpu, 8)
+        low = model.batch_efficiency(MOTO_X_FORCE.cpu, 8)
+        assert high < low == 1.0
+
+    def test_tier_time_gap_shrinks_with_batch_size(self, model):
+        """Paper Section 3.1: the tier performance gap narrows at smaller B."""
+
+        def gap(batch_size):
+            demand = ComputeWorkload.for_round(45e6, 1.5e6, 300, batch_size, 5)
+            high = model.training_time(demand, MI8_PRO.cpu, MI8_PRO.cpu.num_vf_steps - 1)
+            low = model.training_time(
+                demand, MOTO_X_FORCE.cpu, MOTO_X_FORCE.cpu.num_vf_steps - 1
+            )
+            return low / high
+
+        assert gap(8) < gap(32)
+
+
+class TestTrainingTime:
+    def test_high_end_faster_than_low_end(self, model, workload):
+        high = model.training_time(workload, MI8_PRO.cpu, MI8_PRO.cpu.num_vf_steps - 1)
+        mid = model.training_time(workload, GALAXY_S10E.cpu, GALAXY_S10E.cpu.num_vf_steps - 1)
+        low = model.training_time(workload, MOTO_X_FORCE.cpu, MOTO_X_FORCE.cpu.num_vf_steps - 1)
+        assert high < mid < low
+
+    def test_high_to_low_gap_in_paper_range(self, model, workload):
+        """The compute-heavy gap should land in the paper's reported 1.7-2.9x band."""
+        high = model.training_time(workload, MI8_PRO.cpu, MI8_PRO.cpu.num_vf_steps - 1)
+        low = model.training_time(workload, MOTO_X_FORCE.cpu, MOTO_X_FORCE.cpu.num_vf_steps - 1)
+        assert 1.5 <= low / high <= 3.2
+
+    def test_lower_frequency_is_slower(self, model, workload):
+        spec = MI8_PRO.cpu
+        fast = model.training_time(workload, spec, spec.num_vf_steps - 1)
+        slow = model.training_time(workload, spec, 0)
+        assert slow > fast
+
+    def test_interference_slows_down(self, model, workload):
+        spec = MI8_PRO.cpu
+        clean = model.training_time(workload, spec, 10)
+        congested = model.training_time(workload, spec, 10, compute_slowdown=2.0)
+        assert congested > clean
+
+    def test_invalid_slowdown(self, model, workload):
+        with pytest.raises(DeviceError):
+            model.training_time(workload, MI8_PRO.cpu, 0, compute_slowdown=0.5)
+
+    @given(
+        flops=st.floats(min_value=1e6, max_value=1e12),
+        memory=st.floats(min_value=1e5, max_value=1e10),
+    )
+    def test_time_positive_and_additive(self, flops, memory):
+        model = TrainingTimeModel()
+        workload = ComputeWorkload(flops=flops, memory_bytes=memory, batch_size=16)
+        spec = GALAXY_S10E.cpu
+        combined = model.training_time(workload, spec, 5)
+        compute_only = model.training_time(ComputeWorkload(flops, 0.0, 16), spec, 5)
+        memory_only = model.training_time(ComputeWorkload(0.0, memory, 16), spec, 5)
+        assert combined == pytest.approx(compute_only + memory_only, rel=1e-9)
+
+    def test_utilization_bounds(self, model, workload):
+        value = model.utilization(workload, MI8_PRO.cpu, 10)
+        assert 0.0 < value <= 1.0
+        empty = ComputeWorkload(0.0, 0.0)
+        assert model.utilization(empty, MI8_PRO.cpu, 10) == 0.0
+
+    def test_memory_bound_workload_has_lower_utilization(self, model):
+        compute_bound = ComputeWorkload(flops=1e11, memory_bytes=1e6, batch_size=32)
+        memory_bound = ComputeWorkload(flops=1e8, memory_bytes=1e10, batch_size=32)
+        spec = MI8_PRO.cpu
+        assert model.utilization(memory_bound, spec, 22) < model.utilization(
+            compute_bound, spec, 22
+        )

@@ -1,0 +1,93 @@
+"""Tests for the CPU/GPU power models (paper Equations 1, 2 and 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.power import (
+    AWAKE_OVERHEAD_FRACTION,
+    BusyInterval,
+    CpuPowerModel,
+    GpuPowerModel,
+    awake_power,
+    busy_power_at_frequency,
+    idle_energy,
+)
+from repro.devices.specs import MI8_PRO, MOTO_X_FORCE
+from repro.exceptions import DeviceError
+
+
+class TestBusyPower:
+    def test_peak_power_at_top_step_full_utilization(self):
+        spec = MI8_PRO.cpu
+        power = busy_power_at_frequency(spec, spec.num_vf_steps - 1, utilization=1.0)
+        assert power == pytest.approx(spec.peak_power_watt)
+
+    def test_power_monotone_in_frequency(self):
+        spec = MI8_PRO.cpu
+        powers = [busy_power_at_frequency(spec, step) for step in range(spec.num_vf_steps)]
+        assert powers == sorted(powers)
+
+    def test_power_monotone_in_utilization(self):
+        spec = MI8_PRO.cpu
+        low = busy_power_at_frequency(spec, 10, utilization=0.2)
+        high = busy_power_at_frequency(spec, 10, utilization=0.9)
+        assert high > low
+
+    def test_power_scale_applies(self):
+        spec = MOTO_X_FORCE.cpu
+        scaled = busy_power_at_frequency(spec, 5, power_scale=0.5)
+        unscaled = busy_power_at_frequency(spec, 5, power_scale=1.0)
+        assert scaled == pytest.approx(0.5 * unscaled)
+
+    def test_invalid_utilization(self):
+        with pytest.raises(DeviceError):
+            busy_power_at_frequency(MI8_PRO.cpu, 0, utilization=1.5)
+
+    @given(step=st.integers(min_value=0, max_value=22), util=st.floats(0.0, 1.0))
+    def test_power_between_static_floor_and_peak(self, step, util):
+        spec = MI8_PRO.cpu
+        power = busy_power_at_frequency(spec, step, utilization=util)
+        assert 0.0 < power <= spec.peak_power_watt + 1e-9
+
+
+class TestEnergyModels:
+    def test_eq1_sums_busy_and_idle(self):
+        model = CpuPowerModel(MI8_PRO.cpu)
+        intervals = [BusyInterval(step=22, duration_s=2.0), BusyInterval(step=5, duration_s=1.0)]
+        energy = model.energy(intervals, idle_time_s=3.0)
+        expected = (
+            model.busy_power(22) * 2.0 + model.busy_power(5) * 1.0 + model.idle_power() * 3.0
+        )
+        assert energy == pytest.approx(expected)
+
+    def test_gpu_model_same_structure(self):
+        model = GpuPowerModel(MI8_PRO.gpu)
+        energy = model.energy([BusyInterval(step=6, duration_s=1.0)])
+        assert energy == pytest.approx(model.busy_power(6))
+
+    def test_negative_durations_rejected(self):
+        model = CpuPowerModel(MI8_PRO.cpu)
+        with pytest.raises(DeviceError):
+            model.energy([BusyInterval(step=0, duration_s=-1.0)])
+        with pytest.raises(DeviceError):
+            model.energy([], idle_time_s=-1.0)
+
+    def test_eq4_idle_energy(self):
+        assert idle_energy(0.05, 10.0) == pytest.approx(0.5)
+        with pytest.raises(DeviceError):
+            idle_energy(0.05, -1.0)
+
+    def test_zero_energy_without_work(self):
+        model = CpuPowerModel(MI8_PRO.cpu)
+        assert model.energy([]) == 0.0
+
+
+class TestAwakePower:
+    def test_awake_above_idle_below_peak(self):
+        value = awake_power(5.5, 0.03)
+        assert 0.03 < value < 5.5
+        assert value == pytest.approx(0.03 + AWAKE_OVERHEAD_FRACTION * 5.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DeviceError):
+            awake_power(0.0, 0.03)

@@ -1,0 +1,115 @@
+"""Tests for device specifications (paper Tables 2 and 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.specs import (
+    DeviceTier,
+    GALAXY_S10E,
+    MI8_PRO,
+    MOTO_X_FORCE,
+    ProcessorSpec,
+    TIER_SPECS,
+)
+from repro.exceptions import DeviceError
+
+
+class TestTierSpecs:
+    def test_table3_vf_steps(self):
+        assert MI8_PRO.cpu.num_vf_steps == 23
+        assert MI8_PRO.gpu.num_vf_steps == 7
+        assert GALAXY_S10E.cpu.num_vf_steps == 21
+        assert GALAXY_S10E.gpu.num_vf_steps == 9
+        assert MOTO_X_FORCE.cpu.num_vf_steps == 15
+        assert MOTO_X_FORCE.gpu.num_vf_steps == 6
+
+    def test_table3_peak_power(self):
+        assert MI8_PRO.cpu.peak_power_watt == pytest.approx(5.5)
+        assert GALAXY_S10E.cpu.peak_power_watt == pytest.approx(5.6)
+        assert MOTO_X_FORCE.cpu.peak_power_watt == pytest.approx(3.6)
+
+    def test_table2_gflops(self):
+        assert MI8_PRO.cpu.peak_gflops == pytest.approx(153.6)
+        assert GALAXY_S10E.cpu.peak_gflops == pytest.approx(80.0)
+        assert MOTO_X_FORCE.cpu.peak_gflops == pytest.approx(52.8)
+
+    def test_tier_mapping_covers_all_tiers(self):
+        assert set(TIER_SPECS) == set(DeviceTier)
+        assert TIER_SPECS[DeviceTier.HIGH] is MI8_PRO
+
+    def test_training_power_scale_ordering(self):
+        # Mid and low-end tiers draw 35.7 % / 46.4 % less power than the high-end during
+        # training (paper Section 3.1): effective power = scale * peak.
+        high = MI8_PRO.training_power_scale * MI8_PRO.cpu.peak_power_watt
+        mid = GALAXY_S10E.training_power_scale * GALAXY_S10E.cpu.peak_power_watt
+        low = MOTO_X_FORCE.training_power_scale * MOTO_X_FORCE.cpu.peak_power_watt
+        assert mid == pytest.approx(0.643 * high, rel=1e-6)
+        assert low == pytest.approx(0.536 * high, rel=1e-6)
+
+    def test_processor_lookup(self):
+        assert MI8_PRO.processor("cpu") is MI8_PRO.cpu
+        assert MI8_PRO.processor("gpu") is MI8_PRO.gpu
+        with pytest.raises(DeviceError):
+            MI8_PRO.processor("npu")
+
+
+class TestDeviceTier:
+    @pytest.mark.parametrize("name, tier", [("high", DeviceTier.HIGH), ("MID", DeviceTier.MID)])
+    def test_from_name(self, name, tier):
+        assert DeviceTier.from_name(name) is tier
+
+    def test_from_name_passthrough(self):
+        assert DeviceTier.from_name(DeviceTier.LOW) is DeviceTier.LOW
+
+    def test_unknown_tier(self):
+        with pytest.raises(DeviceError):
+            DeviceTier.from_name("flagship")
+
+
+class TestProcessorSpec:
+    @pytest.fixture
+    def spec(self):
+        return MI8_PRO.cpu
+
+    def test_frequency_monotone_in_step(self, spec):
+        frequencies = [spec.frequency_at_step(step) for step in range(spec.num_vf_steps)]
+        assert frequencies == sorted(frequencies)
+        assert frequencies[-1] == pytest.approx(spec.max_frequency_ghz)
+
+    def test_min_frequency_is_40_percent(self, spec):
+        assert spec.min_frequency_ghz == pytest.approx(0.4 * spec.max_frequency_ghz)
+
+    def test_step_out_of_range(self, spec):
+        with pytest.raises(DeviceError):
+            spec.frequency_at_step(spec.num_vf_steps)
+        with pytest.raises(DeviceError):
+            spec.frequency_at_step(-1)
+
+    @given(step=st.integers(min_value=0, max_value=22))
+    def test_relative_frequency_bounded(self, step):
+        rel = MI8_PRO.cpu.relative_frequency(step)
+        assert 0.4 - 1e-9 <= rel <= 1.0 + 1e-9
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(DeviceError):
+            ProcessorSpec(
+                name="bad",
+                max_frequency_ghz=1.0,
+                num_vf_steps=0,
+                peak_power_watt=1.0,
+                idle_power_watt=0.1,
+                peak_gflops=10.0,
+                mem_bandwidth_gbs=5.0,
+            )
+
+    def test_single_step_processor(self):
+        spec = ProcessorSpec(
+            name="single",
+            max_frequency_ghz=1.0,
+            num_vf_steps=1,
+            peak_power_watt=1.0,
+            idle_power_watt=0.1,
+            peak_gflops=10.0,
+            mem_bandwidth_gbs=5.0,
+        )
+        assert spec.frequency_at_step(0) == pytest.approx(1.0)

@@ -1,0 +1,107 @@
+"""Tests for the experiment harness and report formatting."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.harness import (
+    run_cluster_sweep,
+    run_policy_comparison,
+    run_simulation,
+    run_static_cluster,
+    run_with_reference,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.settings import (
+    BASELINE_POLICIES,
+    CLUSTER_TEMPLATES,
+    EVALUATION_POLICIES,
+    GLOBAL_PARAMETER_SETTINGS,
+)
+from repro.sim.scenarios import ScenarioSpec
+
+
+@pytest.fixture
+def fast_spec():
+    return ScenarioSpec(workload="cnn-mnist", setting="S4", num_devices=30, max_rounds=25, seed=3)
+
+
+class TestSettings:
+    def test_policy_lineups(self):
+        assert "fedavg-random" in BASELINE_POLICIES
+        assert "autofl" in EVALUATION_POLICIES and "ofl" in EVALUATION_POLICIES
+        assert set(GLOBAL_PARAMETER_SETTINGS) == {"S1", "S2", "S3", "S4"}
+        assert set(CLUSTER_TEMPLATES) == {f"C{i}" for i in range(1, 8)}
+
+
+class TestRunSimulation:
+    def test_produces_result_with_rounds(self, fast_spec):
+        result = run_simulation(fast_spec, "fedavg-random")
+        assert result.num_rounds >= 1
+        assert result.policy_name == "fedavg-random"
+        assert result.workload_name == "cnn-mnist"
+
+    def test_seed_offset_changes_outcome(self, fast_spec):
+        base = run_simulation(fast_spec, "fedavg-random")
+        shifted = run_simulation(fast_spec, "fedavg-random", seed_offset=17)
+        assert base.selection_history() != shifted.selection_history()
+
+    def test_deterministic_for_same_spec(self, fast_spec):
+        first = run_simulation(fast_spec, "fedavg-random")
+        second = run_simulation(fast_spec, "fedavg-random")
+        assert first.selection_history() == second.selection_history()
+        assert first.total_global_energy_j == pytest.approx(second.total_global_energy_j)
+
+
+class TestRunPolicyComparison:
+    def test_rows_normalised_to_baseline(self, fast_spec):
+        _results, rows = run_policy_comparison(
+            fast_spec, policies=("fedavg-random", "performance"), max_rounds=20
+        )
+        by_name = {row.policy: row for row in rows}
+        assert by_name["fedavg-random"].ppw_global == pytest.approx(1.0)
+        assert by_name["fedavg-random"].convergence_speedup == pytest.approx(1.0)
+        assert by_name["performance"].ppw_global > 0
+
+    def test_baseline_must_be_included(self, fast_spec):
+        with pytest.raises(ConfigurationError):
+            run_policy_comparison(fast_spec, policies=("performance",), baseline="fedavg-random")
+
+
+class TestClusterSweepAndReference:
+    def test_cluster_sweep_contains_all_clusters(self, fast_spec):
+        ppw = run_cluster_sweep(fast_spec, clusters=("C1", "C7"), rounds=5)
+        assert set(ppw) == {"C0", "C1", "C7"}
+        assert ppw["C0"] == pytest.approx(1.0)
+        assert all(value > 0 for value in ppw.values())
+
+    def test_static_cluster_run(self, fast_spec):
+        result = run_static_cluster(fast_spec, {"high": 5, "mid": 10, "low": 5}, max_rounds=10)
+        assert result.num_rounds >= 1
+
+    def test_run_with_reference_reports_accuracy(self, fast_spec):
+        report = run_with_reference(fast_spec, "autofl", "ofl", rounds=10)
+        assert 0.0 <= report.participant_accuracy <= 1.0
+        assert 0.0 <= report.target_accuracy <= 1.0
+        assert set(report.tier_composition) == {"high", "mid", "low"}
+        assert sum(report.tier_composition.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestFormatTable:
+    def test_basic_formatting(self):
+        table = format_table(["policy", "ppw"], [["autofl", 4.12345], ["random", 1.0]])
+        lines = table.splitlines()
+        assert lines[0].startswith("policy")
+        assert "4.123" in table
+        assert len(lines) == 4
+
+    def test_bool_rendering(self):
+        table = format_table(["converged"], [[True], [False]])
+        assert "yes" in table and "no" in table
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])

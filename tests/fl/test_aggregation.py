@@ -1,0 +1,130 @@
+"""Tests for the FedAvg / FedProx / FedNova / FEDL aggregation algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PolicyError
+from repro.fl.aggregation import (
+    ClientUpdate,
+    FedAvgAggregator,
+    FedNovaAggregator,
+    FedProxAggregator,
+    FEDLAggregator,
+    get_aggregator,
+)
+
+
+def _weights(value, shape=(2, 2)):
+    return [{"weight": np.full(shape, float(value)), "bias": np.full((2,), float(value))}]
+
+
+def _update(device_id, value, num_samples, num_steps=5):
+    return ClientUpdate(
+        device_id=device_id,
+        weights=_weights(value),
+        num_samples=num_samples,
+        num_steps=num_steps,
+    )
+
+
+class TestFedAvg:
+    def test_weighted_average(self):
+        aggregator = FedAvgAggregator()
+        new = aggregator.aggregate(_weights(0.0), [_update(0, 1.0, 100), _update(1, 3.0, 300)])
+        assert np.allclose(new[0]["weight"], 2.5)
+        assert np.allclose(new[0]["bias"], 2.5)
+
+    def test_single_client_copies_weights(self):
+        aggregator = FedAvgAggregator()
+        new = aggregator.aggregate(_weights(0.0), [_update(0, 7.0, 10)])
+        assert np.allclose(new[0]["weight"], 7.0)
+
+    def test_empty_updates_rejected(self):
+        with pytest.raises(PolicyError):
+            FedAvgAggregator().aggregate(_weights(0.0), [])
+
+    def test_zero_sample_updates_rejected(self):
+        with pytest.raises(PolicyError):
+            FedAvgAggregator().aggregate(_weights(0.0), [_update(0, 1.0, 0)])
+
+
+class TestFedProx:
+    def test_same_aggregation_as_fedavg(self):
+        updates = [_update(0, 1.0, 100), _update(1, 2.0, 100)]
+        fedavg = FedAvgAggregator().aggregate(_weights(0.0), updates)
+        fedprox = FedProxAggregator(mu=0.05).aggregate(_weights(0.0), updates)
+        assert np.allclose(fedavg[0]["weight"], fedprox[0]["weight"])
+
+    def test_exposes_client_proximal_mu(self):
+        assert FedProxAggregator(mu=0.05).client_proximal_mu == pytest.approx(0.05)
+        assert FedAvgAggregator().client_proximal_mu == 0.0
+
+    def test_invalid_mu(self):
+        with pytest.raises(PolicyError):
+            FedProxAggregator(mu=-1.0)
+
+
+class TestFedNova:
+    def test_equal_steps_matches_fedavg(self):
+        """With identical local step counts, normalised averaging reduces to FedAvg."""
+        updates = [_update(0, 1.0, 100, num_steps=5), _update(1, 3.0, 100, num_steps=5)]
+        fedavg = FedAvgAggregator().aggregate(_weights(0.0), updates)
+        fednova = FedNovaAggregator().aggregate(_weights(0.0), updates)
+        assert np.allclose(fedavg[0]["weight"], fednova[0]["weight"], atol=1e-9)
+
+    def test_objective_consistency_under_heterogeneous_steps(self):
+        """Clients with equal *per-step* progress but very different step counts must not
+        bias the aggregate (the objective-inconsistency fix of FedNova): the result equals
+        FedAvg's even though one client ran 10x more local steps."""
+        global_weights = _weights(0.0)
+        consistent = [_update(0, 10.0, 100, num_steps=50), _update(1, 1.0, 100, num_steps=5)]
+        fedavg = FedAvgAggregator().aggregate(global_weights, consistent)
+        fednova = FedNovaAggregator().aggregate(global_weights, consistent)
+        assert np.allclose(fednova[0]["weight"], fedavg[0]["weight"])
+
+    def test_result_depends_on_per_step_progress(self):
+        """When per-step progress differs across clients, FedNova deviates from FedAvg by
+        re-weighting each client's normalised direction."""
+        global_weights = _weights(0.0)
+        inconsistent = [_update(0, 10.0, 100, num_steps=50), _update(1, 2.0, 100, num_steps=5)]
+        fedavg = FedAvgAggregator().aggregate(global_weights, inconsistent)
+        fednova = FedNovaAggregator().aggregate(global_weights, inconsistent)
+        assert not np.allclose(fednova[0]["weight"], fedavg[0]["weight"])
+
+    def test_robustness_flag_exceeds_fedavg(self):
+        assert FedNovaAggregator.surrogate_robustness > FedAvgAggregator.surrogate_robustness
+
+
+class TestFEDL:
+    def test_partial_move_toward_average(self):
+        aggregator = FEDLAggregator(eta=0.5)
+        new = aggregator.aggregate(_weights(0.0), [_update(0, 4.0, 100)])
+        assert np.allclose(new[0]["weight"], 2.0)
+
+    def test_eta_one_matches_fedavg(self):
+        updates = [_update(0, 1.0, 50), _update(1, 5.0, 150)]
+        fedavg = FedAvgAggregator().aggregate(_weights(0.0), updates)
+        fedl = FEDLAggregator(eta=1.0).aggregate(_weights(0.0), updates)
+        assert np.allclose(fedavg[0]["weight"], fedl[0]["weight"])
+
+    def test_invalid_eta(self):
+        with pytest.raises(PolicyError):
+            FEDLAggregator(eta=0.0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["fedavg", "fedprox", "fednova", "fedl"])
+    def test_get_aggregator(self, name):
+        assert get_aggregator(name).name == name
+
+    def test_instance_passthrough(self):
+        instance = FedAvgAggregator()
+        assert get_aggregator(instance) is instance
+
+    def test_unknown_name(self):
+        with pytest.raises(PolicyError):
+            get_aggregator("fedsgd")
+
+    def test_invalid_client_update(self):
+        with pytest.raises(PolicyError):
+            ClientUpdate(0, _weights(0.0), num_samples=-1, num_steps=1)

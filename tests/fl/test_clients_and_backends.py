@@ -1,0 +1,166 @@
+"""Tests for local training, FL clients and the two training backends."""
+
+import numpy as np
+import pytest
+
+from repro.config import GlobalParams
+from repro.data.datasets import make_synthetic_mnist
+from repro.data.federated import FederatedDataset
+from repro.data.profiles import synthesize_data_profiles
+from repro.exceptions import SimulationError
+from repro.fl.aggregation import FedAvgAggregator, FedProxAggregator
+from repro.fl.client import FLClient
+from repro.fl.server import NumpyTrainingBackend, SurrogateTrainingBackend
+from repro.fl.trainer import LocalTrainer
+from repro.nn.layers import Dense, Flatten, ReLU
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD
+from repro.nn.workloads import CNN_MNIST
+
+
+def _small_mlp(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [Flatten(), Dense(28 * 28, 32, rng), ReLU(), Dense(32, 10, rng)],
+        input_shape=(1, 28, 28),
+        name="mlp",
+    )
+
+
+@pytest.fixture
+def dataset():
+    return make_synthetic_mnist(num_samples=300, seed=1)
+
+
+class TestLocalTrainer:
+    def test_training_reduces_loss_and_counts_steps(self, dataset, rng):
+        model = _small_mlp()
+        trainer = LocalTrainer()
+        features, labels = dataset.features[:128], dataset.labels[:128]
+        result = trainer.train(model, features, labels, batch_size=16, epochs=3, optimizer=SGD(0.1), rng=rng)
+        assert result.num_samples == 128
+        assert result.num_steps == 8 * 3
+        second = trainer.train(model, features, labels, batch_size=16, epochs=1, optimizer=SGD(0.1), rng=rng)
+        assert second.mean_loss < result.mean_loss
+
+    def test_empty_shard(self, rng):
+        model = _small_mlp()
+        result = LocalTrainer().train(
+            model, np.empty((0, 1, 28, 28)), np.empty(0, dtype=int), 8, 1, SGD(), rng
+        )
+        assert result.num_steps == 0
+
+    def test_evaluate_accuracy_bounds(self, dataset):
+        model = _small_mlp()
+        accuracy = LocalTrainer().evaluate(model, dataset.features, dataset.labels)
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestFLClient:
+    def test_local_update_contains_trained_weights(self, dataset, rng):
+        model = _small_mlp()
+        global_weights = model.get_weights()
+        client = FLClient(0, dataset.features[:64], dataset.labels[:64], learning_rate=0.1)
+        update = client.local_update(model, global_weights, batch_size=16, epochs=1, rng=rng)
+        assert update.device_id == 0
+        assert update.num_samples == 64
+        assert update.num_steps == 4
+        changed = any(
+            not np.allclose(update.weights[i][name], global_weights[i][name])
+            for i in range(len(global_weights))
+            for name in global_weights[i]
+        )
+        assert changed
+
+    def test_proximal_mu_limits_drift(self, dataset, rng):
+        model = _small_mlp()
+        global_weights = model.get_weights()
+        client = FLClient(0, dataset.features[:64], dataset.labels[:64], learning_rate=0.1)
+
+        def drift(mu):
+            update = client.local_update(
+                model, global_weights, 16, 3, np.random.default_rng(0), proximal_mu=mu
+            )
+            return sum(
+                np.abs(update.weights[i][name] - global_weights[i][name]).sum()
+                for i in range(len(global_weights))
+                for name in global_weights[i]
+            )
+
+        assert drift(mu=1.0) < drift(mu=0.0)
+
+
+class TestSurrogateBackend:
+    def test_round_improves_accuracy_with_iid_data(self, rng):
+        profiles = synthesize_data_profiles(list(range(20)), "iid", 10, 300, rng)
+        backend = SurrogateTrainingBackend(
+            CNN_MNIST, profiles, FedAvgAggregator(), GlobalParams.from_setting("S4"), rng
+        )
+        before = backend.accuracy
+        result = backend.run_round(list(range(10)))
+        assert result.previous_accuracy == pytest.approx(before)
+        assert result.accuracy >= before - 0.02
+        assert result.num_updates == 10
+
+    def test_unknown_participant_rejected(self, rng):
+        profiles = synthesize_data_profiles(list(range(5)), "iid", 10, 300, rng)
+        backend = SurrogateTrainingBackend(
+            CNN_MNIST, profiles, FedAvgAggregator(), GlobalParams.from_setting("S4"), rng
+        )
+        with pytest.raises(SimulationError):
+            backend.run_round([99])
+
+    def test_empty_profiles_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            SurrogateTrainingBackend(
+                CNN_MNIST, {}, FedAvgAggregator(), GlobalParams.from_setting("S4"), rng
+            )
+
+
+class TestNumpyBackend:
+    @pytest.fixture
+    def backend(self, dataset, rng):
+        federated = FederatedDataset.partition(dataset, 6, "iid", rng)
+        test = make_synthetic_mnist(num_samples=120, seed=9)
+        return NumpyTrainingBackend(
+            model=_small_mlp(),
+            federated_dataset=federated,
+            aggregator=FedAvgAggregator(),
+            global_params=GlobalParams(batch_size=16, local_epochs=1, num_participants=3),
+            test_features=test.features,
+            test_labels=test.labels,
+            learning_rate=0.1,
+            rng=rng,
+        )
+
+    def test_accuracy_improves_over_rounds(self, backend):
+        initial = backend.accuracy
+        for _ in range(4):
+            result = backend.run_round([0, 1, 2])
+        assert result.accuracy > initial
+
+    def test_empty_round_is_a_noop(self, backend):
+        before = backend.accuracy
+        result = backend.run_round([])
+        assert result.accuracy == pytest.approx(before)
+        assert result.num_updates == 0
+
+    def test_global_weights_returns_copy(self, backend):
+        weights = backend.global_weights
+        weights[1]["weight"][:] = 0.0
+        assert not np.allclose(backend.global_weights[1]["weight"], 0.0)
+
+    def test_fedprox_backend_runs(self, dataset, rng):
+        federated = FederatedDataset.partition(dataset, 4, "non_iid_50", rng)
+        test = make_synthetic_mnist(num_samples=80, seed=3)
+        backend = NumpyTrainingBackend(
+            model=_small_mlp(),
+            federated_dataset=federated,
+            aggregator=FedProxAggregator(mu=0.01),
+            global_params=GlobalParams(batch_size=16, local_epochs=1, num_participants=2),
+            test_features=test.features,
+            test_labels=test.labels,
+            rng=rng,
+        )
+        result = backend.run_round([0, 1])
+        assert 0.0 <= result.accuracy <= 1.0

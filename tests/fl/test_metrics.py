@@ -1,0 +1,74 @@
+"""Tests for convergence tracking and efficiency metrics."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.fl.metrics import ConvergenceTracker, EfficiencySummary, relative_improvement
+
+
+class TestConvergenceTracker:
+    def test_converges_when_target_reached(self):
+        tracker = ConvergenceTracker(target_accuracy=0.9)
+        assert not tracker.update(0, 0.5)
+        assert tracker.update(1, 0.92)
+        assert tracker.converged
+        assert tracker.converged_round == 1
+
+    def test_patience_requires_sustained_accuracy(self):
+        tracker = ConvergenceTracker(target_accuracy=0.9, patience=2)
+        assert not tracker.update(0, 0.91)
+        assert not tracker.update(1, 0.85)
+        assert not tracker.update(2, 0.91)
+        assert tracker.update(3, 0.92)
+        assert tracker.converged_round == 3
+
+    def test_stays_converged(self):
+        tracker = ConvergenceTracker(0.9)
+        tracker.update(0, 0.95)
+        assert tracker.update(1, 0.2)
+        assert tracker.converged_round == 0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ConvergenceTracker(target_accuracy=0.0)
+        with pytest.raises(SimulationError):
+            ConvergenceTracker(0.9, patience=0)
+
+
+class TestEfficiencySummary:
+    def _summary(self, converged=True, participant=100.0, global_j=400.0):
+        return EfficiencySummary(
+            converged=converged,
+            rounds_executed=50,
+            convergence_round=40 if converged else None,
+            convergence_time_s=200.0,
+            total_time_s=250.0,
+            final_accuracy=0.96,
+            participant_energy_j=participant,
+            global_energy_j=global_j,
+        )
+
+    def test_ppw_is_reciprocal_energy(self):
+        summary = self._summary()
+        assert summary.local_ppw == pytest.approx(1 / 100.0)
+        assert summary.global_ppw == pytest.approx(1 / 400.0)
+
+    def test_zero_energy_gives_zero_ppw(self):
+        summary = self._summary(participant=0.0, global_j=0.0)
+        assert summary.local_ppw == 0.0
+        assert summary.global_ppw == 0.0
+
+    def test_convergence_reference_uses_total_when_not_converged(self):
+        converged = self._summary(converged=True)
+        failed = self._summary(converged=False)
+        assert converged.convergence_speedup_reference_s == pytest.approx(200.0)
+        assert failed.convergence_speedup_reference_s == pytest.approx(250.0)
+
+
+class TestRelativeImprovement:
+    def test_ratio(self):
+        assert relative_improvement(4.0, 2.0) == pytest.approx(2.0)
+
+    def test_zero_baseline(self):
+        with pytest.raises(SimulationError):
+            relative_improvement(1.0, 0.0)

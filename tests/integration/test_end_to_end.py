@@ -1,0 +1,124 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.config import GlobalParams
+from repro.data.datasets import make_synthetic_mnist
+from repro.data.federated import FederatedDataset
+from repro.data.profiles import profiles_from_federated_dataset
+from repro.experiments.harness import run_policy_comparison, run_simulation
+from repro.fl.aggregation import FedAvgAggregator
+from repro.fl.server import NumpyTrainingBackend
+from repro.nn.models import build_cnn_mnist
+from repro.sim.environment import EdgeCloudEnvironment
+from repro.sim.runner import FLSimulation
+from repro.sim.scenarios import ScenarioSpec, build_environment
+from repro.core.selection import RandomPolicy, make_policy
+
+
+class TestSurrogatePipeline:
+    def test_autofl_beats_random_under_heterogeneity(self):
+        """The headline qualitative claim: AutoFL is more energy-efficient than random
+        selection when data heterogeneity and runtime variance are present."""
+        spec = ScenarioSpec(
+            workload="cnn-mnist",
+            setting="S3",
+            num_devices=100,
+            data_distribution="non_iid_50",
+            interference="moderate",
+            network="variable",
+            max_rounds=150,
+            seed=1,
+        )
+        _results, rows = run_policy_comparison(
+            spec, policies=("fedavg-random", "autofl"), max_rounds=150
+        )
+        by_name = {row.policy: row for row in rows}
+        assert by_name["autofl"].ppw_global > 1.1
+        assert by_name["autofl"].final_accuracy >= by_name["fedavg-random"].final_accuracy - 0.02
+
+    def test_oracle_is_upper_bound_for_baselines(self):
+        spec = ScenarioSpec(
+            workload="cnn-mnist",
+            setting="S3",
+            num_devices=100,
+            data_distribution="non_iid_50",
+            max_rounds=150,
+            seed=2,
+        )
+        _results, rows = run_policy_comparison(
+            spec, policies=("fedavg-random", "power", "ofl"), max_rounds=150
+        )
+        by_name = {row.policy: row for row in rows}
+        assert by_name["ofl"].ppw_global > by_name["power"].ppw_global
+        assert by_name["ofl"].ppw_global > by_name["fedavg-random"].ppw_global
+
+    def test_all_policies_complete_a_short_run(self):
+        spec = ScenarioSpec(num_devices=30, setting="S4", max_rounds=8, seed=0)
+        for policy in ("fedavg-random", "power", "performance", "cluster-c3", "oparticipant", "ofl", "autofl"):
+            result = run_simulation(spec, policy, max_rounds=8, stop_at_convergence=False)
+            assert result.num_rounds == 8
+            assert result.total_global_energy_j > 0
+
+
+class TestNumpyPipeline:
+    def test_real_fl_training_with_simulated_systems(self, rng):
+        """Run the full loop with genuine numpy gradient training as the backend."""
+        dataset = make_synthetic_mnist(num_samples=360, seed=0)
+        test = make_synthetic_mnist(num_samples=120, seed=5)
+        spec = ScenarioSpec(num_devices=12, setting="S4", seed=0)
+        config = spec.simulation_config()
+        federated = FederatedDataset.partition(
+            dataset, config.num_devices, "iid", rng, device_ids=list(range(config.num_devices))
+        )
+        profiles = profiles_from_federated_dataset(federated)
+        environment = EdgeCloudEnvironment(
+            config=config,
+            global_params=GlobalParams(batch_size=16, local_epochs=1, num_participants=4),
+            workload="cnn-mnist",
+            data_profiles=profiles,
+        )
+        backend = NumpyTrainingBackend(
+            model=build_cnn_mnist(),
+            federated_dataset=federated,
+            aggregator=FedAvgAggregator(),
+            global_params=environment.global_params,
+            test_features=test.features,
+            test_labels=test.labels,
+            learning_rate=0.1,
+            rng=rng,
+        )
+        initial_accuracy = backend.accuracy
+        simulation = FLSimulation(
+            environment,
+            RandomPolicy(rng=np.random.default_rng(0)),
+            backend,
+            max_rounds=3,
+            target_accuracy=0.99,
+        )
+        result = simulation.run()
+        assert result.num_rounds == 3
+        assert result.final_accuracy > initial_accuracy - 0.05
+        assert result.total_global_energy_j > 0
+
+
+class TestPolicyReproducibility:
+    @pytest.mark.parametrize("policy_name", ["autofl", "ofl"])
+    def test_identical_seeds_give_identical_runs(self, policy_name):
+        spec = ScenarioSpec(num_devices=30, setting="S4", max_rounds=10, seed=9)
+
+        def run_once():
+            environment = build_environment(spec)
+            from repro.sim.scenarios import build_surrogate_backend
+
+            backend = build_surrogate_backend(environment)
+            policy = make_policy(policy_name, rng=np.random.default_rng(42))
+            return FLSimulation(
+                environment, policy, backend, max_rounds=10, stop_at_convergence=False
+            ).run()
+
+        first = run_once()
+        second = run_once()
+        assert first.selection_history() == second.selection_history()
+        assert first.total_global_energy_j == pytest.approx(second.total_global_energy_j)

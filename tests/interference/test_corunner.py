@@ -1,0 +1,69 @@
+"""Tests for the synthetic co-running application generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.interference.corunner import (
+    CoRunnerProfile,
+    InterferenceGenerator,
+    InterferenceScenario,
+    WEB_BROWSING_PROFILE,
+)
+
+
+class TestCoRunnerProfile:
+    def test_web_browsing_profile_means(self):
+        assert 0.3 < WEB_BROWSING_PROFILE.mean_cpu_util < 0.6
+        assert 0.2 < WEB_BROWSING_PROFILE.mean_mem_util < 0.5
+
+    def test_samples_bounded(self, rng):
+        for _ in range(100):
+            cpu, mem = WEB_BROWSING_PROFILE.sample(rng)
+            assert 0.0 <= cpu <= 1.0
+            assert 0.0 <= mem <= 1.0
+
+    def test_invalid_profile(self):
+        with pytest.raises(ConfigurationError):
+            CoRunnerProfile("bad", cpu_alpha=0.0, cpu_beta=1.0, mem_alpha=1.0, mem_beta=1.0)
+
+
+class TestInterferenceGenerator:
+    def test_none_scenario_produces_no_interference(self, rng):
+        generator = InterferenceGenerator(InterferenceScenario.NONE)
+        samples = generator.sample(rng, 50)
+        assert all(not sample.active for sample in samples)
+
+    def test_scenario_from_string(self):
+        generator = InterferenceGenerator("heavy")
+        assert generator.scenario is InterferenceScenario.HEAVY
+        assert generator.active_fraction == pytest.approx(0.9)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigurationError):
+            InterferenceGenerator("extreme")
+
+    def test_moderate_scenario_fraction(self, rng):
+        generator = InterferenceGenerator(InterferenceScenario.MODERATE)
+        samples = generator.sample(rng, 5000)
+        active = np.mean([sample.active for sample in samples])
+        assert 0.4 < active < 0.6
+
+    def test_active_fraction_override(self, rng):
+        generator = InterferenceGenerator(InterferenceScenario.NONE, active_fraction=1.0)
+        samples = generator.sample(rng, 20)
+        assert all(sample.active for sample in samples)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            InterferenceGenerator(active_fraction=1.5)
+
+    def test_invalid_device_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            InterferenceGenerator().sample(rng, 0)
+
+    def test_determinism(self):
+        generator = InterferenceGenerator(InterferenceScenario.MODERATE)
+        first = generator.sample(np.random.default_rng(9), 30)
+        second = generator.sample(np.random.default_rng(9), 30)
+        assert [s.co_cpu_util for s in first] == [s.co_cpu_util for s in second]

@@ -1,0 +1,64 @@
+"""Tests for the interference slowdown model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.interference.slowdown import SlowdownModel
+from repro.devices.specs import MI8_PRO, MOTO_X_FORCE
+
+
+@pytest.fixture
+def model():
+    return SlowdownModel()
+
+
+class TestSlowdownModel:
+    def test_no_corunner_means_no_slowdown(self, model):
+        assert model.compute_slowdown(0.0, 0.0, "cpu") == pytest.approx(1.0)
+        assert model.memory_slowdown(0.0, 0.0, "cpu") == pytest.approx(1.0)
+
+    @given(cpu=st.floats(0, 1), mem=st.floats(0, 1))
+    def test_slowdowns_at_least_one(self, cpu, mem):
+        model = SlowdownModel()
+        assert model.compute_slowdown(cpu, mem, "cpu") >= 1.0
+        assert model.compute_slowdown(cpu, mem, "gpu") >= 1.0
+        assert model.memory_slowdown(cpu, mem, "cpu") >= 1.0
+        assert model.memory_slowdown(cpu, mem, "gpu") >= 1.0
+
+    def test_cpu_suffers_more_than_gpu(self, model):
+        """Paper Section 6.2: under interference the optimal target shifts CPU -> GPU."""
+        cpu = model.compute_slowdown(0.6, 0.4, "cpu")
+        gpu = model.compute_slowdown(0.6, 0.4, "gpu")
+        assert cpu > gpu
+
+    def test_slowdown_monotone_in_corunner_intensity(self, model):
+        light = model.cpu_compute_slowdown(0.2, 0.1)
+        heavy = model.cpu_compute_slowdown(0.8, 0.6)
+        assert heavy > light
+
+    def test_high_end_tolerates_interference_better(self, model):
+        """Paper Section 3.2: high-end devices absorb the same co-runner with less impact."""
+        high = model.cpu_compute_slowdown(0.5, 0.3, capability_gflops=MI8_PRO.cpu.peak_gflops)
+        low = model.cpu_compute_slowdown(
+            0.5, 0.3, capability_gflops=MOTO_X_FORCE.cpu.peak_gflops
+        )
+        assert high < low
+
+    def test_unknown_target(self, model):
+        with pytest.raises(ConfigurationError):
+            model.compute_slowdown(0.1, 0.1, "npu")
+        with pytest.raises(ConfigurationError):
+            model.memory_slowdown(0.1, 0.1, "npu")
+
+    def test_out_of_range_utilisation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.compute_slowdown(1.2, 0.0, "cpu")
+
+    def test_invalid_capability(self, model):
+        with pytest.raises(ConfigurationError):
+            model.cpu_compute_slowdown(0.5, 0.5, capability_gflops=0.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlowdownModel(cpu_contention_weight=-1.0)

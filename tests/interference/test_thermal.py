@@ -1,0 +1,34 @@
+"""Tests for the thermal throttling model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.interference.thermal import ThermalModel
+
+
+class TestThermalModel:
+    def test_no_throttle_within_budget(self):
+        model = ThermalModel(sustainable_power_watt=4.0)
+        assert model.throttle_slowdown(3.9) == pytest.approx(1.0)
+        assert model.throttle_slowdown(4.0) == pytest.approx(1.0)
+
+    def test_throttle_grows_with_excess_power(self):
+        model = ThermalModel(sustainable_power_watt=4.0, throttle_sensitivity=0.1)
+        assert model.throttle_slowdown(5.0) == pytest.approx(1.1)
+        assert model.throttle_slowdown(6.0) == pytest.approx(1.2)
+
+    @given(power=st.floats(0, 20))
+    def test_slowdown_at_least_one(self, power):
+        assert ThermalModel().throttle_slowdown(power) >= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(sustainable_power_watt=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalModel(throttle_sensitivity=-0.1)
+        with pytest.raises(ConfigurationError):
+            ThermalModel().throttle_slowdown(-1.0)
+
+    def test_budget_property(self):
+        assert ThermalModel(sustainable_power_watt=3.5).sustainable_power_watt == 3.5

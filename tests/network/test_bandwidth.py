@@ -1,0 +1,70 @@
+"""Tests for the bandwidth and signal-strength models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.network.bandwidth import (
+    BAD_NETWORK_THRESHOLD_MBPS,
+    BandwidthModel,
+    NetworkScenario,
+    SignalStrength,
+    signal_from_bandwidth,
+)
+
+
+class TestSignalMapping:
+    @given(bandwidth=st.floats(min_value=0.1, max_value=500.0))
+    def test_signal_is_monotone_in_bandwidth(self, bandwidth):
+        signal = signal_from_bandwidth(bandwidth)
+        if bandwidth <= BAD_NETWORK_THRESHOLD_MBPS:
+            assert signal is SignalStrength.WEAK
+        elif bandwidth > 60.0:
+            assert signal is SignalStrength.STRONG
+        else:
+            assert signal is SignalStrength.MODERATE
+
+
+class TestBandwidthModel:
+    def test_scenario_from_string(self):
+        model = BandwidthModel("weak")
+        assert model.scenario is NetworkScenario.WEAK
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthModel("5g-ultra")
+
+    def test_samples_respect_minimum(self, rng):
+        model = BandwidthModel(NetworkScenario.WEAK)
+        samples = model.sample(rng, 500)
+        assert len(samples) == 500
+        assert samples.min() >= model.distribution.min_mbps
+
+    def test_scenario_means_ordered(self, rng):
+        stable = BandwidthModel(NetworkScenario.STABLE).sample(rng, 2000).mean()
+        variable = BandwidthModel(NetworkScenario.VARIABLE).sample(rng, 2000).mean()
+        weak = BandwidthModel(NetworkScenario.WEAK).sample(rng, 2000).mean()
+        assert stable > variable > weak
+
+    def test_stable_scenario_rarely_bad(self, rng):
+        model = BandwidthModel(NetworkScenario.STABLE)
+        samples = model.sample(rng, 2000)
+        bad_fraction = np.mean([model.is_bad(value) for value in samples])
+        assert bad_fraction < 0.01
+
+    def test_weak_scenario_mostly_bad(self, rng):
+        model = BandwidthModel(NetworkScenario.WEAK)
+        samples = model.sample(rng, 2000)
+        bad_fraction = np.mean([model.is_bad(value) for value in samples])
+        assert bad_fraction > 0.95
+
+    def test_invalid_sample_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            BandwidthModel().sample(rng, 0)
+
+    def test_determinism_with_seeded_generator(self):
+        model = BandwidthModel(NetworkScenario.VARIABLE)
+        first = model.sample(np.random.default_rng(3), 10)
+        second = model.sample(np.random.default_rng(3), 10)
+        assert np.allclose(first, second)

@@ -1,0 +1,78 @@
+"""Tests for the communication time/energy model (paper Eq. 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.network.channel import (
+    CommunicationModel,
+    DOWNLINK_BANDWIDTH_FACTOR,
+    RX_POWER_WATT,
+    TX_POWER_WATT,
+)
+from repro.network.bandwidth import SignalStrength
+
+
+@pytest.fixture
+def model():
+    return CommunicationModel()
+
+
+class TestTransferTime:
+    def test_basic_transfer_time(self, model):
+        # 10 MB at 80 Mbit/s with 10 % protocol overhead.
+        expected = 10 * 8 * 1.10 / 80
+        assert model.transfer_time_s(10, 80) == pytest.approx(expected)
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ConfigurationError):
+            model.transfer_time_s(-1, 80)
+        with pytest.raises(ConfigurationError):
+            model.transfer_time_s(1, 0)
+
+    @given(size=st.floats(0.1, 100), bandwidth=st.floats(1, 500))
+    def test_time_scales_linearly_with_size(self, size, bandwidth):
+        model = CommunicationModel()
+        single = model.transfer_time_s(size, bandwidth)
+        double = model.transfer_time_s(2 * size, bandwidth)
+        assert double == pytest.approx(2 * single, rel=1e-9)
+
+
+class TestCommunicationEstimate:
+    def test_download_faster_than_upload(self, model):
+        estimate = model.estimate(model_size_mb=6.4, bandwidth_mbps=50)
+        assert estimate.download_time_s == pytest.approx(
+            estimate.upload_time_s / DOWNLINK_BANDWIDTH_FACTOR
+        )
+        assert estimate.total_time_s == pytest.approx(
+            estimate.upload_time_s + estimate.download_time_s
+        )
+
+    def test_signal_derived_from_bandwidth(self, model):
+        assert model.estimate(6.4, 90).signal is SignalStrength.STRONG
+        assert model.estimate(6.4, 20).signal is SignalStrength.WEAK
+
+    def test_weak_signal_costs_much_more_energy(self, model):
+        """Paper Section 3.2: weak signal increases communication cost ~4.3x on average."""
+        strong = model.estimate(6.4, 90)
+        weak = model.estimate(6.4, 20)
+        assert weak.energy_j > 3.0 * strong.energy_j
+
+    def test_explicit_signal_override(self, model):
+        estimate = model.estimate(6.4, 90, signal=SignalStrength.WEAK)
+        assert estimate.signal is SignalStrength.WEAK
+        assert estimate.energy_j == pytest.approx(
+            TX_POWER_WATT[SignalStrength.WEAK] * estimate.upload_time_s
+            + RX_POWER_WATT[SignalStrength.WEAK] * estimate.download_time_s
+        )
+
+    def test_tx_power_monotone_in_signal_degradation(self):
+        assert (
+            TX_POWER_WATT[SignalStrength.STRONG]
+            < TX_POWER_WATT[SignalStrength.MODERATE]
+            < TX_POWER_WATT[SignalStrength.WEAK]
+        )
+
+    def test_protocol_overhead_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationModel(protocol_overhead=0.9)

@@ -1,0 +1,148 @@
+"""Numerical gradient checks for every trainable layer.
+
+These verify that the analytic backward passes match finite-difference gradients of a
+scalar loss, which is the strongest correctness guarantee for the from-scratch layers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Embedding,
+    GlobalAvgPool2D,
+    LSTM,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+
+EPSILON = 1e-5
+TOLERANCE = 1e-4
+
+
+def _loss_weights(layer, inputs, weights):
+    """Scalar loss (sum of outputs) as a function of a parameter array."""
+    original = layer.params[weights].copy()
+
+    def evaluate(values):
+        layer.params[weights] = values
+        output = layer.forward(inputs, training=True)
+        layer.params[weights] = original
+        return output.sum()
+
+    return evaluate
+
+
+def _numerical_grad(function, values):
+    grad = np.zeros_like(values)
+    flat = values.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + EPSILON
+        plus = function(values)
+        flat[index] = original - EPSILON
+        minus = function(values)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * EPSILON)
+    return grad
+
+
+def _check_parameter_gradients(layer, inputs):
+    outputs = layer.forward(inputs, training=True)
+    layer.backward(np.ones_like(outputs))
+    for name, values in layer.params.items():
+        numerical = _numerical_grad(_loss_weights(layer, inputs, name), values.copy())
+        analytic = layer.grads[name]
+        assert np.allclose(analytic, numerical, atol=TOLERANCE), f"gradient mismatch for {name}"
+
+
+def _check_input_gradients(layer, inputs):
+    outputs = layer.forward(inputs, training=True)
+    analytic = layer.backward(np.ones_like(outputs))
+
+    def evaluate(values):
+        return layer.forward(values, training=True).sum()
+
+    numerical = _numerical_grad(evaluate, inputs.copy())
+    assert np.allclose(analytic, numerical, atol=TOLERANCE)
+
+
+@pytest.fixture
+def rng_np():
+    return np.random.default_rng(0)
+
+
+class TestDenseGradients:
+    def test_parameter_gradients(self, rng_np):
+        layer = Dense(5, 3, rng_np)
+        _check_parameter_gradients(layer, rng_np.normal(size=(4, 5)))
+
+    def test_input_gradients(self, rng_np):
+        layer = Dense(5, 3, rng_np)
+        _check_input_gradients(layer, rng_np.normal(size=(4, 5)))
+
+
+class TestConvGradients:
+    def test_parameter_gradients(self, rng_np):
+        layer = Conv2D(2, 3, kernel_size=3, rng=rng_np, padding=1)
+        _check_parameter_gradients(layer, rng_np.normal(size=(2, 2, 6, 6)))
+
+    def test_input_gradients(self, rng_np):
+        layer = Conv2D(2, 3, kernel_size=3, rng=rng_np, padding=1)
+        _check_input_gradients(layer, rng_np.normal(size=(2, 2, 6, 6)))
+
+    def test_strided_conv_gradients(self, rng_np):
+        layer = Conv2D(2, 2, kernel_size=3, rng=rng_np, stride=2, padding=1)
+        _check_parameter_gradients(layer, rng_np.normal(size=(2, 2, 8, 8)))
+
+
+class TestDepthwiseConvGradients:
+    def test_parameter_gradients(self, rng_np):
+        layer = DepthwiseConv2D(3, kernel_size=3, rng=rng_np, padding=1)
+        _check_parameter_gradients(layer, rng_np.normal(size=(2, 3, 5, 5)))
+
+    def test_input_gradients(self, rng_np):
+        layer = DepthwiseConv2D(3, kernel_size=3, rng=rng_np, padding=1)
+        _check_input_gradients(layer, rng_np.normal(size=(2, 3, 5, 5)))
+
+
+class TestLstmGradients:
+    def test_parameter_gradients(self, rng_np):
+        layer = LSTM(4, 3, rng_np)
+        _check_parameter_gradients(layer, rng_np.normal(size=(3, 5, 4)))
+
+    def test_input_gradients(self, rng_np):
+        layer = LSTM(4, 3, rng_np)
+        _check_input_gradients(layer, rng_np.normal(size=(3, 5, 4)))
+
+
+class TestEmbeddingGradients:
+    def test_parameter_gradients(self, rng_np):
+        layer = Embedding(7, 3, rng_np)
+        tokens = rng_np.integers(0, 7, size=(4, 5))
+        outputs = layer.forward(tokens, training=True)
+        layer.backward(np.ones_like(outputs))
+        numerical = _numerical_grad(
+            _loss_weights(layer, tokens, "weight"), layer.params["weight"].copy()
+        )
+        assert np.allclose(layer.grads["weight"], numerical, atol=TOLERANCE)
+
+
+class TestActivationAndPoolingGradients:
+    @pytest.mark.parametrize("layer_cls", [ReLU, Sigmoid, Tanh])
+    def test_activation_input_gradients(self, rng_np, layer_cls):
+        layer = layer_cls()
+        _check_input_gradients(layer, rng_np.normal(size=(3, 7)) + 0.1)
+
+    def test_maxpool_input_gradients(self, rng_np):
+        layer = MaxPool2D(2)
+        _check_input_gradients(layer, rng_np.normal(size=(2, 2, 4, 4)))
+
+    def test_global_avg_pool_input_gradients(self, rng_np):
+        layer = GlobalAvgPool2D()
+        _check_input_gradients(layer, rng_np.normal(size=(2, 3, 4, 4)))

@@ -1,0 +1,185 @@
+"""Shape, parameter and error-handling tests for the layer library."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.nn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2D,
+    LSTM,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.layers.base import LayerCost
+
+
+@pytest.fixture
+def rng_np():
+    return np.random.default_rng(0)
+
+
+class TestDense:
+    def test_shapes_and_param_count(self, rng_np):
+        layer = Dense(8, 4, rng_np)
+        assert layer.num_params == 8 * 4 + 4
+        out = layer.forward(np.zeros((3, 8)))
+        assert out.shape == (3, 4)
+        assert layer.output_shape((8,)) == (4,)
+        assert layer.kind == "fc"
+
+    def test_wrong_input_shape(self, rng_np):
+        layer = Dense(8, 4, rng_np)
+        with pytest.raises(ModelError):
+            layer.forward(np.zeros((3, 5)))
+
+    def test_backward_before_forward(self, rng_np):
+        with pytest.raises(ModelError):
+            Dense(2, 2, rng_np).backward(np.zeros((1, 2)))
+
+    def test_set_weights_validates_shapes(self, rng_np):
+        layer = Dense(3, 2, rng_np)
+        with pytest.raises(ModelError):
+            layer.set_weights({"weight": np.zeros((2, 3))})
+        with pytest.raises(ModelError):
+            layer.set_weights({"unknown": np.zeros((3, 2))})
+
+    def test_cost_positive(self, rng_np):
+        cost = Dense(3, 2, rng_np).cost((3,))
+        assert isinstance(cost, LayerCost)
+        assert cost.flops > 0 and cost.memory_bytes > 0
+
+
+class TestConv2D:
+    def test_output_shape_with_padding(self, rng_np):
+        layer = Conv2D(3, 8, kernel_size=3, rng=rng_np, padding=1)
+        out = layer.forward(np.zeros((2, 3, 16, 16)))
+        assert out.shape == (2, 8, 16, 16)
+        assert layer.output_shape((3, 16, 16)) == (8, 16, 16)
+        assert layer.kind == "conv"
+
+    def test_output_shape_with_stride(self, rng_np):
+        layer = Conv2D(3, 8, kernel_size=3, rng=rng_np, stride=2, padding=1)
+        assert layer.output_shape((3, 16, 16)) == (8, 8, 8)
+
+    def test_param_count(self, rng_np):
+        layer = Conv2D(3, 8, kernel_size=3, rng=rng_np)
+        assert layer.num_params == 8 * 3 * 9 + 8
+
+    def test_wrong_channels_rejected(self, rng_np):
+        layer = Conv2D(3, 8, kernel_size=3, rng=rng_np)
+        with pytest.raises(ModelError):
+            layer.forward(np.zeros((1, 4, 8, 8)))
+
+    def test_invalid_hyperparameters(self, rng_np):
+        with pytest.raises(ModelError):
+            Conv2D(0, 8, 3, rng_np)
+
+
+class TestDepthwiseConv2D:
+    def test_preserves_channels(self, rng_np):
+        layer = DepthwiseConv2D(6, kernel_size=3, rng=rng_np, padding=1)
+        out = layer.forward(np.zeros((2, 6, 10, 10)))
+        assert out.shape == (2, 6, 10, 10)
+        assert layer.num_params == 6 * 9 + 6
+
+    def test_cheaper_than_full_conv(self, rng_np):
+        depthwise = DepthwiseConv2D(16, kernel_size=3, rng=rng_np, padding=1)
+        full = Conv2D(16, 16, kernel_size=3, rng=rng_np, padding=1)
+        assert depthwise.cost((16, 8, 8)).flops < full.cost((16, 8, 8)).flops
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        layer = MaxPool2D(2)
+        data = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(data)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0].tolist() == [[5.0, 7.0], [13.0, 15.0]]
+
+    def test_avgpool_values(self):
+        layer = AvgPool2D(2)
+        data = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(data)
+        assert out[0, 0, 0, 0] == pytest.approx(2.5)
+
+    def test_global_avg_pool(self):
+        layer = GlobalAvgPool2D()
+        data = np.ones((2, 3, 4, 4))
+        out = layer.forward(data)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, 1.0)
+
+    def test_non_4d_rejected(self):
+        with pytest.raises(ModelError):
+            MaxPool2D(2).forward(np.zeros((2, 4)))
+
+
+class TestActivationsAndMisc:
+    def test_relu_zeroes_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        assert out.tolist() == [[0.0, 2.0]]
+
+    def test_flatten_roundtrip(self, rng_np):
+        layer = Flatten()
+        data = rng_np.normal(size=(2, 3, 4, 4))
+        out = layer.forward(data)
+        assert out.shape == (2, 48)
+        restored = layer.backward(out)
+        assert restored.shape == data.shape
+        assert layer.output_shape((3, 4, 4)) == (48,)
+
+    def test_dropout_disabled_at_inference(self):
+        layer = Dropout(0.5, seed=0)
+        data = np.ones((4, 10))
+        assert np.array_equal(layer.forward(data, training=False), data)
+
+    def test_dropout_preserves_expectation(self):
+        layer = Dropout(0.5, seed=0)
+        data = np.ones((200, 200))
+        out = layer.forward(data, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ModelError):
+            Dropout(1.0)
+
+
+class TestEmbeddingAndLstm:
+    def test_embedding_shapes(self, rng_np):
+        layer = Embedding(10, 4, rng_np)
+        tokens = np.array([[1, 2, 3], [4, 5, 6]])
+        out = layer.forward(tokens)
+        assert out.shape == (2, 3, 4)
+        assert layer.output_shape((3,)) == (3, 4)
+
+    def test_embedding_out_of_vocab(self, rng_np):
+        layer = Embedding(5, 4, rng_np)
+        with pytest.raises(ModelError):
+            layer.forward(np.array([[7]]))
+
+    def test_lstm_shapes(self, rng_np):
+        layer = LSTM(4, 6, rng_np)
+        out = layer.forward(rng_np.normal(size=(3, 7, 4)))
+        assert out.shape == (3, 6)
+        assert layer.output_shape((7, 4)) == (6,)
+        assert layer.kind == "rc"
+
+    def test_lstm_param_count(self, rng_np):
+        layer = LSTM(4, 6, rng_np)
+        assert layer.num_params == (4 * 24) + (6 * 24) + 24
+
+    def test_lstm_forget_bias_initialised_positive(self, rng_np):
+        layer = LSTM(4, 6, rng_np)
+        assert np.all(layer.params["bias"][6:12] == 1.0)
+
+    def test_lstm_wrong_input_dim(self, rng_np):
+        layer = LSTM(4, 6, rng_np)
+        with pytest.raises(ModelError):
+            layer.forward(np.zeros((2, 5, 3)))

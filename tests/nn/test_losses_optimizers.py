@@ -1,0 +1,139 @@
+"""Tests for losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.nn.layers import Dense
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.optimizers import ProximalSGD, SGD
+
+
+@pytest.fixture
+def rng_np():
+    return np.random.default_rng(0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_sums_to_one(self, rng_np):
+        probabilities = SoftmaxCrossEntropy.softmax(rng_np.normal(size=(5, 7)))
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_perfect_prediction_has_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-4
+
+    def test_uniform_prediction_loss_is_log_classes(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 10))
+        assert loss.forward(logits, np.zeros(4, dtype=int)) == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numerical(self, rng_np):
+        loss = SoftmaxCrossEntropy()
+        logits = rng_np.normal(size=(3, 5))
+        labels = np.array([0, 2, 4])
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+        numerical = np.zeros_like(logits)
+        eps = 1e-6
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                perturbed = logits.copy()
+                perturbed[i, j] += eps
+                plus = SoftmaxCrossEntropy().forward(perturbed, labels)
+                perturbed[i, j] -= 2 * eps
+                minus = SoftmaxCrossEntropy().forward(perturbed, labels)
+                numerical[i, j] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic, numerical, atol=1e-5)
+
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [5.0, 1.0]])
+        assert SoftmaxCrossEntropy.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(ModelError):
+            SoftmaxCrossEntropy().backward()
+
+    def test_misaligned_labels(self):
+        with pytest.raises(ModelError):
+            SoftmaxCrossEntropy().forward(np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+
+def _single_layer_model(rng_np):
+    return Sequential([Dense(4, 2, rng_np)], input_shape=(4,))
+
+
+class TestSGD:
+    def test_step_moves_against_gradient(self, rng_np):
+        model = _single_layer_model(rng_np)
+        layer = model.layers[0]
+        before = layer.params["weight"].copy()
+        layer.grads["weight"] = np.ones_like(before)
+        layer.grads["bias"] = np.zeros_like(layer.params["bias"])
+        SGD(learning_rate=0.1).step(model)
+        assert np.allclose(layer.params["weight"], before - 0.1)
+
+    def test_momentum_accumulates(self, rng_np):
+        model = _single_layer_model(rng_np)
+        layer = model.layers[0]
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        layer.grads["weight"] = np.ones_like(layer.params["weight"])
+        layer.grads["bias"] = np.zeros_like(layer.params["bias"])
+        before = layer.params["weight"].copy()
+        optimizer.step(model)
+        first_step = before - layer.params["weight"]
+        optimizer.step(model)
+        second_step = (before - first_step) - layer.params["weight"]
+        assert np.all(second_step > first_step)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ModelError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ModelError):
+            SGD(momentum=1.0)
+
+
+class TestProximalSGD:
+    def test_proximal_term_pulls_toward_reference(self, rng_np):
+        model = _single_layer_model(rng_np)
+        layer = model.layers[0]
+        reference = model.get_weights()
+        # Move the weights away from the reference, then step with zero task gradient.
+        layer.params["weight"] = layer.params["weight"] + 1.0
+        drift_before = np.abs(layer.params["weight"] - reference[0]["weight"]).mean()
+        layer.grads["weight"] = np.zeros_like(layer.params["weight"])
+        layer.grads["bias"] = np.zeros_like(layer.params["bias"])
+        optimizer = ProximalSGD(learning_rate=0.5, mu=0.5)
+        optimizer.set_reference(reference)
+        optimizer.step(model)
+        drift_after = np.abs(layer.params["weight"] - reference[0]["weight"]).mean()
+        assert drift_after < drift_before
+
+    def test_zero_mu_equals_plain_sgd(self, rng_np):
+        model_a = _single_layer_model(rng_np)
+        model_b = Sequential(
+            [Dense(4, 2, np.random.default_rng(0))], input_shape=(4,)
+        )
+        model_b.set_weights(model_a.get_weights())
+        for model in (model_a, model_b):
+            model.layers[0].grads["weight"] = np.ones_like(model.layers[0].params["weight"])
+            model.layers[0].grads["bias"] = np.zeros(2)
+        prox = ProximalSGD(learning_rate=0.1, mu=0.0)
+        prox.set_reference(model_a.get_weights())
+        prox.step(model_a)
+        SGD(learning_rate=0.1).step(model_b)
+        assert np.allclose(model_a.layers[0].params["weight"], model_b.layers[0].params["weight"])
+
+    def test_invalid_mu(self):
+        with pytest.raises(ModelError):
+            ProximalSGD(mu=-0.1)
+
+    def test_mismatched_reference_rejected(self, rng_np):
+        model = _single_layer_model(rng_np)
+        optimizer = ProximalSGD(mu=0.1)
+        optimizer.set_reference([])
+        model.layers[0].grads["weight"] = np.zeros((4, 2))
+        with pytest.raises(ModelError):
+            optimizer.step(model)

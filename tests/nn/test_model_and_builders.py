@@ -1,0 +1,125 @@
+"""Tests for the Sequential container and the three workload model builders."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.models import build_cnn_mnist, build_lstm_shakespeare, build_mobilenet_lite
+from repro.nn.optimizers import SGD
+
+
+@pytest.fixture
+def rng_np():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_model(rng_np):
+    return Sequential(
+        [Dense(6, 8, rng_np), ReLU(), Dense(8, 3, rng_np)], input_shape=(6,), name="tiny"
+    )
+
+
+class TestSequential:
+    def test_forward_shapes(self, tiny_model, rng_np):
+        out = tiny_model.forward(rng_np.normal(size=(5, 6)))
+        assert out.shape == (5, 3)
+        assert tiny_model.output_shape() == (3,)
+
+    def test_weight_roundtrip(self, tiny_model):
+        weights = tiny_model.get_weights()
+        weights[0]["weight"] = weights[0]["weight"] + 1.0
+        tiny_model.set_weights(weights)
+        assert np.allclose(tiny_model.get_weights()[0]["weight"], weights[0]["weight"])
+
+    def test_set_weights_wrong_length(self, tiny_model):
+        with pytest.raises(ModelError):
+            tiny_model.set_weights([])
+
+    def test_num_params_and_size(self, tiny_model):
+        expected = (6 * 8 + 8) + (8 * 3 + 3)
+        assert tiny_model.num_params == expected
+        assert tiny_model.model_size_mb == pytest.approx(expected * 4 / 1e6)
+
+    def test_layer_counts(self, tiny_model):
+        counts = tiny_model.layer_counts()
+        assert counts["fc"] == 2
+        assert counts["conv"] == 0
+
+    def test_per_sample_cost_positive(self, tiny_model):
+        cost = tiny_model.per_sample_cost()
+        assert cost.flops > 0 and cost.memory_bytes > 0
+
+    def test_summary_mentions_layers(self, tiny_model):
+        summary = tiny_model.summary()
+        assert "Dense" in summary and "Total params" in summary
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ModelError):
+            Sequential([], input_shape=(3,))
+
+    def test_training_reduces_loss(self, tiny_model, rng_np):
+        """A tiny supervised problem must be learnable end to end."""
+        features = rng_np.normal(size=(64, 6))
+        labels = (features[:, 0] > 0).astype(int) + (features[:, 1] > 0).astype(int)
+        loss = SoftmaxCrossEntropy()
+        optimizer = SGD(learning_rate=0.2)
+        first_loss = None
+        for _ in range(60):
+            logits = tiny_model.forward(features)
+            value = loss.forward(logits, labels)
+            if first_loss is None:
+                first_loss = value
+            tiny_model.backward(loss.backward())
+            optimizer.step(tiny_model)
+            tiny_model.zero_grads()
+        assert value < 0.5 * first_loss
+
+
+class TestWorkloadBuilders:
+    def test_cnn_mnist_structure(self):
+        model = build_cnn_mnist()
+        counts = model.layer_counts()
+        assert counts["conv"] == 2
+        assert counts["fc"] == 2
+        out = model.forward(np.zeros((2, 1, 28, 28)))
+        assert out.shape == (2, 10)
+
+    def test_lstm_shakespeare_structure(self):
+        model = build_lstm_shakespeare(vocab_size=30, sequence_length=12)
+        counts = model.layer_counts()
+        assert counts["rc"] == 1
+        assert counts["fc"] == 1
+        tokens = np.zeros((3, 12), dtype=int)
+        assert model.forward(tokens).shape == (3, 30)
+
+    def test_mobilenet_structure(self):
+        model = build_mobilenet_lite(num_classes=12)
+        counts = model.layer_counts()
+        assert counts["conv"] >= 6
+        out = model.forward(np.zeros((2, 3, 32, 32)))
+        assert out.shape == (2, 12)
+
+    def test_builders_are_seed_deterministic(self):
+        first = build_cnn_mnist(seed=5)
+        second = build_cnn_mnist(seed=5)
+        for a, b in zip(first.get_weights(), second.get_weights()):
+            for name in a:
+                assert np.allclose(a[name], b[name])
+
+    @pytest.mark.parametrize(
+        "builder, kwargs",
+        [
+            (build_cnn_mnist, {"image_size": 28}),
+            (build_lstm_shakespeare, {}),
+            (build_mobilenet_lite, {}),
+        ],
+    )
+    def test_cost_accounting_positive(self, builder, kwargs):
+        model = builder(**kwargs)
+        cost = model.per_sample_cost()
+        assert cost.flops > 1e5
+        assert cost.memory_bytes > 1e4

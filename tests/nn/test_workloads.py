@@ -1,0 +1,79 @@
+"""Tests for the systems-level workload profiles."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.models import build_cnn_mnist
+from repro.nn.workloads import (
+    CNN_MNIST,
+    LSTM_SHAKESPEARE,
+    MOBILENET_IMAGENET,
+    WORKLOAD_PROFILES,
+    WorkloadProfile,
+    get_workload_profile,
+)
+
+
+class TestPredefinedProfiles:
+    def test_registry_contains_three_paper_workloads(self):
+        assert set(WORKLOAD_PROFILES) == {
+            "cnn-mnist",
+            "lstm-shakespeare",
+            "mobilenet-imagenet",
+        }
+
+    def test_layer_counts_match_architectures(self):
+        assert CNN_MNIST.num_conv_layers == 2 and CNN_MNIST.num_rc_layers == 0
+        assert LSTM_SHAKESPEARE.num_rc_layers == 2
+        assert MOBILENET_IMAGENET.num_conv_layers > 20
+
+    def test_lstm_is_most_memory_bound(self):
+        """Paper Section 3.1: RC layers make LSTM-Shakespeare memory intensive."""
+        assert LSTM_SHAKESPEARE.compute_intensity < CNN_MNIST.compute_intensity
+        assert LSTM_SHAKESPEARE.compute_intensity < MOBILENET_IMAGENET.compute_intensity
+
+    def test_mobilenet_is_heaviest_per_sample(self):
+        assert MOBILENET_IMAGENET.flops_per_sample > CNN_MNIST.flops_per_sample
+        assert MOBILENET_IMAGENET.model_size_mb > CNN_MNIST.model_size_mb
+
+    @pytest.mark.parametrize(
+        "alias, expected",
+        [
+            ("cnn", "cnn-mnist"),
+            ("CNN_MNIST", "cnn-mnist"),
+            ("shakespeare", "lstm-shakespeare"),
+            ("mobilenet", "mobilenet-imagenet"),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert get_workload_profile(alias).name == expected
+
+    def test_profile_passthrough(self):
+        assert get_workload_profile(CNN_MNIST) is CNN_MNIST
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            get_workload_profile("resnet50")
+
+
+class TestWorkloadProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CNN_MNIST.with_overrides(max_accuracy=1.5)
+        with pytest.raises(ConfigurationError):
+            CNN_MNIST.with_overrides(flops_per_sample=0.0)
+        with pytest.raises(ConfigurationError):
+            CNN_MNIST.with_overrides(target_accuracy=0.999)
+
+    def test_with_overrides_returns_copy(self):
+        modified = CNN_MNIST.with_overrides(samples_per_device=100)
+        assert modified.samples_per_device == 100
+        assert CNN_MNIST.samples_per_device != 100
+
+    def test_from_model_reflects_structure(self):
+        model = build_cnn_mnist()
+        profile = WorkloadProfile.from_model(model, name="cnn-small")
+        assert profile.num_conv_layers == 2
+        assert profile.num_fc_layers == 2
+        assert profile.model_size_mb == pytest.approx(model.model_size_mb)
+        assert profile.flops_per_sample == pytest.approx(model.per_sample_cost().flops)

@@ -1,0 +1,51 @@
+"""Tests for the top-level convenience API."""
+
+import pytest
+
+from repro import GlobalParams, SimulationConfig, __version__, build_default_experiment
+from repro.api import run_policy_comparison
+from repro.sim.runner import FLSimulation
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert __version__.count(".") == 2
+
+    def test_reexports(self):
+        assert GlobalParams().batch_size > 0
+        assert SimulationConfig().num_devices == 200
+
+
+class TestBuildDefaultExperiment:
+    def test_returns_runnable_simulation(self):
+        simulation = build_default_experiment(
+            policy="fedavg-random", num_devices=30, rounds=15, seed=1
+        )
+        assert isinstance(simulation, FLSimulation)
+        result = simulation.run()
+        assert 1 <= result.num_rounds <= 15
+        assert 0.0 <= result.final_accuracy <= 1.0
+
+    def test_policy_and_workload_propagate(self):
+        simulation = build_default_experiment(
+            policy="performance", workload="lstm-shakespeare", num_devices=30, rounds=5
+        )
+        assert simulation.policy.name == "performance"
+        assert simulation.environment.workload.name == "lstm-shakespeare"
+
+    def test_setting_propagates(self):
+        simulation = build_default_experiment(setting="S1", num_devices=30, rounds=5)
+        assert simulation.environment.global_params == GlobalParams.from_setting("S1")
+
+
+class TestRunPolicyComparisonApi:
+    def test_rows_cover_requested_policies(self):
+        rows = run_policy_comparison(
+            policies=("fedavg-random", "performance"),
+            num_devices=30,
+            rounds=15,
+            seed=2,
+        )
+        assert [row.policy for row in rows] == ["fedavg-random", "performance"]
+        baseline = rows[0]
+        assert baseline.ppw_global == pytest.approx(1.0)

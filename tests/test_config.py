@@ -1,0 +1,76 @@
+"""Tests for the global configuration objects."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import (
+    DEFAULT_TIER_COUNTS,
+    GLOBAL_PARAMETER_SETTINGS,
+    GlobalParams,
+    SimulationConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestGlobalParams:
+    def test_defaults_are_valid(self):
+        params = GlobalParams()
+        assert params.batch_size > 0
+        assert params.local_epochs > 0
+        assert params.num_participants > 0
+
+    @pytest.mark.parametrize(
+        "setting, expected",
+        [("S1", (32, 10, 20)), ("S2", (32, 5, 20)), ("S3", (16, 5, 20)), ("S4", (16, 5, 10))],
+    )
+    def test_table5_settings(self, setting, expected):
+        assert GlobalParams.from_setting(setting).as_tuple() == expected
+
+    def test_setting_name_is_case_insensitive(self):
+        assert GlobalParams.from_setting("s2") == GlobalParams.from_setting("S2")
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GlobalParams.from_setting("S9")
+
+    @pytest.mark.parametrize("field", ["batch_size", "local_epochs", "num_participants"])
+    def test_non_positive_values_rejected(self, field):
+        with pytest.raises(ConfigurationError):
+            GlobalParams(**{field: 0})
+
+    def test_all_registered_settings_construct(self):
+        for name in GLOBAL_PARAMETER_SETTINGS:
+            params = GlobalParams.from_setting(name)
+            assert params.as_tuple() == GLOBAL_PARAMETER_SETTINGS[name]
+
+
+class TestSimulationConfig:
+    def test_default_matches_paper_fleet(self):
+        config = SimulationConfig()
+        assert config.num_devices == 200
+        assert config.tier_counts == DEFAULT_TIER_COUNTS
+        assert sum(config.tier_counts.values()) == 200
+
+    def test_tier_counts_must_sum_to_num_devices(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(num_devices=10, tier_counts={"high": 1, "mid": 2, "low": 3})
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(num_devices=2, tier_counts={"high": 1, "ultra": 1})
+
+    def test_target_accuracy_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(target_accuracy=0.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(target_accuracy=1.5)
+
+    @given(num_devices=st.integers(min_value=6, max_value=400))
+    def test_small_preserves_total_and_tiers(self, num_devices):
+        config = SimulationConfig.small(num_devices=num_devices)
+        assert sum(config.tier_counts.values()) == num_devices
+        assert all(count >= 1 for count in config.tier_counts.values())
+
+    def test_small_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig.small(num_devices=2)
