@@ -18,7 +18,7 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.experiments.harness import run_policy_comparison  # noqa: E402
-from repro.experiments.reporting import format_table  # noqa: E402
+from repro.experiments.reporting import format_comparison, format_table  # noqa: E402
 from repro.sim.scenarios import ScenarioSpec  # noqa: E402
 
 
@@ -50,10 +50,8 @@ def comparison_rows(spec: ScenarioSpec, policies, max_rounds=None):
 
 def print_policy_table(title: str, rows_by_name: dict) -> None:
     """Print a paper-style normalised comparison table."""
-    headers = ["policy", "PPW (local)", "PPW (global)", "conv. speedup", "accuracy", "converged"]
-    rows = [rows_by_name[name].as_tuple() for name in rows_by_name]
     print(f"\n=== {title} ===")
-    print(format_table(headers, rows))
+    print(format_comparison(list(rows_by_name.values())))
 
 
 def print_series(title: str, series: dict) -> None:

@@ -3,34 +3,40 @@
 Paper claim: under random participant selection, increasing the fraction of non-IID devices
 slows convergence dramatically — Non-IID(75 %) and Non-IID(100 %) do not converge within the
 round budget — and the resulting energy-efficiency gap versus the ideal IID case exceeds 85 %.
+
+The distribution axis is expressed as a declarative :class:`Sweep` executed by the
+:class:`BatchRunner` — the figure is one grid, not four copy-pasted driver calls.
 """
 
 from _helpers import print_series
 
-from repro.experiments.harness import run_simulation
+from repro.experiments.runner import BatchRunner
+from repro.experiments.spec import ExperimentSpec, Sweep
 from repro.sim.scenarios import ScenarioSpec
 
 DISTRIBUTIONS = ("iid", "non_iid_50", "non_iid_75", "non_iid_100")
 
 
 def _run():
-    results = {}
-    for distribution in DISTRIBUTIONS:
-        spec = ScenarioSpec(
+    base = ExperimentSpec(
+        scenario=ScenarioSpec(
             workload="cnn-mnist",
             setting="S3",
             num_devices=200,
-            data_distribution=distribution,
             max_rounds=300,
             seed=4,
-        )
-        results[distribution] = run_simulation(spec, "fedavg-random", max_rounds=300)
-    return results
+        ),
+        policy="fedavg-random",
+    )
+    report = BatchRunner().run(Sweep(base, data_distribution=list(DISTRIBUTIONS)))
+    return {
+        result.spec.scenario.data_distribution: result.summaries[0]
+        for result in report.results
+    }
 
 
 def test_figure06_data_heterogeneity(benchmark):
-    results = benchmark.pedantic(_run, rounds=1, iterations=1)
-    summaries = {name: result.summary() for name, result in results.items()}
+    summaries = benchmark.pedantic(_run, rounds=1, iterations=1)
     print_series(
         "Figure 6(a) — rounds to convergence (random selection)",
         {
@@ -55,4 +61,4 @@ def test_figure06_data_heterogeneity(benchmark):
     assert summaries["non_iid_75"].global_energy_j > 4.0 * iid_energy
 
     # Accuracy ordering follows the heterogeneity level.
-    assert results["iid"].final_accuracy > results["non_iid_100"].final_accuracy
+    assert summaries["iid"].final_accuracy > summaries["non_iid_100"].final_accuracy

@@ -5,40 +5,53 @@ Sweeps the four data distributions of the paper — Ideal IID and Non-IID(50/75/
 shows how random participant selection degrades (and eventually fails to converge) while
 AutoFL keeps selecting devices with useful data.
 
+The whole study is one declarative grid (distribution x policy) executed by the
+:class:`BatchRunner`; re-running the script serves every point from the spec-hash cache.
+
 Run with:  python examples/data_heterogeneity_study.py
 """
 
-from repro.experiments.harness import run_policy_comparison
+from repro import BatchRunner, ExperimentSpec, ResultStore, ScenarioSpec, Sweep
 from repro.experiments.reporting import format_table
-from repro.sim.scenarios import ScenarioSpec
 
 DISTRIBUTIONS = ("iid", "non_iid_50", "non_iid_75", "non_iid_100")
 
 
 def main() -> None:
-    rows_out = []
-    for distribution in DISTRIBUTIONS:
-        spec = ScenarioSpec(
+    base = ExperimentSpec(
+        scenario=ScenarioSpec(
             workload="cnn-mnist",
             setting="S3",
             num_devices=200,
-            data_distribution=distribution,
             max_rounds=300,
             seed=4,
-        )
-        results, rows = run_policy_comparison(
-            spec, policies=("fedavg-random", "autofl"), max_rounds=300
-        )
-        by_name = {row.policy: row for row in rows}
-        random_summary = results["fedavg-random"].summary()
+        ),
+        policy="fedavg-random",
+    )
+    sweep = Sweep(
+        base,
+        data_distribution=DISTRIBUTIONS,
+        policy=("fedavg-random", "autofl"),
+    )
+    runner = BatchRunner(store=ResultStore(".repro-results/data-heterogeneity.jsonl"))
+    report = runner.run(sweep)
+    by_point = {
+        (result.spec.scenario.data_distribution, result.spec.policy): result
+        for result in report.results
+    }
+
+    rows_out = []
+    for distribution in DISTRIBUTIONS:
+        random_result = by_point[(distribution, "fedavg-random")]
+        autofl_result = by_point[(distribution, "autofl")]
         rows_out.append(
             [
                 distribution,
-                "yes" if random_summary.converged else "no",
-                random_summary.final_accuracy,
-                by_name["autofl"].converged,
-                by_name["autofl"].final_accuracy,
-                by_name["autofl"].ppw_global,
+                random_result.convergence_rate > 0,
+                random_result.mean_final_accuracy,
+                autofl_result.convergence_rate > 0,
+                autofl_result.mean_final_accuracy,
+                random_result.mean_global_energy_j / autofl_result.mean_global_energy_j,
             ]
         )
     headers = [
@@ -51,6 +64,9 @@ def main() -> None:
     ]
     print("Impact of data heterogeneity on FedAvg-Random vs AutoFL\n")
     print(format_table(headers, rows_out))
+    print(
+        f"\n({report.cache_hits} of {report.total} grid points served from the result cache)"
+    )
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ Run with:  python examples/quickstart.py
 """
 
 from repro import run_policy_comparison
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_comparison
 
 
 def main() -> None:
@@ -24,9 +24,8 @@ def main() -> None:
         rounds=200,
         seed=0,
     )
-    headers = ["policy", "PPW (local)", "PPW (global)", "conv. speedup", "accuracy", "converged"]
     print("AutoFL vs baselines (normalised to FedAvg-Random)\n")
-    print(format_table(headers, [row.as_tuple() for row in rows]))
+    print(format_comparison(rows))
     autofl = next(row for row in rows if row.policy == "autofl")
     print(
         f"\nAutoFL improved cluster-wide energy efficiency by {autofl.ppw_global:.2f}x "

@@ -8,6 +8,8 @@ network.  The optimal cluster shifts with the environment, and AutoFL adapts aut
 Run with:  python examples/runtime_variance_study.py
 """
 
+from dataclasses import replace
+
 from repro.experiments.harness import run_cluster_sweep, run_policy_comparison
 from repro.experiments.reporting import format_table
 from repro.sim.scenarios import ScenarioSpec
@@ -31,17 +33,17 @@ def main() -> None:
     print(format_table(headers, sweep_rows))
 
     print("\nPolicy comparison under each environment (Non-IID(50 %) data)\n")
+    base = ScenarioSpec(
+        workload="cnn-mnist",
+        setting="S3",
+        num_devices=100,
+        data_distribution="non_iid_50",
+        max_rounds=250,
+        seed=13,
+    )
     policy_rows = []
     for name, overrides in SCENARIOS.items():
-        spec = ScenarioSpec(
-            workload="cnn-mnist",
-            setting="S3",
-            num_devices=100,
-            data_distribution="non_iid_50",
-            max_rounds=250,
-            seed=13,
-            **overrides,
-        )
+        spec = replace(base, **overrides)
         _results, rows = run_policy_comparison(
             spec, policies=("fedavg-random", "performance", "autofl", "ofl"), max_rounds=250
         )

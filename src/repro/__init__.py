@@ -2,7 +2,10 @@
 
 The package is organised as a set of substrates (devices, network, interference, data,
 neural networks, federated learning, simulator) plus the paper's primary contribution — the
-AutoFL reinforcement-learning controller — in :mod:`repro.core`.
+AutoFL reinforcement-learning controller — in :mod:`repro.core`.  Experiments are
+declarative: an :class:`ExperimentSpec` names a point in the paper's evaluation space, a
+:class:`Sweep` expands cartesian grids over any axis, and a :class:`BatchRunner` executes
+them with spec-hash caching (also exposed as the ``python -m repro`` CLI).
 
 Quickstart
 ----------
@@ -13,12 +16,31 @@ Quickstart
 
 from repro.api import build_default_experiment, run_policy_comparison
 from repro.config import GlobalParams, SimulationConfig
+from repro.experiments.runner import (
+    BatchRunner,
+    ExperimentResult,
+    MultiprocessExecutor,
+    ResultStore,
+    SerialExecutor,
+    run_experiment,
+)
+from repro.experiments.spec import ExperimentSpec, Sweep
+from repro.sim.scenarios import ScenarioSpec
 from repro.version import __version__
 
 __all__ = [
     "__version__",
+    "BatchRunner",
+    "ExperimentResult",
+    "ExperimentSpec",
     "GlobalParams",
+    "MultiprocessExecutor",
+    "ResultStore",
+    "ScenarioSpec",
+    "SerialExecutor",
     "SimulationConfig",
+    "Sweep",
     "build_default_experiment",
+    "run_experiment",
     "run_policy_comparison",
 ]

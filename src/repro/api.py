@@ -1,18 +1,20 @@
 """Convenience top-level API.
 
-These helpers wrap the lower-level building blocks (scenario spec, environment, backend,
-policy, simulation) into one-call entry points for the common "run a policy on a scenario"
-and "compare policies" use cases; the examples and quickstart use them.
+These helpers are thin shims over the declarative experiment subsystem
+(:class:`~repro.experiments.spec.ExperimentSpec` plus
+:func:`~repro.experiments.runner.build_simulation`): one-call entry points for the common
+"run a policy on a scenario" and "compare policies" use cases.  The examples and
+quickstart use them; grids, replication and caching live in
+:class:`~repro.experiments.runner.BatchRunner` and the ``python -m repro`` CLI.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.selection import make_policy
 from repro.experiments.harness import ComparisonRow, run_policy_comparison as _run_comparison
+from repro.experiments.runner import build_simulation
+from repro.experiments.spec import ExperimentSpec
 from repro.sim.runner import FLSimulation
-from repro.sim.scenarios import ScenarioSpec, build_environment, build_surrogate_backend
+from repro.sim.scenarios import ScenarioSpec
 
 
 def build_default_experiment(
@@ -32,25 +34,21 @@ def build_default_experiment(
     Returns an :class:`~repro.sim.runner.FLSimulation`; call ``.run()`` to obtain a
     :class:`~repro.sim.results.SimulationResult`.
     """
-    spec = ScenarioSpec(
-        workload=workload,
-        setting=setting,
-        interference=interference,
-        network=network,
-        data_distribution=data_distribution,
-        num_devices=num_devices,
-        max_rounds=rounds,
-        seed=seed,
-        aggregator=aggregator,
+    spec = ExperimentSpec(
+        scenario=ScenarioSpec(
+            workload=workload,
+            setting=setting,
+            interference=interference,
+            network=network,
+            data_distribution=data_distribution,
+            num_devices=num_devices,
+            max_rounds=rounds,
+            seed=seed,
+            aggregator=aggregator,
+        ),
+        policy=policy,
     )
-    environment = build_environment(spec)
-    backend = build_surrogate_backend(environment, aggregator=aggregator)
-    return FLSimulation(
-        environment=environment,
-        policy=make_policy(policy, rng=np.random.default_rng(seed + 10_000)),
-        backend=backend,
-        max_rounds=rounds,
-    )
+    return build_simulation(spec)
 
 
 def run_policy_comparison(

@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro {run,compare,sweep,list}``.
+
+The CLI is a thin shell over the declarative experiment subsystem:
+
+* ``run``      — one experiment spec (scenario + policy + seed replicas);
+* ``compare``  — several policies on one scenario, normalised to a baseline;
+* ``sweep``    — a cartesian grid over any axes, executed by the
+  :class:`~repro.experiments.runner.BatchRunner` with spec-hash caching;
+* ``list``     — enumerate any registry (policies, workloads, aggregators, …).
+
+Examples
+--------
+::
+
+    python -m repro list policies
+    python -m repro run --policy autofl --network variable --seeds 3
+    python -m repro compare --policies fedavg-random,power,performance,autofl
+    python -m repro sweep --axis policy=fedavg-random,autofl --axis setting=S1,S3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.experiments.harness import run_policy_comparison
+from repro.experiments.reporting import (
+    format_batch_footer,
+    format_comparison,
+    format_experiment_results,
+    format_registry,
+)
+from repro.experiments.runner import (
+    DEFAULT_STORE_PATH,
+    BatchRunner,
+    ResultStore,
+    get_executor,
+)
+from repro.experiments.spec import ExperimentSpec, Sweep, parse_axis
+from repro.registry import REGISTRIES, get_registry
+from repro.sim.scenarios import ScenarioSpec
+from repro.version import __version__
+
+#: Default sweep grid: two axes, four points — small enough to demo caching quickly.
+DEFAULT_SWEEP_AXES = ("policy=fedavg-random,autofl", "setting=S1,S3")
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser, replication: bool = True) -> None:
+    group = parser.add_argument_group("scenario")
+    group.add_argument("--workload", default="cnn-mnist", help="FL workload name")
+    group.add_argument("--setting", default="S3", help="global-parameter setting (S1-S4)")
+    group.add_argument(
+        "--interference", default="none", help="interference scenario (none/moderate/heavy)"
+    )
+    group.add_argument(
+        "--network", default="stable", help="network scenario (stable/variable/weak)"
+    )
+    group.add_argument(
+        "--data-distribution",
+        default="iid",
+        help="data-heterogeneity scenario (iid/non_iid_50/75/100)",
+    )
+    group.add_argument("--devices", type=int, default=50, help="fleet size N")
+    group.add_argument("--rounds", type=int, default=40, help="maximum aggregation rounds")
+    group.add_argument("--seed", type=int, default=0, help="base random seed")
+    group.add_argument("--aggregator", default="fedavg", help="aggregation algorithm")
+    if replication:
+        group.add_argument(
+            "--seeds", type=int, default=1, help="seed replicas averaged per grid point"
+        )
+        group.add_argument(
+            "--no-early-stop",
+            action="store_true",
+            help="always run the full round budget instead of stopping at convergence",
+        )
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=str(DEFAULT_STORE_PATH),
+        help="JSONL result store used as the spec-hash cache",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run every grid point fresh, without reading or writing the store",
+    )
+
+
+def _base_spec(args: argparse.Namespace, policy: str) -> ExperimentSpec:
+    scenario = ScenarioSpec(
+        workload=args.workload,
+        setting=args.setting,
+        interference=args.interference,
+        network=args.network,
+        data_distribution=args.data_distribution,
+        num_devices=args.devices,
+        max_rounds=args.rounds,
+        seed=args.seed,
+        aggregator=args.aggregator,
+    )
+    return ExperimentSpec(
+        scenario=scenario,
+        policy=policy,
+        n_seeds=getattr(args, "seeds", 1),
+        stop_at_convergence=not getattr(args, "no_early_stop", False),
+    ).validate()
+
+
+def _make_runner(args: argparse.Namespace, executor_name: str, jobs: int | None) -> BatchRunner:
+    store = None if args.no_cache else ResultStore(args.store)
+    return BatchRunner(executor=get_executor(executor_name, jobs), store=store)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _base_spec(args, args.policy)
+    report = _make_runner(args, "serial", None).run([spec])
+    print(format_experiment_results(report.results))
+    print(format_batch_footer(report))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    policies = tuple(name.strip() for name in args.policies.split(",") if name.strip())
+    # Validate the line-up (with did-you-mean errors) before running anything.
+    for policy in policies:
+        _base_spec(args, policy)
+    spec = _base_spec(args, args.baseline).scenario
+    _results, rows = run_policy_comparison(
+        spec, policies=policies, baseline=args.baseline, max_rounds=args.rounds
+    )
+    print(format_comparison(rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    base = _base_spec(args, "autofl")
+    axes: dict[str, tuple[object, ...]] = {}
+    for name, values in (parse_axis(text) for text in (args.axis or list(DEFAULT_SWEEP_AXES))):
+        if name in axes:
+            raise ConfigurationError(f"sweep axis {name!r} given twice")
+        axes[name] = values
+    sweep = Sweep(base, axes)
+    runner = _make_runner(args, args.executor, args.jobs)
+    report = runner.run(sweep)
+    print(format_experiment_results(report.results))
+    print(format_batch_footer(report))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    axes = [args.axis] if args.axis else list(REGISTRIES)
+    blocks = [format_registry(axis, get_registry(axis)) for axis in axes]
+    print("\n\n".join(blocks))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AutoFL reproduction: declarative FL experiments from the command line.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment spec and print its averaged metrics"
+    )
+    run_parser.add_argument("--policy", default="autofl", help="selection policy to run")
+    _add_scenario_arguments(run_parser)
+    _add_store_arguments(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare several policies on one scenario (normalised table)"
+    )
+    compare_parser.add_argument(
+        "--policies",
+        default="fedavg-random,power,performance,autofl",
+        help="comma-separated policy line-up",
+    )
+    compare_parser.add_argument(
+        "--baseline", default="fedavg-random", help="policy the rows are normalised to"
+    )
+    # No --seeds/--no-early-stop: the comparison driver is single-seed, early-stopping.
+    _add_scenario_arguments(compare_parser, replication=False)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a cartesian grid over any axes, with spec-hash caching"
+    )
+    sweep_parser.add_argument(
+        "--axis",
+        action="append",
+        metavar="NAME=V1,V2,…",
+        help=(
+            "sweep axis (repeatable); any scenario or experiment field, e.g. "
+            "policy=fedavg-random,autofl or setting=S1,S2,S3,S4. "
+            f"Default grid: {' '.join(DEFAULT_SWEEP_AXES)}"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--executor",
+        default="process",
+        choices=("serial", "process"),
+        help="how cache misses are executed (default: one worker process per core)",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes for --executor process"
+    )
+    _add_scenario_arguments(sweep_parser)
+    _add_store_arguments(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list a registry (policies, workloads, aggregators, …)"
+    )
+    list_parser.add_argument(
+        "axis",
+        nargs="?",
+        default=None,
+        help=f"registry to list ({', '.join(REGISTRIES)}); default: all",
+    )
+    list_parser.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

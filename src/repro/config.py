@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
+from repro.registry import SETTINGS as SETTINGS_REGISTRY
 
 #: Paper Table 5 — global parameter settings used throughout the evaluation.
 GLOBAL_PARAMETER_SETTINGS: dict[str, tuple[int, int, int]] = {
@@ -23,6 +24,14 @@ GLOBAL_PARAMETER_SETTINGS: dict[str, tuple[int, int, int]] = {
     "S3": (16, 5, 20),
     "S4": (16, 5, 10),
 }
+
+for _name, (_batch, _epochs, _participants) in GLOBAL_PARAMETER_SETTINGS.items():
+    SETTINGS_REGISTRY.add(
+        _name,
+        # Late-bound via the default argument; see GlobalParams.from_setting.
+        lambda _key=_name: GlobalParams.from_setting(_key),
+        summary=f"B = {_batch}, E = {_epochs}, K = {_participants} (paper Table 5).",
+    )
 
 #: Paper Section 5.1 — fleet composition of the 200-device testbed.
 DEFAULT_TIER_COUNTS: dict[str, int] = {"high": 30, "mid": 70, "low": 100}

@@ -11,11 +11,13 @@ from repro.core.reward import RewardCalculator, RewardWeights
 from repro.core.selection import Policy
 from repro.core.state import GlobalState, LocalState, StateEncoder
 from repro.exceptions import PolicyError
+from repro.registry import POLICIES
 from repro.fl.server import RoundTrainingResult
 from repro.sim.context import RoundContext, SelectionDecision
 from repro.sim.results import RoundExecution
 
 
+@POLICIES.register("autofl")
 class AutoFLPolicy(Policy):
     """AutoFL: heterogeneity-aware, energy-efficient participant and target selection.
 

@@ -19,6 +19,7 @@ from repro.core.selection import CLUSTER_TEMPLATES, Policy, scale_template
 from repro.devices.device import ExecutionTarget
 from repro.devices.specs import DeviceTier
 from repro.exceptions import PolicyError
+from repro.registry import POLICIES
 from repro.fl.surrogate import STALL_QUALITY_THRESHOLD
 from repro.sim.context import RoundContext, SelectionDecision
 from repro.sim.results import DeviceRoundOutcome
@@ -44,6 +45,7 @@ class _CandidatePlan:
         return (0.05 + self.expected_gain) / self.global_energy_j
 
 
+@POLICIES.register("oparticipant", aliases=("o-participant", "oracle-participant"))
 class OracleParticipantPolicy(Policy):
     """``Oparticipant``: oracle participant selection with default execution targets."""
 
@@ -164,6 +166,7 @@ class OracleParticipantPolicy(Policy):
         return SelectionDecision(participants=best.participants, targets=best.targets)
 
 
+@POLICIES.register("ofl", aliases=("o-fl", "oracle-fl", "oracle"))
 class OracleFLPolicy(OracleParticipantPolicy):
     """``OFL``: oracle participant selection plus per-device execution-target selection."""
 

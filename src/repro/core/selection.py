@@ -12,6 +12,7 @@ import numpy as np
 from repro.devices.specs import DeviceTier
 from repro.exceptions import PolicyError
 from repro.fl.server import RoundTrainingResult
+from repro.registry import POLICIES
 from repro.sim.context import RoundContext, SelectionDecision
 from repro.sim.results import RoundExecution
 
@@ -53,6 +54,7 @@ class Policy:
         """Receive the measured outcome of the round.  Non-learning policies ignore it."""
 
 
+@POLICIES.register("fedavg-random", aliases=("random", "fedavg", "baseline"))
 class RandomPolicy(Policy):
     """FedAvg-Random: the de-facto baseline that picks K participants uniformly at random."""
 
@@ -132,6 +134,7 @@ class StaticClusterPolicy(Policy):
         return SelectionDecision(participants=participants)
 
 
+@POLICIES.register("performance")
 class PerformancePolicy(StaticClusterPolicy):
     """Performance-oriented selection: the all-high-end cluster C1."""
 
@@ -139,6 +142,7 @@ class PerformancePolicy(StaticClusterPolicy):
         super().__init__("C1", rng=rng, name="performance")
 
 
+@POLICIES.register("power")
 class PowerPolicy(StaticClusterPolicy):
     """Power-oriented selection: the all-low-end cluster C7 (lowest power draw)."""
 
@@ -146,32 +150,33 @@ class PowerPolicy(StaticClusterPolicy):
         super().__init__("C7", rng=rng, name="power")
 
 
+def _register_cluster_templates() -> None:
+    for key, template in CLUSTER_TEMPLATES.items():
+        mix = "/".join(
+            str(template[tier]) for tier in (DeviceTier.HIGH, DeviceTier.MID, DeviceTier.LOW)
+        )
+        POLICIES.add(
+            f"cluster-{key.lower()}",
+            # Bind the template key at definition time; a plain closure over ``key``
+            # would make every factory build the last template.
+            lambda rng=None, _key=key: StaticClusterPolicy(_key, rng=rng),
+            summary=f"Static Table 4 cluster {key} (high/mid/low = {mix} for K = 20).",
+        )
+
+
+_register_cluster_templates()
+
+
 def make_policy(
     name: str,
     rng: np.random.Generator | None = None,
     **kwargs: object,
 ) -> Policy:
-    """Instantiate a selection policy by name.
+    """Instantiate a selection policy by registered name.
 
-    Supported names: ``fedavg-random`` (alias ``random``), ``power``, ``performance``,
-    ``cluster-c1`` … ``cluster-c7``, ``oparticipant``, ``ofl`` and ``autofl``.
+    Built-in names: ``fedavg-random`` (alias ``random``), ``power``, ``performance``,
+    ``cluster-c1`` … ``cluster-c7``, ``oparticipant``, ``ofl`` and ``autofl``; third-party
+    policies registered on :data:`repro.registry.POLICIES` resolve the same way.
     """
-    from repro.core.controller import AutoFLPolicy
-    from repro.core.oracle import OracleFLPolicy, OracleParticipantPolicy
-
-    key = name.lower().replace("_", "-")
-    if key in ("random", "fedavg-random", "fedavg", "baseline"):
-        return RandomPolicy(rng=rng)
-    if key == "power":
-        return PowerPolicy(rng=rng)
-    if key == "performance":
-        return PerformancePolicy(rng=rng)
-    if key.startswith("cluster-"):
-        return StaticClusterPolicy(key.split("-", 1)[1], rng=rng)
-    if key in ("oparticipant", "o-participant", "oracle-participant"):
-        return OracleParticipantPolicy(rng=rng)
-    if key in ("ofl", "o-fl", "oracle-fl", "oracle"):
-        return OracleFLPolicy(rng=rng)
-    if key == "autofl":
-        return AutoFLPolicy(rng=rng, **kwargs)  # type: ignore[arg-type]
-    raise PolicyError(f"unknown policy {name!r}")
+    factory = POLICIES.get(name)
+    return factory(rng=rng, **kwargs)  # type: ignore[return-value]

@@ -14,6 +14,7 @@ import enum
 import numpy as np
 
 from repro.exceptions import DataError
+from repro.registry import DATA_DISTRIBUTIONS
 
 #: Dirichlet concentration parameter used by the paper for non-IID devices.
 DIRICHLET_CONCENTRATION = 0.1
@@ -42,13 +43,19 @@ class DataDistribution(enum.Enum):
         """Coerce a scenario name (e.g. ``"non_iid_75"`` or ``"iid"``) into an enum member."""
         if isinstance(name, cls):
             return name
-        try:
-            return cls(name.lower())
-        except ValueError as exc:
-            raise DataError(
-                f"unknown data distribution {name!r}; expected one of "
-                f"{[member.value for member in cls]}"
-            ) from exc
+        return DATA_DISTRIBUTIONS.create(name)  # type: ignore[return-value]
+
+
+for _member in DataDistribution:
+    DATA_DISTRIBUTIONS.add(
+        _member.value,
+        lambda _choice=_member: _choice,
+        summary=(
+            "Every device holds IID data covering all classes."
+            if _member is DataDistribution.IID
+            else f"{_member.non_iid_fraction:.0%} of devices hold Dirichlet non-IID data."
+        ),
+    )
 
 
 def _validate_inputs(labels: np.ndarray, num_devices: int) -> np.ndarray:

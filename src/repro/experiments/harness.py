@@ -1,16 +1,27 @@
-"""Experiment runners shared by the examples and the per-figure benchmark harness."""
+"""Experiment runners shared by the examples and the per-figure benchmark harness.
+
+These drivers sit one level above the declarative subsystem: each builds its (single-seed)
+jobs as :class:`~repro.experiments.spec.ExperimentSpec` instances executed through
+:func:`~repro.experiments.runner.build_simulation`, then adds the figure-specific
+post-processing (baseline normalisation, cluster sweeps, reference-policy shadowing) that
+needs the full per-round :class:`~repro.sim.results.SimulationResult`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.selection import StaticClusterPolicy, make_policy
+from repro.devices.specs import DeviceTier
 from repro.exceptions import ConfigurationError
+from repro.experiments.runner import build_simulation
+from repro.experiments.spec import ExperimentSpec
 from repro.fl.metrics import relative_improvement
 from repro.sim.context import RoundContext
 from repro.sim.results import SimulationResult
+from repro.sim.round_engine import RoundEngine
 from repro.sim.runner import FLSimulation
 from repro.sim.scenarios import ScenarioSpec, build_environment, build_surrogate_backend
 
@@ -58,18 +69,13 @@ def run_simulation(
     seed_offset: int = 0,
 ) -> SimulationResult:
     """Run one complete FL training job for a scenario under a named policy."""
-    spec = ScenarioSpec(**{**spec.__dict__, "seed": spec.seed + seed_offset})
-    environment = build_environment(spec)
-    backend = build_surrogate_backend(environment, aggregator=spec.aggregator)
-    policy = make_policy(policy_name, rng=np.random.default_rng(spec.seed + 10_000))
-    simulation = FLSimulation(
-        environment=environment,
-        policy=policy,
-        backend=backend,
-        max_rounds=max_rounds,
-        stop_at_convergence=stop_at_convergence,
+    scenario = replace(spec, seed=spec.seed + seed_offset)
+    if max_rounds is not None:
+        scenario = replace(scenario, max_rounds=max_rounds)
+    experiment = ExperimentSpec(
+        scenario=scenario, policy=policy_name, stop_at_convergence=stop_at_convergence
     )
-    return simulation.run()
+    return build_simulation(experiment).run()
 
 
 def run_policy_comparison(
@@ -163,8 +169,6 @@ def run_with_reference(
     backend = build_surrogate_backend(environment, aggregator=spec.aggregator)
     policy = make_policy(policy_name, rng=np.random.default_rng(spec.seed + 10_000))
     reference = make_policy(reference_name, rng=np.random.default_rng(spec.seed + 20_000))
-    from repro.sim.round_engine import RoundEngine
-
     engine = RoundEngine(environment)
     participant_matches: list[float] = []
     target_matches: list[float] = []
@@ -224,8 +228,6 @@ def run_static_cluster(
     spec: ScenarioSpec, composition: dict[str, int], max_rounds: int | None = None
 ) -> SimulationResult:
     """Run a custom static tier composition (counts per tier for K = 20)."""
-    from repro.devices.specs import DeviceTier
-
     environment = build_environment(spec)
     backend = build_surrogate_backend(environment, aggregator=spec.aggregator)
     policy = StaticClusterPolicy(

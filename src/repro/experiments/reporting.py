@@ -1,10 +1,31 @@
-"""Plain-text report formatting for experiment results."""
+"""Plain-text report formatting for experiment results.
+
+Beyond the generic :func:`format_table`, this module renders the three shapes the CLI and
+the benchmarks print: policy-comparison rows (normalised to FedAvg-Random), batches of
+:class:`~repro.experiments.runner.ExperimentResult` and registry listings.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.experiments.harness import ComparisonRow
+    from repro.experiments.runner import BatchReport, ExperimentResult
+    from repro.registry import Registry
+
+#: Column headers of a normalised policy-comparison table (Figures 8-11).
+COMPARISON_HEADERS: tuple[str, ...] = (
+    "policy",
+    "PPW (local)",
+    "PPW (global)",
+    "conv. speedup",
+    "accuracy",
+    "converged",
+)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -43,3 +64,66 @@ def _render_cell(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"
     return str(cell)
+
+
+def format_comparison(rows: Sequence["ComparisonRow"]) -> str:
+    """Format policy-comparison rows as the paper-style normalised table."""
+    return format_table(COMPARISON_HEADERS, [row.as_tuple() for row in rows])
+
+
+def format_experiment_results(results: Sequence["ExperimentResult"]) -> str:
+    """Format a batch of experiment results, one grid point per row."""
+    headers = [
+        "policy",
+        "workload",
+        "setting",
+        "interference",
+        "network",
+        "data",
+        "devices",
+        "seeds",
+        "converged",
+        "rounds",
+        "accuracy",
+        "energy (kJ)",
+        "source",
+    ]
+    rows = []
+    for result in results:
+        scenario = result.spec.scenario
+        rows.append(
+            [
+                result.spec.policy,
+                scenario.workload,
+                scenario.setting,
+                scenario.interference,
+                scenario.network,
+                scenario.data_distribution,
+                scenario.num_devices,
+                result.n_seeds,
+                f"{result.convergence_rate:.0%}",
+                round(result.mean_rounds, 1),
+                result.mean_final_accuracy,
+                result.mean_global_energy_j / 1e3,
+                "cache" if result.cached else "run",
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def format_batch_footer(report: "BatchReport") -> str:
+    """One-line execution summary printed under a sweep table."""
+    return (
+        f"{report.total} grid point(s): {report.cache_hits} from cache, "
+        f"{report.executed} executed in {report.elapsed_s:.2f}s"
+    )
+
+
+def format_registry(axis: str, registry: "Registry") -> str:
+    """Format one registry's entries as a name/aliases/summary table."""
+    rows = [
+        [entry.name, ", ".join(entry.aliases) or "-", entry.summary or "-"]
+        for entry in registry.entries()
+    ]
+    title = f"{axis} ({len(rows)} registered)"
+    return f"{title}\n{format_table(['name', 'aliases', 'summary'], rows)}"

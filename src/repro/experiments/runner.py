@@ -1,0 +1,333 @@
+"""Batch execution of declarative experiments: executors, caching and the result store.
+
+A :class:`BatchRunner` takes a :class:`~repro.experiments.spec.Sweep` (or any iterable of
+:class:`~repro.experiments.spec.ExperimentSpec`) and produces one
+:class:`ExperimentResult` per grid point.  Points whose spec hash is already present in
+the :class:`ResultStore` are served from cache — a re-run of an already-computed grid is
+near-instant — and the misses fan out over a pluggable executor (serial, or one worker
+process per core via :class:`MultiprocessExecutor`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.selection import make_policy
+from repro.exceptions import ConfigurationError
+from repro.experiments.spec import ExperimentSpec, Sweep
+from repro.fl.metrics import EfficiencySummary
+from repro.sim.runner import FLSimulation
+from repro.sim.scenarios import build_environment, build_surrogate_backend
+
+#: Bumped whenever the stored result payload's shape changes.
+RESULT_SCHEMA_VERSION = 1
+
+#: Default on-disk location of the JSONL result store (relative to the working directory).
+DEFAULT_STORE_PATH = Path(".repro-results") / "results.jsonl"
+
+#: Offset between the scenario seed and the policy RNG stream (kept distinct from the
+#: environment and backend streams; mirrors the original harness seeding).
+POLICY_SEED_OFFSET = 10_000
+
+
+def build_simulation(spec: ExperimentSpec) -> FLSimulation:
+    """Construct the ready-to-run simulation for one (single-seed) experiment spec."""
+    spec.validate()
+    scenario = spec.scenario
+    environment = build_environment(scenario)
+    backend = build_surrogate_backend(environment, aggregator=scenario.aggregator)
+    policy = make_policy(
+        spec.policy, rng=np.random.default_rng(scenario.seed + POLICY_SEED_OFFSET)
+    )
+    return FLSimulation(
+        environment=environment,
+        policy=policy,
+        backend=backend,
+        max_rounds=scenario.max_rounds,
+        stop_at_convergence=spec.stop_at_convergence,
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Aggregated outcome of one experiment spec (averaged over its seed replicas)."""
+
+    spec: ExperimentSpec
+    summaries: tuple[EfficiencySummary, ...]
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.summaries:
+            raise ConfigurationError("an experiment result needs at least one summary")
+
+    # ------------------------------------------------------------------ averaged metrics
+    @property
+    def n_seeds(self) -> int:
+        """Number of seed replicas aggregated in this result."""
+        return len(self.summaries)
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of seed replicas that reached the target accuracy."""
+        return sum(summary.converged for summary in self.summaries) / self.n_seeds
+
+    @property
+    def mean_final_accuracy(self) -> float:
+        """Final accuracy averaged over the seed replicas."""
+        return float(np.mean([summary.final_accuracy for summary in self.summaries]))
+
+    @property
+    def mean_rounds(self) -> float:
+        """Executed rounds averaged over the seed replicas."""
+        return float(np.mean([summary.rounds_executed for summary in self.summaries]))
+
+    @property
+    def mean_convergence_time_s(self) -> float:
+        """Convergence-reference time averaged over the seed replicas."""
+        return float(
+            np.mean([summary.convergence_speedup_reference_s for summary in self.summaries])
+        )
+
+    @property
+    def mean_participant_energy_j(self) -> float:
+        """Participant energy averaged over the seed replicas."""
+        return float(np.mean([summary.participant_energy_j for summary in self.summaries]))
+
+    @property
+    def mean_global_energy_j(self) -> float:
+        """Population-wide energy averaged over the seed replicas."""
+        return float(np.mean([summary.global_energy_j for summary in self.summaries]))
+
+    # ------------------------------------------------------------------ serialisation
+    def to_dict(self) -> dict:
+        """JSON-serialisable payload (the result-store line body)."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "hash": self.spec.spec_hash(),
+            "spec": self.spec.to_dict(),
+            "summaries": [asdict(summary) for summary in self.summaries],
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, cached: bool = False) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            spec=ExperimentSpec.from_dict(payload["spec"]),
+            summaries=tuple(
+                EfficiencySummary(**summary) for summary in payload["summaries"]
+            ),
+            elapsed_s=payload.get("elapsed_s", 0.0),
+            cached=cached,
+        )
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one experiment spec (all its seed replicas) in the current process."""
+    start = time.perf_counter()
+    summaries = tuple(build_simulation(unit).run().summary() for unit in spec.seed_specs())
+    return ExperimentResult(
+        spec=spec, summaries=summaries, elapsed_s=time.perf_counter() - start
+    )
+
+
+def _run_payload(payload: dict) -> dict:
+    """Worker entry point: runs one serialised spec (module-level so it pickles)."""
+    return run_experiment(ExperimentSpec.from_dict(payload)).to_dict()
+
+
+class Executor(Protocol):
+    """Structural interface of a batch executor."""
+
+    name: str
+
+    def map(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+        """Run every spec and return results in the same order."""
+        ...
+
+
+class SerialExecutor:
+    """Runs every spec in the calling process, one after another."""
+
+    name = "serial"
+
+    def map(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+        """Run every spec and return results in the same order."""
+        return [run_experiment(spec) for spec in specs]
+
+
+class MultiprocessExecutor:
+    """Fans specs out over a process pool (one worker per core by default).
+
+    Specs travel to the workers as JSON payloads and results come back the same way, so
+    the executor works under any multiprocessing start method.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        # At least two workers even on single-core boxes, so batches always exercise the
+        # real process-pool path (an explicit max_workers=1 still degrades to serial).
+        self.max_workers = max_workers if max_workers is not None else max(2, os.cpu_count() or 1)
+
+    def map(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+        """Run every spec and return results in the same order."""
+        if not specs:
+            return []
+        workers = min(self.max_workers, len(specs))
+        if workers == 1:
+            return SerialExecutor().map(specs)
+        payloads = [spec.to_dict() for spec in specs]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            raw = list(pool.map(_run_payload, payloads))
+        return [ExperimentResult.from_dict(payload) for payload in raw]
+
+
+#: Executor factories by CLI name.
+EXECUTORS = {
+    SerialExecutor.name: lambda jobs=None: SerialExecutor(),
+    MultiprocessExecutor.name: lambda jobs=None: MultiprocessExecutor(max_workers=jobs),
+}
+
+
+def get_executor(name: str, jobs: int | None = None) -> Executor:
+    """Instantiate an executor by name (``serial`` or ``process``)."""
+    key = name.lower()
+    if key not in EXECUTORS:
+        raise ConfigurationError(
+            f"unknown executor {name!r}; expected one of {sorted(EXECUTORS)}"
+        )
+    return EXECUTORS[key](jobs)
+
+
+class ResultStore:
+    """Append-only JSONL store of experiment results, keyed by deterministic spec hash.
+
+    The file is loaded once at construction; on duplicate hashes the last line wins (so
+    re-computing a point simply supersedes it).  Writes append a single JSON line,
+    keeping concurrent readers safe and the file trivially greppable.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._results: dict[str, ExperimentResult] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    key = payload["hash"]
+                    result = ExperimentResult.from_dict(payload, cached=True)
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise ConfigurationError(
+                        f"corrupt result store {self.path} at line {line_number}: {exc}"
+                    ) from exc
+                self._results[key] = result
+
+    def get(self, spec: ExperimentSpec | str) -> ExperimentResult | None:
+        """Look up the stored result for a spec (or a raw spec hash)."""
+        key = spec if isinstance(spec, str) else spec.spec_hash()
+        return self._results.get(key)
+
+    def put(self, result: ExperimentResult) -> None:
+        """Persist one result (appends a JSONL line and updates the in-memory index)."""
+        payload = result.to_dict()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._results[payload["hash"]] = replace(result, cached=True)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, spec: ExperimentSpec | str) -> bool:
+        key = spec if isinstance(spec, str) else spec.spec_hash()
+        return key in self._results
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of one :meth:`BatchRunner.run` call."""
+
+    results: tuple[ExperimentResult, ...]
+    cache_hits: int
+    executed: int
+    elapsed_s: float
+
+    @property
+    def total(self) -> int:
+        """Number of grid points in the batch."""
+        return len(self.results)
+
+
+class BatchRunner:
+    """Executes batches of experiment specs with spec-hash caching.
+
+    Parameters
+    ----------
+    executor:
+        Fan-out strategy for cache misses; defaults to :class:`SerialExecutor`.
+    store:
+        Optional :class:`ResultStore`; when given, hits skip execution entirely and
+        fresh results are persisted for the next run.
+    """
+
+    def __init__(self, executor: Executor | None = None, store: ResultStore | None = None):
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.store = store
+
+    def run(self, experiments: Sweep | Iterable[ExperimentSpec]) -> BatchReport:
+        """Run a sweep (or spec list), serving already-computed points from the store."""
+        start = time.perf_counter()
+        specs = (
+            experiments.expand()
+            if isinstance(experiments, Sweep)
+            else [spec.validate() for spec in experiments]
+        )
+        hashes = [spec.spec_hash() for spec in specs]
+        slots: list[ExperimentResult | None] = [None] * len(specs)
+        misses: dict[str, list[int]] = {}
+        cache_hits = 0
+        for index, (spec, spec_hash) in enumerate(zip(specs, hashes)):
+            hit = self.store.get(spec_hash) if self.store is not None else None
+            if hit is not None:
+                slots[index] = replace(hit, cached=True)
+                cache_hits += 1
+            else:
+                # Identical points appearing several times in one grid run only once.
+                misses.setdefault(spec_hash, []).append(index)
+        if misses:
+            unique_specs = [specs[indices[0]] for indices in misses.values()]
+            fresh = self.executor.map(unique_specs)
+            for indices, result in zip(misses.values(), fresh):
+                if self.store is not None:
+                    self.store.put(result)
+                for index in indices:
+                    slots[index] = result
+        results = tuple(slot for slot in slots if slot is not None)
+        if len(results) != len(specs):  # pragma: no cover - defensive
+            raise ConfigurationError("batch execution lost results for some grid points")
+        return BatchReport(
+            results=results,
+            cache_hits=cache_hits,
+            executed=len(misses),
+            elapsed_s=time.perf_counter() - start,
+        )

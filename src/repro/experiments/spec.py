@@ -1,0 +1,239 @@
+"""Declarative experiment specifications and sweep grids.
+
+An :class:`ExperimentSpec` is *data*: a :class:`~repro.sim.scenarios.ScenarioSpec` (the
+point in the paper's evaluation space), the selection policy to run on it and how many
+seed replicas to average over.  Because it is plain data it can be validated early against
+the registries, hashed deterministically for result caching, serialised to JSON for
+multiprocessing workers and the on-disk result store, and expanded from a :class:`Sweep`
+grid — the declarative counterpart of the per-figure driver functions in
+:mod:`repro.experiments.harness`.
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import itertools
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import asdict, dataclass, field, fields, replace
+
+from repro import registry
+from repro.exceptions import ConfigurationError
+from repro.sim.scenarios import ScenarioSpec
+
+#: Bumped whenever the hashed payload's shape changes, so stale caches never alias.
+SPEC_SCHEMA_VERSION = 1
+
+#: Scenario fields addressable as sweep axes.
+SCENARIO_AXES: tuple[str, ...] = tuple(f.name for f in fields(ScenarioSpec))
+
+#: Experiment-level fields addressable as sweep axes.
+EXPERIMENT_AXES: tuple[str, ...] = ("policy", "n_seeds", "stop_at_convergence")
+
+#: Axes holding integer values (used when parsing CLI ``--axis name=v1,v2`` strings).
+_INT_AXES = frozenset({"num_devices", "max_rounds", "seed", "n_seeds"})
+
+#: Axes holding boolean values.
+_BOOL_AXES = frozenset({"stop_at_convergence"})
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative experiment: a scenario, a policy and a replication count.
+
+    ``n_seeds`` replicas run the scenario with seeds ``seed, seed + 1, …`` and the
+    reported metrics are averaged over them (the paper reports averages over repeated
+    runs of each design point).
+    """
+
+    scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
+    policy: str = "autofl"
+    n_seeds: int = 1
+    stop_at_convergence: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_seeds < 1:
+            raise ConfigurationError(f"n_seeds must be >= 1, got {self.n_seeds}")
+
+    # ------------------------------------------------------------------ validation
+    def validate(self) -> "ExperimentSpec":
+        """Resolve every named axis against its registry; raise early on unknown names."""
+        registry.POLICIES.entry(self.policy)
+        registry.WORKLOADS.entry(self.scenario.workload)
+        registry.SETTINGS.entry(self.scenario.setting)
+        registry.INTERFERENCE.entry(self.scenario.interference)
+        registry.NETWORKS.entry(self.scenario.network)
+        registry.DATA_DISTRIBUTIONS.entry(self.scenario.data_distribution)
+        registry.AGGREGATORS.entry(self.scenario.aggregator)
+        return self
+
+    # ------------------------------------------------------------------ derivation
+    def with_axis(self, axis: str, value: object) -> "ExperimentSpec":
+        """Return a copy with one axis (experiment- or scenario-level) replaced."""
+        if axis in EXPERIMENT_AXES:
+            return replace(self, **{axis: value})
+        if axis in SCENARIO_AXES:
+            return replace(self, scenario=replace(self.scenario, **{axis: value}))
+        known = sorted(EXPERIMENT_AXES + SCENARIO_AXES)
+        message = f"unknown sweep axis {axis!r}; expected one of {known}"
+        close = difflib.get_close_matches(axis, known, n=1)
+        if close:
+            message += f" — did you mean {close[0]!r}?"
+        raise ConfigurationError(message)
+
+    def seed_specs(self) -> list["ExperimentSpec"]:
+        """The single-seed unit jobs this spec replicates over."""
+        return [
+            replace(
+                self,
+                scenario=replace(self.scenario, seed=self.scenario.seed + offset),
+                n_seeds=1,
+            )
+            for offset in range(self.n_seeds)
+        ]
+
+    # ------------------------------------------------------------------ identity
+    @property
+    def label(self) -> str:
+        """Compact human-readable identity used in report tables."""
+        s = self.scenario
+        parts = [
+            self.policy,
+            s.workload,
+            s.setting,
+            s.interference,
+            s.network,
+            s.data_distribution,
+            f"N{s.num_devices}",
+            f"R{s.max_rounds}",
+            f"seed{s.seed}",
+        ]
+        if self.n_seeds > 1:
+            parts.append(f"x{self.n_seeds}")
+        return "/".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable payload (also the hashed cache identity)."""
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "scenario": asdict(self.scenario),
+            "policy": self.policy,
+            "n_seeds": self.n_seeds,
+            "stop_at_convergence": self.stop_at_convergence,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        schema = payload.get("schema", SPEC_SCHEMA_VERSION)
+        if schema != SPEC_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported experiment spec schema {schema!r} "
+                f"(this version reads {SPEC_SCHEMA_VERSION})"
+            )
+        return cls(
+            scenario=ScenarioSpec(**payload["scenario"]),
+            policy=payload["policy"],
+            n_seeds=payload["n_seeds"],
+            stop_at_convergence=payload["stop_at_convergence"],
+        )
+
+    def spec_hash(self) -> str:
+        """Deterministic content hash of the spec (stable across processes and runs)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def short_hash(self) -> str:
+        """First 12 hex digits of :meth:`spec_hash`, for display."""
+        return self.spec_hash()[:12]
+
+
+class Sweep:
+    """A cartesian grid over any combination of experiment and scenario axes.
+
+    >>> sweep = Sweep(base, policy=["fedavg-random", "autofl"], setting=["S1", "S3"])
+    >>> len(sweep.expand())
+    4
+
+    Axis order is preserved: the first axis varies slowest, matching how the paper's
+    figures group their bars.
+    """
+
+    def __init__(
+        self,
+        base: ExperimentSpec | None = None,
+        axes: Mapping[str, Iterable[object]] | None = None,
+        **axis_kwargs: Iterable[object],
+    ) -> None:
+        self.base = base if base is not None else ExperimentSpec()
+        merged: dict[str, tuple[object, ...]] = {}
+        for source in (axes or {}), axis_kwargs:
+            for name, values in source.items():
+                values = tuple(values)
+                if not values:
+                    raise ConfigurationError(f"sweep axis {name!r} has no values")
+                if name in merged:
+                    raise ConfigurationError(f"sweep axis {name!r} given twice")
+                merged[name] = values
+        if not merged:
+            raise ConfigurationError("a sweep needs at least one axis")
+        # Validate axis names eagerly so typos fail before any simulation runs.
+        for name in merged:
+            self.base.with_axis(name, merged[name][0])
+        self.axes: dict[str, tuple[object, ...]] = merged
+
+    @property
+    def size(self) -> int:
+        """Number of grid points (before seed replication)."""
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def expand(self) -> list[ExperimentSpec]:
+        """Materialise every grid point as a validated :class:`ExperimentSpec`."""
+        specs = []
+        names = list(self.axes)
+        for combo in itertools.product(*self.axes.values()):
+            spec = self.base
+            for name, value in zip(names, combo):
+                spec = spec.with_axis(name, value)
+            specs.append(spec.validate())
+        return specs
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        axes = ", ".join(f"{name}={list(values)}" for name, values in self.axes.items())
+        return f"Sweep({self.size} points: {axes})"
+
+
+def parse_axis(text: str) -> tuple[str, tuple[object, ...]]:
+    """Parse a CLI axis definition ``name=v1,v2,…`` with per-axis value typing."""
+    name, sep, raw_values = text.partition("=")
+    name = name.strip().replace("-", "_")
+    if not sep or not name or not raw_values.strip():
+        raise ConfigurationError(
+            f"invalid axis {text!r}; expected the form name=value1,value2,…"
+        )
+    values = tuple(_coerce_axis_value(name, value.strip()) for value in raw_values.split(","))
+    return name, values
+
+
+def _coerce_axis_value(axis: str, value: str) -> object:
+    if axis in _INT_AXES:
+        try:
+            return int(value)
+        except ValueError:
+            raise ConfigurationError(f"axis {axis!r} takes integers, got {value!r}") from None
+    if axis in _BOOL_AXES:
+        lowered = value.lower()
+        if lowered in ("true", "yes", "1"):
+            return True
+        if lowered in ("false", "no", "0"):
+            return False
+        raise ConfigurationError(f"axis {axis!r} takes true/false, got {value!r}")
+    return value

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import PolicyError
+from repro.registry import AGGREGATORS as AGGREGATOR_REGISTRY
 
 Weights = list[dict[str, np.ndarray]]
 
@@ -74,6 +75,7 @@ class Aggregator:
             raise PolicyError("all client updates report zero samples")
 
 
+@AGGREGATOR_REGISTRY.register("fedavg")
 class FedAvgAggregator(Aggregator):
     """FedAvg: sample-count-weighted average of client weights (McMahan et al.)."""
 
@@ -89,6 +91,7 @@ class FedAvgAggregator(Aggregator):
         return new_weights
 
 
+@AGGREGATOR_REGISTRY.register("fedprox")
 class FedProxAggregator(FedAvgAggregator):
     """FedProx: FedAvg aggregation with a client-side proximal term.
 
@@ -106,6 +109,7 @@ class FedProxAggregator(FedAvgAggregator):
         self.client_proximal_mu = mu
 
 
+@AGGREGATOR_REGISTRY.register("fednova")
 class FedNovaAggregator(Aggregator):
     """FedNova: normalised averaging of client progress (Wang et al., NeurIPS 2020).
 
@@ -136,6 +140,7 @@ class FedNovaAggregator(Aggregator):
         return new_weights
 
 
+@AGGREGATOR_REGISTRY.register("fedl")
 class FEDLAggregator(Aggregator):
     """FEDL: server-side relaxation of the averaged update (Dinh et al., ToN 2021).
 
@@ -166,7 +171,8 @@ class FEDLAggregator(Aggregator):
         return new_weights
 
 
-#: Registry of aggregation algorithms by name.
+#: Built-in aggregation algorithms by name (kept for introspection; the authoritative
+#: lookup is :data:`repro.registry.AGGREGATORS`, which third parties can extend).
 AGGREGATORS: dict[str, type[Aggregator]] = {
     FedAvgAggregator.name: FedAvgAggregator,
     FedProxAggregator.name: FedProxAggregator,
@@ -176,10 +182,7 @@ AGGREGATORS: dict[str, type[Aggregator]] = {
 
 
 def get_aggregator(name: "str | Aggregator") -> Aggregator:
-    """Instantiate an aggregator by name (``fedavg``, ``fedprox``, ``fednova``, ``fedl``)."""
+    """Instantiate an aggregator by registered name (``fedavg``, ``fedprox``, …)."""
     if isinstance(name, Aggregator):
         return name
-    key = name.lower()
-    if key not in AGGREGATORS:
-        raise PolicyError(f"unknown aggregator {name!r}; expected one of {sorted(AGGREGATORS)}")
-    return AGGREGATORS[key]()
+    return AGGREGATOR_REGISTRY.create(name)  # type: ignore[return-value]

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.registry import INTERFERENCE
 
 
 class InterferenceScenario(enum.Enum):
@@ -26,6 +27,30 @@ class InterferenceScenario(enum.Enum):
     NONE = "none"
     MODERATE = "moderate"
     HEAVY = "heavy"
+
+    @classmethod
+    def from_name(cls, name: "str | InterferenceScenario") -> "InterferenceScenario":
+        """Coerce a scenario name into an enum member via the registry."""
+        if isinstance(name, cls):
+            return name
+        return INTERFERENCE.create(name)  # type: ignore[return-value]
+
+
+INTERFERENCE.add(
+    InterferenceScenario.NONE.value,
+    lambda: InterferenceScenario.NONE,
+    summary="No co-running applications on any device.",
+)
+INTERFERENCE.add(
+    InterferenceScenario.MODERATE.value,
+    lambda: InterferenceScenario.MODERATE,
+    summary="Web-browsing-like co-runner on half of the devices.",
+)
+INTERFERENCE.add(
+    InterferenceScenario.HEAVY.value,
+    lambda: InterferenceScenario.HEAVY,
+    summary="Aggressive co-runner on most devices (paper's interference study).",
+)
 
 
 @dataclass(frozen=True)

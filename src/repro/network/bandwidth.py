@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.registry import NETWORKS
 
 #: Threshold (Mbit/s) separating the ``Regular`` and ``Bad`` network states (paper Table 1).
 BAD_NETWORK_THRESHOLD_MBPS = 40.0
@@ -33,6 +34,30 @@ class NetworkScenario(enum.Enum):
     STABLE = "stable"
     VARIABLE = "variable"
     WEAK = "weak"
+
+    @classmethod
+    def from_name(cls, name: "str | NetworkScenario") -> "NetworkScenario":
+        """Coerce a scenario name into an enum member via the registry."""
+        if isinstance(name, cls):
+            return name
+        return NETWORKS.create(name)  # type: ignore[return-value]
+
+
+NETWORKS.add(
+    NetworkScenario.STABLE.value,
+    lambda: NetworkScenario.STABLE,
+    summary="High, tightly concentrated bandwidth (no network variance).",
+)
+NETWORKS.add(
+    NetworkScenario.VARIABLE.value,
+    lambda: NetworkScenario.VARIABLE,
+    summary="Gaussian bandwidth variability (the paper's in-the-field default).",
+)
+NETWORKS.add(
+    NetworkScenario.WEAK.value,
+    lambda: NetworkScenario.WEAK,
+    summary="Low-mean bandwidth; most devices in the Bad network state.",
+)
 
 
 def signal_from_bandwidth(bandwidth_mbps: float) -> SignalStrength:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, replace
 
 from repro.exceptions import ConfigurationError, ModelError
 from repro.nn.model import Sequential
+from repro.registry import WORKLOADS as WORKLOAD_REGISTRY
 
 
 @dataclass(frozen=True)
@@ -148,35 +149,36 @@ MOBILENET_IMAGENET = WorkloadProfile(
     samples_per_device=200,
 )
 
-#: Registry of the paper's three workloads by canonical name.
+#: The paper's three workloads by canonical name (kept for introspection; the
+#: authoritative lookup is :data:`repro.registry.WORKLOADS`).
 WORKLOAD_PROFILES: dict[str, WorkloadProfile] = {
     CNN_MNIST.name: CNN_MNIST,
     LSTM_SHAKESPEARE.name: LSTM_SHAKESPEARE,
     MOBILENET_IMAGENET.name: MOBILENET_IMAGENET,
 }
 
-#: Accepted aliases for workload lookup.
-_WORKLOAD_ALIASES: dict[str, str] = {
-    "cnn": CNN_MNIST.name,
-    "cnn_mnist": CNN_MNIST.name,
-    "mnist": CNN_MNIST.name,
-    "lstm": LSTM_SHAKESPEARE.name,
-    "lstm_shakespeare": LSTM_SHAKESPEARE.name,
-    "shakespeare": LSTM_SHAKESPEARE.name,
-    "mobilenet": MOBILENET_IMAGENET.name,
-    "mobilenet_imagenet": MOBILENET_IMAGENET.name,
-    "imagenet": MOBILENET_IMAGENET.name,
-}
+WORKLOAD_REGISTRY.add(
+    CNN_MNIST.name,
+    lambda: CNN_MNIST,
+    aliases=("cnn", "mnist"),
+    summary="FedAvg 2-conv CNN on MNIST (~1.6 M params, compute-dominated).",
+)
+WORKLOAD_REGISTRY.add(
+    LSTM_SHAKESPEARE.name,
+    lambda: LSTM_SHAKESPEARE,
+    aliases=("lstm", "shakespeare"),
+    summary="2-layer character LSTM on Shakespeare (~0.8 M params, memory-bound).",
+)
+WORKLOAD_REGISTRY.add(
+    MOBILENET_IMAGENET.name,
+    lambda: MOBILENET_IMAGENET,
+    aliases=("mobilenet", "imagenet"),
+    summary="MobileNetV1 on ImageNet (~4.2 M params, largest compute and payload).",
+)
 
 
 def get_workload_profile(name: "str | WorkloadProfile") -> WorkloadProfile:
-    """Look up a predefined workload profile by name (several aliases accepted)."""
+    """Look up a registered workload profile by name (several aliases accepted)."""
     if isinstance(name, WorkloadProfile):
         return name
-    key = name.lower().replace("-", "_")
-    canonical = _WORKLOAD_ALIASES.get(key, key.replace("_", "-"))
-    if canonical in WORKLOAD_PROFILES:
-        return WORKLOAD_PROFILES[canonical]
-    raise ConfigurationError(
-        f"unknown workload {name!r}; expected one of {sorted(WORKLOAD_PROFILES)}"
-    )
+    return WORKLOAD_REGISTRY.create(name)  # type: ignore[return-value]

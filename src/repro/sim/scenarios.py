@@ -69,8 +69,8 @@ def build_environment(spec: ScenarioSpec) -> EdgeCloudEnvironment:
         global_params=spec.global_params(),
         workload=spec.workload,
         data_distribution=DataDistribution.from_name(spec.data_distribution),
-        interference=InterferenceGenerator(InterferenceScenario(spec.interference)),
-        bandwidth=BandwidthModel(NetworkScenario(spec.network)),
+        interference=InterferenceGenerator(InterferenceScenario.from_name(spec.interference)),
+        bandwidth=BandwidthModel(NetworkScenario.from_name(spec.network)),
         rng=np.random.default_rng(spec.seed),
     )
 

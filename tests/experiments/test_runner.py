@@ -1,0 +1,161 @@
+"""Tests for the batch runner: executors, result store and spec-hash caching."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.harness import run_simulation
+from repro.experiments.runner import (
+    BatchRunner,
+    ExperimentResult,
+    MultiprocessExecutor,
+    ResultStore,
+    SerialExecutor,
+    build_simulation,
+    get_executor,
+    run_experiment,
+)
+from repro.experiments.spec import ExperimentSpec, Sweep
+from repro.sim.scenarios import ScenarioSpec
+
+
+@pytest.fixture
+def base():
+    return ExperimentSpec(
+        scenario=ScenarioSpec(num_devices=30, max_rounds=8, seed=3),
+        policy="fedavg-random",
+    )
+
+
+@pytest.fixture
+def sweep(base):
+    return Sweep(base, policy=["fedavg-random", "performance"], setting=["S3", "S4"])
+
+
+class TestRunExperiment:
+    def test_matches_the_harness_driver(self, base):
+        result = run_experiment(base)
+        reference = run_simulation(base.scenario, base.policy)
+        assert result.summaries == (reference.summary(),)
+
+    def test_seed_replication_averages(self, base):
+        replicated = run_experiment(base.with_axis("n_seeds", 2))
+        singles = [run_experiment(unit) for unit in base.with_axis("n_seeds", 2).seed_specs()]
+        assert replicated.summaries == tuple(s.summaries[0] for s in singles)
+        assert replicated.n_seeds == 2
+        assert 0.0 <= replicated.convergence_rate <= 1.0
+
+    def test_build_simulation_validates(self, base):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            build_simulation(base.with_axis("workload", "resnet"))
+
+    def test_result_roundtrip(self, base):
+        result = run_experiment(base)
+        clone = ExperimentResult.from_dict(result.to_dict())
+        assert clone.spec == result.spec
+        assert clone.summaries == result.summaries
+
+
+class TestExecutors:
+    def test_multiprocess_matches_serial(self, sweep):
+        specs = sweep.expand()
+        serial = SerialExecutor().map(specs)
+        parallel = MultiprocessExecutor(max_workers=2).map(specs)
+        assert [r.summaries for r in parallel] == [r.summaries for r in serial]
+        assert [r.spec for r in parallel] == specs
+
+    def test_get_executor(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        executor = get_executor("process", jobs=3)
+        assert isinstance(executor, MultiprocessExecutor)
+        assert executor.max_workers == 3
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            get_executor("threads")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            MultiprocessExecutor(max_workers=0)
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path, base):
+        store = ResultStore(tmp_path / "results.jsonl")
+        assert store.get(base) is None
+        result = run_experiment(base)
+        store.put(result)
+        assert base in store
+        cached = store.get(base)
+        assert cached.cached and cached.summaries == result.summaries
+
+    def test_reload_from_disk(self, tmp_path, base):
+        path = tmp_path / "results.jsonl"
+        ResultStore(path).put(run_experiment(base))
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.get(base.spec_hash()) is not None
+
+    def test_corrupt_line_reports_location(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError, match="line 1"):
+            ResultStore(path)
+
+    def test_line_missing_hash_reports_location(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text('{"schema": 1, "spec": {}, "summaries": []}\n')
+        with pytest.raises(ConfigurationError, match="line 1"):
+            ResultStore(path)
+
+
+class TestBatchRunner:
+    def test_first_run_executes_second_run_hits_cache(self, tmp_path, sweep):
+        path = tmp_path / "results.jsonl"
+        first = BatchRunner(store=ResultStore(path)).run(sweep)
+        assert (first.total, first.cache_hits, first.executed) == (4, 0, 4)
+        second = BatchRunner(store=ResultStore(path)).run(sweep)
+        assert (second.total, second.cache_hits, second.executed) == (4, 4, 0)
+        assert all(result.cached for result in second.results)
+        assert [r.summaries for r in second.results] == [r.summaries for r in first.results]
+
+    def test_duplicate_points_run_once(self, base):
+        report = BatchRunner().run([base, base])
+        assert report.total == 2
+        assert report.executed == 1
+        assert report.results[0].summaries == report.results[1].summaries
+
+    def test_runs_without_store(self, base):
+        report = BatchRunner().run([base])
+        assert report.cache_hits == 0 and report.executed == 1
+
+    def test_results_preserve_grid_order(self, sweep):
+        report = BatchRunner().run(sweep)
+        assert [r.spec for r in report.results] == sweep.expand()
+
+
+class TestSpecHashAcrossProcesses:
+    def test_hash_is_stable_in_a_fresh_interpreter(self, base):
+        """The cache key must not depend on interpreter state (e.g. dict order, PYTHONHASHSEED)."""
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        payload = json.dumps(base.to_dict())
+        code = (
+            "import json, sys\n"
+            "from repro.experiments.spec import ExperimentSpec\n"
+            "spec = ExperimentSpec.from_dict(json.loads(sys.stdin.read()))\n"
+            "print(spec.spec_hash())\n"
+        )
+        env = dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED="12345")
+        child = subprocess.run(
+            [sys.executable, "-c", code],
+            input=payload,
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert child.stdout.strip() == base.spec_hash()

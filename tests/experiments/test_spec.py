@@ -1,0 +1,170 @@
+"""Tests for the declarative experiment specs, sweep grids and spec hashing."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError, PolicyError
+from repro.experiments.spec import ExperimentSpec, Sweep, parse_axis
+from repro.sim.scenarios import ScenarioSpec
+
+
+@pytest.fixture
+def base():
+    return ExperimentSpec(
+        scenario=ScenarioSpec(num_devices=30, max_rounds=10, seed=3),
+        policy="fedavg-random",
+    )
+
+
+class TestValidation:
+    def test_valid_spec_passes_and_chains(self, base):
+        assert base.validate() is base
+
+    def test_unknown_policy(self, base):
+        with pytest.raises(PolicyError, match="unknown policy"):
+            base.with_axis("policy", "best-effort").validate()
+
+    def test_unknown_workload(self, base):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            base.with_axis("workload", "resnet-50").validate()
+
+    def test_unknown_setting(self, base):
+        with pytest.raises(ConfigurationError, match="unknown global parameter setting"):
+            base.with_axis("setting", "S9").validate()
+
+    def test_unknown_interference(self, base):
+        with pytest.raises(ConfigurationError, match="unknown interference"):
+            base.with_axis("interference", "mild").validate()
+
+    def test_unknown_network(self, base):
+        with pytest.raises(ConfigurationError, match="unknown network"):
+            base.with_axis("network", "flaky").validate()
+
+    def test_unknown_data_distribution(self, base):
+        with pytest.raises(DataError, match="unknown data distribution"):
+            base.with_axis("data_distribution", "non_iid_25").validate()
+
+    def test_unknown_aggregator(self, base):
+        with pytest.raises(PolicyError, match="unknown aggregator"):
+            base.with_axis("aggregator", "fedsgd").validate()
+
+    def test_typo_gets_suggestion(self, base):
+        with pytest.raises(PolicyError, match="did you mean 'autofl'"):
+            base.with_axis("policy", "autofk").validate()
+
+    def test_n_seeds_must_be_positive(self, base):
+        with pytest.raises(ConfigurationError, match="n_seeds"):
+            ExperimentSpec(scenario=base.scenario, n_seeds=0)
+
+
+class TestAxes:
+    def test_experiment_axis(self, base):
+        derived = base.with_axis("policy", "autofl")
+        assert derived.policy == "autofl"
+        assert derived.scenario == base.scenario
+
+    def test_scenario_axis(self, base):
+        derived = base.with_axis("setting", "S1")
+        assert derived.scenario.setting == "S1"
+        assert derived.policy == base.policy
+
+    def test_unknown_axis_suggests(self, base):
+        with pytest.raises(ConfigurationError, match="did you mean 'network'"):
+            base.with_axis("networks", "weak")
+
+
+class TestSeedReplication:
+    def test_seed_specs_enumerate_consecutive_seeds(self, base):
+        replicated = base.with_axis("n_seeds", 3)
+        units = replicated.seed_specs()
+        assert [unit.scenario.seed for unit in units] == [3, 4, 5]
+        assert all(unit.n_seeds == 1 for unit in units)
+
+    def test_single_seed_is_identity(self, base):
+        assert base.seed_specs() == [base]
+
+
+class TestSpecHash:
+    def test_hash_is_deterministic(self, base):
+        assert base.spec_hash() == base.spec_hash()
+        rebuilt = ExperimentSpec(
+            scenario=ScenarioSpec(num_devices=30, max_rounds=10, seed=3),
+            policy="fedavg-random",
+        )
+        assert rebuilt.spec_hash() == base.spec_hash()
+
+    def test_hash_changes_with_any_axis(self, base):
+        seen = {base.spec_hash()}
+        for axis, value in [
+            ("policy", "autofl"),
+            ("setting", "S1"),
+            ("seed", 4),
+            ("n_seeds", 2),
+            ("num_devices", 31),
+        ]:
+            seen.add(base.with_axis(axis, value).spec_hash())
+        assert len(seen) == 6
+
+    def test_roundtrip_through_dict_preserves_hash(self, base):
+        clone = ExperimentSpec.from_dict(base.to_dict())
+        assert clone == base
+        assert clone.spec_hash() == base.spec_hash()
+
+    def test_short_hash_prefixes_full_hash(self, base):
+        assert base.spec_hash().startswith(base.short_hash)
+
+
+class TestSweep:
+    def test_cartesian_expansion_order(self, base):
+        sweep = Sweep(base, policy=["fedavg-random", "performance"], setting=["S3", "S4"])
+        assert sweep.size == len(sweep) == 4
+        points = [(spec.policy, spec.scenario.setting) for spec in sweep.expand()]
+        assert points == [
+            ("fedavg-random", "S3"),
+            ("fedavg-random", "S4"),
+            ("performance", "S3"),
+            ("performance", "S4"),
+        ]
+
+    def test_axes_mapping_form(self, base):
+        sweep = Sweep(base, {"setting": ("S1", "S2")})
+        assert [spec.scenario.setting for spec in sweep.expand()] == ["S1", "S2"]
+
+    def test_empty_axis_rejected(self, base):
+        with pytest.raises(ConfigurationError, match="no values"):
+            Sweep(base, policy=[])
+
+    def test_no_axes_rejected(self, base):
+        with pytest.raises(ConfigurationError, match="at least one axis"):
+            Sweep(base)
+
+    def test_duplicate_axis_rejected(self, base):
+        with pytest.raises(ConfigurationError, match="given twice"):
+            Sweep(base, {"policy": ("autofl",)}, policy=("power",))
+
+    def test_bad_axis_name_fails_before_running(self, base):
+        with pytest.raises(ConfigurationError, match="unknown sweep axis"):
+            Sweep(base, polcy=["autofl"])
+
+    def test_expansion_validates_names(self, base):
+        sweep = Sweep(base, policy=["fedavg-random", "autofk"])
+        with pytest.raises(PolicyError, match="did you mean"):
+            sweep.expand()
+
+
+class TestParseAxis:
+    def test_string_axis(self):
+        assert parse_axis("policy=a,b") == ("policy", ("a", "b"))
+
+    def test_integer_axis_with_dashes(self):
+        assert parse_axis("num-devices=30,50") == ("num_devices", (30, 50))
+
+    def test_bool_axis(self):
+        assert parse_axis("stop_at_convergence=true,false") == (
+            "stop_at_convergence",
+            (True, False),
+        )
+
+    @pytest.mark.parametrize("text", ["policy", "=a,b", "policy=", "seed=three"])
+    def test_malformed_axes_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_axis(text)

@@ -1,0 +1,113 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_list_policies(self, capsys):
+        code, out, _err = _run(["list", "policies"], capsys)
+        assert code == 0
+        for name in ("fedavg-random", "power", "performance", "autofl", "ofl", "cluster-c7"):
+            assert name in out
+
+    def test_list_all_registries(self, capsys):
+        code, out, _err = _run(["list"], capsys)
+        assert code == 0
+        assert "policies" in out and "workloads" in out and "settings" in out
+
+    def test_unknown_registry_fails_with_suggestion(self, capsys):
+        code, _out, err = _run(["list", "polices"], capsys)
+        assert code == 2
+        assert "did you mean 'policies'" in err
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        code, out, _err = _run(
+            ["run", "--policy", "fedavg-random", "--devices", "30", "--rounds", "6",
+             "--no-cache"],
+            capsys,
+        )
+        assert code == 0
+        assert "fedavg-random" in out and "accuracy" in out
+
+    def test_unknown_policy_fails_early(self, capsys):
+        code, _out, err = _run(
+            ["run", "--policy", "autofk", "--devices", "30", "--rounds", "5", "--no-cache"],
+            capsys,
+        )
+        assert code == 2
+        assert "did you mean 'autofl'" in err
+
+
+class TestCompare:
+    def test_compare_normalises_to_baseline(self, capsys):
+        code, out, _err = _run(
+            ["compare", "--policies", "fedavg-random,performance", "--devices", "30",
+             "--rounds", "6"],
+            capsys,
+        )
+        assert code == 0
+        assert "PPW (global)" in out and "performance" in out
+
+    def test_baseline_must_be_in_lineup(self, capsys):
+        code, _out, err = _run(
+            ["compare", "--policies", "performance", "--devices", "30", "--rounds", "5"],
+            capsys,
+        )
+        assert code == 2
+        assert "baseline" in err
+
+
+class TestSweep:
+    @pytest.fixture
+    def store(self, tmp_path):
+        return str(tmp_path / "results.jsonl")
+
+    def test_grid_runs_then_rerun_serves_from_cache(self, store, capsys):
+        args = [
+            "sweep",
+            "--axis", "policy=fedavg-random,performance",
+            "--axis", "setting=S3,S4",
+            "--devices", "30",
+            "--rounds", "6",
+            "--store", store,
+            "--executor", "process",
+        ]
+        code, out, _err = _run(args, capsys)
+        assert code == 0
+        assert "4 grid point(s): 0 from cache, 4 executed" in out
+
+        code, out, _err = _run(args, capsys)
+        assert code == 0
+        assert "4 grid point(s): 4 from cache, 0 executed" in out
+        assert "run" not in [line.split()[-1] for line in out.splitlines() if line][1:-1]
+
+    def test_bad_axis_fails_early(self, store, capsys):
+        code, _out, err = _run(
+            ["sweep", "--axis", "polcy=autofl", "--store", store], capsys
+        )
+        assert code == 2
+        assert "unknown sweep axis" in err
+
+    def test_duplicate_axis_rejected(self, store, capsys):
+        code, _out, err = _run(
+            ["sweep", "--axis", "policy=autofl", "--axis", "policy=fedavg-random",
+             "--store", store],
+            capsys,
+        )
+        assert code == 2
+        assert "given twice" in err
+
+    def test_compare_rejects_replication_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compare", "--policies", "fedavg-random", "--seeds", "5"])
+        _captured = capsys.readouterr()
