@@ -6,7 +6,7 @@ participants and execution targets explicitly — achieves noticeably higher ene
 (~49.8 % over FedNova, ~39.3 % over FEDL) and better convergence time.
 """
 
-from _helpers import print_policy_table, realistic_spec
+from _helpers import realistic_spec
 
 from repro.experiments.harness import run_simulation
 from repro.fl.metrics import relative_improvement

@@ -6,7 +6,9 @@ The CLI is a thin shell over the declarative experiment subsystem:
 * ``compare``  — several policies on one scenario, normalised to a baseline;
 * ``sweep``    — a cartesian grid over any axes, executed by the
   :class:`~repro.experiments.runner.BatchRunner` with spec-hash caching;
-* ``list``     — enumerate any registry (policies, workloads, aggregators, …).
+* ``bench``    — time scalar vs vectorised round execution at several fleet sizes and
+  record the speedups in ``BENCH_roundengine.json``;
+* ``list``     — enumerate any registry (policies, workloads, aggregators, scenarios, …).
 
 Examples
 --------
@@ -16,6 +18,7 @@ Examples
     python -m repro run --policy autofl --network variable --seeds 3
     python -m repro compare --policies fedavg-random,power,performance,autofl
     python -m repro sweep --axis policy=fedavg-random,autofl --axis setting=S1,S3
+    python -m repro bench --sizes 200,1000,10000
 """
 
 from __future__ import annotations
@@ -40,6 +43,12 @@ from repro.experiments.runner import (
 )
 from repro.experiments.spec import ExperimentSpec, Sweep, parse_axis
 from repro.registry import REGISTRIES, get_registry
+from repro.sim.bench import (
+    DEFAULT_BENCH_OUTPUT,
+    DEFAULT_BENCH_SIZES,
+    format_bench_record,
+    run_roundengine_bench,
+)
 from repro.sim.scenarios import ScenarioSpec
 from repro.version import __version__
 
@@ -151,6 +160,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    try:
+        sizes = tuple(int(size) for size in args.sizes.split(",") if size.strip())
+    except ValueError:
+        raise ConfigurationError(f"invalid --sizes value {args.sizes!r}") from None
+    record = run_roundengine_bench(
+        sizes=sizes,
+        seed=args.seed,
+        workload=args.workload,
+        interference=args.interference,
+        network=args.network,
+        repeats=args.repeats,
+        output=args.output,
+    )
+    print(format_bench_record(record))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     axes = [args.axis] if args.axis else list(REGISTRIES)
     blocks = [format_registry(axis, get_registry(axis)) for axis in axes]
@@ -215,6 +243,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(sweep_parser)
     _add_store_arguments(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="time scalar vs vectorised round execution and record the speedups",
+    )
+    bench_parser.add_argument(
+        "--sizes",
+        default=",".join(str(size) for size in DEFAULT_BENCH_SIZES),
+        help="comma-separated fleet sizes to time",
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed rounds per path (default: calibrated per fleet size)",
+    )
+    bench_parser.add_argument("--workload", default="cnn-mnist", help="FL workload name")
+    bench_parser.add_argument(
+        "--interference", default="moderate", help="interference scenario during the bench"
+    )
+    bench_parser.add_argument(
+        "--network", default="variable", help="network scenario during the bench"
+    )
+    bench_parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    bench_parser.add_argument(
+        "--output", default=DEFAULT_BENCH_OUTPUT, help="JSON file the record is written to"
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
 
     list_parser = subparsers.add_parser(
         "list", help="list a registry (policies, workloads, aggregators, …)"

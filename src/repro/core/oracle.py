@@ -6,6 +6,11 @@ proxy (expected convergence progress divided by the round's global energy).  ``O
 additionally chooses each selected device's execution target, exploiting straggler slack
 with lower DVFS steps or the GPU.  AutoFL's prediction accuracy (Figure 12) is measured
 against ``OFL``'s decisions.
+
+Both oracles score every candidate cluster template with the round engine's *batched*
+estimator: device goodness, template realisation and plan energies are computed as array
+expressions over the fleet snapshot, so oracle rounds stay fast on thousand-device fleets
+(the nested per-device/per-action loops of the scalar reference would dominate otherwise).
 """
 
 from __future__ import annotations
@@ -17,13 +22,35 @@ import numpy as np
 from repro.core.actions import ActionCatalog
 from repro.core.selection import CLUSTER_TEMPLATES, Policy, scale_template
 from repro.devices.device import ExecutionTarget
+from repro.devices.fleet_arrays import (
+    PROC_CPU,
+    PROCESSOR_CODES,
+    PROCESSOR_NAMES,
+    TIER_ORDER,
+    FleetArrays,
+    RoundConditionsArrays,
+)
 from repro.devices.specs import DeviceTier
 from repro.exceptions import PolicyError
 from repro.registry import POLICIES
 from repro.fl.surrogate import STALL_QUALITY_THRESHOLD
 from repro.sim.context import RoundContext, SelectionDecision
-from repro.sim.results import DeviceRoundOutcome
 from repro.sim.round_engine import RoundEngine
+
+
+@dataclass(frozen=True)
+class _RoundCache:
+    """Per-round precomputation shared by every candidate plan evaluation."""
+
+    arrays: FleetArrays
+    conditions: RoundConditionsArrays
+    data_quality: np.ndarray
+    data_samples: np.ndarray
+    goodness: np.ndarray
+    #: Device ids per tier, ranked by descending goodness (stable on fleet order).
+    ranked_by_tier: dict[DeviceTier, list[int]]
+    #: All device ids ranked by descending goodness.
+    ranked_all: list[int]
 
 
 @dataclass(frozen=True)
@@ -32,7 +59,8 @@ class _CandidatePlan:
 
     template_name: str
     participants: list[int]
-    targets: dict[int, ExecutionTarget]
+    processors: np.ndarray
+    vf_steps: np.ndarray
     round_time_s: float
     global_energy_j: float
     expected_gain: float
@@ -43,6 +71,16 @@ class _CandidatePlan:
         if self.global_energy_j <= 0:
             return 0.0
         return (0.05 + self.expected_gain) / self.global_energy_j
+
+    def targets(self) -> dict[int, ExecutionTarget]:
+        """Materialise the per-device execution targets of this plan."""
+        return {
+            device_id: ExecutionTarget(
+                processor=PROCESSOR_NAMES[int(self.processors[i])],
+                vf_step=int(self.vf_steps[i]),
+            )
+            for i, device_id in enumerate(self.participants)
+        }
 
 
 @POLICIES.register("oparticipant", aliases=("o-participant", "oracle-participant"))
@@ -61,20 +99,38 @@ class OracleParticipantPolicy(Policy):
         self._catalog = ActionCatalog()
 
     # ------------------------------------------------------------------ device ranking
-    def _device_goodness(self, ctx: RoundContext, device_id: int) -> float:
-        profile = ctx.environment.data_profile(device_id)
-        condition = ctx.condition(device_id)
-        network_score = min(1.0, condition.bandwidth_mbps / 100.0)
-        return (
-            self.DATA_WEIGHT * profile.data_quality
-            - self.INTERFERENCE_WEIGHT * (condition.co_cpu_util + 0.5 * condition.co_mem_util)
+    def _build_cache(self, ctx: RoundContext) -> _RoundCache:
+        environment = ctx.environment
+        arrays = environment.fleet_arrays
+        conditions = ctx.conditions_as_arrays()
+        network_score = np.minimum(1.0, conditions.bandwidth_mbps / 100.0)
+        goodness = (
+            self.DATA_WEIGHT * environment.data_quality_array
+            - self.INTERFERENCE_WEIGHT
+            * (conditions.co_cpu_util + 0.5 * conditions.co_mem_util)
             + self.NETWORK_WEIGHT * network_score
+        )
+        ranked_by_tier: dict[DeviceTier, list[int]] = {}
+        for code, tier in enumerate(TIER_ORDER):
+            rows = np.flatnonzero(arrays.tier_codes == code)
+            order = rows[np.argsort(-goodness[rows], kind="stable")]
+            ranked_by_tier[tier] = [int(arrays.device_ids[row]) for row in order]
+        ranked_all = [
+            int(arrays.device_ids[row]) for row in np.argsort(-goodness, kind="stable")
+        ]
+        return _RoundCache(
+            arrays=arrays,
+            conditions=conditions,
+            data_quality=environment.data_quality_array,
+            data_samples=environment.data_samples_array,
+            goodness=goodness,
+            ranked_by_tier=ranked_by_tier,
+            ranked_all=ranked_all,
         )
 
     def _realize_template(
-        self, ctx: RoundContext, template: dict[DeviceTier, int]
+        self, ctx: RoundContext, cache: _RoundCache, template: dict[DeviceTier, int]
     ) -> list[int]:
-        fleet = ctx.environment.fleet
         num_participants = ctx.environment.global_params.num_participants
         counts = scale_template(template, num_participants)
         chosen: list[int] = []
@@ -82,88 +138,85 @@ class OracleParticipantPolicy(Policy):
             wanted = counts.get(tier, 0)
             if wanted == 0:
                 continue
-            candidates = [device.device_id for device in fleet.by_tier(tier)]
-            candidates.sort(key=lambda device_id: self._device_goodness(ctx, device_id), reverse=True)
-            chosen.extend(candidates[:wanted])
+            chosen.extend(cache.ranked_by_tier[tier][:wanted])
         if len(chosen) < num_participants:
+            taken = set(chosen)
             remaining = [
-                device_id
-                for device_id in sorted(
-                    fleet.device_ids,
-                    key=lambda device_id: self._device_goodness(ctx, device_id),
-                    reverse=True,
-                )
-                if device_id not in set(chosen)
+                device_id for device_id in cache.ranked_all if device_id not in taken
             ]
             chosen.extend(remaining[: num_participants - len(chosen)])
         return chosen[:num_participants]
 
     # ------------------------------------------------------------------ plan evaluation
-    def _expected_gain(self, ctx: RoundContext, participants: list[int]) -> float:
-        profiles = [ctx.environment.data_profile(device_id) for device_id in participants]
-        total_samples = sum(profile.num_samples for profile in profiles)
+    def _expected_gain(self, cache: _RoundCache, rows: np.ndarray) -> float:
+        total_samples = int(np.sum(cache.data_samples[rows]))
         if total_samples == 0:
             return 0.0
-        quality = (
-            sum(profile.data_quality * profile.num_samples for profile in profiles) / total_samples
+        quality = float(
+            np.sum(cache.data_quality[rows] * cache.data_samples[rows]) / total_samples
         )
         if quality <= STALL_QUALITY_THRESHOLD:
             return 0.0
         return (quality - STALL_QUALITY_THRESHOLD) / (1.0 - STALL_QUALITY_THRESHOLD)
 
-    def _plan_energy(
+    def _target_arrays(
         self,
         ctx: RoundContext,
-        outcomes: dict[int, DeviceRoundOutcome],
-    ) -> tuple[float, float]:
-        round_time = max(outcome.total_time_s for outcome in outcomes.values())
-        active_energy = sum(outcome.energy.active_j for outcome in outcomes.values())
-        idle_energy = sum(
-            device.idle_power() * round_time
-            for device in ctx.environment.fleet
-            if device.device_id not in outcomes
-        )
-        return round_time, active_energy + idle_energy
+        engine: RoundEngine,
+        cache: _RoundCache,
+        rows: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-participant execution targets used when evaluating a plan.
 
-    def _targets_for(
-        self, ctx: RoundContext, engine: RoundEngine, participants: list[int]
-    ) -> dict[int, ExecutionTarget]:
-        """Execution targets used when evaluating a plan.  Overridden by :class:`OracleFLPolicy`."""
-        return {
-            device_id: ctx.environment.fleet[device_id].default_target()
-            for device_id in participants
-        }
+        The base oracle keeps every participant on its default target (CPU at the highest
+        V-F step); :class:`OracleFLPolicy` overrides this with batched target search.
+        """
+        processors = np.full(len(rows), PROC_CPU, dtype=np.int64)
+        vf_steps = cache.arrays.default_vf_steps()[rows].copy()
+        return processors, vf_steps
 
     def _evaluate_plan(
-        self, ctx: RoundContext, engine: RoundEngine, name: str, participants: list[int]
+        self,
+        ctx: RoundContext,
+        engine: RoundEngine,
+        cache: _RoundCache,
+        name: str,
+        participants: list[int],
     ) -> _CandidatePlan:
-        targets = self._targets_for(ctx, engine, participants)
-        outcomes = {
-            device_id: engine.estimate_device(
-                ctx.environment.fleet[device_id], targets[device_id], ctx.condition(device_id)
-            )
-            for device_id in participants
-        }
-        round_time, global_energy = self._plan_energy(ctx, outcomes)
+        rows = cache.arrays.rows_for(participants)
+        processors, vf_steps = self._target_arrays(ctx, engine, cache, rows)
+        estimates = engine.estimate_batch(
+            rows, processors, vf_steps, cache.conditions.take(rows)
+        )
+        total_times = estimates.total_time_s
+        round_time = float(total_times.max())
+        active_energy = float(np.sum(estimates.compute_j + estimates.communication_j))
+        idle_mask = np.ones(len(cache.arrays), dtype=bool)
+        idle_mask[rows] = False
+        idle_energy = float(np.sum(cache.arrays.idle_power_watt[idle_mask] * round_time))
         return _CandidatePlan(
             template_name=name,
             participants=participants,
-            targets=targets,
+            processors=processors,
+            vf_steps=vf_steps,
             round_time_s=round_time,
-            global_energy_j=global_energy,
-            expected_gain=self._expected_gain(ctx, participants),
+            global_energy_j=active_energy + idle_energy,
+            expected_gain=self._expected_gain(cache, rows),
         )
 
     def select(self, ctx: RoundContext) -> SelectionDecision:
         engine = RoundEngine(ctx.environment)
+        cache = self._build_cache(ctx)
         plans = [
-            self._evaluate_plan(ctx, engine, name, self._realize_template(ctx, template))
+            self._evaluate_plan(
+                ctx, engine, cache, name, self._realize_template(ctx, cache, template)
+            )
             for name, template in CLUSTER_TEMPLATES.items()
         ]
         if not plans:
             raise PolicyError("no candidate plans could be evaluated")
         best = max(plans, key=lambda plan: plan.score)
-        return SelectionDecision(participants=best.participants, targets=best.targets)
+        return SelectionDecision(participants=best.participants, targets=best.targets())
 
 
 @POLICIES.register("ofl", aliases=("o-fl", "oracle-fl", "oracle"))
@@ -172,38 +225,39 @@ class OracleFLPolicy(OracleParticipantPolicy):
 
     name = "ofl"
 
-    def _targets_for(
-        self, ctx: RoundContext, engine: RoundEngine, participants: list[int]
-    ) -> dict[int, ExecutionTarget]:
-        fleet = ctx.environment.fleet
+    def _target_arrays(
+        self,
+        ctx: RoundContext,
+        engine: RoundEngine,
+        cache: _RoundCache,
+        rows: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        conditions = cache.conditions.take(rows)
         # First pass with default (highest-performance CPU) targets establishes the round
         # deadline set by the slowest participant.
-        default_outcomes = {
-            device_id: engine.estimate_device(
-                fleet[device_id], fleet[device_id].default_target(), ctx.condition(device_id)
-            )
-            for device_id in participants
-        }
-        deadline = max(outcome.total_time_s for outcome in default_outcomes.values())
-        targets: dict[int, ExecutionTarget] = {}
-        for device_id in participants:
-            device = fleet[device_id]
-            condition = ctx.condition(device_id)
-            best_target = device.default_target()
-            best_energy = default_outcomes[device_id].energy.active_j
-            best_time = default_outcomes[device_id].total_time_s
-            for action_id in self._catalog.action_ids:
-                target = self._catalog.to_target(action_id, device)
-                outcome = engine.estimate_device(device, target, condition)
-                meets_deadline = outcome.total_time_s <= deadline * 1.001
-                if meets_deadline and outcome.energy.active_j < best_energy:
-                    best_target = target
-                    best_energy = outcome.energy.active_j
-                    best_time = outcome.total_time_s
-                elif not meets_deadline and best_time > deadline and outcome.total_time_s < best_time:
-                    # The device is a straggler either way; minimise its time instead.
-                    best_target = target
-                    best_energy = outcome.energy.active_j
-                    best_time = outcome.total_time_s
-            targets[device_id] = best_target
-        return targets
+        best_processors, best_steps = super()._target_arrays(ctx, engine, cache, rows)
+        defaults = engine.estimate_batch(rows, best_processors, best_steps, conditions)
+        default_times = defaults.total_time_s
+        deadline = float(default_times.max())
+        best_energy = defaults.compute_j + defaults.communication_j
+        best_time = default_times
+        for action_id in self._catalog.action_ids:
+            action = self._catalog.spec(action_id)
+            code = PROCESSOR_CODES[action.processor]
+            processors = np.full(len(rows), code, dtype=np.int64)
+            num_steps = cache.arrays.num_vf_steps[code, rows]
+            vf_steps = np.round(action.frequency_fraction * (num_steps - 1)).astype(np.int64)
+            estimate = engine.estimate_batch(rows, processors, vf_steps, conditions)
+            times = estimate.total_time_s
+            energies = estimate.compute_j + estimate.communication_j
+            meets_deadline = times <= deadline * 1.001
+            # A target that meets the deadline wins on energy; a device that is a
+            # straggler either way instead minimises its time.
+            improves = meets_deadline & (energies < best_energy)
+            unstalls = (~meets_deadline) & (best_time > deadline) & (times < best_time)
+            update = improves | unstalls
+            best_processors = np.where(update, processors, best_processors)
+            best_steps = np.where(update, vf_steps, best_steps)
+            best_energy = np.where(update, energies, best_energy)
+            best_time = np.where(update, times, best_time)
+        return best_processors, best_steps

@@ -11,6 +11,7 @@ from repro.devices.device import ExecutionTarget, MobileDevice, RoundConditions
 from repro.devices.dvfs import DvfsGovernor
 from repro.devices.energy import DeviceEnergy, RoundEnergyAccount
 from repro.devices.fleet import Fleet, build_fleet
+from repro.devices.fleet_arrays import FleetArrays, RoundConditionsArrays
 from repro.devices.performance import TrainingTimeModel
 from repro.devices.power import CpuPowerModel, GpuPowerModel, busy_power_at_frequency
 from repro.devices.specs import (
@@ -31,6 +32,7 @@ __all__ = [
     "DvfsGovernor",
     "ExecutionTarget",
     "Fleet",
+    "FleetArrays",
     "GALAXY_S10E",
     "GpuPowerModel",
     "MI8_PRO",
@@ -38,6 +40,7 @@ __all__ = [
     "MobileDevice",
     "ProcessorSpec",
     "RoundConditions",
+    "RoundConditionsArrays",
     "RoundEnergyAccount",
     "TIER_SPECS",
     "TrainingTimeModel",

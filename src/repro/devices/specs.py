@@ -11,7 +11,7 @@ that the ratios reported in Section 3 hold (see DESIGN.md, "Key modelling notes"
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import DeviceError
 

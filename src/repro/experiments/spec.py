@@ -23,7 +23,7 @@ from repro.exceptions import ConfigurationError
 from repro.sim.scenarios import ScenarioSpec
 
 #: Bumped whenever the hashed payload's shape changes, so stale caches never alias.
-SPEC_SCHEMA_VERSION = 1
+SPEC_SCHEMA_VERSION = 2
 
 #: Scenario fields addressable as sweep axes.
 SCENARIO_AXES: tuple[str, ...] = tuple(f.name for f in fields(ScenarioSpec))
@@ -35,7 +35,7 @@ EXPERIMENT_AXES: tuple[str, ...] = ("policy", "n_seeds", "stop_at_convergence")
 _INT_AXES = frozenset({"num_devices", "max_rounds", "seed", "n_seeds"})
 
 #: Axes holding boolean values.
-_BOOL_AXES = frozenset({"stop_at_convergence"})
+_BOOL_AXES = frozenset({"stop_at_convergence", "vectorized_sampling"})
 
 
 @dataclass(frozen=True)

@@ -153,8 +153,38 @@ class InterferenceGenerator:
         """Fraction of devices hosting a co-runner each round."""
         return self._active_fraction
 
+    def sample_arrays(
+        self, rng: np.random.Generator, num_devices: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample every device's co-runner activity for one round as two arrays.
+
+        One vectorised draw decides which devices host a co-runner and one Beta draw per
+        utilisation dimension fills in their activity, so sampling cost is independent of
+        Python-level fleet size — this is the fleet-wide sampler the batched round engine
+        and large-fleet scenarios rely on.
+        """
+        if num_devices < 1:
+            raise ConfigurationError("num_devices must be >= 1")
+        active = rng.random(num_devices) < self._active_fraction
+        cpu = np.zeros(num_devices, dtype=np.float64)
+        mem = np.zeros(num_devices, dtype=np.float64)
+        num_active = int(active.sum())
+        if num_active:
+            cpu[active] = rng.beta(
+                self._profile.cpu_alpha, self._profile.cpu_beta, size=num_active
+            )
+            mem[active] = rng.beta(
+                self._profile.mem_alpha, self._profile.mem_beta, size=num_active
+            )
+        return cpu, mem
+
     def sample(self, rng: np.random.Generator, num_devices: int) -> list[InterferenceSample]:
-        """Sample the co-runner activity of every device for one round."""
+        """Sample the co-runner activity of every device for one round.
+
+        The per-device draw order is part of the experiment contract: seeded runs replay
+        the exact same condition trajectories across releases.  :meth:`sample_arrays` is
+        the vectorised sampler (same distribution, different stream) for large fleets.
+        """
         if num_devices < 1:
             raise ConfigurationError("num_devices must be >= 1")
         samples: list[InterferenceSample] = []

@@ -10,6 +10,8 @@ see only the memory component.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 
 
@@ -107,7 +109,46 @@ class SlowdownModel:
             return self.gpu_compute_slowdown(co_cpu_util, co_mem_util, capability_gflops)
         raise ConfigurationError(f"unknown target {target!r} (expected 'cpu' or 'gpu')")
 
+    # ------------------------------------------------------------------ batched variants
+    def compute_slowdown_batch(
+        self,
+        co_cpu_util: np.ndarray,
+        co_mem_util: np.ndarray,
+        gpu_mask: np.ndarray,
+        capability_gflops: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`compute_slowdown` for per-device execution targets.
+
+        ``gpu_mask`` selects, per device, whether the GPU formula applies; all other
+        devices use the CPU formula with their capability-scaled felt utilisation.
+        """
+        self._validate_batch(co_cpu_util, co_mem_util)
+        felt = co_cpu_util * (REFERENCE_CAPABILITY_GFLOPS / capability_gflops)
+        cpu = 1.0 + (self._cpu_weight * felt + self._cache_weight * felt**2)
+        gpu = 1.0 + 0.15 * co_cpu_util
+        return np.where(gpu_mask, gpu, cpu)
+
+    def memory_slowdown_batch(
+        self,
+        co_cpu_util: np.ndarray,
+        co_mem_util: np.ndarray,
+        gpu_mask: np.ndarray,
+        capability_gflops: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`memory_slowdown` for per-device execution targets."""
+        self._validate_batch(co_cpu_util, co_mem_util)
+        felt = co_mem_util * (REFERENCE_CAPABILITY_GFLOPS / capability_gflops)
+        cpu = 1.0 + self._mem_weight * felt
+        gpu = 1.0 + self._gpu_mem_weight * co_mem_util
+        return np.where(gpu_mask, gpu, cpu)
+
     @staticmethod
     def _validate(co_cpu_util: float, co_mem_util: float) -> None:
         if not 0.0 <= co_cpu_util <= 1.0 or not 0.0 <= co_mem_util <= 1.0:
             raise ConfigurationError("co-runner utilisations must be in [0, 1]")
+
+    @staticmethod
+    def _validate_batch(co_cpu_util: np.ndarray, co_mem_util: np.ndarray) -> None:
+        for values in (co_cpu_util, co_mem_util):
+            if np.any(values < 0.0) or np.any(values > 1.0):
+                raise ConfigurationError("co-runner utilisations must be in [0, 1]")

@@ -8,6 +8,8 @@ co-runner) into an additional throttling slowdown applied to CPU execution.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 
 
@@ -44,4 +46,11 @@ class ThermalModel:
         if sustained_power_watt < 0:
             raise ConfigurationError("sustained_power_watt must be non-negative")
         excess = max(0.0, sustained_power_watt - self._budget)
+        return 1.0 + self._sensitivity * excess
+
+    def throttle_slowdown_batch(self, sustained_power_watt: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`throttle_slowdown` over per-device sustained power draws."""
+        if np.any(sustained_power_watt < 0):
+            raise ConfigurationError("sustained_power_watt must be non-negative")
+        excess = np.maximum(0.0, sustained_power_watt - self._budget)
         return 1.0 + self._sensitivity * excess

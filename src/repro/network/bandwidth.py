@@ -19,6 +19,9 @@ from repro.registry import NETWORKS
 #: Threshold (Mbit/s) separating the ``Regular`` and ``Bad`` network states (paper Table 1).
 BAD_NETWORK_THRESHOLD_MBPS = 40.0
 
+#: Threshold (Mbit/s) above which the link is treated as strong by the radio power model.
+STRONG_NETWORK_THRESHOLD_MBPS = 60.0
+
 
 class SignalStrength(enum.Enum):
     """Coarse signal-strength level used by the communication power model (Eq. 3)."""
@@ -66,7 +69,7 @@ def signal_from_bandwidth(bandwidth_mbps: float) -> SignalStrength:
     Radio power rises as signal strength drops; bandwidth is the observable proxy the FL
     protocol already collects, so the mapping is made explicit and monotonic.
     """
-    if bandwidth_mbps > 60.0:
+    if bandwidth_mbps > STRONG_NETWORK_THRESHOLD_MBPS:
         return SignalStrength.STRONG
     if bandwidth_mbps > BAD_NETWORK_THRESHOLD_MBPS:
         return SignalStrength.MODERATE

@@ -11,8 +11,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
-from repro.network.bandwidth import SignalStrength, signal_from_bandwidth
+from repro.network.bandwidth import (
+    BAD_NETWORK_THRESHOLD_MBPS,
+    STRONG_NETWORK_THRESHOLD_MBPS,
+    SignalStrength,
+    signal_from_bandwidth,
+)
 
 #: Transmit power (W) of the wireless interface per signal-strength level.  Anchored at
 #: published smartphone radio measurements: ~0.8 W for a strong link, rising steeply as the
@@ -100,3 +107,35 @@ class CommunicationModel:
             energy_j=energy,
             signal=signal,
         )
+
+    def estimate_batch(
+        self, model_size_mb: float, bandwidth_mbps: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`estimate` over per-device bandwidths.
+
+        Returns ``(upload_time_s, download_time_s, energy_j)`` arrays; the per-device
+        signal level is derived from the bandwidth exactly as in the scalar path.
+        """
+        if model_size_mb < 0:
+            raise ConfigurationError("model_size_mb must be non-negative")
+        if np.any(bandwidth_mbps <= 0):
+            raise ConfigurationError("bandwidth_mbps must be positive")
+        payload_megabits = model_size_mb * 8.0 * self._protocol_overhead
+        upload_time = payload_megabits / bandwidth_mbps
+        download_time = payload_megabits / (bandwidth_mbps * DOWNLINK_BANDWIDTH_FACTOR)
+        conditions = [
+            bandwidth_mbps > STRONG_NETWORK_THRESHOLD_MBPS,
+            bandwidth_mbps > BAD_NETWORK_THRESHOLD_MBPS,
+        ]
+        tx_power = np.select(
+            conditions,
+            [TX_POWER_WATT[SignalStrength.STRONG], TX_POWER_WATT[SignalStrength.MODERATE]],
+            default=TX_POWER_WATT[SignalStrength.WEAK],
+        )
+        rx_power = np.select(
+            conditions,
+            [RX_POWER_WATT[SignalStrength.STRONG], RX_POWER_WATT[SignalStrength.MODERATE]],
+            default=RX_POWER_WATT[SignalStrength.WEAK],
+        )
+        energy = tx_power * upload_time + rx_power * download_time
+        return upload_time, download_time, energy

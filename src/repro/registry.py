@@ -249,6 +249,13 @@ SETTINGS = Registry(
     bootstrap_modules=("repro.config",),
 )
 
+#: Named scenario presets (paper-scale and large-fleet evaluation points).
+SCENARIOS = Registry(
+    "scenario preset",
+    error_cls=ConfigurationError,
+    bootstrap_modules=("repro.sim.scenarios",),
+)
+
 #: All registries by the plural axis name the CLI exposes (``python -m repro list``).
 REGISTRIES: dict[str, Registry] = {
     "policies": POLICIES,
@@ -258,6 +265,7 @@ REGISTRIES: dict[str, Registry] = {
     "networks": NETWORKS,
     "data-distributions": DATA_DISTRIBUTIONS,
     "settings": SETTINGS,
+    "scenarios": SCENARIOS,
 }
 
 

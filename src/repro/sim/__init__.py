@@ -10,12 +10,20 @@ energy, straggler handling) and drives complete training jobs with
 
 from repro.sim.context import RoundContext, SelectionDecision
 from repro.sim.environment import EdgeCloudEnvironment
-from repro.sim.results import DeviceRoundOutcome, RoundExecution, RoundRecord, SimulationResult
-from repro.sim.round_engine import RoundEngine
+from repro.sim.results import (
+    BatchRoundExecution,
+    DeviceRoundOutcome,
+    RoundExecution,
+    RoundRecord,
+    SimulationResult,
+)
+from repro.sim.round_engine import BatchEstimates, RoundEngine
 from repro.sim.runner import FLSimulation
 from repro.sim.scenarios import ScenarioSpec, build_environment
 
 __all__ = [
+    "BatchEstimates",
+    "BatchRoundExecution",
     "DeviceRoundOutcome",
     "EdgeCloudEnvironment",
     "FLSimulation",

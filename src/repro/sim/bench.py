@@ -1,0 +1,185 @@
+"""Round-engine throughput benchmark backing ``python -m repro bench``.
+
+The benchmark pits the scalar reference path (:meth:`RoundEngine.execute`) against the
+vectorised path (:meth:`RoundEngine.execute_batch`) on identical selections and
+conditions at several fleet sizes, reports rounds/sec for both, and writes the
+measurements to a JSON file so the speedup of every perf change lands in the recorded
+trajectory of the repository.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.config import GlobalParams, SimulationConfig
+from repro.exceptions import ConfigurationError
+from repro.interference.corunner import InterferenceGenerator, InterferenceScenario
+from repro.network.bandwidth import BandwidthModel, NetworkScenario
+from repro.sim.context import SelectionDecision
+from repro.sim.environment import EdgeCloudEnvironment
+from repro.sim.round_engine import RoundEngine
+
+#: Default fleet sizes timed by ``python -m repro bench``.
+DEFAULT_BENCH_SIZES: tuple[int, ...] = (200, 1_000, 10_000)
+
+#: Default output path of the benchmark record.
+DEFAULT_BENCH_OUTPUT = "BENCH_roundengine.json"
+
+
+@dataclass(frozen=True)
+class BenchSizeResult:
+    """Timed comparison of the two engine paths at one fleet size."""
+
+    num_devices: int
+    num_participants: int
+    scalar_rounds_per_s: float
+    batch_rounds_per_s: float
+    speedup: float
+    scalar_repeats: int
+    batch_repeats: int
+
+
+def _participants_for(num_devices: int) -> int:
+    """Selection size K used at a fleet size (10 % of the fleet, at least the paper's 20)."""
+    return max(20, num_devices // 10)
+
+
+def _build_environment(
+    num_devices: int, seed: int, workload: str, interference: str, network: str
+) -> EdgeCloudEnvironment:
+    config = SimulationConfig.small(num_devices=num_devices, seed=seed)
+    return EdgeCloudEnvironment(
+        config=config,
+        global_params=GlobalParams(
+            batch_size=16, local_epochs=5, num_participants=_participants_for(num_devices)
+        ),
+        workload=workload,
+        interference=InterferenceGenerator(InterferenceScenario.from_name(interference)),
+        bandwidth=BandwidthModel(NetworkScenario.from_name(network)),
+        rng=np.random.default_rng(seed),
+        vectorized_sampling=True,
+    )
+
+
+def _time_rounds(
+    run_round: Callable[[], object], repeats: int | None, target_seconds: float = 0.4
+) -> tuple[float, int]:
+    """Time ``run_round`` and return (rounds per second, rounds timed).
+
+    Each round is timed individually and the *fastest* round is reported — the same
+    convention as ``timeit`` — because the minimum is the measurement least polluted by
+    scheduler preemption and cache eviction noise.  With ``repeats=None`` the round
+    count is calibrated from one warm-up call so the whole measurement lasts roughly
+    ``target_seconds`` regardless of fleet size.
+    """
+    if repeats is not None and repeats < 1:
+        raise ConfigurationError("bench repeats must be >= 1")
+    start = time.perf_counter()
+    run_round()  # Warm-up: first call pays lazy snapshot/cache construction.
+    warmup_elapsed = time.perf_counter() - start
+    if repeats is None:
+        repeats = int(np.clip(target_seconds / max(warmup_elapsed, 1e-6), 5, 1_000))
+    best_elapsed = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_round()
+        best_elapsed = min(best_elapsed, time.perf_counter() - start)
+    return 1.0 / max(best_elapsed, 1e-9), repeats
+
+
+def bench_fleet_size(
+    num_devices: int,
+    seed: int = 0,
+    workload: str = "cnn-mnist",
+    interference: str = "moderate",
+    network: str = "variable",
+    repeats: int | None = None,
+) -> BenchSizeResult:
+    """Time scalar vs batched round execution at one fleet size.
+
+    Both paths execute the same selection under the same sampled conditions, so the
+    comparison isolates the engine implementation.
+    """
+    if num_devices < 20:
+        raise ConfigurationError("bench fleet sizes below 20 devices are not meaningful")
+    environment = _build_environment(num_devices, seed, workload, interference, network)
+    engine = RoundEngine(environment)
+    condition_arrays = environment.sample_condition_arrays()
+    conditions = condition_arrays.to_mapping(environment.fleet.device_ids)
+    decision = SelectionDecision(
+        participants=environment.fleet.device_ids[: _participants_for(num_devices)]
+    )
+    # The scalar path calibrates the repeat count and the batch path reuses it, so both
+    # minima are drawn from the same number of samples and the speedup ratio is unbiased.
+    scalar_rps, scalar_repeats = _time_rounds(
+        lambda: engine.execute(decision, conditions), repeats
+    )
+    batch_rps, batch_repeats = _time_rounds(
+        lambda: engine.execute_batch(decision, condition_arrays), scalar_repeats
+    )
+    return BenchSizeResult(
+        num_devices=num_devices,
+        num_participants=_participants_for(num_devices),
+        scalar_rounds_per_s=scalar_rps,
+        batch_rounds_per_s=batch_rps,
+        speedup=batch_rps / scalar_rps,
+        scalar_repeats=scalar_repeats,
+        batch_repeats=batch_repeats,
+    )
+
+
+def run_roundengine_bench(
+    sizes: tuple[int, ...] = DEFAULT_BENCH_SIZES,
+    seed: int = 0,
+    workload: str = "cnn-mnist",
+    interference: str = "moderate",
+    network: str = "variable",
+    repeats: int | None = None,
+    output: str | Path | None = DEFAULT_BENCH_OUTPUT,
+) -> dict:
+    """Run the round-engine benchmark over ``sizes`` and write the JSON record."""
+    if not sizes:
+        raise ConfigurationError("bench needs at least one fleet size")
+    results = [
+        bench_fleet_size(
+            num_devices=size,
+            seed=seed,
+            workload=workload,
+            interference=interference,
+            network=network,
+            repeats=repeats,
+        )
+        for size in sizes
+    ]
+    record = {
+        "benchmark": "roundengine",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "workload": workload,
+        "interference": interference,
+        "network": network,
+        "seed": seed,
+        "results": [asdict(result) for result in results],
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    return record
+
+
+def format_bench_record(record: dict) -> str:
+    """Human-readable table of a benchmark record for the CLI."""
+    header = f"{'devices':>8}  {'K':>5}  {'scalar r/s':>11}  {'batch r/s':>11}  {'speedup':>8}"
+    lines = [header, "-" * len(header)]
+    for row in record["results"]:
+        lines.append(
+            f"{row['num_devices']:>8}  {row['num_participants']:>5}  "
+            f"{row['scalar_rounds_per_s']:>11.2f}  {row['batch_rounds_per_s']:>11.2f}  "
+            f"{row['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)

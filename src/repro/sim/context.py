@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.devices.device import ExecutionTarget, RoundConditions
+from repro.devices.fleet_arrays import RoundConditionsArrays
 from repro.exceptions import PolicyError
 
 if TYPE_CHECKING:  # pragma: no cover - import only used for typing
@@ -23,8 +25,11 @@ class RoundContext:
 
     round_index: int
     environment: "EdgeCloudEnvironment"
-    conditions: dict[int, RoundConditions]
+    conditions: Mapping[int, RoundConditions]
     accuracy: float
+    #: Optional fleet-order array view of ``conditions`` — populated by the simulation
+    #: runner so vectorised policies skip an O(N) per-round re-gather of the mapping.
+    condition_arrays: RoundConditionsArrays | None = None
 
     def condition(self, device_id: int) -> RoundConditions:
         """Runtime conditions observed for one device this round."""
@@ -32,6 +37,14 @@ class RoundContext:
             return self.conditions[device_id]
         except KeyError as exc:
             raise PolicyError(f"no round conditions for device {device_id}") from exc
+
+    def conditions_as_arrays(self) -> RoundConditionsArrays:
+        """The round conditions as fleet-order arrays, building them if not supplied."""
+        if self.condition_arrays is not None:
+            return self.condition_arrays
+        return RoundConditionsArrays.from_mapping(
+            self.environment.fleet.device_ids, self.conditions
+        )
 
 
 @dataclass

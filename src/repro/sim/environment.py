@@ -9,6 +9,7 @@ from repro.data.partition import DataDistribution
 from repro.data.profiles import DeviceDataProfile, synthesize_data_profiles
 from repro.devices.device import RoundConditions
 from repro.devices.fleet import Fleet, build_fleet
+from repro.devices.fleet_arrays import FleetArrays, RoundConditionsArrays
 from repro.exceptions import SimulationError
 from repro.interference.corunner import InterferenceGenerator, InterferenceScenario
 from repro.interference.slowdown import SlowdownModel
@@ -42,9 +43,11 @@ class EdgeCloudEnvironment:
         thermal: ThermalModel | None = None,
         communication: CommunicationModel | None = None,
         rng: np.random.Generator | None = None,
+        vectorized_sampling: bool = False,
     ) -> None:
         self.config = config
         self.global_params = global_params
+        self.vectorized_sampling = vectorized_sampling
         self.workload = get_workload_profile(workload)
         self.rng = rng if rng is not None else np.random.default_rng(config.seed)
         self.fleet = fleet if fleet is not None else build_fleet(config, self.rng)
@@ -69,10 +72,44 @@ class EdgeCloudEnvironment:
         self.slowdown = slowdown or SlowdownModel()
         self.thermal = thermal or ThermalModel()
         self.communication = communication or CommunicationModel()
+        self._fleet_arrays: FleetArrays | None = None
+        self._data_quality_array: np.ndarray | None = None
+        self._data_samples_array: np.ndarray | None = None
         if global_params.num_participants > len(self.fleet):
             raise SimulationError(
                 f"K={global_params.num_participants} exceeds fleet size {len(self.fleet)}"
             )
+
+    @property
+    def fleet_arrays(self) -> FleetArrays:
+        """Struct-of-arrays snapshot of the fleet, built lazily after shard assignment.
+
+        The snapshot backs the vectorised round engine; it is taken on first access so
+        that the data partitioner has already assigned per-device sample counts.
+        """
+        if self._fleet_arrays is None:
+            self._fleet_arrays = FleetArrays.from_fleet(self.fleet)
+        return self._fleet_arrays
+
+    @property
+    def data_quality_array(self) -> np.ndarray:
+        """Per-device ``data_quality`` in fleet order (profiles are fixed per job)."""
+        if self._data_quality_array is None:
+            self._data_quality_array = np.array(
+                [self.data_profiles[device_id].data_quality for device_id in self.fleet.device_ids],
+                dtype=np.float64,
+            )
+        return self._data_quality_array
+
+    @property
+    def data_samples_array(self) -> np.ndarray:
+        """Per-device profile sample counts in fleet order."""
+        if self._data_samples_array is None:
+            self._data_samples_array = np.array(
+                [self.data_profiles[device_id].num_samples for device_id in self.fleet.device_ids],
+                dtype=np.int64,
+            )
+        return self._data_samples_array
 
     def data_profile(self, device_id: int) -> DeviceDataProfile:
         """Data profile of one device."""
@@ -81,20 +118,35 @@ class EdgeCloudEnvironment:
         except KeyError as exc:
             raise SimulationError(f"no data profile for device {device_id}") from exc
 
-    def sample_round_conditions(self) -> dict[int, RoundConditions]:
-        """Sample every device's runtime conditions for one aggregation round.
+    def sample_condition_arrays(self) -> RoundConditionsArrays:
+        """Sample every device's runtime conditions for one round, fleet-wide.
 
         Co-runner activity and network bandwidth are redrawn every round, which is the
-        stochastic runtime variance the paper emphasises (Section 2.2).
+        stochastic runtime variance the paper emphasises (Section 2.2).  With
+        ``vectorized_sampling`` enabled the draws are single array operations whose cost
+        is independent of Python-level fleet size (the stream differs from the scalar
+        sampler, so seeded trajectories are not comparable across the two modes); the
+        default scalar sampler preserves the per-device draw order of seeded experiments.
         """
-        device_ids = self.fleet.device_ids
-        interference_samples = self.interference.sample(self.rng, len(device_ids))
-        bandwidths = self.bandwidth.sample(self.rng, len(device_ids))
-        return {
-            device_id: RoundConditions(
-                co_cpu_util=sample.co_cpu_util,
-                co_mem_util=sample.co_mem_util,
-                bandwidth_mbps=float(bandwidth),
+        num_devices = len(self.fleet)
+        if self.vectorized_sampling:
+            co_cpu_util, co_mem_util = self.interference.sample_arrays(self.rng, num_devices)
+            bandwidths = self.bandwidth.sample(self.rng, num_devices)
+            return RoundConditionsArrays(
+                co_cpu_util=co_cpu_util, co_mem_util=co_mem_util, bandwidth_mbps=bandwidths
             )
-            for device_id, sample, bandwidth in zip(device_ids, interference_samples, bandwidths)
-        }
+        interference_samples = self.interference.sample(self.rng, num_devices)
+        bandwidths = self.bandwidth.sample(self.rng, num_devices)
+        return RoundConditionsArrays(
+            co_cpu_util=np.array(
+                [sample.co_cpu_util for sample in interference_samples], dtype=np.float64
+            ),
+            co_mem_util=np.array(
+                [sample.co_mem_util for sample in interference_samples], dtype=np.float64
+            ),
+            bandwidth_mbps=bandwidths,
+        )
+
+    def sample_round_conditions(self) -> dict[int, RoundConditions]:
+        """Sample one round's conditions as the per-device mapping policies observe."""
+        return self.sample_condition_arrays().to_mapping(self.fleet.device_ids)

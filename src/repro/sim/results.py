@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.devices.device import ExecutionTarget
 from repro.devices.energy import DeviceEnergy, RoundEnergyAccount
+from repro.devices.fleet_arrays import PROCESSOR_NAMES
 from repro.exceptions import SimulationError
 from repro.fl.metrics import EfficiencySummary
 
@@ -55,6 +56,94 @@ class RoundExecution:
     def participant_energy_j(self) -> float:
         """Energy drawn by the selected devices this round (compute, radio and waiting)."""
         return sum(outcome.energy.total_j for outcome in self.outcomes.values())
+
+
+@dataclass
+class BatchRoundExecution:
+    """Array-based outcome of one aggregation round from the vectorised engine.
+
+    Every per-participant array is aligned on the selection order of the decision that
+    produced it; ``idle_j`` is fleet-length (fleet order) and zero at participant rows.
+    The container exposes the same aggregate quantities as :class:`RoundExecution`
+    without materialising per-device Python objects — :meth:`to_execution` converts to
+    the scalar representation when a consumer (e.g. a learning policy's feedback hook)
+    needs one.
+    """
+
+    selected_ids: np.ndarray
+    processors: np.ndarray
+    vf_steps: np.ndarray
+    compute_time_s: np.ndarray
+    communication_time_s: np.ndarray
+    compute_j: np.ndarray
+    communication_j: np.ndarray
+    waiting_j: np.ndarray
+    dropped: np.ndarray
+    round_time_s: float
+    fleet_device_ids: np.ndarray
+    idle_j: np.ndarray
+
+    @property
+    def total_time_s(self) -> np.ndarray:
+        """Per-participant compute plus communication time (truncated for stragglers)."""
+        return self.compute_time_s + self.communication_time_s
+
+    @property
+    def participant_ids(self) -> list[int]:
+        """Devices whose updates made it into the aggregation (stragglers excluded)."""
+        return sorted(int(device_id) for device_id in self.selected_ids[~self.dropped])
+
+    @property
+    def dropped_ids(self) -> list[int]:
+        """Selected devices whose updates were dropped as stragglers."""
+        return sorted(int(device_id) for device_id in self.selected_ids[self.dropped])
+
+    @property
+    def participant_energy_j(self) -> float:
+        """Energy drawn by the selected devices this round (compute, radio and waiting)."""
+        return float(np.sum(self.compute_j + self.communication_j + self.waiting_j))
+
+    @property
+    def idle_energy_j(self) -> float:
+        """Total idle energy of the non-selected devices."""
+        return float(np.sum(self.idle_j))
+
+    @property
+    def global_energy_j(self) -> float:
+        """Population-wide energy of the round (participants plus idling devices)."""
+        return self.participant_energy_j + self.idle_energy_j
+
+    def to_execution(self) -> "RoundExecution":
+        """Materialise the scalar :class:`RoundExecution` equivalent of this round."""
+        outcomes: dict[int, DeviceRoundOutcome] = {}
+        for i, device_id in enumerate(self.selected_ids):
+            device_id = int(device_id)
+            energy = DeviceEnergy(
+                compute_j=float(self.compute_j[i]),
+                communication_j=float(self.communication_j[i]),
+                idle_j=float(self.waiting_j[i]),
+            )
+            outcomes[device_id] = DeviceRoundOutcome(
+                device_id=device_id,
+                target=ExecutionTarget(
+                    processor=PROCESSOR_NAMES[int(self.processors[i])],
+                    vf_step=int(self.vf_steps[i]),
+                ),
+                compute_time_s=float(self.compute_time_s[i]),
+                communication_time_s=float(self.communication_time_s[i]),
+                energy=energy,
+                dropped=bool(self.dropped[i]),
+            )
+        account = RoundEnergyAccount()
+        for row, device_id in enumerate(self.fleet_device_ids):
+            device_id = int(device_id)
+            if device_id in outcomes:
+                account.record(device_id, outcomes[device_id].energy)
+            else:
+                account.record(device_id, DeviceEnergy(idle_j=float(self.idle_j[row])))
+        return RoundExecution(
+            outcomes=outcomes, round_time_s=self.round_time_s, energy=account
+        )
 
 
 @dataclass(frozen=True)

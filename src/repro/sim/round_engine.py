@@ -1,22 +1,91 @@
-"""Round execution engine: per-device compute/communication time, energy and stragglers."""
+"""Round execution engine: per-device compute/communication time, energy and stragglers.
+
+Two execution paths share the same physical models:
+
+* the scalar path (:meth:`RoundEngine.estimate_device` / :meth:`RoundEngine.execute`)
+  walks :class:`~repro.devices.device.MobileDevice` objects one at a time and is kept as
+  the readable reference implementation;
+* the vectorised path (:meth:`RoundEngine.estimate_batch` /
+  :meth:`RoundEngine.execute_batch`) evaluates the whole selection as numpy array
+  expressions over the environment's :class:`~repro.devices.fleet_arrays.FleetArrays`
+  snapshot, which is what makes thousand-device fleets simulate in constant Python time.
+
+Equivalence tests pin the batched path to the scalar reference within 1e-9.
+"""
 
 from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.devices.device import ExecutionTarget, MobileDevice, RoundConditions
 from repro.devices.energy import DeviceEnergy, RoundEnergyAccount
-from repro.devices.performance import ComputeWorkload
-from repro.devices.power import busy_power_at_frequency
+from repro.devices.fleet_arrays import (
+    PROC_CPU,
+    PROC_GPU,
+    PROCESSOR_CODES,
+    RoundConditionsArrays,
+)
+from repro.devices.performance import (
+    ACHIEVABLE_BANDWIDTH_FRACTION,
+    ACHIEVABLE_COMPUTE_FRACTION,
+    ComputeWorkload,
+)
+from repro.devices.power import (
+    DVFS_POWER_EXPONENT,
+    STATIC_POWER_FRACTION,
+    busy_power_at_frequency,
+)
 from repro.exceptions import SimulationError
 from repro.sim.context import SelectionDecision
 from repro.sim.environment import EdgeCloudEnvironment
-from repro.sim.results import DeviceRoundOutcome, RoundExecution
+from repro.sim.results import BatchRoundExecution, DeviceRoundOutcome, RoundExecution
 
 #: A selected device whose round time exceeds this multiple of the median participant's
 #: round time is treated as a severe straggler and excluded from the aggregation, mirroring
 #: the FedAvg deployment behaviour the paper describes (Sections 2.2 and 6.2).
 STRAGGLER_CUTOFF_FACTOR = 2.5
+
+#: Additional sustained power (W) contributed by a fully busy co-runner, fed into the
+#: thermal throttling model alongside the training power draw.
+CO_RUNNER_POWER_WATT = 1.5
+
+
+def straggler_deadline(times: np.ndarray, cutoff: float) -> float:
+    """Round deadline implied by the straggler cutoff for the given outcome times.
+
+    The deadline is ``cutoff`` times the median participant time.  When the median is
+    zero the cutoff is undefined: if some participants still take time, the slowest one
+    sets the deadline (nobody is dropped); if *every* outcome time is zero — empty
+    shards and instant links — there is no straggler structure at all, so the deadline
+    is infinite rather than the degenerate ``0.0`` that would truncate by ``0/0``.
+    """
+    median_time = float(np.median(times))
+    if median_time > 0:
+        return cutoff * median_time
+    max_time = float(times.max())
+    if max_time > 0:
+        return max_time
+    return math.inf
+
+
+@dataclass(frozen=True)
+class BatchEstimates:
+    """Vectorised per-participant round estimates (aligned on the selection order)."""
+
+    compute_time_s: np.ndarray
+    communication_time_s: np.ndarray
+    compute_j: np.ndarray
+    communication_j: np.ndarray
+    utilization: np.ndarray
+
+    @property
+    def total_time_s(self) -> np.ndarray:
+        """Compute plus communication time per participant."""
+        return self.compute_time_s + self.communication_time_s
 
 
 class RoundEngine:
@@ -52,7 +121,8 @@ class RoundEngine:
 
         Interference from co-running applications slows the selected processor, sustained
         power above the thermal budget adds throttling, and the sampled bandwidth determines
-        communication time and radio energy.
+        communication time and radio energy.  This is the scalar reference implementation;
+        :meth:`estimate_batch` computes the same quantities for a whole selection at once.
         """
         workload = self.device_round_workload(device)
         slowdown = self._env.slowdown
@@ -70,7 +140,7 @@ class RoundEngine:
             spec = device.spec.processor(target.processor)
             sustained_power = busy_power_at_frequency(
                 spec, target.vf_step, estimate.utilization, device.spec.training_power_scale
-            ) + 1.5 * conditions.co_cpu_util
+            ) + CO_RUNNER_POWER_WATT * conditions.co_cpu_util
             throttle = self._env.thermal.throttle_slowdown(sustained_power)
             if throttle > 1.0:
                 estimate = device.estimate_compute(
@@ -97,9 +167,202 @@ class RoundEngine:
             energy=energy,
         )
 
+    def estimate_batch(
+        self,
+        rows: np.ndarray,
+        processors: np.ndarray,
+        vf_steps: np.ndarray,
+        conditions: RoundConditionsArrays,
+    ) -> BatchEstimates:
+        """Vectorised :meth:`estimate_device` for one device subset.
+
+        Parameters
+        ----------
+        rows:
+            Fleet rows (indices into the environment's ``fleet_arrays``) to evaluate.
+        processors / vf_steps:
+            Per-row execution target as processor codes (:data:`PROC_CPU` /
+            :data:`PROC_GPU`) and V-F step indices.
+        conditions:
+            Runtime conditions aligned on ``rows``.
+        """
+        arrays = self._env.fleet_arrays
+        workload = self._env.workload
+        params = self._env.global_params
+        batch_size = params.batch_size
+
+        # Workload aggregation (ComputeWorkload.for_round, vectorised over shard sizes).
+        num_samples = arrays.num_samples[rows]
+        batches_per_epoch = (num_samples + batch_size - 1) // batch_size
+        processed = batches_per_epoch * batch_size * params.local_epochs
+        flops = workload.flops_per_sample * processed
+        memory_bytes = workload.bytes_per_sample * processed
+
+        # Interference slowdowns for the selected targets.
+        gpu_mask = processors == PROC_GPU
+        capability = arrays.cpu_capability_gflops[rows]
+        compute_slowdown = self._env.slowdown.compute_slowdown_batch(
+            conditions.co_cpu_util, conditions.co_mem_util, gpu_mask, capability
+        )
+        memory_slowdown = self._env.slowdown.memory_slowdown_batch(
+            conditions.co_cpu_util, conditions.co_mem_util, gpu_mask, capability
+        )
+
+        # Roofline time model (TrainingTimeModel, vectorised).
+        peak_gflops = arrays.peak_gflops[processors, rows]
+        mem_bandwidth = arrays.mem_bandwidth_gbs[processors, rows]
+        saturation = arrays.saturation_batch[processors, rows]
+        rel_f = arrays.relative_frequency(processors, vf_steps, rows)
+        efficiency = np.where(
+            batch_size >= saturation, 1.0, (batch_size / saturation) ** 0.75
+        )
+        gflops = (
+            ACHIEVABLE_COMPUTE_FRACTION * peak_gflops * rel_f * efficiency / compute_slowdown
+        )
+        bandwidth = ACHIEVABLE_BANDWIDTH_FRACTION * mem_bandwidth / memory_slowdown
+        compute_time = flops / (gflops * 1e9)
+        memory_time = memory_bytes / (bandwidth * 1e9)
+        time_s = compute_time + memory_time
+
+        # Utilisation and busy power are computed without interference slowdowns,
+        # mirroring TrainingTimeModel.utilization and busy_power_at_frequency.
+        clean_gflops = ACHIEVABLE_COMPUTE_FRACTION * peak_gflops * rel_f * efficiency
+        clean_bandwidth = ACHIEVABLE_BANDWIDTH_FRACTION * mem_bandwidth
+        clean_compute_time = flops / (clean_gflops * 1e9)
+        clean_memory_time = memory_bytes / (clean_bandwidth * 1e9)
+        clean_total = clean_compute_time + clean_memory_time
+        utilization = np.where(
+            clean_total > 0,
+            np.minimum(
+                1.0,
+                (clean_compute_time + 0.5 * clean_memory_time)
+                / np.where(clean_total > 0, clean_total, 1.0),
+            ),
+            0.0,
+        )
+        peak_power = arrays.peak_power_watt[processors, rows]
+        static_power = STATIC_POWER_FRACTION * peak_power
+        dynamic_power = (peak_power - static_power) * rel_f**DVFS_POWER_EXPONENT * utilization
+        power_scale = arrays.training_power_scale[rows]
+        power = power_scale * (static_power + dynamic_power)
+
+        # Thermal throttling stretches the compute term of CPU targets whose sustained
+        # power (training plus co-runner) exceeds the chassis budget.
+        sustained_power = power + CO_RUNNER_POWER_WATT * conditions.co_cpu_util
+        throttle = self._env.thermal.throttle_slowdown_batch(sustained_power)
+        throttled = (~gpu_mask) & (time_s > 0) & (throttle > 1.0)
+        final_compute_slowdown = np.where(throttled, compute_slowdown * throttle, compute_slowdown)
+        final_gflops = (
+            ACHIEVABLE_COMPUTE_FRACTION * peak_gflops * rel_f * efficiency
+            / final_compute_slowdown
+        )
+        final_compute_time = flops / (final_gflops * 1e9)
+        final_time_s = final_compute_time + memory_time
+        compute_j = power * final_time_s
+
+        # Communication time and radio energy, scaled by the tier power calibration.
+        upload_time, download_time, radio_energy = self._env.communication.estimate_batch(
+            model_size_mb=workload.model_size_mb, bandwidth_mbps=conditions.bandwidth_mbps
+        )
+        communication_time = upload_time + download_time
+        communication_j = radio_energy * power_scale
+
+        return BatchEstimates(
+            compute_time_s=final_time_s,
+            communication_time_s=communication_time,
+            compute_j=compute_j,
+            communication_j=communication_j,
+            utilization=utilization,
+        )
+
     # ------------------------------------------------------------------ execution
+    def _participant_conditions(
+        self,
+        decision: SelectionDecision,
+        conditions: Mapping[int, RoundConditions] | RoundConditionsArrays,
+        rows: np.ndarray,
+    ) -> RoundConditionsArrays:
+        if isinstance(conditions, RoundConditionsArrays):
+            if len(conditions) != len(self._env.fleet_arrays):
+                raise SimulationError(
+                    "fleet-wide condition arrays must cover every device in the fleet"
+                )
+            return conditions.take(rows)
+        return RoundConditionsArrays.from_mapping(decision.participants, conditions)
+
+    def _decision_targets(
+        self, decision: SelectionDecision, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        arrays = self._env.fleet_arrays
+        processors = np.full(len(rows), PROC_CPU, dtype=np.int64)
+        vf_steps = arrays.default_vf_steps()[rows].copy()
+        if decision.targets:
+            for i, device_id in enumerate(decision.participants):
+                target = decision.targets.get(device_id)
+                if target is not None:
+                    processors[i] = PROCESSOR_CODES[target.processor]
+                    vf_steps[i] = target.vf_step
+        return processors, vf_steps
+
+    def execute_batch(
+        self,
+        decision: SelectionDecision,
+        conditions: Mapping[int, RoundConditions] | RoundConditionsArrays,
+    ) -> BatchRoundExecution:
+        """Execute the round as array operations over the whole selection.
+
+        Semantically identical to :meth:`execute` — same straggler cutoff, truncation,
+        waiting and idle accounting — but returns a :class:`BatchRoundExecution` whose
+        per-device quantities stay in numpy arrays.  ``conditions`` may be the usual
+        per-device mapping or fleet-wide :class:`RoundConditionsArrays`.
+        """
+        if not decision.participants:
+            raise SimulationError("a round needs at least one selected participant")
+        arrays = self._env.fleet_arrays
+        rows = arrays.rows_for(decision.participants)
+        processors, vf_steps = self._decision_targets(decision, rows)
+        participant_conditions = self._participant_conditions(decision, conditions, rows)
+        estimates = self.estimate_batch(rows, processors, vf_steps, participant_conditions)
+
+        times = estimates.total_time_s
+        deadline = straggler_deadline(times, self._straggler_cutoff)
+        dropped = times > deadline
+        # The server closes the round at the deadline; stragglers abort, so they only
+        # spend time and energy up to the deadline (scaled proportionally).
+        truncation = np.where(dropped, deadline / np.where(dropped, times, 1.0), 1.0)
+        compute_time = estimates.compute_time_s * truncation
+        communication_time = estimates.communication_time_s * truncation
+        compute_j = estimates.compute_j * truncation
+        communication_j = estimates.communication_j * truncation
+        final_times = compute_time + communication_time
+
+        retained = ~dropped
+        round_time = float(final_times[retained].max()) if retained.any() else deadline
+
+        # Participants that finish before the round closes stay awake (wakelock, radio
+        # connected) waiting for the aggregated model, at awake power.
+        waiting_time = np.maximum(0.0, round_time - np.minimum(final_times, round_time))
+        waiting_j = arrays.awake_power_watt[rows] * waiting_time
+        idle_j = arrays.idle_power_watt * round_time
+        idle_j[rows] = 0.0
+
+        return BatchRoundExecution(
+            selected_ids=np.array(decision.participants, dtype=np.int64),
+            processors=processors,
+            vf_steps=vf_steps,
+            compute_time_s=compute_time,
+            communication_time_s=communication_time,
+            compute_j=compute_j,
+            communication_j=communication_j,
+            waiting_j=waiting_j,
+            dropped=dropped,
+            round_time_s=round_time,
+            fleet_device_ids=arrays.device_ids,
+            idle_j=idle_j,
+        )
+
     def execute(
-        self, decision: SelectionDecision, conditions: dict[int, RoundConditions]
+        self, decision: SelectionDecision, conditions: Mapping[int, RoundConditions]
     ) -> RoundExecution:
         """Execute the round: evaluate every selected device, apply the straggler cutoff,
         and account idle energy for non-selected devices."""
@@ -109,12 +372,16 @@ class RoundEngine:
         for device_id in decision.participants:
             device = self._env.fleet[device_id]
             target = decision.target_for(device_id, device.default_target())
-            condition = conditions.get(device_id, RoundConditions())
+            try:
+                condition = conditions[device_id]
+            except KeyError:
+                raise SimulationError(
+                    f"no round conditions for selected device {device_id}"
+                ) from None
             outcomes[device_id] = self.estimate_device(device, target, condition)
 
         times = np.array([outcome.total_time_s for outcome in outcomes.values()])
-        median_time = float(np.median(times))
-        deadline = self._straggler_cutoff * median_time if median_time > 0 else float(times.max())
+        deadline = straggler_deadline(times, self._straggler_cutoff)
 
         final_outcomes: dict[int, DeviceRoundOutcome] = {}
         retained_times: list[float] = []

@@ -81,17 +81,23 @@ class FLSimulation:
 
     def run_round(self, round_index: int) -> RoundRecord:
         """Execute a single aggregation round and return its record."""
-        conditions = self._env.sample_round_conditions()
+        condition_arrays = self._env.sample_condition_arrays()
+        # Lazy view: scalar policies see the usual per-device mapping, vectorised ones
+        # read the arrays and never pay the O(N) object construction.
+        conditions = condition_arrays.lazy_mapping(self._env.fleet.device_ids)
         ctx = RoundContext(
             round_index=round_index,
             environment=self._env,
             conditions=conditions,
             accuracy=self._backend.accuracy,
+            condition_arrays=condition_arrays,
         )
         decision = self._policy.select(ctx)
         if not decision.participants:
             raise SimulationError(f"policy {self._policy.name!r} selected no participants")
-        execution = self._engine.execute(decision, conditions)
+        # The hot path is the vectorised engine; the scalar RoundExecution view is
+        # materialised once per round for the policy feedback hooks and the record.
+        execution = self._engine.execute_batch(decision, condition_arrays).to_execution()
         training = self._backend.run_round(execution.participant_ids)
         self._policy.feedback(ctx, decision, execution, training)
         return RoundRecord(

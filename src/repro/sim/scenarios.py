@@ -19,6 +19,7 @@ from repro.fl.aggregation import get_aggregator
 from repro.fl.server import SurrogateTrainingBackend, TrainingBackend
 from repro.interference.corunner import InterferenceGenerator, InterferenceScenario
 from repro.network.bandwidth import BandwidthModel, NetworkScenario
+from repro.registry import SCENARIOS
 from repro.sim.environment import EdgeCloudEnvironment
 
 
@@ -36,6 +37,11 @@ class ScenarioSpec:
     seed: int = 0
     aggregator: str = "fedavg"
     tier_counts: dict[str, int] | None = field(default=None)
+    #: Draw round conditions with the fleet-wide vectorised samplers.  Same distribution
+    #: as the scalar samplers but a different RNG stream, so seeded trajectories are not
+    #: comparable across the two modes; large-fleet presets enable it because scalar
+    #: sampling cost grows linearly with the fleet.
+    vectorized_sampling: bool = False
 
     def simulation_config(self) -> SimulationConfig:
         """Build the :class:`SimulationConfig` for this scenario."""
@@ -72,7 +78,49 @@ def build_environment(spec: ScenarioSpec) -> EdgeCloudEnvironment:
         interference=InterferenceGenerator(InterferenceScenario.from_name(spec.interference)),
         bandwidth=BandwidthModel(NetworkScenario.from_name(spec.network)),
         rng=np.random.default_rng(spec.seed),
+        vectorized_sampling=spec.vectorized_sampling,
     )
+
+
+def get_scenario_preset(name: str) -> ScenarioSpec:
+    """Resolve a registered scenario preset into its :class:`ScenarioSpec`."""
+    return SCENARIOS.create(name)  # type: ignore[return-value]
+
+
+SCENARIOS.add(
+    "paper-200",
+    lambda: ScenarioSpec(),
+    aliases=("paper",),
+    summary="The paper's 200-device testbed (30/70/100 high/mid/low, S3, no variance).",
+)
+SCENARIOS.add(
+    "fleet-1k",
+    lambda: ScenarioSpec(
+        num_devices=1_000,
+        interference="moderate",
+        network="variable",
+        vectorized_sampling=True,
+    ),
+    aliases=("1k",),
+    summary=(
+        "Large-fleet preset: 1,000 devices under moderate interference and variable "
+        "network, with fleet-wide vectorised condition sampling."
+    ),
+)
+SCENARIOS.add(
+    "fleet-10k",
+    lambda: ScenarioSpec(
+        num_devices=10_000,
+        interference="moderate",
+        network="variable",
+        vectorized_sampling=True,
+    ),
+    aliases=("10k",),
+    summary=(
+        "Large-fleet preset: 10,000 devices under moderate interference and variable "
+        "network, with fleet-wide vectorised condition sampling."
+    ),
+)
 
 
 def build_surrogate_backend(

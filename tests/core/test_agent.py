@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.actions import ActionCatalog, IDLE_ACTION
+from repro.core.actions import IDLE_ACTION
 from repro.core.agent import AutoFLAgent, QLearningConfig
 from repro.core.qtable import QTableStore
 from repro.core.state import GlobalState, LocalState

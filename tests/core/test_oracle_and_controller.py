@@ -8,7 +8,6 @@ from repro.core.oracle import OracleFLPolicy, OracleParticipantPolicy
 from repro.core.qtable import QTableStore
 from repro.devices.device import RoundConditions
 from repro.exceptions import PolicyError
-from repro.fl.server import RoundTrainingResult
 from repro.sim.context import RoundContext
 from repro.sim.round_engine import RoundEngine
 from repro.sim.scenarios import ScenarioSpec, build_environment, build_surrogate_backend

@@ -1,0 +1,141 @@
+"""Tests for the struct-of-arrays fleet snapshot and condition arrays."""
+
+import numpy as np
+import pytest
+
+from repro.devices.device import ExecutionTarget, RoundConditions
+from repro.devices.fleet_arrays import (
+    PROC_CPU,
+    PROC_GPU,
+    FleetArrays,
+    RoundConditionsArrays,
+)
+from repro.exceptions import DeviceError, SimulationError
+
+
+@pytest.fixture
+def arrays(small_fleet):
+    return FleetArrays.from_fleet(small_fleet)
+
+
+class TestFleetArrays:
+    def test_snapshot_matches_devices(self, small_fleet, arrays):
+        assert len(arrays) == len(small_fleet)
+        for row, device in enumerate(small_fleet.devices):
+            assert int(arrays.device_ids[row]) == device.device_id
+            assert arrays.peak_gflops[PROC_CPU, row] == device.spec.cpu.peak_gflops
+            assert arrays.peak_gflops[PROC_GPU, row] == device.spec.gpu.peak_gflops
+            assert arrays.num_vf_steps[PROC_CPU, row] == device.spec.cpu.num_vf_steps
+            assert arrays.idle_power_watt[row] == device.idle_power()
+            assert arrays.awake_power_watt[row] == device.awake_power()
+            assert arrays.num_samples[row] == device.num_local_samples
+
+    def test_snapshot_reflects_assigned_samples(self, small_fleet):
+        for device in small_fleet:
+            device.assign_samples(17)
+        arrays = FleetArrays.from_fleet(small_fleet)
+        assert np.all(arrays.num_samples == 17)
+
+    def test_rows_for_maps_ids(self, small_fleet, arrays):
+        ids = small_fleet.device_ids[::3]
+        rows = arrays.rows_for(ids)
+        assert [int(arrays.device_ids[row]) for row in rows] == ids
+
+    def test_rows_for_unknown_id_rejected(self, arrays):
+        with pytest.raises(DeviceError):
+            arrays.rows_for([10_000])
+
+    def test_default_vf_steps_match_default_targets(self, small_fleet, arrays):
+        defaults = arrays.default_vf_steps()
+        for row, device in enumerate(small_fleet.devices):
+            assert int(defaults[row]) == device.default_target().vf_step
+
+    def test_relative_frequency_matches_scalar(self, small_fleet, arrays):
+        rows, processors, steps = [], [], []
+        expected = []
+        for row, device in enumerate(small_fleet.devices):
+            for code, spec in ((PROC_CPU, device.spec.cpu), (PROC_GPU, device.spec.gpu)):
+                for step in (0, spec.num_vf_steps // 2, spec.num_vf_steps - 1):
+                    rows.append(row)
+                    processors.append(code)
+                    steps.append(step)
+                    expected.append(spec.relative_frequency(step))
+        result = arrays.relative_frequency(
+            np.array(processors), np.array(steps), np.array(rows)
+        )
+        assert result == pytest.approx(expected, rel=1e-12)
+
+    def test_out_of_range_step_rejected(self, small_fleet, arrays):
+        cpu_steps = small_fleet.devices[0].spec.cpu.num_vf_steps
+        with pytest.raises(DeviceError):
+            arrays.relative_frequency(
+                np.array([PROC_CPU]), np.array([cpu_steps]), np.array([0])
+            )
+
+
+class TestRoundConditionsArrays:
+    def test_mapping_roundtrip(self, small_fleet, rng):
+        ids = small_fleet.device_ids
+        mapping = {
+            device_id: RoundConditions(
+                co_cpu_util=float(rng.random()),
+                co_mem_util=float(rng.random()),
+                bandwidth_mbps=float(10 + 90 * rng.random()),
+            )
+            for device_id in ids
+        }
+        arrays = RoundConditionsArrays.from_mapping(ids, mapping)
+        restored = arrays.to_mapping(ids)
+        assert restored == mapping
+
+    def test_missing_device_raises_simulation_error(self, small_fleet):
+        ids = small_fleet.device_ids
+        mapping = {device_id: RoundConditions() for device_id in ids[:-1]}
+        with pytest.raises(SimulationError, match=str(ids[-1])):
+            RoundConditionsArrays.from_mapping(ids, mapping)
+
+    def test_take_selects_rows(self, small_fleet):
+        ids = small_fleet.device_ids
+        mapping = {
+            device_id: RoundConditions(bandwidth_mbps=float(10 + device_id))
+            for device_id in ids
+        }
+        arrays = RoundConditionsArrays.from_mapping(ids, mapping)
+        subset = arrays.take(np.array([0, 2]))
+        assert subset.bandwidth_mbps[0] == 10 + ids[0]
+        assert subset.bandwidth_mbps[1] == 10 + ids[2]
+
+    def test_lazy_mapping_matches_eager_mapping(self, small_fleet, rng):
+        ids = small_fleet.device_ids
+        mapping = {
+            device_id: RoundConditions(bandwidth_mbps=float(10 + 90 * rng.random()))
+            for device_id in ids
+        }
+        arrays = RoundConditionsArrays.from_mapping(ids, mapping)
+        lazy = arrays.lazy_mapping(ids)
+        assert len(lazy) == len(ids)
+        assert list(lazy) == ids
+        assert dict(lazy) == arrays.to_mapping(ids)
+        # Cached objects are reused across accesses.
+        assert lazy[ids[0]] is lazy[ids[0]]
+        with pytest.raises(KeyError):
+            lazy[10_000]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SimulationError):
+            RoundConditionsArrays(
+                co_cpu_util=np.zeros(3),
+                co_mem_util=np.zeros(3),
+                bandwidth_mbps=np.ones(2),
+            )
+
+
+def test_execution_target_codes_cover_processors():
+    # The code tables must stay in sync with the ExecutionTarget processor names.
+    ExecutionTarget(processor="cpu", vf_step=0)
+    ExecutionTarget(processor="gpu", vf_step=0)
+    from repro.devices.fleet_arrays import PROCESSOR_CODES, PROCESSOR_NAMES
+
+    assert set(PROCESSOR_CODES) == {"cpu", "gpu"}
+    assert PROCESSOR_NAMES[PROCESSOR_CODES["cpu"]] == "cpu"
+    assert PROCESSOR_NAMES[PROCESSOR_CODES["gpu"]] == "gpu"

@@ -1,6 +1,5 @@
 """Tests for the edge-cloud environment and scenario builders."""
 
-import numpy as np
 import pytest
 
 from repro.config import GlobalParams, SimulationConfig

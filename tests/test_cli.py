@@ -111,3 +111,28 @@ class TestSweep:
         with pytest.raises(SystemExit):
             main(["compare", "--policies", "fedavg-random", "--seeds", "5"])
         _captured = capsys.readouterr()
+
+
+class TestBench:
+    def test_bench_writes_record(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        code, out, _err = _run(
+            ["bench", "--sizes", "30", "--repeats", "2", "--output", str(output)],
+            capsys,
+        )
+        assert code == 0
+        assert "speedup" in out
+        assert output.exists()
+
+    def test_bench_rejects_malformed_sizes(self, tmp_path, capsys):
+        code, _out, err = _run(
+            ["bench", "--sizes", "30,abc", "--output", str(tmp_path / "bench.json")],
+            capsys,
+        )
+        assert code == 2
+        assert "invalid --sizes" in err
+
+    def test_list_scenarios_registry(self, capsys):
+        code, out, _err = _run(["list", "scenarios"], capsys)
+        assert code == 0
+        assert "fleet-1k" in out and "fleet-10k" in out

@@ -126,6 +126,7 @@ class TestGetRegistry:
             "networks",
             "data-distributions",
             "settings",
+            "scenarios",
         }
 
     def test_unknown_axis_suggests(self):
