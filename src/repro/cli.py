@@ -10,14 +10,19 @@ The CLI is a thin shell over the declarative experiment subsystem:
   record the speedups in ``BENCH_roundengine.json``;
 * ``list``     — enumerate any registry (policies, workloads, aggregators, scenarios, …).
 
+``run``/``compare``/``sweep`` accept ``--scenario PRESET`` to start from a registered
+scenario preset (``paper-200``, ``fleet-1k``, ``diurnal-1k``, ``flaky-fleet``,
+``churn-heavy``, …); any explicitly passed scenario flag overrides the preset field.
+
 Examples
 --------
 ::
 
     python -m repro list policies
     python -m repro run --policy autofl --network variable --seeds 3
+    python -m repro run --scenario flaky-fleet --rounds 100
     python -m repro compare --policies fedavg-random,power,performance,autofl
-    python -m repro sweep --axis policy=fedavg-random,autofl --axis setting=S1,S3
+    python -m repro sweep --axis policy=fedavg-random,autofl --axis dropout-rate=0,0.1
     python -m repro bench --sizes 200,1000,10000
 """
 
@@ -26,6 +31,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from dataclasses import replace
 
 from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.harness import run_policy_comparison
@@ -49,32 +55,101 @@ from repro.sim.bench import (
     format_bench_record,
     run_roundengine_bench,
 )
-from repro.sim.scenarios import ScenarioSpec
+from repro.sim.scenarios import ScenarioSpec, get_scenario_preset
 from repro.version import __version__
 
 #: Default sweep grid: two axes, four points — small enough to demo caching quickly.
 DEFAULT_SWEEP_AXES = ("policy=fedavg-random,autofl", "setting=S1,S3")
 
+#: The scenario used when no ``--scenario`` preset is named: the historical CLI
+#: defaults (a small, fast 50-device job).  Flags override individual fields.
+CLI_DEFAULT_SCENARIO = ScenarioSpec(num_devices=50, max_rounds=40)
+
+#: CLI flag destination -> ScenarioSpec field, for preset overriding.
+_SCENARIO_FLAG_FIELDS: dict[str, str] = {
+    "workload": "workload",
+    "setting": "setting",
+    "interference": "interference",
+    "network": "network",
+    "data_distribution": "data_distribution",
+    "devices": "num_devices",
+    "rounds": "max_rounds",
+    "seed": "seed",
+    "aggregator": "aggregator",
+    "availability": "availability",
+    "churn_rate": "churn_rate",
+    "rejoin_rate": "rejoin_rate",
+    "dropout_rate": "dropout_rate",
+    "slow_fault_rate": "slow_fault_rate",
+    "slow_fault_factor": "slow_fault_factor",
+}
+
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser, replication: bool = True) -> None:
+    # Scenario flags default to None so that, under --scenario, only explicitly passed
+    # flags override the preset; the effective defaults live in CLI_DEFAULT_SCENARIO.
     group = parser.add_argument_group("scenario")
-    group.add_argument("--workload", default="cnn-mnist", help="FL workload name")
-    group.add_argument("--setting", default="S3", help="global-parameter setting (S1-S4)")
     group.add_argument(
-        "--interference", default="none", help="interference scenario (none/moderate/heavy)"
+        "--scenario",
+        default=None,
+        metavar="PRESET",
+        help="start from a registered scenario preset (see: python -m repro list scenarios)",
+    )
+    group.add_argument("--workload", default=None, help="FL workload name (default: cnn-mnist)")
+    group.add_argument(
+        "--setting", default=None, help="global-parameter setting S1-S4 (default: S3)"
     )
     group.add_argument(
-        "--network", default="stable", help="network scenario (stable/variable/weak)"
+        "--interference",
+        default=None,
+        help="interference scenario (none/moderate/heavy; default: none)",
+    )
+    group.add_argument(
+        "--network", default=None, help="network scenario (stable/variable/weak; default: stable)"
     )
     group.add_argument(
         "--data-distribution",
-        default="iid",
-        help="data-heterogeneity scenario (iid/non_iid_50/75/100)",
+        default=None,
+        help="data-heterogeneity scenario (iid/non_iid_50/75/100; default: iid)",
     )
-    group.add_argument("--devices", type=int, default=50, help="fleet size N")
-    group.add_argument("--rounds", type=int, default=40, help="maximum aggregation rounds")
-    group.add_argument("--seed", type=int, default=0, help="base random seed")
-    group.add_argument("--aggregator", default="fedavg", help="aggregation algorithm")
+    group.add_argument("--devices", type=int, default=None, help="fleet size N (default: 50)")
+    group.add_argument(
+        "--rounds", type=int, default=None, help="maximum aggregation rounds (default: 40)"
+    )
+    group.add_argument("--seed", type=int, default=None, help="base random seed (default: 0)")
+    group.add_argument(
+        "--aggregator", default=None, help="aggregation algorithm (default: fedavg)"
+    )
+    dynamics = parser.add_argument_group("fleet dynamics")
+    dynamics.add_argument(
+        "--availability",
+        default=None,
+        help="availability process (always-on/bernoulli/markov/diurnal/trace)",
+    )
+    dynamics.add_argument(
+        "--churn-rate", type=float, default=None, help="per-round device leave probability"
+    )
+    dynamics.add_argument(
+        "--rejoin-rate", type=float, default=None, help="per-round device rejoin probability"
+    )
+    dynamics.add_argument(
+        "--dropout-rate",
+        type=float,
+        default=None,
+        help="per-round probability a participant fails before upload",
+    )
+    dynamics.add_argument(
+        "--slow-fault-rate",
+        type=float,
+        default=None,
+        help="per-round probability a participant slow-fails (straggler fault)",
+    )
+    dynamics.add_argument(
+        "--slow-fault-factor",
+        type=float,
+        default=None,
+        help="compute-time stretch of slow-failing participants (default: 4.0)",
+    )
     if replication:
         group.add_argument(
             "--seeds", type=int, default=1, help="seed replicas averaged per grid point"
@@ -99,20 +174,23 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _base_spec(args: argparse.Namespace, policy: str) -> ExperimentSpec:
-    scenario = ScenarioSpec(
-        workload=args.workload,
-        setting=args.setting,
-        interference=args.interference,
-        network=args.network,
-        data_distribution=args.data_distribution,
-        num_devices=args.devices,
-        max_rounds=args.rounds,
-        seed=args.seed,
-        aggregator=args.aggregator,
+def _resolve_scenario(args: argparse.Namespace) -> ScenarioSpec:
+    base = (
+        get_scenario_preset(args.scenario)
+        if getattr(args, "scenario", None)
+        else CLI_DEFAULT_SCENARIO
     )
+    overrides = {
+        spec_field: getattr(args, flag)
+        for flag, spec_field in _SCENARIO_FLAG_FIELDS.items()
+        if getattr(args, flag, None) is not None
+    }
+    return replace(base, **overrides)
+
+
+def _base_spec(args: argparse.Namespace, policy: str) -> ExperimentSpec:
     return ExperimentSpec(
-        scenario=scenario,
+        scenario=_resolve_scenario(args),
         policy=policy,
         n_seeds=getattr(args, "seeds", 1),
         stop_at_convergence=not getattr(args, "no_early_stop", False),
@@ -139,7 +217,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         _base_spec(args, policy)
     spec = _base_spec(args, args.baseline).scenario
     _results, rows = run_policy_comparison(
-        spec, policies=policies, baseline=args.baseline, max_rounds=args.rounds
+        spec, policies=policies, baseline=args.baseline, max_rounds=spec.max_rounds
     )
     print(format_comparison(rows))
     return 0

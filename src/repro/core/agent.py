@@ -188,7 +188,12 @@ class AutoFLAgent:
                 continue
             new_local = new_local_states.get(device_id)
             if new_local is None:
-                continue
+                # The device is unobservable this round (offline or churned away under
+                # fleet dynamics).  Bootstrap from the stored state instead of dropping
+                # the update — exact for a zero discount factor, a close approximation
+                # for the paper's 0.1 — so rewards for unreliable picks (which are
+                # exactly the devices likely to be offline next round) always land.
+                new_local = transition.local_state
             device = self._fleet[device_id]
             table = self._store.table_for(device_id, device.tier)
             action_ids = self._catalog.action_ids

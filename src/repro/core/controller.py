@@ -8,7 +8,7 @@ from repro.core.actions import ActionCatalog
 from repro.core.agent import AutoFLAgent, QLearningConfig
 from repro.core.qtable import QTableStore
 from repro.core.reward import RewardCalculator, RewardWeights
-from repro.core.selection import Policy
+from repro.core.selection import Policy, effective_num_participants
 from repro.core.state import GlobalState, LocalState, StateEncoder
 from repro.exceptions import PolicyError
 from repro.registry import POLICIES
@@ -68,11 +68,14 @@ class AutoFLPolicy(Policy):
     ) -> tuple[GlobalState, dict[int, LocalState]]:
         environment = ctx.environment
         global_state = self._encoder.encode_global(environment.workload, environment.global_params)
+        # Only online candidates are observable: the FL protocol cannot collect runtime
+        # state from an unreachable device, so offline devices get no transition (and no
+        # Q-update) this round.
         local_states = {
             device_id: self._encoder.encode_local(
                 ctx.condition(device_id), environment.data_profile(device_id)
             )
-            for device_id in environment.fleet.device_ids
+            for device_id in ctx.candidate_ids()
         }
         return global_state, local_states
 
@@ -80,7 +83,7 @@ class AutoFLPolicy(Policy):
         agent = self._ensure_agent(ctx)
         global_state, local_states = self._encode_states(ctx)
         selection = agent.select(
-            global_state, local_states, ctx.environment.global_params.num_participants
+            global_state, local_states, effective_num_participants(ctx)
         )
         targets = {
             device_id: self._catalog.to_target(action_id, ctx.environment.fleet[device_id])
@@ -104,6 +107,10 @@ class AutoFLPolicy(Policy):
         mean_participant = float(np.mean(participant_energies)) if participant_energies else 0.0
         self._reward.observe_round(global_energy, mean_participant)
 
+        # Mid-round failures feed back as unreliability: a failed pick wasted energy and
+        # contributed nothing, so its reward collapses to the penalty branch and the
+        # Q-tables learn to avoid re-selecting devices in that (state, action).
+        failed = set(execution.failed_ids)
         rewards: dict[int, float] = {}
         for device in ctx.environment.fleet:
             device_id = device.device_id
@@ -115,6 +122,7 @@ class AutoFLPolicy(Policy):
                 accuracy=training.accuracy,
                 previous_accuracy=training.previous_accuracy,
                 selected=device_id in selected,
+                failed=device_id in failed,
             )
         agent.record_rewards(rewards)
 

@@ -20,7 +20,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.actions import ActionCatalog
-from repro.core.selection import CLUSTER_TEMPLATES, Policy, scale_template
+from repro.core.selection import (
+    CLUSTER_TEMPLATES,
+    Policy,
+    effective_num_participants,
+    scale_template,
+)
 from repro.devices.device import ExecutionTarget
 from repro.devices.fleet_arrays import (
     PROC_CPU,
@@ -110,14 +115,20 @@ class OracleParticipantPolicy(Policy):
             * (conditions.co_cpu_util + 0.5 * conditions.co_mem_util)
             + self.NETWORK_WEIGHT * network_score
         )
+        # Oracles are still bound by physical reachability: offline devices are
+        # invisible to the ranking, so every realised template is selectable.
+        online = ctx.online_mask
         ranked_by_tier: dict[DeviceTier, list[int]] = {}
         for code, tier in enumerate(TIER_ORDER):
             rows = np.flatnonzero(arrays.tier_codes == code)
+            if online is not None:
+                rows = rows[online[rows]]
             order = rows[np.argsort(-goodness[rows], kind="stable")]
             ranked_by_tier[tier] = [int(arrays.device_ids[row]) for row in order]
-        ranked_all = [
-            int(arrays.device_ids[row]) for row in np.argsort(-goodness, kind="stable")
-        ]
+        all_rows = np.argsort(-goodness, kind="stable")
+        if online is not None:
+            all_rows = all_rows[online[all_rows]]
+        ranked_all = [int(arrays.device_ids[row]) for row in all_rows]
         return _RoundCache(
             arrays=arrays,
             conditions=conditions,
@@ -131,7 +142,7 @@ class OracleParticipantPolicy(Policy):
     def _realize_template(
         self, ctx: RoundContext, cache: _RoundCache, template: dict[DeviceTier, int]
     ) -> list[int]:
-        num_participants = ctx.environment.global_params.num_participants
+        num_participants = effective_num_participants(ctx)
         counts = scale_template(template, num_participants)
         chosen: list[int] = []
         for tier in (DeviceTier.HIGH, DeviceTier.MID, DeviceTier.LOW):
@@ -193,6 +204,9 @@ class OracleParticipantPolicy(Policy):
         active_energy = float(np.sum(estimates.compute_j + estimates.communication_j))
         idle_mask = np.ones(len(cache.arrays), dtype=bool)
         idle_mask[rows] = False
+        if ctx.online_mask is not None:
+            # Offline devices draw no idle energy on behalf of this job.
+            idle_mask &= ctx.online_mask
         idle_energy = float(np.sum(cache.arrays.idle_power_watt[idle_mask] * round_time))
         return _CandidatePlan(
             template_name=name,

@@ -82,16 +82,22 @@ class RewardCalculator:
         accuracy: float,
         previous_accuracy: float,
         selected: bool = True,
+        failed: bool = False,
     ) -> float:
         """Reward of one device for one round (Eq. 7).
 
         ``accuracy`` and ``previous_accuracy`` are fractions in ``[0, 1]``; the paper's
-        percent-scale formulation is recovered internally.
+        percent-scale formulation is recovered internally.  ``failed`` marks a selected
+        device that dropped out mid-round (fleet-dynamics fault injection): its update
+        never arrived, so it takes the penalty branch *plus* the normalised cost of the
+        energy it wasted — unreliable picks are learnt away from.
         """
         if not 0.0 <= accuracy <= 1.0 or not 0.0 <= previous_accuracy <= 1.0:
             raise PolicyError("accuracies must be fractions in [0, 1]")
         accuracy_pct = accuracy * 100.0
         improvement_pct = (accuracy - previous_accuracy) * 100.0
+        if selected and failed:
+            return accuracy_pct - 100.0 - self._normalise(local_energy_j, self._local_mean)
         if selected and improvement_pct <= 0.0:
             # The selected action failed to improve the model: Eq. 7's penalty branch.
             return accuracy_pct - 100.0

@@ -54,6 +54,18 @@ class Policy:
         """Receive the measured outcome of the round.  Non-learning policies ignore it."""
 
 
+def effective_num_participants(ctx: RoundContext) -> int:
+    """The round's achievable selection size: K, capped by the online candidates.
+
+    Under fleet dynamics fewer than K devices may be reachable; deployed FL runs the
+    round with whoever is online rather than stalling the job.
+    """
+    num_candidates = ctx.num_candidates
+    if num_candidates == 0:
+        raise PolicyError("no online candidate devices this round")
+    return min(ctx.environment.global_params.num_participants, num_candidates)
+
+
 @POLICIES.register("fedavg-random", aliases=("random", "fedavg", "baseline"))
 class RandomPolicy(Policy):
     """FedAvg-Random: the de-facto baseline that picks K participants uniformly at random."""
@@ -61,8 +73,8 @@ class RandomPolicy(Policy):
     name = "fedavg-random"
 
     def select(self, ctx: RoundContext) -> SelectionDecision:
-        device_ids = ctx.environment.fleet.device_ids
-        num_participants = ctx.environment.global_params.num_participants
+        device_ids = ctx.candidate_ids()
+        num_participants = effective_num_participants(ctx)
         chosen = self._rng.choice(device_ids, size=num_participants, replace=False)
         return SelectionDecision(participants=[int(device_id) for device_id in chosen])
 
@@ -111,21 +123,26 @@ class StaticClusterPolicy(Policy):
 
     def select(self, ctx: RoundContext) -> SelectionDecision:
         fleet = ctx.environment.fleet
-        num_participants = ctx.environment.global_params.num_participants
+        num_participants = effective_num_participants(ctx)
         target_counts = scale_template(self._composition, num_participants)
         participants: list[int] = []
         shortfall = 0
         for tier in (DeviceTier.HIGH, DeviceTier.MID, DeviceTier.LOW):
             wanted = target_counts.get(tier, 0)
-            available = [device.device_id for device in fleet.by_tier(tier)]
+            available = [
+                device.device_id
+                for device in fleet.by_tier(tier)
+                if ctx.is_online(device.device_id)
+            ]
             take = min(wanted, len(available))
             shortfall += wanted - take
             if take > 0:
                 chosen = self._rng.choice(available, size=take, replace=False)
                 participants.extend(int(device_id) for device_id in chosen)
         if shortfall > 0:
+            taken = set(participants)
             remaining = [
-                device_id for device_id in fleet.device_ids if device_id not in set(participants)
+                device_id for device_id in ctx.candidate_ids() if device_id not in taken
             ]
             if len(remaining) < shortfall:
                 raise PolicyError("fleet too small to satisfy the requested cluster composition")

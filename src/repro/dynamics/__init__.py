@@ -1,0 +1,248 @@
+"""Fleet dynamics: availability, churn and mid-round failure injection.
+
+The subsystem turns the simulator's static fleet into a living one, in three layers:
+
+* :mod:`repro.dynamics.availability` — who is *reachable* this round (always-on,
+  Bernoulli, Markov on/off, diurnal sine-wave, recorded traces);
+* :mod:`repro.dynamics.churn` — who is *enrolled* at all (join/leave over a job);
+* :mod:`repro.dynamics.faults` — who *fails mid-round* after being selected (dropout
+  before upload, slow-fail stragglers), with per-tier rates.
+
+:class:`FleetDynamics` composes the three behind one facade with a dedicated RNG stream
+(seeded at ``scenario seed + DYNAMICS_SEED_OFFSET``), so enabling dynamics never
+perturbs the environment's condition sampling — the default always-on / zero-fault
+configuration reproduces pre-dynamics seeded trajectories bit-exactly, which is pinned
+by equivalence tests.  :class:`DynamicsSpec` is the declarative form embedded in
+:class:`~repro.sim.scenarios.ScenarioSpec`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dynamics.availability import (
+    AlwaysOnAvailability,
+    AvailabilityProcess,
+    AvailabilityTrace,
+    BernoulliAvailability,
+    DiurnalAvailability,
+    MarkovAvailability,
+    TraceAvailability,
+    generate_trace,
+)
+from repro.dynamics.churn import ChurnEvent, ChurnModel
+from repro.dynamics.faults import DeviceFault, FaultConfig, FaultDraw, FaultInjector
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.registry import AVAILABILITY
+
+#: Offset between the scenario seed and the fleet-dynamics RNG stream.  Kept distinct
+#: from the environment (seed), backend (seed + 1) and policy (seed + 10_000) streams so
+#: enabling dynamics never changes any pre-existing draw sequence.
+DYNAMICS_SEED_OFFSET = 40_000
+
+__all__ = [
+    "AVAILABILITY",
+    "AlwaysOnAvailability",
+    "AvailabilityProcess",
+    "AvailabilityTrace",
+    "BernoulliAvailability",
+    "ChurnEvent",
+    "ChurnModel",
+    "DYNAMICS_SEED_OFFSET",
+    "DeviceFault",
+    "DiurnalAvailability",
+    "DynamicsSpec",
+    "FaultConfig",
+    "FaultDraw",
+    "FaultInjector",
+    "FleetDynamics",
+    "MarkovAvailability",
+    "TraceAvailability",
+    "generate_trace",
+]
+
+
+class FleetDynamics:
+    """Composable fleet dynamics for one training job.
+
+    The facade owns the dynamics RNG and drives its parts in a fixed per-round order
+    (availability, then churn, then faults for the selected participants), so the whole
+    dropout/availability stream is deterministic per seed.  Instances are bound to a
+    fleet by :meth:`bind` — :class:`~repro.sim.environment.EdgeCloudEnvironment` does
+    that during construction.
+    """
+
+    def __init__(
+        self,
+        availability: AvailabilityProcess | None = None,
+        churn: ChurnModel | None = None,
+        faults: FaultInjector | None = None,
+        min_online: int = 1,
+    ) -> None:
+        if min_online < 1:
+            raise ConfigurationError(f"min_online must be >= 1, got {min_online}")
+        self._availability = availability if availability is not None else AlwaysOnAvailability()
+        self._churn = churn
+        self._faults = faults
+        self._min_online = min_online
+        self._rng: np.random.Generator | None = None
+        self._tier_codes: np.ndarray | None = None
+        self._device_ids: np.ndarray | None = None
+        self._online_history: list[int] = []
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def availability(self) -> AvailabilityProcess:
+        """The availability process in use."""
+        return self._availability
+
+    @property
+    def churn(self) -> ChurnModel | None:
+        """The churn model, if any."""
+        return self._churn
+
+    @property
+    def faults(self) -> FaultInjector | None:
+        """The fault injector, if any."""
+        return self._faults
+
+    @property
+    def has_faults(self) -> bool:
+        """True when mid-round faults can occur (an injector with non-zero rates)."""
+        return self._faults is not None and not self._faults.config.is_trivial
+
+    @property
+    def bound(self) -> bool:
+        """True once :meth:`bind` has attached the dynamics to a fleet."""
+        return self._rng is not None
+
+    @property
+    def online_history(self) -> list[int]:
+        """Per-round online-device counts observed so far (a copy)."""
+        return list(self._online_history)
+
+    @property
+    def churn_events(self) -> list[ChurnEvent]:
+        """All churn events so far (empty without a churn model)."""
+        return self._churn.events if self._churn is not None else []
+
+    # ------------------------------------------------------------------ lifecycle
+    def bind(
+        self,
+        num_devices: int,
+        tier_codes: np.ndarray,
+        device_ids: np.ndarray,
+        seed: int,
+    ) -> None:
+        """Attach to a fleet and (re)start the dynamics streams from ``seed``."""
+        tier_codes = np.asarray(tier_codes, dtype=np.int64)
+        device_ids = np.asarray(device_ids, dtype=np.int64)
+        if len(tier_codes) != num_devices or len(device_ids) != num_devices:
+            raise SimulationError("tier_codes/device_ids must cover the whole fleet")
+        self._rng = np.random.default_rng(seed)
+        self._tier_codes = tier_codes
+        self._device_ids = device_ids
+        self._online_history = []
+        self._availability.reset(num_devices)
+        if self._churn is not None:
+            self._churn.reset(num_devices)
+
+    def _require_bound(self) -> np.random.Generator:
+        if self._rng is None:
+            raise SimulationError("FleetDynamics used before bind()")
+        return self._rng
+
+    # ------------------------------------------------------------------ per-round API
+    def online_mask(self, round_index: int) -> np.ndarray:
+        """The round's online mask (availability AND enrolment), fleet order.
+
+        At least ``min_online`` devices are always kept online (force-enabled at
+        random) so a round can never be left without a single candidate.  Must be
+        called once per round in round order — the underlying processes are stateful.
+        """
+        rng = self._require_bound()
+        mask = np.asarray(self._availability.online_mask(round_index, rng), dtype=bool)
+        if mask.shape != self._device_ids.shape:  # type: ignore[union-attr]
+            raise SimulationError("availability mask does not cover the whole fleet")
+        if self._churn is not None:
+            mask = mask & self._churn.membership_mask(round_index, rng, self._device_ids)
+        shortfall = self._min_online - int(mask.sum())
+        if shortfall > 0:
+            offline = np.flatnonzero(~mask)
+            revived = rng.choice(offline, size=min(shortfall, len(offline)), replace=False)
+            mask = mask.copy()
+            mask[revived] = True
+        self._online_history.append(int(mask.sum()))
+        return mask
+
+    def sample_faults(self, round_index: int, rows: np.ndarray) -> FaultDraw | None:
+        """Draw mid-round faults for the selected fleet rows (``None`` if faults off)."""
+        rng = self._require_bound()
+        if not self.has_faults:
+            return None
+        tier_codes = self._tier_codes[np.asarray(rows, dtype=np.int64)]  # type: ignore[index]
+        return self._faults.sample(tier_codes, rng)  # type: ignore[union-attr]
+
+
+@dataclass(frozen=True)
+class DynamicsSpec:
+    """Declarative fleet-dynamics configuration (the scenario-level view).
+
+    The default spec is *trivial*: always-on availability, no churn, no faults —
+    :meth:`build` returns ``None`` for it, keeping the static-fleet fast path (and its
+    seeded trajectories) untouched.
+    """
+
+    availability: str = "always-on"
+    churn_rate: float = 0.0
+    rejoin_rate: float = 0.5
+    dropout_rate: float = 0.0
+    slow_fault_rate: float = 0.0
+    slow_fault_factor: float = 4.0
+    tier_dropout_rates: Mapping[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        AVAILABILITY.entry(self.availability)  # Early did-you-mean validation.
+        for label, value in (
+            ("churn_rate", self.churn_rate),
+            ("rejoin_rate", self.rejoin_rate),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{label} must be in [0, 1], got {value}")
+        # Fault-rate validation lives in FaultConfig; construct one to fail early.
+        self._fault_config()
+
+    def _fault_config(self) -> FaultConfig:
+        return FaultConfig(
+            dropout_rate=self.dropout_rate,
+            slow_fault_rate=self.slow_fault_rate,
+            slow_fault_factor=self.slow_fault_factor,
+            tier_dropout_rates=self.tier_dropout_rates,
+        )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the spec describes the static, fault-free fleet."""
+        return (
+            AVAILABILITY.canonical_name(self.availability) == "always-on"
+            and self.churn_rate == 0.0
+            and self._fault_config().is_trivial
+        )
+
+    def build(self) -> FleetDynamics | None:
+        """Instantiate the dynamics, or ``None`` for the trivial (static) spec."""
+        if self.is_trivial:
+            return None
+        fault_config = self._fault_config()
+        return FleetDynamics(
+            availability=AVAILABILITY.create(self.availability),  # type: ignore[arg-type]
+            churn=(
+                ChurnModel(leave_rate=self.churn_rate, rejoin_rate=self.rejoin_rate)
+                if self.churn_rate > 0.0
+                else None
+            ),
+            faults=FaultInjector(fault_config) if not fault_config.is_trivial else None,
+        )

@@ -1,0 +1,394 @@
+"""Pluggable device-availability processes and availability traces.
+
+Real edge fleets are never fully reachable: phones go off-charger, lose connectivity, or
+sleep through the night.  An :class:`AvailabilityProcess` models that as a per-round
+boolean online mask over the fleet.  Five built-in processes are registered on the
+:data:`repro.registry.AVAILABILITY` registry:
+
+* ``always-on`` — every device reachable every round (the paper's implicit assumption);
+* ``bernoulli`` — each device independently online with a fixed probability;
+* ``markov`` — a two-state on/off Markov chain per device (bursty availability);
+* ``diurnal`` — a sine-wave online probability with per-device phase offsets, modelling
+  the day/night charging rhythm of a geo-distributed fleet;
+* ``trace`` — replays an :class:`AvailabilityTrace` (recorded or synthesised), with
+  JSONL save/load for reproducible cross-machine experiments.
+
+Processes are stateful (the Markov chain carries per-device state, the diurnal process
+draws per-device phases once) and must be driven in round order with a dedicated RNG —
+:class:`~repro.dynamics.FleetDynamics` owns both, so availability draws never perturb the
+environment's condition-sampling stream and seeded always-on trajectories stay bit-exact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.registry import AVAILABILITY
+
+#: On-disk format tag of availability-trace JSONL files.
+TRACE_FORMAT = "repro-availability-trace"
+
+#: Bumped whenever the trace file layout changes.
+TRACE_FORMAT_VERSION = 1
+
+
+class AvailabilityProcess:
+    """Base class of per-round fleet availability models."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._num_devices: int | None = None
+
+    @property
+    def num_devices(self) -> int:
+        """Fleet size the process was reset for."""
+        if self._num_devices is None:
+            raise SimulationError(
+                f"availability process {self.name!r} used before reset(num_devices)"
+            )
+        return self._num_devices
+
+    def reset(self, num_devices: int) -> None:
+        """Bind the process to a fleet size and clear any per-device state."""
+        if num_devices <= 0:
+            raise ConfigurationError("num_devices must be positive")
+        self._num_devices = num_devices
+
+    def online_mask(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean fleet-order mask of the devices online in ``round_index``.
+
+        Must be called once per round in round order: stateful processes (Markov, traces
+        with wraparound) advance on every call.
+        """
+        raise NotImplementedError
+
+
+@AVAILABILITY.register(
+    "always-on",
+    aliases=("static", "none"),
+    summary="Every device reachable every round (no availability variance).",
+)
+class AlwaysOnAvailability(AvailabilityProcess):
+    """The static-fleet assumption: all devices online, no RNG consumption."""
+
+    name = "always-on"
+
+    def online_mask(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        return np.ones(self.num_devices, dtype=bool)
+
+
+@AVAILABILITY.register(
+    "bernoulli",
+    aliases=("iid-availability",),
+    summary="Each device independently online with a fixed per-round probability.",
+)
+class BernoulliAvailability(AvailabilityProcess):
+    """Memoryless availability: online with probability ``p_online`` each round."""
+
+    name = "bernoulli"
+
+    def __init__(self, p_online: float = 0.8) -> None:
+        super().__init__()
+        if not 0.0 < p_online <= 1.0:
+            raise ConfigurationError(f"p_online must be in (0, 1], got {p_online}")
+        self.p_online = p_online
+
+    def online_mask(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.random(self.num_devices) < self.p_online
+
+
+@AVAILABILITY.register(
+    "markov",
+    aliases=("on-off", "bursty"),
+    summary="Two-state on/off Markov chain per device (bursty availability).",
+)
+class MarkovAvailability(AvailabilityProcess):
+    """Per-device two-state chain: online devices drop with ``p_drop``, offline devices
+    return with ``p_return``.  Sojourn times are geometric, so availability is bursty —
+    the same long-run online fraction as a Bernoulli process but with temporal
+    correlation, which is what distinguishes a flaky link from a night-time pattern."""
+
+    name = "markov"
+
+    def __init__(self, p_drop: float = 0.1, p_return: float = 0.4) -> None:
+        super().__init__()
+        for label, value in (("p_drop", p_drop), ("p_return", p_return)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{label} must be in [0, 1], got {value}")
+        if p_drop + p_return <= 0.0:
+            raise ConfigurationError("p_drop + p_return must be positive")
+        self.p_drop = p_drop
+        self.p_return = p_return
+        self._state: np.ndarray | None = None
+
+    @property
+    def stationary_online_fraction(self) -> float:
+        """Long-run fraction of time a device spends online."""
+        return self.p_return / (self.p_drop + self.p_return)
+
+    def reset(self, num_devices: int) -> None:
+        super().reset(num_devices)
+        self._state = None
+
+    def online_mask(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        num_devices = self.num_devices
+        if self._state is None:
+            # Start from the stationary distribution so round 0 is already "warm".
+            self._state = rng.random(num_devices) < self.stationary_online_fraction
+        draws = rng.random(num_devices)
+        online = self._state
+        self._state = np.where(online, draws >= self.p_drop, draws < self.p_return)
+        return self._state.copy()
+
+
+@AVAILABILITY.register(
+    "diurnal",
+    aliases=("sine", "day-night"),
+    summary="Sine-wave online probability with per-device phase offsets (day/night).",
+)
+class DiurnalAvailability(AvailabilityProcess):
+    """Diurnal availability: the online probability follows a sine wave over rounds.
+
+    Each device gets a phase offset (drawn once, on first use) so the fleet is spread
+    over time zones and charging habits rather than blinking in unison;
+    ``phase_spread`` is the standard deviation of that offset in fractions of a period.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        mean_online: float = 0.7,
+        amplitude: float = 0.25,
+        period_rounds: int = 48,
+        phase_spread: float = 0.1,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < mean_online <= 1.0:
+            raise ConfigurationError(f"mean_online must be in (0, 1], got {mean_online}")
+        if amplitude < 0.0 or amplitude > min(mean_online, 1.0 - mean_online) + 1e-12:
+            raise ConfigurationError(
+                "amplitude must keep the online probability inside [0, 1]"
+            )
+        if period_rounds < 2:
+            raise ConfigurationError(f"period_rounds must be >= 2, got {period_rounds}")
+        if phase_spread < 0.0:
+            raise ConfigurationError(f"phase_spread must be >= 0, got {phase_spread}")
+        self.mean_online = mean_online
+        self.amplitude = amplitude
+        self.period_rounds = period_rounds
+        self.phase_spread = phase_spread
+        self._phases: np.ndarray | None = None
+
+    def reset(self, num_devices: int) -> None:
+        super().reset(num_devices)
+        self._phases = None
+
+    def online_probability(self, round_index: int) -> np.ndarray:
+        """Per-device online probability at ``round_index`` (phases must be drawn)."""
+        if self._phases is None:
+            raise SimulationError("diurnal phases not drawn yet; call online_mask first")
+        angle = 2.0 * np.pi * (round_index / self.period_rounds + self._phases)
+        return np.clip(self.mean_online + self.amplitude * np.sin(angle), 0.0, 1.0)
+
+    def online_mask(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        num_devices = self.num_devices
+        if self._phases is None:
+            self._phases = rng.normal(0.0, self.phase_spread, size=num_devices)
+        return rng.random(num_devices) < self.online_probability(round_index)
+
+
+@dataclass(frozen=True)
+class AvailabilityTrace:
+    """A recorded (or synthesised) per-round availability history of one fleet."""
+
+    masks: np.ndarray  # shape (num_rounds, num_devices), bool
+
+    def __post_init__(self) -> None:
+        masks = np.asarray(self.masks, dtype=bool)
+        if masks.ndim != 2 or masks.shape[0] == 0 or masks.shape[1] == 0:
+            raise ConfigurationError(
+                "an availability trace needs a non-empty (rounds, devices) mask matrix"
+            )
+        object.__setattr__(self, "masks", masks)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of recorded rounds."""
+        return int(self.masks.shape[0])
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices per recorded round."""
+        return int(self.masks.shape[1])
+
+    @property
+    def mean_availability(self) -> float:
+        """Fraction of (round, device) cells that are online."""
+        return float(self.masks.mean())
+
+    def mask(self, round_index: int, wrap: bool = True) -> np.ndarray:
+        """The online mask of one round; with ``wrap`` the trace tiles periodically."""
+        if round_index < 0:
+            raise SimulationError(f"round_index must be >= 0, got {round_index}")
+        if round_index >= self.num_rounds:
+            if not wrap:
+                raise SimulationError(
+                    f"trace has {self.num_rounds} rounds; round {round_index} requested"
+                )
+            round_index %= self.num_rounds
+        return self.masks[round_index].copy()
+
+    # ------------------------------------------------------------------ persistence
+    def save_jsonl(self, path: str | Path) -> None:
+        """Write the trace as JSONL: one header line plus one ``01``-string per round."""
+        lines = [
+            json.dumps(
+                {
+                    "format": TRACE_FORMAT,
+                    "version": TRACE_FORMAT_VERSION,
+                    "num_rounds": self.num_rounds,
+                    "num_devices": self.num_devices,
+                }
+            )
+        ]
+        for round_index in range(self.num_rounds):
+            bits = "".join("1" if online else "0" for online in self.masks[round_index])
+            lines.append(json.dumps({"round": round_index, "online": bits}))
+        Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "AvailabilityTrace":
+        """Load a trace written by :meth:`save_jsonl`, validating the header."""
+        lines = [
+            line for line in Path(path).read_text(encoding="utf-8").splitlines() if line.strip()
+        ]
+        if not lines:
+            raise ConfigurationError(f"availability trace {path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except ValueError as exc:
+            raise ConfigurationError(f"corrupt availability trace header in {path}") from exc
+        if header.get("format") != TRACE_FORMAT:
+            raise ConfigurationError(f"{path} is not an availability trace file")
+        if header.get("version") != TRACE_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported trace version {header.get('version')!r} in {path}"
+            )
+        num_rounds = int(header["num_rounds"])
+        num_devices = int(header["num_devices"])
+        masks = np.zeros((num_rounds, num_devices), dtype=bool)
+        if len(lines) - 1 != num_rounds:
+            raise ConfigurationError(
+                f"{path} declares {num_rounds} rounds but holds {len(lines) - 1}"
+            )
+        seen_rounds: set[int] = set()
+        for line_number, line in enumerate(lines[1:], start=2):
+            try:
+                row = json.loads(line)
+                round_index = int(row["round"])
+                bits = row["online"]
+                if not isinstance(bits, str) or set(bits) - {"0", "1"}:
+                    raise ValueError("online must be a string of 0/1 characters")
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"corrupt availability trace {path} at line {line_number}"
+                ) from exc
+            if (
+                round_index in seen_rounds
+                or not 0 <= round_index < num_rounds
+                or len(bits) != num_devices
+            ):
+                raise ConfigurationError(
+                    f"availability trace {path} line {line_number} is inconsistent "
+                    "with its header"
+                )
+            seen_rounds.add(round_index)
+            masks[round_index] = np.frombuffer(bits.encode("ascii"), dtype=np.uint8) == ord("1")
+        return cls(masks=masks)
+
+
+def generate_trace(
+    process: AvailabilityProcess | str | None = None,
+    num_devices: int = 100,
+    num_rounds: int = 200,
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+) -> AvailabilityTrace:
+    """Synthesise a trace by rolling an availability process forward ``num_rounds``.
+
+    ``process`` may be a process instance, a registered availability name, or ``None``
+    for the default diurnal generator.  The generation RNG is dedicated (seeded from
+    ``seed`` unless an explicit ``rng`` is supplied), so the same arguments always
+    produce the same trace.
+    """
+    if num_rounds <= 0:
+        raise ConfigurationError(f"num_rounds must be positive, got {num_rounds}")
+    if process is None:
+        process = DiurnalAvailability()
+    elif isinstance(process, str):
+        process = AVAILABILITY.create(process)  # type: ignore[assignment]
+    process.reset(num_devices)
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    masks = np.stack(
+        [process.online_mask(round_index, rng) for round_index in range(num_rounds)]
+    )
+    return AvailabilityTrace(masks=masks)
+
+
+@AVAILABILITY.register(
+    "trace",
+    aliases=("replay",),
+    summary="Replays an availability trace (synthesised by default; JSONL save/load).",
+)
+class TraceAvailability(AvailabilityProcess):
+    """Replays an :class:`AvailabilityTrace`, tiling it when the job outlives the trace.
+
+    Without an explicit trace, a synthetic diurnal trace is generated on first use from
+    the driving RNG, so ``availability="trace"`` works out of the box while recorded
+    traces loaded with :meth:`AvailabilityTrace.load_jsonl` replay bit-exactly.
+    """
+
+    name = "trace"
+
+    def __init__(
+        self,
+        trace: AvailabilityTrace | None = None,
+        wrap: bool = True,
+        synthetic_rounds: int = 200,
+    ) -> None:
+        super().__init__()
+        if synthetic_rounds <= 0:
+            raise ConfigurationError(f"synthetic_rounds must be positive, got {synthetic_rounds}")
+        self._trace = trace
+        self.wrap = wrap
+        self.synthetic_rounds = synthetic_rounds
+
+    @property
+    def trace(self) -> AvailabilityTrace | None:
+        """The trace being replayed (``None`` until a synthetic one is generated)."""
+        return self._trace
+
+    def reset(self, num_devices: int) -> None:
+        super().reset(num_devices)
+        if self._trace is not None and self._trace.num_devices != num_devices:
+            raise ConfigurationError(
+                f"trace covers {self._trace.num_devices} devices but the fleet has "
+                f"{num_devices}"
+            )
+
+    def online_mask(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        if self._trace is None:
+            self._trace = generate_trace(
+                DiurnalAvailability(),
+                num_devices=self.num_devices,
+                num_rounds=self.synthetic_rounds,
+                rng=rng,
+            )
+        return self._trace.mask(round_index, wrap=self.wrap)

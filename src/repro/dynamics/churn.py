@@ -1,0 +1,86 @@
+"""Device churn: long-term join/leave dynamics of the FL population.
+
+Availability (:mod:`repro.dynamics.availability`) models short-term reachability —
+a device that is offline tonight is still enrolled in the training job.  Churn models
+enrolment itself: devices uninstall the app, fail permanently, or new devices enrol
+mid-job.  A churned-away device is out of the population until it rejoins: it is hidden
+from selection policies and — like any unreachable device — excluded from the round's
+idle-energy account, which covers only the reachable, enrolled fleet.
+
+The model is a per-device membership chain driven by two per-round probabilities
+(``leave_rate``, ``rejoin_rate``), with every membership flip recorded as a
+:class:`ChurnEvent` so experiments can report fleet-composition timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change: a device leaving or (re)joining the population."""
+
+    round_index: int
+    device_id: int
+    kind: str  # "leave" or "join"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("leave", "join"):
+            raise ConfigurationError(f"churn event kind must be leave/join, got {self.kind!r}")
+
+
+class ChurnModel:
+    """Per-device membership chain with geometric enrolment/absence times."""
+
+    def __init__(self, leave_rate: float = 0.02, rejoin_rate: float = 0.3) -> None:
+        for label, value in (("leave_rate", leave_rate), ("rejoin_rate", rejoin_rate)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{label} must be in [0, 1], got {value}")
+        self.leave_rate = leave_rate
+        self.rejoin_rate = rejoin_rate
+        self._member: np.ndarray | None = None
+        self._events: list[ChurnEvent] = []
+
+    @property
+    def events(self) -> list[ChurnEvent]:
+        """All membership changes so far, in round order (a copy)."""
+        return list(self._events)
+
+    def reset(self, num_devices: int) -> None:
+        """Start a new job: every device enrolled, event log cleared."""
+        if num_devices <= 0:
+            raise ConfigurationError("num_devices must be positive")
+        self._member = np.ones(num_devices, dtype=bool)
+        self._events = []
+
+    def membership_mask(
+        self,
+        round_index: int,
+        rng: np.random.Generator,
+        device_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Advance the chain one round and return the enrolled-device mask.
+
+        ``device_ids`` (fleet order) labels the recorded events; without it events carry
+        fleet row indices.  Must be called once per round in round order.
+        """
+        if self._member is None:
+            raise SimulationError("ChurnModel used before reset(num_devices)")
+        member = self._member
+        draws = rng.random(len(member))
+        leaving = member & (draws < self.leave_rate)
+        joining = ~member & (draws < self.rejoin_rate)
+        updated = (member & ~leaving) | joining
+        if leaving.any() or joining.any():
+            labels = device_ids if device_ids is not None else np.arange(len(member))
+            for row in np.flatnonzero(leaving):
+                self._events.append(ChurnEvent(round_index, int(labels[row]), "leave"))
+            for row in np.flatnonzero(joining):
+                self._events.append(ChurnEvent(round_index, int(labels[row]), "join"))
+        self._member = updated
+        return updated.copy()

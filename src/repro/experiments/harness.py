@@ -176,16 +176,25 @@ def run_with_reference(
     reference_tiers = {"high": 0.0, "mid": 0.0, "low": 0.0}
     warmup = rounds // 2
     for round_index in range(rounds):
+        # Fleet dynamics apply here exactly as in FLSimulation.run_round: the oracle
+        # reference observes the same online fleet and the executed decision faces the
+        # same mid-round faults.
+        online_mask = environment.round_online_mask(round_index)
         conditions = environment.sample_round_conditions()
         ctx = RoundContext(
             round_index=round_index,
             environment=environment,
             conditions=conditions,
             accuracy=backend.accuracy,
+            online_mask=online_mask,
         )
         decision = policy.select(ctx)
         reference_decision = reference.select(ctx)
-        execution = engine.execute(decision, conditions)
+        faults = environment.sample_faults(decision.participants, round_index)
+        fault_mapping = None if faults is None else faults.to_mapping(decision.participants)
+        execution = engine.execute(
+            decision, conditions, faults=fault_mapping, online_mask=online_mask
+        )
         training = backend.run_round(execution.participant_ids)
         policy.feedback(ctx, decision, execution, training)
 

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.selection import make_policy
 from repro.exceptions import ConfigurationError
-from repro.experiments.spec import ExperimentSpec, Sweep
+from repro.experiments.spec import SPEC_SCHEMA_VERSION, ExperimentSpec, Sweep
 from repro.fl.metrics import EfficiencySummary
 from repro.sim.runner import FLSimulation
 from repro.sim.scenarios import build_environment, build_surrogate_backend
@@ -235,6 +235,16 @@ class ResultStore:
                 try:
                     payload = json.loads(line)
                     key = payload["hash"]
+                    spec_payload = payload["spec"]
+                    if not isinstance(spec_payload, dict):
+                        raise TypeError(
+                            f"spec must be an object, got {type(spec_payload).__name__}"
+                        )
+                    if spec_payload.get("schema") != SPEC_SCHEMA_VERSION:
+                        # Stale entry from an older spec schema: its hash can never be
+                        # looked up again (hashes embed the schema), so skip it rather
+                        # than failing the whole store on a schema bump.
+                        continue
                     result = ExperimentResult.from_dict(payload, cached=True)
                 except (ValueError, KeyError, TypeError) as exc:
                     raise ConfigurationError(

@@ -23,7 +23,8 @@ from repro.exceptions import ConfigurationError
 from repro.sim.scenarios import ScenarioSpec
 
 #: Bumped whenever the hashed payload's shape changes, so stale caches never alias.
-SPEC_SCHEMA_VERSION = 2
+#: v3 added the fleet-dynamics scenario axes (availability, churn and fault rates).
+SPEC_SCHEMA_VERSION = 3
 
 #: Scenario fields addressable as sweep axes.
 SCENARIO_AXES: tuple[str, ...] = tuple(f.name for f in fields(ScenarioSpec))
@@ -36,6 +37,17 @@ _INT_AXES = frozenset({"num_devices", "max_rounds", "seed", "n_seeds"})
 
 #: Axes holding boolean values.
 _BOOL_AXES = frozenset({"stop_at_convergence", "vectorized_sampling"})
+
+#: Axes holding float values (the fleet-dynamics rates).
+_FLOAT_AXES = frozenset(
+    {
+        "churn_rate",
+        "rejoin_rate",
+        "dropout_rate",
+        "slow_fault_rate",
+        "slow_fault_factor",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -66,6 +78,7 @@ class ExperimentSpec:
         registry.NETWORKS.entry(self.scenario.network)
         registry.DATA_DISTRIBUTIONS.entry(self.scenario.data_distribution)
         registry.AGGREGATORS.entry(self.scenario.aggregator)
+        registry.AVAILABILITY.entry(self.scenario.availability)
         return self
 
     # ------------------------------------------------------------------ derivation
@@ -236,4 +249,9 @@ def _coerce_axis_value(axis: str, value: str) -> object:
         if lowered in ("false", "no", "0"):
             return False
         raise ConfigurationError(f"axis {axis!r} takes true/false, got {value!r}")
+    if axis in _FLOAT_AXES:
+        try:
+            return float(value)
+        except ValueError:
+            raise ConfigurationError(f"axis {axis!r} takes floats, got {value!r}") from None
     return value

@@ -42,6 +42,10 @@ class WorkloadProfile:
     base_gain: float
     target_accuracy: float
     samples_per_device: int = 300
+    #: Size of the workload's global label space.  Required when per-device data
+    #: profiles are synthesised from a heterogeneity scenario; the environment raises a
+    #: clear error for profiles that leave it unset instead of assuming a default.
+    num_classes: int | None = None
 
     def __post_init__(self) -> None:
         if min(self.num_conv_layers, self.num_fc_layers, self.num_rc_layers) < 0:
@@ -60,6 +64,8 @@ class WorkloadProfile:
             )
         if self.samples_per_device <= 0:
             raise ConfigurationError(f"{self.name}: samples_per_device must be positive")
+        if self.num_classes is not None and self.num_classes < 2:
+            raise ConfigurationError(f"{self.name}: num_classes must be >= 2")
 
     @property
     def compute_intensity(self) -> float:
@@ -79,6 +85,7 @@ class WorkloadProfile:
         base_gain: float = 0.10,
         target_accuracy: float = 0.90,
         samples_per_device: int = 300,
+        num_classes: int | None = None,
     ) -> "WorkloadProfile":
         """Derive a profile directly from a numpy model's structure and cost accounting."""
         if not isinstance(model, Sequential):
@@ -97,6 +104,7 @@ class WorkloadProfile:
             base_gain=base_gain,
             target_accuracy=target_accuracy,
             samples_per_device=samples_per_device,
+            num_classes=num_classes,
         )
 
 
@@ -114,6 +122,7 @@ CNN_MNIST = WorkloadProfile(
     base_gain=0.14,
     target_accuracy=0.95,
     samples_per_device=300,
+    num_classes=10,
 )
 
 #: LSTM-Shakespeare: 2-layer 256-unit character LSTM (~0.8 M params).  Memory-intensive RC
@@ -131,6 +140,7 @@ LSTM_SHAKESPEARE = WorkloadProfile(
     base_gain=0.09,
     target_accuracy=0.50,
     samples_per_device=400,
+    num_classes=40,
 )
 
 #: MobileNet-ImageNet: MobileNetV1 at 224x224 (~4.2 M params, ~0.57 GFLOPs forward per
@@ -147,6 +157,7 @@ MOBILENET_IMAGENET = WorkloadProfile(
     base_gain=0.05,
     target_accuracy=0.60,
     samples_per_device=200,
+    num_classes=100,
 )
 
 #: The paper's three workloads by canonical name (kept for introspection; the

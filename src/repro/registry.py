@@ -256,6 +256,13 @@ SCENARIOS = Registry(
     bootstrap_modules=("repro.sim.scenarios",),
 )
 
+#: Fleet availability processes (the fleet-dynamics axis).
+AVAILABILITY = Registry(
+    "availability process",
+    error_cls=ConfigurationError,
+    bootstrap_modules=("repro.dynamics.availability",),
+)
+
 #: All registries by the plural axis name the CLI exposes (``python -m repro list``).
 REGISTRIES: dict[str, Registry] = {
     "policies": POLICIES,
@@ -266,6 +273,7 @@ REGISTRIES: dict[str, Registry] = {
     "data-distributions": DATA_DISTRIBUTIONS,
     "settings": SETTINGS,
     "scenarios": SCENARIOS,
+    "availability": AVAILABILITY,
 }
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import json
 import math
+import platform
+import subprocess
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -44,6 +46,46 @@ class BenchSizeResult:
     speedup: float
     scalar_repeats: int
     batch_repeats: int
+
+
+def _git(*args: str) -> str | None:
+    try:
+        result = subprocess.run(
+            ["git", "-C", str(Path(__file__).resolve().parent), *args],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return result.stdout.strip() if result.returncode == 0 else None
+
+
+def _git_sha() -> str | None:
+    """The repository HEAD commit (``-dirty`` suffixed when the tree has local
+    changes, so bench numbers are never attributed to code that did not run), or
+    ``None`` outside a git checkout."""
+    sha = _git("rev-parse", "HEAD")
+    if not sha:
+        return None
+    status = _git("status", "--porcelain")
+    return f"{sha}-dirty" if status else sha
+
+
+def bench_provenance() -> dict:
+    """Interpreter, library and machine provenance recorded with every bench run.
+
+    Throughput numbers are only comparable between records whose provenance matches;
+    the trajectory file keeps it so regressions are never chased across machines.
+    """
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "git_sha": _git_sha(),
+    }
 
 
 def _participants_for(num_devices: int) -> int:
@@ -161,6 +203,7 @@ def run_roundengine_bench(
     record = {
         "benchmark": "roundengine",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "provenance": bench_provenance(),
         "workload": workload,
         "interference": interference,
         "network": network,

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.devices.device import ExecutionTarget, RoundConditions
 from repro.devices.fleet_arrays import RoundConditionsArrays
@@ -30,6 +33,36 @@ class RoundContext:
     #: Optional fleet-order array view of ``conditions`` — populated by the simulation
     #: runner so vectorised policies skip an O(N) per-round re-gather of the mapping.
     condition_arrays: RoundConditionsArrays | None = None
+    #: Fleet-order boolean mask of the devices reachable this round, populated when the
+    #: environment has fleet dynamics.  ``None`` means a static fleet (everyone online).
+    #: Policies must select participants from the online candidates only.
+    online_mask: np.ndarray | None = None
+
+    @cached_property
+    def _online_id_set(self) -> frozenset[int]:
+        return frozenset(self.candidate_ids())
+
+    def candidate_ids(self) -> list[int]:
+        """Device ids a policy may select this round, in fleet order."""
+        device_ids = self.environment.fleet.device_ids
+        if self.online_mask is None:
+            return device_ids
+        return [
+            device_id for device_id, online in zip(device_ids, self.online_mask) if online
+        ]
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of selectable (online) devices this round."""
+        if self.online_mask is None:
+            return len(self.environment.fleet)
+        return int(np.count_nonzero(self.online_mask))
+
+    def is_online(self, device_id: int) -> bool:
+        """Whether a device is reachable (and therefore selectable) this round."""
+        if self.online_mask is None:
+            return True
+        return device_id in self._online_id_set
 
     def condition(self, device_id: int) -> RoundConditions:
         """Runtime conditions observed for one device this round."""

@@ -9,7 +9,9 @@ from repro.data.partition import DataDistribution
 from repro.data.profiles import DeviceDataProfile, synthesize_data_profiles
 from repro.devices.device import RoundConditions
 from repro.devices.fleet import Fleet, build_fleet
-from repro.devices.fleet_arrays import FleetArrays, RoundConditionsArrays
+from repro.devices.fleet_arrays import TIER_ORDER, FleetArrays, RoundConditionsArrays
+from repro.dynamics import DYNAMICS_SEED_OFFSET, FleetDynamics
+from repro.dynamics.faults import FaultDraw
 from repro.exceptions import SimulationError
 from repro.interference.corunner import InterferenceGenerator, InterferenceScenario
 from repro.interference.slowdown import SlowdownModel
@@ -17,13 +19,6 @@ from repro.interference.thermal import ThermalModel
 from repro.network.bandwidth import BandwidthModel, NetworkScenario
 from repro.network.channel import CommunicationModel
 from repro.nn.workloads import WorkloadProfile, get_workload_profile
-
-#: Number of classes assumed per workload when synthesising data profiles.
-_WORKLOAD_NUM_CLASSES: dict[str, int] = {
-    "cnn-mnist": 10,
-    "lstm-shakespeare": 40,
-    "mobilenet-imagenet": 100,
-}
 
 
 class EdgeCloudEnvironment:
@@ -44,6 +39,7 @@ class EdgeCloudEnvironment:
         communication: CommunicationModel | None = None,
         rng: np.random.Generator | None = None,
         vectorized_sampling: bool = False,
+        dynamics: FleetDynamics | None = None,
     ) -> None:
         self.config = config
         self.global_params = global_params
@@ -53,7 +49,13 @@ class EdgeCloudEnvironment:
         self.fleet = fleet if fleet is not None else build_fleet(config, self.rng)
         self.data_distribution = DataDistribution.from_name(data_distribution)
         if data_profiles is None:
-            num_classes = _WORKLOAD_NUM_CLASSES.get(self.workload.name, 10)
+            num_classes = self.workload.num_classes
+            if num_classes is None:
+                raise SimulationError(
+                    f"workload {self.workload.name!r} does not declare num_classes; "
+                    "set WorkloadProfile.num_classes (required to synthesise data "
+                    "profiles) or pass explicit data_profiles"
+                )
             data_profiles = synthesize_data_profiles(
                 device_ids=self.fleet.device_ids,
                 distribution=self.data_distribution,
@@ -78,6 +80,20 @@ class EdgeCloudEnvironment:
         if global_params.num_participants > len(self.fleet):
             raise SimulationError(
                 f"K={global_params.num_participants} exceeds fleet size {len(self.fleet)}"
+            )
+        # The dynamics RNG stream is dedicated (seed + DYNAMICS_SEED_OFFSET) so that
+        # enabling availability/churn/faults never perturbs the condition-sampling
+        # stream above — static-fleet seeded trajectories stay bit-exact.
+        self.dynamics = dynamics
+        if dynamics is not None:
+            tier_index = {tier: code for code, tier in enumerate(TIER_ORDER)}
+            dynamics.bind(
+                num_devices=len(self.fleet),
+                tier_codes=np.array(
+                    [tier_index[device.tier] for device in self.fleet], dtype=np.int64
+                ),
+                device_ids=np.array(self.fleet.device_ids, dtype=np.int64),
+                seed=config.seed + DYNAMICS_SEED_OFFSET,
             )
 
     @property
@@ -150,3 +166,21 @@ class EdgeCloudEnvironment:
     def sample_round_conditions(self) -> dict[int, RoundConditions]:
         """Sample one round's conditions as the per-device mapping policies observe."""
         return self.sample_condition_arrays().to_mapping(self.fleet.device_ids)
+
+    # ------------------------------------------------------------------ fleet dynamics
+    def round_online_mask(self, round_index: int) -> np.ndarray | None:
+        """The round's online-device mask in fleet order (``None`` for a static fleet).
+
+        Must be called once per round in round order — the availability and churn
+        processes behind it are stateful.
+        """
+        if self.dynamics is None:
+            return None
+        return self.dynamics.online_mask(round_index)
+
+    def sample_faults(self, participants: list[int], round_index: int) -> FaultDraw | None:
+        """Draw mid-round faults for a selection (``None`` when faults are disabled)."""
+        if self.dynamics is None or not self.dynamics.has_faults:
+            return None
+        rows = self.fleet_arrays.rows_for(participants)
+        return self.dynamics.sample_faults(round_index, rows)

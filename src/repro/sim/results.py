@@ -23,6 +23,9 @@ class DeviceRoundOutcome:
     communication_time_s: float
     energy: DeviceEnergy
     dropped: bool = False
+    #: True when the device failed mid-round (fault injection) rather than merely
+    #: exceeding the straggler deadline; its compute energy was spent for nothing.
+    failed: bool = False
 
     @property
     def total_time_s(self) -> float:
@@ -40,16 +43,28 @@ class RoundExecution:
 
     @property
     def participant_ids(self) -> list[int]:
-        """Devices whose updates made it into the aggregation (stragglers excluded)."""
+        """Devices whose updates made it into the aggregation (stragglers and
+        mid-round failures excluded)."""
         return sorted(
-            device_id for device_id, outcome in self.outcomes.items() if not outcome.dropped
+            device_id
+            for device_id, outcome in self.outcomes.items()
+            if not outcome.dropped and not outcome.failed
         )
 
     @property
     def dropped_ids(self) -> list[int]:
-        """Selected devices whose updates were dropped as stragglers."""
+        """Selected devices whose updates were dropped as stragglers (failures aside)."""
         return sorted(
-            device_id for device_id, outcome in self.outcomes.items() if outcome.dropped
+            device_id
+            for device_id, outcome in self.outcomes.items()
+            if outcome.dropped and not outcome.failed
+        )
+
+    @property
+    def failed_ids(self) -> list[int]:
+        """Selected devices that failed mid-round (dropout before upload)."""
+        return sorted(
+            device_id for device_id, outcome in self.outcomes.items() if outcome.failed
         )
 
     @property
@@ -82,6 +97,12 @@ class BatchRoundExecution:
     round_time_s: float
     fleet_device_ids: np.ndarray
     idle_j: np.ndarray
+    #: Mid-round failures (fault injection); defaults to all-False for static fleets.
+    failed: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.failed is None:
+            self.failed = np.zeros(len(self.selected_ids), dtype=bool)
 
     @property
     def total_time_s(self) -> np.ndarray:
@@ -90,13 +111,23 @@ class BatchRoundExecution:
 
     @property
     def participant_ids(self) -> list[int]:
-        """Devices whose updates made it into the aggregation (stragglers excluded)."""
-        return sorted(int(device_id) for device_id in self.selected_ids[~self.dropped])
+        """Devices whose updates made it into the aggregation (stragglers and
+        mid-round failures excluded)."""
+        return sorted(
+            int(device_id) for device_id in self.selected_ids[~(self.dropped | self.failed)]
+        )
 
     @property
     def dropped_ids(self) -> list[int]:
-        """Selected devices whose updates were dropped as stragglers."""
-        return sorted(int(device_id) for device_id in self.selected_ids[self.dropped])
+        """Selected devices whose updates were dropped as stragglers (failures aside)."""
+        return sorted(
+            int(device_id) for device_id in self.selected_ids[self.dropped & ~self.failed]
+        )
+
+    @property
+    def failed_ids(self) -> list[int]:
+        """Selected devices that failed mid-round (dropout before upload)."""
+        return sorted(int(device_id) for device_id in self.selected_ids[self.failed])
 
     @property
     def participant_energy_j(self) -> float:
@@ -133,6 +164,7 @@ class BatchRoundExecution:
                 communication_time_s=float(self.communication_time_s[i]),
                 energy=energy,
                 dropped=bool(self.dropped[i]),
+                failed=bool(self.failed[i]),
             )
         account = RoundEnergyAccount()
         for row, device_id in enumerate(self.fleet_device_ids):
@@ -159,6 +191,16 @@ class RoundRecord:
     global_energy_j: float
     accuracy: float
     accuracy_improvement: float
+    #: Selected devices that failed mid-round (fault injection; disjoint from
+    #: ``dropped_ids``, which holds the straggler drops).
+    failed_ids: tuple[int, ...] = ()
+    #: Devices online when the round started (``None`` for a static fleet).
+    num_online: int | None = None
+
+    @property
+    def num_aggregated(self) -> int:
+        """Updates that made it into the aggregation this round."""
+        return len(self.selected_ids) - len(self.dropped_ids) - len(self.failed_ids)
 
 
 @dataclass
@@ -213,6 +255,30 @@ class SimulationResult:
         if not self.records:
             raise SimulationError("simulation produced no rounds")
         return float(np.mean([record.round_time_s for record in self.records]))
+
+    # ------------------------------------------------------------------ fleet dynamics
+    @property
+    def total_straggler_drops(self) -> int:
+        """Selected devices dropped at the straggler deadline, over all rounds."""
+        return sum(len(record.dropped_ids) for record in self.records)
+
+    @property
+    def total_fault_failures(self) -> int:
+        """Selected devices lost to mid-round failure injection, over all rounds."""
+        return sum(len(record.failed_ids) for record in self.records)
+
+    @property
+    def online_history(self) -> list[int | None]:
+        """Per-round online-device counts (``None`` entries for static-fleet rounds)."""
+        return [record.num_online for record in self.records]
+
+    @property
+    def mean_num_online(self) -> float | None:
+        """Mean online-device count over the rounds that recorded one."""
+        counts = [record.num_online for record in self.records if record.num_online is not None]
+        if not counts:
+            return None
+        return float(np.mean(counts))
 
     def _until_convergence(self) -> list[RoundRecord]:
         if self.converged_round is None:

@@ -39,6 +39,7 @@ from repro.devices.power import (
     STATIC_POWER_FRACTION,
     busy_power_at_frequency,
 )
+from repro.dynamics.faults import DeviceFault, FaultDraw
 from repro.exceptions import SimulationError
 from repro.sim.context import SelectionDecision
 from repro.sim.environment import EdgeCloudEnvironment
@@ -304,10 +305,24 @@ class RoundEngine:
                     vf_steps[i] = target.vf_step
         return processors, vf_steps
 
+    def _check_selection_online(self, rows: np.ndarray, online_mask: np.ndarray) -> None:
+        if len(online_mask) != len(self._env.fleet_arrays):
+            raise SimulationError("online_mask must cover every device in the fleet")
+        offline = ~np.asarray(online_mask, dtype=bool)[rows]
+        if offline.any():
+            arrays = self._env.fleet_arrays
+            offline_ids = [int(arrays.device_ids[row]) for row in rows[offline]]
+            raise SimulationError(
+                f"selected devices {offline_ids[:5]} are offline this round; policies "
+                "must select from the online candidates only"
+            )
+
     def execute_batch(
         self,
         decision: SelectionDecision,
         conditions: Mapping[int, RoundConditions] | RoundConditionsArrays,
+        faults: FaultDraw | None = None,
+        online_mask: np.ndarray | None = None,
     ) -> BatchRoundExecution:
         """Execute the round as array operations over the whole selection.
 
@@ -315,36 +330,87 @@ class RoundEngine:
         waiting and idle accounting — but returns a :class:`BatchRoundExecution` whose
         per-device quantities stay in numpy arrays.  ``conditions`` may be the usual
         per-device mapping or fleet-wide :class:`RoundConditionsArrays`.
+
+        ``faults`` (aligned on the selection order) injects mid-round failures:
+        slow-fail stragglers stretch a participant's compute time and energy before the
+        straggler cutoff is applied, and upload failures waste the device's compute
+        (capped at the deadline) without ever transmitting — the update is lost, marked
+        in ``BatchRoundExecution.failed``.  ``online_mask`` (fleet order) rejects
+        selections of offline devices and zeroes the idle energy of devices that are
+        out of the population this round.  Both default to the static, fault-free
+        behaviour bit-exactly.
         """
         if not decision.participants:
             raise SimulationError("a round needs at least one selected participant")
         arrays = self._env.fleet_arrays
         rows = arrays.rows_for(decision.participants)
+        if online_mask is not None:
+            self._check_selection_online(rows, online_mask)
         processors, vf_steps = self._decision_targets(decision, rows)
         participant_conditions = self._participant_conditions(decision, conditions, rows)
         estimates = self.estimate_batch(rows, processors, vf_steps, participant_conditions)
 
-        times = estimates.total_time_s
+        compute_time_est = estimates.compute_time_s
+        compute_j_est = estimates.compute_j
+        failed = None
+        if faults is not None:
+            if len(faults) != len(rows):
+                raise SimulationError("fault draw must align with the selection")
+            if np.any(faults.compute_slowdown > 1.0):
+                # Slow-fail stragglers: the transient condition stretches compute time
+                # at unchanged power, so wasted energy grows with the slowdown.
+                compute_time_est = compute_time_est * faults.compute_slowdown
+                compute_j_est = compute_j_est * faults.compute_slowdown
+            if faults.upload_failure.any():
+                failed = faults.upload_failure
+
+        times = compute_time_est + estimates.communication_time_s
         deadline = straggler_deadline(times, self._straggler_cutoff)
         dropped = times > deadline
         # The server closes the round at the deadline; stragglers abort, so they only
         # spend time and energy up to the deadline (scaled proportionally).
         truncation = np.where(dropped, deadline / np.where(dropped, times, 1.0), 1.0)
-        compute_time = estimates.compute_time_s * truncation
+        compute_time = compute_time_est * truncation
         communication_time = estimates.communication_time_s * truncation
-        compute_j = estimates.compute_j * truncation
+        compute_j = compute_j_est * truncation
         communication_j = estimates.communication_j * truncation
+        if failed is not None:
+            # Dropout before upload: local training ran (capped at the deadline) but
+            # the update never reached the server — compute is wasted, radio unused.
+            capped = np.minimum(compute_time_est, deadline)
+            frac = np.divide(
+                capped,
+                compute_time_est,
+                out=np.ones_like(capped),
+                where=compute_time_est > 0,
+            )
+            compute_time = np.where(failed, capped, compute_time)
+            compute_j = np.where(failed, compute_j_est * frac, compute_j)
+            communication_time = np.where(failed, 0.0, communication_time)
+            communication_j = np.where(failed, 0.0, communication_j)
         final_times = compute_time + communication_time
 
-        retained = ~dropped
-        round_time = float(final_times[retained].max()) if retained.any() else deadline
+        excluded = dropped if failed is None else dropped | failed
+        retained = ~excluded
+        if retained.any():
+            round_time = float(final_times[retained].max())
+        elif math.isfinite(deadline):
+            round_time = deadline
+        else:  # Every participant failed with zero-time outcomes: nothing to wait for.
+            round_time = float(final_times.max())
 
         # Participants that finish before the round closes stay awake (wakelock, radio
         # connected) waiting for the aggregated model, at awake power.
         waiting_time = np.maximum(0.0, round_time - np.minimum(final_times, round_time))
         waiting_j = arrays.awake_power_watt[rows] * waiting_time
+        if failed is not None:
+            waiting_j = np.where(failed, 0.0, waiting_j)
         idle_j = arrays.idle_power_watt * round_time
         idle_j[rows] = 0.0
+        if online_mask is not None:
+            # Offline devices are unreachable (or churned away) — they are not idling
+            # on behalf of this training job, so the global account excludes them.
+            idle_j = np.where(np.asarray(online_mask, dtype=bool), idle_j, 0.0)
 
         return BatchRoundExecution(
             selected_ids=np.array(decision.participants, dtype=np.int64),
@@ -359,15 +425,29 @@ class RoundEngine:
             round_time_s=round_time,
             fleet_device_ids=arrays.device_ids,
             idle_j=idle_j,
+            failed=failed,  # BatchRoundExecution defaults None to all-False.
         )
 
     def execute(
-        self, decision: SelectionDecision, conditions: Mapping[int, RoundConditions]
+        self,
+        decision: SelectionDecision,
+        conditions: Mapping[int, RoundConditions],
+        faults: Mapping[int, DeviceFault] | None = None,
+        online_mask: np.ndarray | None = None,
     ) -> RoundExecution:
         """Execute the round: evaluate every selected device, apply the straggler cutoff,
-        and account idle energy for non-selected devices."""
+        and account idle energy for non-selected devices.
+
+        ``faults`` / ``online_mask`` mirror :meth:`execute_batch`: slow-fail stragglers
+        stretch compute before the cutoff, upload failures waste their compute without
+        transmitting, and offline devices can neither be selected nor draw idle energy.
+        """
         if not decision.participants:
             raise SimulationError("a round needs at least one selected participant")
+        if online_mask is not None:
+            rows = self._env.fleet_arrays.rows_for(decision.participants)
+            self._check_selection_online(rows, online_mask)
+        fault_of: Mapping[int, DeviceFault] = faults if faults is not None else {}
         outcomes: dict[int, DeviceRoundOutcome] = {}
         for device_id in decision.participants:
             device = self._env.fleet[device_id]
@@ -378,7 +458,21 @@ class RoundEngine:
                 raise SimulationError(
                     f"no round conditions for selected device {device_id}"
                 ) from None
-            outcomes[device_id] = self.estimate_device(device, target, condition)
+            outcome = self.estimate_device(device, target, condition)
+            fault = fault_of.get(device_id)
+            if fault is not None and fault.compute_slowdown > 1.0:
+                outcome = DeviceRoundOutcome(
+                    device_id=device_id,
+                    target=outcome.target,
+                    compute_time_s=outcome.compute_time_s * fault.compute_slowdown,
+                    communication_time_s=outcome.communication_time_s,
+                    energy=DeviceEnergy(
+                        compute_j=outcome.energy.compute_j * fault.compute_slowdown,
+                        communication_j=outcome.energy.communication_j,
+                        idle_j=outcome.energy.idle_j,
+                    ),
+                )
+            outcomes[device_id] = outcome
 
         times = np.array([outcome.total_time_s for outcome in outcomes.values()])
         deadline = straggler_deadline(times, self._straggler_cutoff)
@@ -386,8 +480,28 @@ class RoundEngine:
         final_outcomes: dict[int, DeviceRoundOutcome] = {}
         retained_times: list[float] = []
         for device_id, outcome in outcomes.items():
+            fault = fault_of.get(device_id)
+            failed = bool(fault.upload_failure) if fault is not None else False
             dropped = outcome.total_time_s > deadline
-            if dropped:
+            if failed:
+                # Dropout before upload: local training ran (capped at the deadline)
+                # but the update never reached the server.
+                capped = min(outcome.compute_time_s, deadline)
+                frac = capped / outcome.compute_time_s if outcome.compute_time_s > 0 else 1.0
+                final_outcomes[device_id] = DeviceRoundOutcome(
+                    device_id=device_id,
+                    target=outcome.target,
+                    compute_time_s=capped,
+                    communication_time_s=0.0,
+                    energy=DeviceEnergy(
+                        compute_j=outcome.energy.compute_j * frac,
+                        communication_j=0.0,
+                        idle_j=outcome.energy.idle_j,
+                    ),
+                    dropped=dropped,
+                    failed=True,
+                )
+            elif dropped:
                 # The server closes the round at the deadline; the straggler aborts, so it
                 # only spends energy up to the deadline (scaled proportionally).
                 truncation = deadline / outcome.total_time_s
@@ -407,16 +521,29 @@ class RoundEngine:
                 final_outcomes[device_id] = outcome
                 retained_times.append(outcome.total_time_s)
 
-        round_time = max(retained_times) if retained_times else deadline
+        if retained_times:
+            round_time = max(retained_times)
+        elif math.isfinite(deadline):
+            round_time = deadline
+        else:  # Every participant failed with zero-time outcomes: nothing to wait for.
+            round_time = max(outcome.total_time_s for outcome in final_outcomes.values())
 
         energy_account = RoundEnergyAccount()
         selected_ids = set(decision.participants)
-        for device in self._env.fleet:
+        online = (
+            None if online_mask is None else np.asarray(online_mask, dtype=bool)
+        )
+        for row, device in enumerate(self._env.fleet):
             if device.device_id in selected_ids:
                 outcome = final_outcomes[device.device_id]
                 # Participants that finish before the round closes stay awake (wakelock,
                 # radio connected) waiting for the aggregated model, at awake power.
-                waiting_time = max(0.0, round_time - min(outcome.total_time_s, round_time))
+                # Mid-round failures are dead — they wait for nothing.
+                waiting_time = (
+                    0.0
+                    if outcome.failed
+                    else max(0.0, round_time - min(outcome.total_time_s, round_time))
+                )
                 energy_with_wait = DeviceEnergy(
                     compute_j=outcome.energy.compute_j,
                     communication_j=outcome.energy.communication_j,
@@ -429,13 +556,16 @@ class RoundEngine:
                     communication_time_s=outcome.communication_time_s,
                     energy=energy_with_wait,
                     dropped=outcome.dropped,
+                    failed=outcome.failed,
                 )
                 energy_account.record(device.device_id, energy_with_wait)
             else:
-                energy_account.record(
-                    device.device_id,
-                    DeviceEnergy(idle_j=device.idle_power() * round_time),
+                idle_j = (
+                    0.0
+                    if online is not None and not online[row]
+                    else device.idle_power() * round_time
                 )
+                energy_account.record(device.device_id, DeviceEnergy(idle_j=idle_j))
         return RoundExecution(
             outcomes=final_outcomes, round_time_s=round_time, energy=energy_account
         )

@@ -81,6 +81,8 @@ class FLSimulation:
 
     def run_round(self, round_index: int) -> RoundRecord:
         """Execute a single aggregation round and return its record."""
+        # Fleet dynamics first: who is reachable this round (None = static fleet).
+        online_mask = self._env.round_online_mask(round_index)
         condition_arrays = self._env.sample_condition_arrays()
         # Lazy view: scalar policies see the usual per-device mapping, vectorised ones
         # read the arrays and never pay the O(N) object construction.
@@ -91,13 +93,19 @@ class FLSimulation:
             conditions=conditions,
             accuracy=self._backend.accuracy,
             condition_arrays=condition_arrays,
+            online_mask=online_mask,
         )
         decision = self._policy.select(ctx)
         if not decision.participants:
             raise SimulationError(f"policy {self._policy.name!r} selected no participants")
+        # Mid-round faults are drawn after selection (the failure of a device that was
+        # never picked is unobservable) from the dedicated dynamics RNG stream.
+        faults = self._env.sample_faults(decision.participants, round_index)
         # The hot path is the vectorised engine; the scalar RoundExecution view is
         # materialised once per round for the policy feedback hooks and the record.
-        execution = self._engine.execute_batch(decision, condition_arrays).to_execution()
+        execution = self._engine.execute_batch(
+            decision, condition_arrays, faults=faults, online_mask=online_mask
+        ).to_execution()
         training = self._backend.run_round(execution.participant_ids)
         self._policy.feedback(ctx, decision, execution, training)
         return RoundRecord(
@@ -110,6 +118,8 @@ class FLSimulation:
             global_energy_j=execution.energy.global_j,
             accuracy=training.accuracy,
             accuracy_improvement=training.accuracy_improvement,
+            failed_ids=tuple(execution.failed_ids),
+            num_online=None if online_mask is None else int(online_mask.sum()),
         )
 
     def run(self) -> SimulationResult:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.config import GlobalParams, SimulationConfig
 from repro.data.partition import DataDistribution
+from repro.dynamics import DynamicsSpec
 from repro.fl.aggregation import get_aggregator
 from repro.fl.server import SurrogateTrainingBackend, TrainingBackend
 from repro.interference.corunner import InterferenceGenerator, InterferenceScenario
@@ -42,6 +43,36 @@ class ScenarioSpec:
     #: comparable across the two modes; large-fleet presets enable it because scalar
     #: sampling cost grows linearly with the fleet.
     vectorized_sampling: bool = False
+    # ------------------------------------------------------------------ fleet dynamics
+    #: Availability process name (``repro.registry.AVAILABILITY``): ``always-on``,
+    #: ``bernoulli``, ``markov``, ``diurnal`` or ``trace``.
+    availability: str = "always-on"
+    #: Per-round probability of an enrolled device leaving the population (churn).
+    churn_rate: float = 0.0
+    #: Per-round probability of a departed device re-enrolling.
+    rejoin_rate: float = 0.5
+    #: Per-round probability of a selected participant failing before upload.
+    dropout_rate: float = 0.0
+    #: Per-round probability of a selected participant slow-failing (straggler fault).
+    slow_fault_rate: float = 0.0
+    #: Compute-time stretch applied to slow-failing participants.
+    slow_fault_factor: float = 4.0
+    #: Per-tier overrides of ``dropout_rate`` (e.g. ``{"low": 0.2}``).
+    tier_dropout_rates: dict[str, float] | None = field(default=None)
+
+    def dynamics_spec(self) -> DynamicsSpec:
+        """The declarative fleet-dynamics configuration of this scenario."""
+        return DynamicsSpec(
+            availability=self.availability,
+            churn_rate=self.churn_rate,
+            rejoin_rate=self.rejoin_rate,
+            dropout_rate=self.dropout_rate,
+            slow_fault_rate=self.slow_fault_rate,
+            slow_fault_factor=self.slow_fault_factor,
+            tier_dropout_rates=(
+                dict(self.tier_dropout_rates) if self.tier_dropout_rates else None
+            ),
+        )
 
     def simulation_config(self) -> SimulationConfig:
         """Build the :class:`SimulationConfig` for this scenario."""
@@ -79,6 +110,9 @@ def build_environment(spec: ScenarioSpec) -> EdgeCloudEnvironment:
         bandwidth=BandwidthModel(NetworkScenario.from_name(spec.network)),
         rng=np.random.default_rng(spec.seed),
         vectorized_sampling=spec.vectorized_sampling,
+        # None for the trivial (always-on, fault-free) spec, keeping the static-fleet
+        # fast path and its seeded trajectories untouched.
+        dynamics=spec.dynamics_spec().build(),
     )
 
 
@@ -119,6 +153,50 @@ SCENARIOS.add(
     summary=(
         "Large-fleet preset: 10,000 devices under moderate interference and variable "
         "network, with fleet-wide vectorised condition sampling."
+    ),
+)
+SCENARIOS.add(
+    "diurnal-1k",
+    lambda: ScenarioSpec(
+        num_devices=1_000,
+        interference="moderate",
+        network="variable",
+        vectorized_sampling=True,
+        availability="diurnal",
+    ),
+    aliases=("diurnal",),
+    summary=(
+        "1,000 devices whose availability follows a day/night sine wave with "
+        "per-device phase offsets; selection policies see only the online fleet."
+    ),
+)
+SCENARIOS.add(
+    "flaky-fleet",
+    lambda: ScenarioSpec(
+        interference="moderate",
+        network="variable",
+        availability="bernoulli",
+        dropout_rate=0.08,
+        slow_fault_rate=0.05,
+        tier_dropout_rates={"low": 0.15},
+    ),
+    aliases=("flaky",),
+    summary=(
+        "The paper's 200-device testbed made unreliable: Bernoulli availability plus "
+        "mid-round upload failures (8 %, 15 % on low-end) and slow-fail stragglers."
+    ),
+)
+SCENARIOS.add(
+    "churn-heavy",
+    lambda: ScenarioSpec(
+        churn_rate=0.04,
+        rejoin_rate=0.3,
+        dropout_rate=0.02,
+    ),
+    aliases=("churn",),
+    summary=(
+        "200 devices with heavy enrolment churn (4 % leave, 30 % rejoin per round) "
+        "and light mid-round dropout."
     ),
 )
 

@@ -117,6 +117,24 @@ class TestAgentLearning:
         table = agent.qtable_store.table_for(chosen, small_fleet[chosen].tier)
         assert table.get(GLOBAL_STATE, GOOD_LOCAL, action) > 5.0
 
+    def test_q_update_survives_device_going_offline(self, small_fleet):
+        # Under fleet dynamics a device that failed mid-round is often also offline the
+        # next round; its (penalty) reward must still reach the Q-table, bootstrapped
+        # from the stored state instead of being dropped.
+        agent = _make_agent(small_fleet, epsilon=0.0, sharing=QTableStore.PER_DEVICE)
+        states = _local_states(small_fleet)
+        selection = agent.select(GLOBAL_STATE, states, 3)
+        chosen = selection.participant_ids[0]
+        action = selection.actions[chosen]
+        agent.record_rewards({device_id: -50.0 for device_id in states})
+        # Next round the chosen device is unobservable (offline/churned).
+        next_states = {
+            device_id: state for device_id, state in states.items() if device_id != chosen
+        }
+        agent.select(GLOBAL_STATE, next_states, 3)
+        table = agent.qtable_store.table_for(chosen, small_fleet[chosen].tier)
+        assert table.get(GLOBAL_STATE, GOOD_LOCAL, action) < -20.0
+
     def test_reward_history_tracks_rounds(self, small_fleet):
         agent = _make_agent(small_fleet, epsilon=0.0)
         states = _local_states(small_fleet)

@@ -1,0 +1,208 @@
+"""Tests for the availability processes, the AVAILABILITY registry and traces."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.availability import (
+    AlwaysOnAvailability,
+    AvailabilityTrace,
+    BernoulliAvailability,
+    DiurnalAvailability,
+    MarkovAvailability,
+    TraceAvailability,
+    generate_trace,
+)
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.registry import AVAILABILITY
+
+
+class TestRegistry:
+    def test_builtin_processes_registered(self):
+        names = AVAILABILITY.names()
+        for name in ("always-on", "bernoulli", "markov", "diurnal", "trace"):
+            assert name in names
+
+    def test_create_by_alias(self):
+        assert isinstance(AVAILABILITY.create("static"), AlwaysOnAvailability)
+        assert isinstance(AVAILABILITY.create("day-night"), DiurnalAvailability)
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'diurnal'"):
+            AVAILABILITY.entry("diurnall")
+
+
+class TestAlwaysOn:
+    def test_everyone_online_without_rng_consumption(self):
+        process = AlwaysOnAvailability()
+        process.reset(10)
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        mask = process.online_mask(0, rng)
+        assert mask.all() and len(mask) == 10
+        assert rng.bit_generator.state == before  # No draws: trajectories untouched.
+
+    def test_use_before_reset_raises(self):
+        with pytest.raises(SimulationError, match="reset"):
+            AlwaysOnAvailability().online_mask(0, np.random.default_rng(0))
+
+
+class TestBernoulli:
+    def test_rate_is_respected(self):
+        process = BernoulliAvailability(p_online=0.6)
+        process.reset(2_000)
+        rng = np.random.default_rng(3)
+        fraction = np.mean([process.online_mask(i, rng).mean() for i in range(20)])
+        assert fraction == pytest.approx(0.6, abs=0.03)
+
+    def test_deterministic_per_seed(self):
+        masks = []
+        for _ in range(2):
+            process = BernoulliAvailability(p_online=0.5)
+            process.reset(50)
+            rng = np.random.default_rng(7)
+            masks.append(np.stack([process.online_mask(i, rng) for i in range(5)]))
+        assert np.array_equal(masks[0], masks[1])
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliAvailability(p_online=0.0)
+        with pytest.raises(ConfigurationError):
+            BernoulliAvailability(p_online=1.5)
+
+
+class TestMarkov:
+    def test_stationary_fraction(self):
+        process = MarkovAvailability(p_drop=0.1, p_return=0.4)
+        assert process.stationary_online_fraction == pytest.approx(0.8)
+        process.reset(1_000)
+        rng = np.random.default_rng(0)
+        fraction = np.mean([process.online_mask(i, rng).mean() for i in range(50)])
+        assert fraction == pytest.approx(0.8, abs=0.05)
+
+    def test_state_is_sticky(self):
+        # With tiny transition probabilities consecutive masks barely change.
+        process = MarkovAvailability(p_drop=0.01, p_return=0.01)
+        process.reset(500)
+        rng = np.random.default_rng(1)
+        first = process.online_mask(0, rng)
+        second = process.online_mask(1, rng)
+        assert np.mean(first == second) > 0.95
+
+    def test_reset_clears_state(self):
+        process = MarkovAvailability()
+        process.reset(20)
+        process.online_mask(0, np.random.default_rng(0))
+        process.reset(20)
+        mask = process.online_mask(0, np.random.default_rng(0))
+        assert len(mask) == 20
+
+    def test_degenerate_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarkovAvailability(p_drop=0.0, p_return=0.0)
+
+
+class TestDiurnal:
+    def test_probability_oscillates_with_period(self):
+        process = DiurnalAvailability(
+            mean_online=0.6, amplitude=0.35, period_rounds=24, phase_spread=0.0
+        )
+        process.reset(4_000)
+        rng = np.random.default_rng(5)
+        fractions = [process.online_mask(i, rng).mean() for i in range(24)]
+        assert max(fractions) > 0.85
+        assert min(fractions) < 0.35
+        # One period later the probability repeats.
+        process_check = DiurnalAvailability(
+            mean_online=0.6, amplitude=0.35, period_rounds=24, phase_spread=0.0
+        )
+        process_check.reset(10)
+        process_check.online_mask(0, np.random.default_rng(0))
+        assert np.allclose(
+            process_check.online_probability(3), process_check.online_probability(27)
+        )
+
+    def test_amplitude_must_fit(self):
+        with pytest.raises(ConfigurationError, match="amplitude"):
+            DiurnalAvailability(mean_online=0.9, amplitude=0.5)
+
+
+class TestTrace:
+    def test_generate_save_load_roundtrip(self, tmp_path):
+        trace = generate_trace("bernoulli", num_devices=17, num_rounds=9, seed=4)
+        assert trace.num_rounds == 9 and trace.num_devices == 17
+        path = tmp_path / "trace.jsonl"
+        trace.save_jsonl(path)
+        loaded = AvailabilityTrace.load_jsonl(path)
+        assert np.array_equal(trace.masks, loaded.masks)
+        assert loaded.mean_availability == trace.mean_availability
+
+    def test_generation_is_deterministic(self):
+        first = generate_trace(num_devices=12, num_rounds=6, seed=9)
+        second = generate_trace(num_devices=12, num_rounds=6, seed=9)
+        assert np.array_equal(first.masks, second.masks)
+        different = generate_trace(num_devices=12, num_rounds=6, seed=10)
+        assert not np.array_equal(first.masks, different.masks)
+
+    def test_replay_wraps(self):
+        trace = generate_trace(num_devices=5, num_rounds=4, seed=0)
+        process = TraceAvailability(trace=trace)
+        process.reset(5)
+        rng = np.random.default_rng(0)
+        assert np.array_equal(process.online_mask(1, rng), trace.masks[1])
+        assert np.array_equal(process.online_mask(6, rng), trace.masks[2])
+
+    def test_replay_without_wrap_raises(self):
+        trace = generate_trace(num_devices=5, num_rounds=4, seed=0)
+        process = TraceAvailability(trace=trace, wrap=False)
+        process.reset(5)
+        with pytest.raises(SimulationError, match="4 rounds"):
+            process.online_mask(4, np.random.default_rng(0))
+
+    def test_device_count_mismatch_rejected(self):
+        trace = generate_trace(num_devices=5, num_rounds=4, seed=0)
+        process = TraceAvailability(trace=trace)
+        with pytest.raises(ConfigurationError, match="5 devices"):
+            process.reset(6)
+
+    def test_synthetic_trace_generated_on_first_use(self):
+        process = TraceAvailability(synthetic_rounds=8)
+        process.reset(30)
+        mask = process.online_mask(0, np.random.default_rng(2))
+        assert process.trace is not None
+        assert process.trace.num_rounds == 8
+        assert np.array_equal(mask, process.trace.masks[0])
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ConfigurationError, match="not an availability trace"):
+            AvailabilityTrace.load_jsonl(path)
+
+    def test_row_count_mismatch_rejected(self, tmp_path):
+        trace = generate_trace(num_devices=3, num_rounds=3, seed=0)
+        path = tmp_path / "trace.jsonl"
+        trace.save_jsonl(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ConfigurationError, match="declares 3 rounds"):
+            AvailabilityTrace.load_jsonl(path)
+
+    def test_duplicate_round_rejected(self, tmp_path):
+        trace = generate_trace(num_devices=3, num_rounds=2, seed=0)
+        path = tmp_path / "trace.jsonl"
+        trace.save_jsonl(path)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[1]  # Second data line re-declares round 0.
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="inconsistent"):
+            AvailabilityTrace.load_jsonl(path)
+
+    def test_non_binary_bits_rejected(self, tmp_path):
+        trace = generate_trace(num_devices=3, num_rounds=1, seed=0)
+        path = tmp_path / "trace.jsonl"
+        trace.save_jsonl(path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"online": "', '"online": "2', 1)[:-2] + '"}'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            AvailabilityTrace.load_jsonl(path)

@@ -1,0 +1,193 @@
+"""Tests for churn, fault injection and the FleetDynamics facade / DynamicsSpec."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import DynamicsSpec, FleetDynamics
+from repro.dynamics.availability import BernoulliAvailability
+from repro.dynamics.churn import ChurnEvent, ChurnModel
+from repro.dynamics.faults import DeviceFault, FaultConfig, FaultDraw, FaultInjector
+from repro.exceptions import ConfigurationError, SimulationError
+
+
+class TestChurnModel:
+    def test_membership_shrinks_without_rejoin(self):
+        model = ChurnModel(leave_rate=0.2, rejoin_rate=0.0)
+        model.reset(500)
+        rng = np.random.default_rng(0)
+        masks = [model.membership_mask(i, rng) for i in range(10)]
+        counts = [int(mask.sum()) for mask in masks]
+        assert counts[-1] < counts[0]
+        assert all(kind == "leave" for kind in {event.kind for event in model.events})
+
+    def test_events_record_device_ids(self):
+        model = ChurnModel(leave_rate=1.0, rejoin_rate=0.0)
+        model.reset(3)
+        device_ids = np.array([7, 8, 9])
+        model.membership_mask(0, np.random.default_rng(0), device_ids)
+        assert {event.device_id for event in model.events} == {7, 8, 9}
+        assert all(event.round_index == 0 for event in model.events)
+
+    def test_rejoin_brings_devices_back(self):
+        model = ChurnModel(leave_rate=1.0, rejoin_rate=1.0)
+        model.reset(4)
+        rng = np.random.default_rng(0)
+        assert not model.membership_mask(0, rng).any()
+        assert model.membership_mask(1, rng).all()
+        kinds = [event.kind for event in model.events]
+        assert kinds.count("leave") == 4 and kinds.count("join") == 4
+
+    def test_use_before_reset_raises(self):
+        with pytest.raises(SimulationError, match="reset"):
+            ChurnModel().membership_mask(0, np.random.default_rng(0))
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnModel(leave_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ChurnEvent(0, 1, "explode")
+
+
+class TestFaultDraw:
+    def test_none_draw_is_benign(self):
+        draw = FaultDraw.none(5)
+        assert len(draw) == 5
+        assert not draw.has_faults
+
+    def test_mapping_roundtrip(self):
+        draw = FaultDraw(
+            upload_failure=np.array([True, False, False]),
+            compute_slowdown=np.array([1.0, 4.0, 1.0]),
+        )
+        participants = [10, 20, 30]
+        mapping = draw.to_mapping(participants)
+        assert mapping[10] == DeviceFault(upload_failure=True, compute_slowdown=1.0)
+        assert mapping[20] == DeviceFault(upload_failure=False, compute_slowdown=4.0)
+        rebuilt = FaultDraw.from_mapping(participants, mapping)
+        assert np.array_equal(rebuilt.upload_failure, draw.upload_failure)
+        assert np.array_equal(rebuilt.compute_slowdown, draw.compute_slowdown)
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultDraw(
+                upload_failure=np.array([False]), compute_slowdown=np.array([0.5])
+            )
+        with pytest.raises(ConfigurationError):
+            DeviceFault(compute_slowdown=0.9)
+
+
+class TestFaultInjector:
+    def test_per_tier_rates(self):
+        config = FaultConfig(dropout_rate=0.0, tier_dropout_rates={"low": 1.0})
+        injector = FaultInjector(config)
+        rng = np.random.default_rng(0)
+        # Tier codes: 0 = high, 1 = mid, 2 = low.
+        draw = injector.sample(np.array([0, 1, 2, 2]), rng)
+        assert list(draw.upload_failure) == [False, False, True, True]
+
+    def test_slow_faults_apply_factor(self):
+        injector = FaultInjector(FaultConfig(slow_fault_rate=1.0, slow_fault_factor=3.0))
+        draw = injector.sample(np.array([0, 1, 2]), np.random.default_rng(0))
+        assert np.all(draw.compute_slowdown == 3.0)
+        assert not draw.upload_failure.any()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(dropout_rate=1.2)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(slow_fault_factor=1.0)
+        with pytest.raises(ConfigurationError, match="unknown tiers"):
+            FaultConfig(tier_dropout_rates={"ultra": 0.5})
+
+    def test_trivial_config_detection(self):
+        assert FaultConfig().is_trivial
+        assert not FaultConfig(dropout_rate=0.1).is_trivial
+        assert not FaultConfig(tier_dropout_rates={"low": 0.1}).is_trivial
+
+
+class TestFleetDynamics:
+    def _bound(self, **kwargs) -> FleetDynamics:
+        dynamics = FleetDynamics(**kwargs)
+        dynamics.bind(
+            num_devices=30,
+            tier_codes=np.zeros(30, dtype=np.int64),
+            device_ids=np.arange(30),
+            seed=5,
+        )
+        return dynamics
+
+    def test_default_is_always_on(self):
+        dynamics = self._bound()
+        assert dynamics.online_mask(0).all()
+        assert not dynamics.has_faults
+        assert dynamics.sample_faults(0, np.arange(5)) is None
+        assert dynamics.online_history == [30]
+
+    def test_min_online_floor(self):
+        # p_online so low that some rounds would otherwise have zero devices.
+        dynamics = FleetDynamics(
+            availability=BernoulliAvailability(p_online=0.01), min_online=3
+        )
+        dynamics.bind(
+            num_devices=20,
+            tier_codes=np.zeros(20, dtype=np.int64),
+            device_ids=np.arange(20),
+            seed=0,
+        )
+        for round_index in range(30):
+            assert dynamics.online_mask(round_index).sum() >= 3
+
+    def test_unbound_usage_raises(self):
+        with pytest.raises(SimulationError, match="bind"):
+            FleetDynamics().online_mask(0)
+
+    def test_deterministic_streams_per_seed(self):
+        def history(seed):
+            dynamics = FleetDynamics(availability=BernoulliAvailability(0.7))
+            dynamics.bind(
+                num_devices=40,
+                tier_codes=np.zeros(40, dtype=np.int64),
+                device_ids=np.arange(40),
+                seed=seed,
+            )
+            return [dynamics.online_mask(i) for i in range(6)]
+
+        assert all(np.array_equal(a, b) for a, b in zip(history(3), history(3)))
+        assert any(
+            not np.array_equal(a, b) for a, b in zip(history(3), history(4))
+        )
+
+
+class TestDynamicsSpec:
+    def test_default_spec_is_trivial(self):
+        spec = DynamicsSpec()
+        assert spec.is_trivial
+        assert spec.build() is None
+
+    def test_alias_still_trivial(self):
+        assert DynamicsSpec(availability="static").is_trivial
+
+    def test_non_trivial_builds_components(self):
+        spec = DynamicsSpec(
+            availability="markov", churn_rate=0.05, dropout_rate=0.1
+        )
+        dynamics = spec.build()
+        assert dynamics is not None
+        assert dynamics.availability.name == "markov"
+        assert dynamics.churn is not None
+        assert dynamics.has_faults
+
+    def test_tier_rates_alone_enable_faults(self):
+        spec = DynamicsSpec(tier_dropout_rates={"low": 0.2})
+        assert not spec.is_trivial
+        assert spec.build().has_faults
+
+    def test_unknown_availability_rejected_early(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            DynamicsSpec(availability="diurnall")
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynamicsSpec(churn_rate=2.0)
+        with pytest.raises(ConfigurationError):
+            DynamicsSpec(dropout_rate=-0.1)

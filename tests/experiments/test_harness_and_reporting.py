@@ -85,6 +85,18 @@ class TestClusterSweepAndReference:
         assert set(report.tier_composition) == {"high", "mid", "low"}
         assert sum(report.tier_composition.values()) == pytest.approx(1.0, abs=1e-6)
 
+    def test_run_with_reference_honours_fleet_dynamics(self, fast_spec):
+        # Under low availability both the policy and the oracle reference must select
+        # from the shrunken online fleet; the engine raises if either ignores the mask,
+        # so a clean run pins the dynamics wiring of the manual harness loop.
+        import dataclasses
+
+        flaky = dataclasses.replace(
+            fast_spec, availability="bernoulli", dropout_rate=0.2
+        )
+        report = run_with_reference(flaky, "autofl", "ofl", rounds=10)
+        assert 0.0 <= report.participant_accuracy <= 1.0
+
 
 class TestFormatTable:
     def test_basic_formatting(self):

@@ -110,6 +110,19 @@ class TestResultStore:
         with pytest.raises(ConfigurationError, match="line 1"):
             ResultStore(path)
 
+    def test_stale_spec_schema_entries_are_skipped(self, tmp_path, base):
+        # A schema bump must not brick existing stores: stale lines (whose hashes can
+        # never be looked up again) are ignored, fresh ones load normally.
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(run_experiment(base))
+        stale = '{"hash": "deadbeef", "spec": {"schema": 1}, "summaries": []}\n'
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(stale)
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.get(base.spec_hash()) is not None
+
 
 class TestBatchRunner:
     def test_first_run_executes_second_run_hits_cache(self, tmp_path, sweep):

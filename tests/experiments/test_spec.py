@@ -47,6 +47,10 @@ class TestValidation:
         with pytest.raises(PolicyError, match="unknown aggregator"):
             base.with_axis("aggregator", "fedsgd").validate()
 
+    def test_unknown_availability(self, base):
+        with pytest.raises(ConfigurationError, match="unknown availability process"):
+            base.with_axis("availability", "sometimes-on").validate()
+
     def test_typo_gets_suggestion(self, base):
         with pytest.raises(PolicyError, match="did you mean 'autofl'"):
             base.with_axis("policy", "autofk").validate()
@@ -100,9 +104,12 @@ class TestSpecHash:
             ("seed", 4),
             ("n_seeds", 2),
             ("num_devices", 31),
+            ("availability", "diurnal"),
+            ("dropout_rate", 0.1),
+            ("churn_rate", 0.05),
         ]:
             seen.add(base.with_axis(axis, value).spec_hash())
-        assert len(seen) == 6
+        assert len(seen) == 9
 
     def test_roundtrip_through_dict_preserves_hash(self, base):
         clone = ExperimentSpec.from_dict(base.to_dict())
@@ -164,7 +171,19 @@ class TestParseAxis:
             (True, False),
         )
 
-    @pytest.mark.parametrize("text", ["policy", "=a,b", "policy=", "seed=three"])
+    def test_float_axis_with_dashes(self):
+        assert parse_axis("dropout-rate=0,0.1,0.25") == ("dropout_rate", (0.0, 0.1, 0.25))
+        assert parse_axis("churn-rate=0.05") == ("churn_rate", (0.05,))
+
+    def test_availability_axis_sweeps_as_string(self):
+        assert parse_axis("availability=always-on,diurnal") == (
+            "availability",
+            ("always-on", "diurnal"),
+        )
+
+    @pytest.mark.parametrize(
+        "text", ["policy", "=a,b", "policy=", "seed=three", "dropout-rate=lots"]
+    )
     def test_malformed_axes_rejected(self, text):
         with pytest.raises(ConfigurationError):
             parse_axis(text)

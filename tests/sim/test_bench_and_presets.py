@@ -21,6 +21,15 @@ class TestBench:
         on_disk = json.loads(output.read_text())
         assert on_disk["benchmark"] == "roundengine"
         assert on_disk["results"] == record["results"]
+        # Provenance makes trajectories comparable across machines.
+        provenance = on_disk["provenance"]
+        import numpy
+        import platform as platform_module
+
+        assert provenance["python"] == platform_module.python_version()
+        assert provenance["numpy"] == numpy.__version__
+        assert provenance["platform"]
+        assert "git_sha" in provenance
         (row,) = record["results"]
         assert row["num_devices"] == 30
         assert row["scalar_rounds_per_s"] > 0

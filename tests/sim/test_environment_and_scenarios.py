@@ -57,6 +57,25 @@ class TestEdgeCloudEnvironment:
         with pytest.raises(SimulationError):
             small_environment.data_profile(10_000)
 
+    def test_workload_without_num_classes_rejected(self, small_environment):
+        # Synthesising data profiles needs the workload's label-space size; profiles
+        # that leave it unset fail with a clear error instead of a silent default.
+        workload = small_environment.workload.with_overrides(
+            name="custom", num_classes=None
+        )
+        config = SimulationConfig.small(num_devices=12, seed=0)
+        with pytest.raises(SimulationError, match="num_classes"):
+            EdgeCloudEnvironment(
+                config=config,
+                global_params=GlobalParams.from_setting("S4"),
+                workload=workload,
+            )
+
+    def test_builtin_workloads_declare_num_classes(self):
+        from repro.nn.workloads import WORKLOAD_PROFILES
+
+        assert {p.num_classes for p in WORKLOAD_PROFILES.values()} == {10, 40, 100}
+
 
 class TestScenarioSpec:
     def test_default_spec_matches_paper_deployment(self):

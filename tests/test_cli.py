@@ -47,6 +47,40 @@ class TestRun:
         assert code == 2
         assert "did you mean 'autofl'" in err
 
+    def test_run_scenario_preset_with_overrides(self, capsys):
+        # flaky-fleet end to end, scaled down for speed; explicit flags beat the preset.
+        code, out, _err = _run(
+            ["run", "--scenario", "flaky-fleet", "--devices", "30", "--rounds", "5",
+             "--policy", "fedavg-random", "--no-cache"],
+            capsys,
+        )
+        assert code == 0
+        assert "fedavg-random" in out
+
+    def test_run_dynamics_flags(self, capsys):
+        code, out, _err = _run(
+            ["run", "--policy", "fedavg-random", "--devices", "30", "--rounds", "5",
+             "--availability", "bernoulli", "--dropout-rate", "0.2", "--no-cache"],
+            capsys,
+        )
+        assert code == 0
+        assert "fedavg-random" in out
+
+    def test_unknown_scenario_preset_fails_with_suggestion(self, capsys):
+        code, _out, err = _run(
+            ["run", "--scenario", "flaky-flet", "--no-cache"], capsys
+        )
+        assert code == 2
+        assert "did you mean 'flaky-fleet'" in err
+
+    def test_unknown_availability_fails_early(self, capsys):
+        code, _out, err = _run(
+            ["run", "--availability", "diurnall", "--devices", "30", "--no-cache"],
+            capsys,
+        )
+        assert code == 2
+        assert "did you mean 'diurnal'" in err
+
 
 class TestCompare:
     def test_compare_normalises_to_baseline(self, capsys):
@@ -136,3 +170,11 @@ class TestBench:
         code, out, _err = _run(["list", "scenarios"], capsys)
         assert code == 0
         assert "fleet-1k" in out and "fleet-10k" in out
+        for preset in ("diurnal-1k", "flaky-fleet", "churn-heavy"):
+            assert preset in out
+
+    def test_list_availability_registry(self, capsys):
+        code, out, _err = _run(["list", "availability"], capsys)
+        assert code == 0
+        for process in ("always-on", "bernoulli", "markov", "diurnal", "trace"):
+            assert process in out

@@ -127,6 +127,7 @@ class TestGetRegistry:
             "data-distributions",
             "settings",
             "scenarios",
+            "availability",
         }
 
     def test_unknown_axis_suggests(self):
