@@ -8,6 +8,10 @@ The CLI is a thin shell over the declarative experiment subsystem:
   :class:`~repro.experiments.runner.BatchRunner` with spec-hash caching;
 * ``bench``    — time scalar vs vectorised round execution at several fleet sizes and
   record the speedups in ``BENCH_roundengine.json``;
+* ``validate`` — the validation subsystem: ``record`` golden trajectories for scenario
+  presets, ``check`` them bit-exactly against a fresh run (exit 1 on drift, with a
+  report naming the first diverging round and field), and ``fuzz`` randomised scenarios
+  across every registered axis with invariant auditing;
 * ``list``     — enumerate any registry (policies, workloads, aggregators, scenarios, …).
 
 ``run``/``compare``/``sweep`` accept ``--scenario PRESET`` to start from a registered
@@ -24,11 +28,14 @@ Examples
     python -m repro compare --policies fedavg-random,power,performance,autofl
     python -m repro sweep --axis policy=fedavg-random,autofl --axis dropout-rate=0,0.1
     python -m repro bench --sizes 200,1000,10000
+    python -m repro validate check
+    python -m repro validate fuzz --budget 60 --report fuzz-report.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 from dataclasses import replace
@@ -56,6 +63,14 @@ from repro.sim.bench import (
     run_roundengine_bench,
 )
 from repro.sim.scenarios import ScenarioSpec, get_scenario_preset
+from repro.validation import (
+    DEFAULT_GOLDEN_DIR,
+    GOLDEN_MAX_ROUNDS,
+    GOLDEN_PRESETS,
+    GoldenStore,
+    golden_spec,
+    run_fuzz,
+)
 from repro.version import __version__
 
 #: Default sweep grid: two axes, four points — small enough to demo caching quickly.
@@ -257,6 +272,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_presets(raw: str) -> tuple[str, ...]:
+    names = tuple(name.strip() for name in raw.split(",") if name.strip())
+    if not names:
+        raise ConfigurationError(f"no preset names in {raw!r}")
+    # Resolve each name (with did-you-mean errors) before any recording/checking runs.
+    for name in names:
+        get_scenario_preset(name)
+    return names
+
+
+def _cmd_validate_record(args: argparse.Namespace) -> int:
+    store = GoldenStore(args.dir)
+    for preset in _parse_presets(args.presets):
+        golden = store.record(preset, golden_spec(preset, max_rounds=args.rounds))
+        print(
+            f"recorded golden {preset!r}: {golden.num_rounds} rounds, "
+            f"spec {golden.spec_hash[:12]} -> {store.path_for(preset)}"
+        )
+    return 0
+
+
+def _cmd_validate_check(args: argparse.Namespace) -> int:
+    store = GoldenStore(args.dir)
+    reports = [store.check(preset) for preset in _parse_presets(args.presets)]
+    for report in reports:
+        print(report.format())
+    if args.report:
+        payload = {"kind": "golden-drift-report", "goldens": [r.to_dict() for r in reports]}
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\nwrote {args.report}")
+    return 0 if all(report.ok for report in reports) else 1
+
+
+def _cmd_validate_fuzz(args: argparse.Namespace) -> int:
+    report = run_fuzz(count=args.count, budget_s=args.budget, seed=args.seed)
+    print(report.format())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"\nwrote {args.report}")
+    return 0 if report.ok else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     axes = [args.axis] if args.axis else list(REGISTRIES)
     blocks = [format_registry(axis, get_registry(axis)) for axis in axes]
@@ -349,6 +408,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=DEFAULT_BENCH_OUTPUT, help="JSON file the record is written to"
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    validate_parser = subparsers.add_parser(
+        "validate",
+        help="golden-trajectory regression and invariant validation",
+    )
+    validate_sub = validate_parser.add_subparsers(dest="mode", required=True)
+    default_presets = ",".join(GOLDEN_PRESETS)
+
+    record_parser = validate_sub.add_parser(
+        "record", help="record golden trajectories for scenario presets"
+    )
+    record_parser.add_argument(
+        "--presets",
+        default=default_presets,
+        help=f"comma-separated scenario presets (default: {default_presets})",
+    )
+    record_parser.add_argument(
+        "--dir", default=str(DEFAULT_GOLDEN_DIR), help="golden store directory"
+    )
+    record_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=GOLDEN_MAX_ROUNDS,
+        help=f"rounds recorded per golden (default: {GOLDEN_MAX_ROUNDS})",
+    )
+    record_parser.set_defaults(func=_cmd_validate_record)
+
+    check_parser = validate_sub.add_parser(
+        "check",
+        help="re-run recorded goldens and fail (exit 1) on any bit-level drift",
+    )
+    check_parser.add_argument(
+        "--presets",
+        default=default_presets,
+        help=f"comma-separated scenario presets (default: {default_presets})",
+    )
+    check_parser.add_argument(
+        "--dir", default=str(DEFAULT_GOLDEN_DIR), help="golden store directory"
+    )
+    check_parser.add_argument(
+        "--report", default=None, help="write the drift report to this JSON file"
+    )
+    check_parser.set_defaults(func=_cmd_validate_check)
+
+    fuzz_parser = validate_sub.add_parser(
+        "fuzz",
+        help="run invariant-audited randomised scenarios (exit 1 on any violation)",
+    )
+    fuzz_parser.add_argument(
+        "--count", type=int, default=None, help="number of scenarios to fuzz"
+    )
+    fuzz_parser.add_argument(
+        "--budget", type=float, default=None, help="time budget in seconds"
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0, help="master fuzz seed")
+    fuzz_parser.add_argument(
+        "--report", default=None, help="write the fuzz report to this JSON file"
+    )
+    fuzz_parser.set_defaults(func=_cmd_validate_fuzz)
 
     list_parser = subparsers.add_parser(
         "list", help="list a registry (policies, workloads, aggregators, …)"

@@ -31,3 +31,7 @@ class SimulationError(ReproError):
 
 class PolicyError(ReproError):
     """Raised for invalid selection-policy configuration or unknown policy names."""
+
+
+class ValidationError(ReproError):
+    """Raised when a simulation outcome violates a promised invariant or golden trace."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, replace
@@ -25,7 +26,7 @@ from repro.core.selection import make_policy
 from repro.exceptions import ConfigurationError
 from repro.experiments.spec import SPEC_SCHEMA_VERSION, ExperimentSpec, Sweep
 from repro.fl.metrics import EfficiencySummary
-from repro.sim.runner import FLSimulation
+from repro.sim.runner import FLSimulation, RoundObserver
 from repro.sim.scenarios import build_environment, build_surrogate_backend
 
 #: Bumped whenever the stored result payload's shape changes.
@@ -39,8 +40,18 @@ DEFAULT_STORE_PATH = Path(".repro-results") / "results.jsonl"
 POLICY_SEED_OFFSET = 10_000
 
 
-def build_simulation(spec: ExperimentSpec) -> FLSimulation:
-    """Construct the ready-to-run simulation for one (single-seed) experiment spec."""
+class StaleResultWarning(UserWarning):
+    """A result-store entry was skipped because its spec schema is not the current one."""
+
+
+def build_simulation(
+    spec: ExperimentSpec, round_observer: RoundObserver | None = None
+) -> FLSimulation:
+    """Construct the ready-to-run simulation for one (single-seed) experiment spec.
+
+    ``round_observer`` is forwarded to :class:`FLSimulation` — the validation subsystem
+    attaches its invariant auditors here without touching the seeded RNG streams.
+    """
     spec.validate()
     scenario = spec.scenario
     environment = build_environment(scenario)
@@ -54,6 +65,7 @@ def build_simulation(spec: ExperimentSpec) -> FLSimulation:
         backend=backend,
         max_rounds=scenario.max_rounds,
         stop_at_convergence=spec.stop_at_convergence,
+        round_observer=round_observer,
     )
 
 
@@ -132,10 +144,29 @@ class ExperimentResult:
         )
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Run one experiment spec (all its seed replicas) in the current process."""
+def _run_unit(unit: ExperimentSpec, validate: bool):
+    """Run one single-seed unit job, optionally under full invariant auditing."""
+    if not validate:
+        return build_simulation(unit).run().summary()
+    # Local import: the validation subsystem sits above the experiment layer.
+    from repro.validation.invariants import InvariantAuditor
+
+    auditor = InvariantAuditor(num_devices=unit.scenario.num_devices)
+    result = build_simulation(unit, round_observer=auditor).run()
+    auditor.audit_result(result).raise_if_failed()
+    return result.summary()
+
+
+def run_experiment(spec: ExperimentSpec, validate: bool = False) -> ExperimentResult:
+    """Run one experiment spec (all its seed replicas) in the current process.
+
+    With ``validate=True`` every executed round and the finished trajectory are audited
+    against the simulator's accounting invariants
+    (:mod:`repro.validation.invariants`); a violation raises
+    :class:`~repro.exceptions.ValidationError` instead of returning a tainted result.
+    """
     start = time.perf_counter()
-    summaries = tuple(build_simulation(unit).run().summary() for unit in spec.seed_specs())
+    summaries = tuple(_run_unit(unit, validate) for unit in spec.seed_specs())
     return ExperimentResult(
         spec=spec, summaries=summaries, elapsed_s=time.perf_counter() - start
     )
@@ -143,7 +174,9 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
 
 def _run_payload(payload: dict) -> dict:
     """Worker entry point: runs one serialised spec (module-level so it pickles)."""
-    return run_experiment(ExperimentSpec.from_dict(payload)).to_dict()
+    return run_experiment(
+        ExperimentSpec.from_dict(payload["spec"]), validate=payload.get("validate", False)
+    ).to_dict()
 
 
 class Executor(Protocol):
@@ -151,7 +184,9 @@ class Executor(Protocol):
 
     name: str
 
-    def map(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+    def map(
+        self, specs: Sequence[ExperimentSpec], validate: bool = False
+    ) -> list[ExperimentResult]:
         """Run every spec and return results in the same order."""
         ...
 
@@ -161,9 +196,11 @@ class SerialExecutor:
 
     name = "serial"
 
-    def map(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+    def map(
+        self, specs: Sequence[ExperimentSpec], validate: bool = False
+    ) -> list[ExperimentResult]:
         """Run every spec and return results in the same order."""
-        return [run_experiment(spec) for spec in specs]
+        return [run_experiment(spec, validate=validate) for spec in specs]
 
 
 class MultiprocessExecutor:
@@ -182,14 +219,16 @@ class MultiprocessExecutor:
         # real process-pool path (an explicit max_workers=1 still degrades to serial).
         self.max_workers = max_workers if max_workers is not None else max(2, os.cpu_count() or 1)
 
-    def map(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
+    def map(
+        self, specs: Sequence[ExperimentSpec], validate: bool = False
+    ) -> list[ExperimentResult]:
         """Run every spec and return results in the same order."""
         if not specs:
             return []
         workers = min(self.max_workers, len(specs))
         if workers == 1:
-            return SerialExecutor().map(specs)
-        payloads = [spec.to_dict() for spec in specs]
+            return SerialExecutor().map(specs, validate=validate)
+        payloads = [{"spec": spec.to_dict(), "validate": validate} for spec in specs]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             raw = list(pool.map(_run_payload, payloads))
         return [ExperimentResult.from_dict(payload) for payload in raw]
@@ -243,7 +282,16 @@ class ResultStore:
                     if spec_payload.get("schema") != SPEC_SCHEMA_VERSION:
                         # Stale entry from an older spec schema: its hash can never be
                         # looked up again (hashes embed the schema), so skip it rather
-                        # than failing the whole store on a schema bump.
+                        # than failing the whole store on a schema bump — but say so,
+                        # naming both versions, or users chase phantom cache misses.
+                        warnings.warn(
+                            f"result store {self.path} line {line_number}: skipping "
+                            f"stale entry with spec schema "
+                            f"{spec_payload.get('schema')!r} (this version reads "
+                            f"schema {SPEC_SCHEMA_VERSION}); re-run to refresh it",
+                            StaleResultWarning,
+                            stacklevel=3,
+                        )
                         continue
                     result = ExperimentResult.from_dict(payload, cached=True)
                 except (ValueError, KeyError, TypeError) as exc:
@@ -298,11 +346,22 @@ class BatchRunner:
     store:
         Optional :class:`ResultStore`; when given, hits skip execution entirely and
         fresh results are persisted for the next run.
+    validate:
+        Self-check every executed grid point against the simulator's accounting
+        invariants (:mod:`repro.validation.invariants`); a violation raises
+        :class:`~repro.exceptions.ValidationError` instead of caching a tainted
+        result.  Cache hits were validated when first computed and are served as-is.
     """
 
-    def __init__(self, executor: Executor | None = None, store: ResultStore | None = None):
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        store: ResultStore | None = None,
+        validate: bool = False,
+    ):
         self.executor = executor if executor is not None else SerialExecutor()
         self.store = store
+        self.validate = validate
 
     def run(self, experiments: Sweep | Iterable[ExperimentSpec]) -> BatchReport:
         """Run a sweep (or spec list), serving already-computed points from the store."""
@@ -326,7 +385,7 @@ class BatchRunner:
                 misses.setdefault(spec_hash, []).append(index)
         if misses:
             unique_specs = [specs[indices[0]] for indices in misses.values()]
-            fresh = self.executor.map(unique_specs)
+            fresh = self.executor.map(unique_specs, validate=self.validate)
             for indices, result in zip(misses.values(), fresh):
                 if self.store is not None:
                     self.store.put(result)

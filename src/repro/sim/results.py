@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -202,6 +203,14 @@ class RoundRecord:
         """Updates that made it into the aggregation this round."""
         return len(self.selected_ids) - len(self.dropped_ids) - len(self.failed_ids)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable payload of the record (execution targets flattened)."""
+        payload = asdict(self)
+        payload["targets"] = {
+            str(device_id): asdict(target) for device_id, target in self.targets.items()
+        }
+        return payload
+
 
 @dataclass
 class SimulationResult:
@@ -305,3 +314,19 @@ class SimulationResult:
     def selection_history(self) -> list[tuple[int, ...]]:
         """The selected device ids of every round (used for prediction-accuracy analysis)."""
         return [record.selected_ids for record in self.records]
+
+    # ------------------------------------------------------------------ serialisation
+    def to_dict(self) -> dict:
+        """JSON-serialisable payload of the full trajectory (every round record)."""
+        return {
+            "policy_name": self.policy_name,
+            "workload_name": self.workload_name,
+            "target_accuracy": self.target_accuracy,
+            "converged_round": self.converged_round,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON serialisation: key-sorted and whitespace-free, so two runs of
+        the same seeded scenario are byte-identical exactly when their trajectories are."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))

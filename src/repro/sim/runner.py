@@ -4,12 +4,19 @@ from __future__ import annotations
 
 from typing import Protocol
 
+import numpy as np
+
 from repro.exceptions import SimulationError
 from repro.fl.metrics import ConvergenceTracker
 from repro.fl.server import RoundTrainingResult, TrainingBackend
 from repro.sim.context import RoundContext, SelectionDecision
 from repro.sim.environment import EdgeCloudEnvironment
-from repro.sim.results import RoundExecution, RoundRecord, SimulationResult
+from repro.sim.results import (
+    BatchRoundExecution,
+    RoundExecution,
+    RoundRecord,
+    SimulationResult,
+)
 from repro.sim.round_engine import RoundEngine
 
 
@@ -37,6 +44,27 @@ class SelectionPolicy(Protocol):
         ...
 
 
+class RoundObserver(Protocol):
+    """Structural interface of a per-round observer hook.
+
+    Observers receive every executed round *after* its record is assembled but before
+    the simulation moves on — :mod:`repro.validation` plugs its invariant auditors in
+    here, so any consumer (fuzzer, ``BatchRunner`` self-checks, ad-hoc debugging) can
+    audit the raw :class:`BatchRoundExecution` without re-running the engine.
+    """
+
+    def __call__(
+        self,
+        round_index: int,
+        batch: BatchRoundExecution,
+        execution: RoundExecution,
+        record: RoundRecord,
+        online_mask: np.ndarray | None,
+    ) -> None:
+        """Observe one executed round."""
+        ...
+
+
 class FLSimulation:
     """One federated-learning training job under a given selection policy."""
 
@@ -48,10 +76,12 @@ class FLSimulation:
         max_rounds: int | None = None,
         target_accuracy: float | None = None,
         stop_at_convergence: bool = True,
+        round_observer: RoundObserver | None = None,
     ) -> None:
         self._env = environment
         self._policy = policy
         self._backend = backend
+        self._round_observer = round_observer
         self._engine = RoundEngine(environment)
         self._max_rounds = max_rounds if max_rounds is not None else environment.config.max_rounds
         if self._max_rounds <= 0:
@@ -103,12 +133,13 @@ class FLSimulation:
         faults = self._env.sample_faults(decision.participants, round_index)
         # The hot path is the vectorised engine; the scalar RoundExecution view is
         # materialised once per round for the policy feedback hooks and the record.
-        execution = self._engine.execute_batch(
+        batch = self._engine.execute_batch(
             decision, condition_arrays, faults=faults, online_mask=online_mask
-        ).to_execution()
+        )
+        execution = batch.to_execution()
         training = self._backend.run_round(execution.participant_ids)
         self._policy.feedback(ctx, decision, execution, training)
-        return RoundRecord(
+        record = RoundRecord(
             round_index=round_index,
             selected_ids=tuple(sorted(decision.participants)),
             dropped_ids=tuple(execution.dropped_ids),
@@ -121,6 +152,15 @@ class FLSimulation:
             failed_ids=tuple(execution.failed_ids),
             num_online=None if online_mask is None else int(online_mask.sum()),
         )
+        if self._round_observer is not None:
+            self._round_observer(
+                round_index=round_index,
+                batch=batch,
+                execution=execution,
+                record=record,
+                online_mask=online_mask,
+            )
+        return record
 
     def run(self) -> SimulationResult:
         """Run rounds until convergence (or the round budget) and return the full result."""

@@ -1,0 +1,69 @@
+"""Validation subsystem: invariant checkers, golden trajectories and the scenario fuzzer.
+
+Three complementary guards keep the fast-moving simulator layers honest:
+
+* :mod:`repro.validation.invariants` — machine-checked accounting identities over any
+  round execution or simulation result (energy sums, id partitions, round-time and
+  online-population bounds);
+* :mod:`repro.validation.golden` — record/check/diff of compact per-round trajectory
+  snapshots keyed by spec hash, so refactors prove themselves behaviour-preserving
+  bit-for-bit on the shipped scenario presets;
+* :mod:`repro.validation.fuzzer` — seeded randomised scenarios across every registered
+  axis, each run audited against every invariant.
+
+``python -m repro validate {record,check,fuzz}`` exposes all three from the CLI, and
+``BatchRunner(validate=True)`` self-checks every executed sweep point.
+"""
+
+from repro.validation.fuzzer import FuzzFailure, FuzzReport, run_fuzz, sample_spec
+from repro.validation.golden import (
+    DEFAULT_GOLDEN_DIR,
+    GOLDEN_MAX_ROUNDS,
+    GOLDEN_POLICY,
+    GOLDEN_PRESETS,
+    GOLDEN_SCHEMA_VERSION,
+    Divergence,
+    DriftReport,
+    GoldenStore,
+    GoldenTrajectory,
+    diff_trajectories,
+    golden_spec,
+    run_trajectory,
+    trajectory_rows,
+)
+from repro.validation.invariants import (
+    InvariantAuditor,
+    InvariantViolation,
+    ValidationReport,
+    check_batch_execution,
+    check_round_execution,
+    check_round_record,
+    check_simulation_result,
+)
+
+__all__ = [
+    "DEFAULT_GOLDEN_DIR",
+    "Divergence",
+    "DriftReport",
+    "FuzzFailure",
+    "FuzzReport",
+    "GOLDEN_MAX_ROUNDS",
+    "GOLDEN_POLICY",
+    "GOLDEN_PRESETS",
+    "GOLDEN_SCHEMA_VERSION",
+    "GoldenStore",
+    "GoldenTrajectory",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "ValidationReport",
+    "check_batch_execution",
+    "check_round_execution",
+    "check_round_record",
+    "check_simulation_result",
+    "diff_trajectories",
+    "golden_spec",
+    "run_fuzz",
+    "run_trajectory",
+    "sample_spec",
+    "trajectory_rows",
+]

@@ -1,0 +1,193 @@
+"""Seeded scenario fuzzer: randomised specs across every registered axis, invariant-checked.
+
+The fuzzer samples :class:`~repro.experiments.spec.ExperimentSpec` points across the
+whole registered evaluation space — policies × workloads × settings × interference ×
+networks × data distributions × aggregators × availability processes × churn/fault
+rates × fleet sizes — runs each one with an
+:class:`~repro.validation.invariants.InvariantAuditor` attached, and reports every
+broken accounting identity (or outright crash) together with the spec that triggered
+it.  Everything derives from one master seed, so a red fuzz run reproduces exactly:
+``run_fuzz(seed=…)`` with the reported seed replays the same scenario stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import registry
+from repro.config import GlobalParams
+from repro.experiments.runner import build_simulation
+from repro.experiments.spec import ExperimentSpec
+from repro.sim.scenarios import ScenarioSpec
+from repro.validation.invariants import InvariantAuditor, InvariantViolation
+
+#: Fuzzed fleet sizes stay small: invariants do not depend on scale, and small fleets
+#: let a CI-minute budget cover hundreds of scenario points.
+MIN_FUZZ_DEVICES = 24
+MAX_FUZZ_DEVICES = 40
+
+#: Fuzzed round budgets (selection, faults and churn all show up within a few rounds).
+MIN_FUZZ_ROUNDS = 3
+MAX_FUZZ_ROUNDS = 6
+
+#: Default scenario count when neither a count nor a time budget is given.
+DEFAULT_FUZZ_COUNT = 50
+
+
+def _pick(rng: np.random.Generator, names: list[str]) -> str:
+    return names[int(rng.integers(len(names)))]
+
+
+def sample_spec(rng: np.random.Generator) -> ExperimentSpec:
+    """Draw one randomised experiment spec across all registered axes."""
+    setting = _pick(rng, registry.SETTINGS.names())
+    num_participants = GlobalParams.from_setting(setting).num_participants
+    lower = max(MIN_FUZZ_DEVICES, num_participants + 4)
+    num_devices = int(rng.integers(lower, max(lower + 1, MAX_FUZZ_DEVICES + 1)))
+    scenario = ScenarioSpec(
+        workload=_pick(rng, registry.WORKLOADS.names()),
+        setting=setting,
+        interference=_pick(rng, registry.INTERFERENCE.names()),
+        network=_pick(rng, registry.NETWORKS.names()),
+        data_distribution=_pick(rng, registry.DATA_DISTRIBUTIONS.names()),
+        num_devices=num_devices,
+        max_rounds=int(rng.integers(MIN_FUZZ_ROUNDS, MAX_FUZZ_ROUNDS + 1)),
+        seed=int(rng.integers(0, 2**31)),
+        aggregator=_pick(rng, registry.AGGREGATORS.names()),
+        vectorized_sampling=bool(rng.random() < 0.5),
+        availability=_pick(rng, registry.AVAILABILITY.names()),
+        churn_rate=float(rng.uniform(0.0, 0.15)) if rng.random() < 0.5 else 0.0,
+        rejoin_rate=float(rng.uniform(0.1, 0.9)),
+        dropout_rate=float(rng.uniform(0.0, 0.3)) if rng.random() < 0.6 else 0.0,
+        slow_fault_rate=float(rng.uniform(0.0, 0.3)) if rng.random() < 0.6 else 0.0,
+        slow_fault_factor=float(rng.uniform(1.5, 8.0)),
+        tier_dropout_rates=(
+            {"low": float(rng.uniform(0.0, 0.5))} if rng.random() < 0.3 else None
+        ),
+    )
+    return ExperimentSpec(
+        scenario=scenario,
+        policy=_pick(rng, registry.POLICIES.names()),
+        n_seeds=1,
+        stop_at_convergence=False,
+    ).validate()
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One fuzzed scenario that broke an invariant (or crashed outright)."""
+
+    scenario_index: int
+    label: str
+    violation: InvariantViolation
+
+    def __str__(self) -> str:
+        return f"scenario #{self.scenario_index} ({self.label}): {self.violation}"
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    seed: int
+    scenarios_run: int = 0
+    rounds_checked: int = 0
+    elapsed_s: float = 0.0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every fuzzed scenario satisfied every invariant."""
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        """JSON payload (the CI artifact format)."""
+        return {
+            "seed": self.seed,
+            "scenarios_run": self.scenarios_run,
+            "rounds_checked": self.rounds_checked,
+            "elapsed_s": self.elapsed_s,
+            "ok": self.ok,
+            "failures": [
+                {
+                    "scenario_index": failure.scenario_index,
+                    "label": failure.label,
+                    "invariant": failure.violation.invariant,
+                    "round": failure.violation.round_index,
+                    "message": failure.violation.message,
+                }
+                for failure in self.failures
+            ],
+        }
+
+    def format(self) -> str:
+        """Human-readable verdict."""
+        header = (
+            f"fuzz(seed={self.seed}): {self.scenarios_run} scenario(s), "
+            f"{self.rounds_checked} round(s) audited in {self.elapsed_s:.1f}s — "
+            f"{'OK' if self.ok else f'{len(self.failures)} VIOLATION(S)'}"
+        )
+        if self.ok:
+            return header
+        lines = [header]
+        lines.extend(f"  - {failure}" for failure in self.failures[:20])
+        if len(self.failures) > 20:
+            lines.append(f"  … and {len(self.failures) - 20} more")
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    count: int | None = None,
+    budget_s: float | None = None,
+    seed: int = 0,
+) -> FuzzReport:
+    """Fuzz randomised scenarios until ``count`` runs or the time budget is spent.
+
+    With only ``budget_s`` the fuzzer runs as many scenarios as fit (at least one);
+    with only ``count`` it runs exactly that many; with both, whichever limit is hit
+    first wins.  With neither, :data:`DEFAULT_FUZZ_COUNT` scenarios run.
+    """
+    if count is None and budget_s is None:
+        count = DEFAULT_FUZZ_COUNT
+    rng = np.random.default_rng(seed)
+    report = FuzzReport(seed=seed)
+    start = time.perf_counter()
+    while True:
+        if count is not None and report.scenarios_run >= count:
+            break
+        if (
+            budget_s is not None
+            and report.scenarios_run > 0
+            and time.perf_counter() - start >= budget_s
+        ):
+            break
+        spec = sample_spec(rng)
+        index = report.scenarios_run
+        auditor = InvariantAuditor(num_devices=spec.scenario.num_devices)
+        try:
+            result = build_simulation(spec, round_observer=auditor).run()
+            auditor.audit_result(result)
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding, not an abort
+            # A registered-axis combination must never crash the simulator; surface the
+            # exception as a violation carrying the reproducing spec label.
+            report.failures.append(
+                FuzzFailure(
+                    scenario_index=index,
+                    label=spec.label,
+                    violation=InvariantViolation(
+                        invariant="crash", message=f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+            )
+        else:
+            report.failures.extend(
+                FuzzFailure(scenario_index=index, label=spec.label, violation=violation)
+                for violation in auditor.report.violations
+            )
+        report.scenarios_run += 1
+        report.rounds_checked += auditor.report.rounds_checked
+        report.elapsed_s = time.perf_counter() - start
+    return report

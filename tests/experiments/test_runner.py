@@ -4,10 +4,11 @@ import json
 import os
 import subprocess
 import sys
+import warnings
 
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ValidationError
 from repro.experiments.harness import run_simulation
 from repro.experiments.runner import (
     BatchRunner,
@@ -15,6 +16,7 @@ from repro.experiments.runner import (
     MultiprocessExecutor,
     ResultStore,
     SerialExecutor,
+    StaleResultWarning,
     build_simulation,
     get_executor,
     run_experiment,
@@ -110,18 +112,47 @@ class TestResultStore:
         with pytest.raises(ConfigurationError, match="line 1"):
             ResultStore(path)
 
-    def test_stale_spec_schema_entries_are_skipped(self, tmp_path, base):
+    def test_stale_spec_schema_entries_warn_with_both_versions(self, tmp_path, base):
         # A schema bump must not brick existing stores: stale lines (whose hashes can
-        # never be looked up again) are ignored, fresh ones load normally.
+        # never be looked up again) are skipped — but loudly, naming both versions, so
+        # users understand the resulting cache misses.
         path = tmp_path / "results.jsonl"
         store = ResultStore(path)
         store.put(run_experiment(base))
         stale = '{"hash": "deadbeef", "spec": {"schema": 1}, "summaries": []}\n'
         with path.open("a", encoding="utf-8") as handle:
             handle.write(stale)
-        reloaded = ResultStore(path)
+        with pytest.warns(StaleResultWarning, match=r"schema 1.*reads schema 3"):
+            reloaded = ResultStore(path)
         assert len(reloaded) == 1
         assert reloaded.get(base.spec_hash()) is not None
+
+    def test_current_schema_store_loads_without_warning(self, tmp_path, base):
+        path = tmp_path / "results.jsonl"
+        ResultStore(path).put(run_experiment(base))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # Any warning fails the test.
+            reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+
+    def test_cache_hit_and_miss_paths(self, tmp_path, base):
+        # Explicit hit/miss coverage: a fresh spec misses, a stored one hits (flagged
+        # cached), a stale-schema line stays a miss for its hash.
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        assert store.get(base) is None  # Miss on an empty store.
+        assert base not in store
+        store.put(run_experiment(base))
+        hit = store.get(base)
+        assert hit is not None and hit.cached  # Hit after put.
+        other = base.with_axis("seed", 123)
+        assert store.get(other) is None  # Different spec hash still misses.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"hash": "deadbeef", "spec": {"schema": 1}, "summaries": []}\n')
+        with pytest.warns(StaleResultWarning):
+            reloaded = ResultStore(path)
+        assert reloaded.get("deadbeef") is None  # Stale entries never serve hits.
+        assert reloaded.get(base) is not None
 
 
 class TestBatchRunner:
@@ -147,6 +178,58 @@ class TestBatchRunner:
     def test_results_preserve_grid_order(self, sweep):
         report = BatchRunner().run(sweep)
         assert [r.spec for r in report.results] == sweep.expand()
+
+
+class TestValidateHook:
+    """BatchRunner(validate=True) self-checks every executed grid point."""
+
+    @pytest.fixture
+    def flaky(self):
+        # A dynamics-heavy spec so the validated path exercises faults and availability.
+        return ExperimentSpec(
+            scenario=ScenarioSpec(
+                num_devices=30,
+                max_rounds=5,
+                seed=3,
+                setting="S4",
+                availability="bernoulli",
+                dropout_rate=0.2,
+            ),
+            policy="fedavg-random",
+            stop_at_convergence=False,
+        )
+
+    def test_validated_run_matches_unvalidated(self, flaky):
+        # Auditing must be an observer: attaching it never perturbs the trajectory.
+        assert run_experiment(flaky, validate=True).summaries == run_experiment(flaky).summaries
+
+    def test_batch_runner_validates_executed_points(self, flaky):
+        report = BatchRunner(validate=True).run([flaky])
+        assert report.executed == 1
+        assert report.results[0].summaries
+
+    def test_validate_threads_through_the_process_executor(self, flaky):
+        results = MultiprocessExecutor(max_workers=2).map(
+            [flaky, flaky.with_axis("seed", 4)], validate=True
+        )
+        assert len(results) == 2
+
+    def test_violation_raises_validation_error(self, flaky, monkeypatch):
+        # Corrupt the assembled records to prove the hook actually audits them.
+        from repro.sim.results import SimulationResult
+
+        original = SimulationResult.append
+
+        def corrupting_append(self, record):
+            import dataclasses as dc
+
+            original(self, dc.replace(record, accuracy=2.0))
+
+        monkeypatch.setattr(SimulationResult, "append", corrupting_append)
+        with pytest.raises(ValidationError, match="accuracy"):
+            run_experiment(flaky, validate=True)
+        # The unvalidated path still accepts the tainted run (nothing audits it).
+        assert run_experiment(flaky).summaries
 
 
 class TestSpecHashAcrossProcesses:

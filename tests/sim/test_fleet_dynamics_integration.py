@@ -190,6 +190,77 @@ class TestEngineFaults:
             scalar.energy.global_j, rel=1e-9
         )
 
+    @pytest.mark.parametrize(
+        "with_faults,with_mask",
+        [(False, True), (True, True), (True, False)],
+        ids=["mask-only", "faults-and-mask", "heavy-faults"],
+    )
+    def test_scalar_batch_equivalence_across_dynamics_paths(
+        self, engine_setup, small_environment, with_faults, with_mask
+    ):
+        """PR 3 pinned only the always-on/no-fault path; the fault-injection and
+        partial-availability paths must agree between the two engines to 1e-9 too."""
+        engine, decision, conditions, condition_arrays = engine_setup
+        rng = np.random.default_rng(42)
+        draw = None
+        if with_faults:
+            draw = FaultDraw(
+                upload_failure=rng.random(8) < 0.5,
+                compute_slowdown=np.where(rng.random(8) < 0.5, 6.0, 1.0),
+            )
+        online_mask = None
+        if with_mask:
+            # Everyone selected stays online; a third of the rest goes offline.
+            online_mask = np.ones(len(small_environment.fleet), dtype=bool)
+            rows = small_environment.fleet_arrays.rows_for(decision.participants)
+            offline = rng.random(len(online_mask)) < 0.33
+            offline[rows] = False
+            online_mask[offline] = False
+
+        batch = engine.execute_batch(
+            decision, condition_arrays, faults=draw, online_mask=online_mask
+        )
+        scalar = engine.execute(
+            decision,
+            conditions,
+            faults=None if draw is None else draw.to_mapping(decision.participants),
+            online_mask=online_mask,
+        )
+        assert batch.participant_ids == scalar.participant_ids
+        assert batch.dropped_ids == scalar.dropped_ids
+        assert batch.failed_ids == scalar.failed_ids
+        assert batch.round_time_s == pytest.approx(scalar.round_time_s, abs=1e-9)
+        converted = batch.to_execution()
+        for device_id, outcome in converted.outcomes.items():
+            reference = scalar.outcomes[device_id]
+            assert outcome.compute_time_s == pytest.approx(
+                reference.compute_time_s, abs=1e-9
+            )
+            assert outcome.communication_time_s == pytest.approx(
+                reference.communication_time_s, abs=1e-9
+            )
+            assert outcome.energy.compute_j == pytest.approx(
+                reference.energy.compute_j, rel=1e-9, abs=1e-9
+            )
+            assert outcome.energy.communication_j == pytest.approx(
+                reference.energy.communication_j, rel=1e-9, abs=1e-9
+            )
+            assert outcome.energy.idle_j == pytest.approx(
+                reference.energy.idle_j, rel=1e-9, abs=1e-9
+            )
+        # The fleet-wide idle account (incl. the offline zeroing) must agree per device.
+        for device_id, scalar_energy in scalar.energy.per_device.items():
+            batch_energy = converted.energy.device(device_id)
+            assert batch_energy.idle_j == pytest.approx(
+                scalar_energy.idle_j, rel=1e-9, abs=1e-9
+            )
+        assert converted.energy.global_j == pytest.approx(
+            scalar.energy.global_j, rel=1e-9
+        )
+        assert converted.energy.participant_j == pytest.approx(
+            scalar.energy.participant_j, rel=1e-9
+        )
+
     def test_upload_failure_wastes_compute_but_not_radio(self, engine_setup):
         engine, decision, _conditions, condition_arrays = engine_setup
         draw = FaultDraw.none(8)

@@ -178,3 +178,121 @@ class TestBench:
         assert code == 0
         for process in ("always-on", "bernoulli", "markov", "diurnal", "trace"):
             assert process in out
+
+
+class TestValidate:
+    """The validate verbs: record/check round-trips, fuzz, and their exit codes."""
+
+    #: A preset small enough that record + check stay fast in the test suite.
+    PRESET = "churn-heavy"
+
+    def test_record_then_check_roundtrip(self, tmp_path, capsys):
+        golden_dir = str(tmp_path / "goldens")
+        code, out, _err = _run(
+            ["validate", "record", "--presets", self.PRESET, "--dir", golden_dir,
+             "--rounds", "3"],
+            capsys,
+        )
+        assert code == 0
+        assert f"recorded golden '{self.PRESET}'" in out
+        code, out, _err = _run(
+            ["validate", "check", "--presets", self.PRESET, "--dir", golden_dir],
+            capsys,
+        )
+        assert code == 0
+        assert "OK (3 rounds bit-exact)" in out
+
+    def test_check_drift_exits_one_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        golden_dir = tmp_path / "goldens"
+        _run(
+            ["validate", "record", "--presets", self.PRESET, "--dir", str(golden_dir),
+             "--rounds", "3"],
+            capsys,
+        )
+        path = golden_dir / f"{self.PRESET}.jsonl"
+        lines = path.read_text().splitlines()
+        row = json.loads(lines[1])
+        row["accuracy"] += 1e-9
+        lines[1] = json.dumps(row, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+
+        report_path = tmp_path / "drift.json"
+        code, out, _err = _run(
+            ["validate", "check", "--presets", self.PRESET, "--dir", str(golden_dir),
+             "--report", str(report_path)],
+            capsys,
+        )
+        assert code == 1
+        assert "DRIFT at round 0: accuracy" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["goldens"][0]["ok"] is False
+        assert payload["goldens"][0]["divergences"][0]["field"] == "accuracy"
+
+    def test_check_without_recorded_golden_fails(self, tmp_path, capsys):
+        code, _out, err = _run(
+            ["validate", "check", "--presets", self.PRESET,
+             "--dir", str(tmp_path / "empty")],
+            capsys,
+        )
+        assert code == 2
+        assert "no golden recorded" in err
+
+    def test_fuzz_reports_scenarios_and_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "fuzz.json"
+        code, out, _err = _run(
+            ["validate", "fuzz", "--count", "5", "--seed", "3",
+             "--report", str(report_path)],
+            capsys,
+        )
+        assert code == 0
+        assert "5 scenario(s)" in out and "OK" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True and payload["scenarios_run"] == 5
+
+
+class TestErrorPaths:
+    """Unknown names exit non-zero with the did-you-mean suggestion rendered."""
+
+    def test_validate_unknown_preset_suggests(self, tmp_path, capsys):
+        code, _out, err = _run(
+            ["validate", "record", "--presets", "churn-hevy",
+             "--dir", str(tmp_path / "g")],
+            capsys,
+        )
+        assert code == 2
+        assert "did you mean 'churn-heavy'" in err
+
+    def test_compare_unknown_policy_suggests(self, capsys):
+        code, _out, err = _run(
+            ["compare", "--policies", "fedavg-random,autofk", "--devices", "30",
+             "--rounds", "5"],
+            capsys,
+        )
+        assert code == 2
+        assert "did you mean 'autofl'" in err
+
+    def test_sweep_unknown_scenario_preset_suggests(self, tmp_path, capsys):
+        code, _out, err = _run(
+            ["sweep", "--scenario", "flet-1k", "--store", str(tmp_path / "s.jsonl")],
+            capsys,
+        )
+        assert code == 2
+        assert "did you mean 'fleet-1k'" in err
+
+    def test_run_unknown_workload_suggests(self, capsys):
+        code, _out, err = _run(
+            ["run", "--workload", "cnn-mnis", "--devices", "30", "--no-cache"], capsys
+        )
+        assert code == 2
+        assert "did you mean 'cnn-mnist'" in err
+
+    def test_run_unknown_aggregator_suggests(self, capsys):
+        code, _out, err = _run(
+            ["run", "--aggregator", "fedprx", "--devices", "30", "--no-cache"], capsys
+        )
+        assert code == 2
+        assert "did you mean 'fedprox'" in err

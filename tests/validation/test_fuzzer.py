@@ -1,0 +1,92 @@
+"""Tests for the seeded scenario fuzzer: coverage, determinism and violation surfacing."""
+
+import numpy as np
+
+from repro.validation.fuzzer import (
+    MAX_FUZZ_DEVICES,
+    MAX_FUZZ_ROUNDS,
+    MIN_FUZZ_ROUNDS,
+    FuzzFailure,
+    FuzzReport,
+    run_fuzz,
+    sample_spec,
+)
+from repro.validation.invariants import InvariantViolation
+
+
+class TestSampleSpec:
+    def test_specs_validate_and_respect_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            spec = sample_spec(rng)  # .validate() inside would raise on a bad draw.
+            scenario = spec.scenario
+            assert scenario.num_devices <= MAX_FUZZ_DEVICES
+            assert MIN_FUZZ_ROUNDS <= scenario.max_rounds <= MAX_FUZZ_ROUNDS
+            assert spec.n_seeds == 1 and not spec.stop_at_convergence
+
+    def test_sampling_covers_the_dynamics_axes(self):
+        rng = np.random.default_rng(1)
+        specs = [sample_spec(rng) for _ in range(60)]
+        assert len({spec.policy for spec in specs}) > 3
+        assert len({spec.scenario.availability for spec in specs}) > 2
+        assert any(spec.scenario.dropout_rate > 0 for spec in specs)
+        assert any(spec.scenario.churn_rate > 0 for spec in specs)
+        assert any(spec.scenario.tier_dropout_rates for spec in specs)
+        assert any(spec.scenario.vectorized_sampling for spec in specs)
+
+    def test_sampling_is_deterministic_per_seed(self):
+        first = [sample_spec(np.random.default_rng(7)) for _ in range(1)][0]
+        second = [sample_spec(np.random.default_rng(7)) for _ in range(1)][0]
+        assert first == second
+
+
+class TestRunFuzz:
+    def test_count_budget_runs_clean(self):
+        report = run_fuzz(count=8, seed=3)
+        assert report.ok
+        assert report.scenarios_run == 8
+        assert report.rounds_checked >= 8 * MIN_FUZZ_ROUNDS
+        assert "OK" in report.format()
+
+    def test_time_budget_runs_at_least_one_scenario(self):
+        report = run_fuzz(budget_s=0.0, seed=3)
+        assert report.scenarios_run >= 1
+
+    def test_same_seed_same_stream(self):
+        first = run_fuzz(count=4, seed=11)
+        second = run_fuzz(count=4, seed=11)
+        assert first.ok and second.ok
+        assert first.rounds_checked == second.rounds_checked
+
+    def test_crash_is_surfaced_as_violation_not_abort(self, monkeypatch):
+        # Any exception — not just ReproError — must become a finding with the
+        # reproducing spec label, never abort the campaign.
+        from repro.validation import fuzzer as fuzzer_module
+
+        def exploding_build(spec, round_observer=None):
+            raise ValueError("unguarded numpy edge case")
+
+        monkeypatch.setattr(fuzzer_module, "build_simulation", exploding_build)
+        report = run_fuzz(count=3, seed=0)
+        assert report.scenarios_run == 3
+        assert not report.ok
+        assert all(f.violation.invariant == "crash" for f in report.failures)
+        assert "ValueError" in report.failures[0].violation.message
+
+    def test_report_serialises_failures(self):
+        report = FuzzReport(seed=0)
+        report.scenarios_run = 1
+        report.failures.append(
+            FuzzFailure(
+                scenario_index=0,
+                label="autofl/cnn-mnist",
+                violation=InvariantViolation(
+                    invariant="energy-accounting", message="off", round_index=2
+                ),
+            )
+        )
+        assert not report.ok
+        payload = report.to_dict()
+        assert payload["failures"][0]["invariant"] == "energy-accounting"
+        assert payload["failures"][0]["round"] == 2
+        assert "VIOLATION" in report.format()
