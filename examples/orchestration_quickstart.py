@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Orchestration quickstart: submit jobs, drain them with a worker pool, inspect state.
+
+This drives the service subsystem entirely through the Python API (the CLI equivalents
+are ``python -m repro {submit,serve,status,watch}``): a priority job and a sweep job go
+into a durable on-disk queue, a two-worker scheduler drains them into a shared
+SQLite-indexed store, and a resubmission of the same spec completes as a pure cache
+hit — no re-execution.
+
+Run with:  python examples/orchestration_quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import ExperimentSpec, ScenarioSpec, Scheduler, Sweep, make_job, open_store
+from repro.service import EventLog, JobQueue
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-orchestration-"))
+    queue = JobQueue(workdir / "queue")
+    store = open_store(workdir / "results.sqlite")
+    events = EventLog(workdir / "events.jsonl", echo=True)
+
+    base = ExperimentSpec(
+        scenario=ScenarioSpec(num_devices=50, max_rounds=20), policy="fedavg-random"
+    )
+    urgent = make_job(base, label="urgent-single", priority=10)
+    sweep = make_job(
+        Sweep(base, policy=["fedavg-random", "autofl"]), label="policy-sweep", retry_budget=1
+    )
+    queue.submit(urgent)
+    queue.submit(sweep)
+    print(f"submitted {urgent.job_id} (priority 10) and {sweep.job_id} (2 grid points)\n")
+
+    Scheduler(queue, store, events).serve(workers=2, drain=True)
+
+    print("\njob states after the drain:")
+    for job in queue.jobs():
+        print(
+            f"  {job.job_id}  {job.state.value:<9} label={job.label!r} "
+            f"cache_hits={job.cache_hits} executed={job.executed}"
+        )
+
+    # Resubmit the urgent spec: the store already holds its hash, so the scheduler
+    # serves it without running a single round.
+    rerun = make_job(base, label="urgent-again")
+    queue.submit(rerun)
+    Scheduler(queue, store, events).serve(workers=1, drain=True)
+    finished = queue.get(rerun.job_id)
+    print(
+        f"\nresubmission {finished.job_id}: state={finished.state.value}, "
+        f"cache_hits={finished.cache_hits}, executed={finished.executed} "
+        f"(store holds {len(store)} results at {workdir})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,10 @@ neural networks, federated learning, simulator) plus the paper's primary contrib
 AutoFL reinforcement-learning controller — in :mod:`repro.core`.  Experiments are
 declarative: an :class:`ExperimentSpec` names a point in the paper's evaluation space, a
 :class:`Sweep` expands cartesian grids over any axis, and a :class:`BatchRunner` executes
-them with spec-hash caching (also exposed as the ``python -m repro`` CLI).
+them with spec-hash caching (also exposed as the ``python -m repro`` CLI).  The
+orchestration service (:mod:`repro.service`) adds a durable job queue, a lease-based
+scheduler and a shared SQLite-indexed result store so many worker pools can drive the
+simulator concurrently (``python -m repro {submit,serve,status,watch,cancel}``).
 
 Quickstart
 ----------
@@ -25,22 +28,29 @@ from repro.experiments.runner import (
     run_experiment,
 )
 from repro.experiments.spec import ExperimentSpec, Sweep
+from repro.service import ArtifactStore, Job, JobQueue, Scheduler, make_job, open_store
 from repro.sim.scenarios import ScenarioSpec
 from repro.version import __version__
 
 __all__ = [
     "__version__",
+    "ArtifactStore",
     "BatchRunner",
     "ExperimentResult",
     "ExperimentSpec",
     "GlobalParams",
+    "Job",
+    "JobQueue",
     "MultiprocessExecutor",
     "ResultStore",
     "ScenarioSpec",
+    "Scheduler",
     "SerialExecutor",
     "SimulationConfig",
     "Sweep",
     "build_default_experiment",
+    "make_job",
+    "open_store",
     "run_experiment",
     "run_policy_comparison",
 ]

@@ -1,22 +1,33 @@
-"""Command-line interface: ``python -m repro {run,compare,sweep,list}``.
+"""Command-line interface: ``python -m repro {run,compare,sweep,serve,submit,…}``.
 
-The CLI is a thin shell over the declarative experiment subsystem:
+The CLI is a thin shell over the declarative experiment subsystem and the
+orchestration service:
 
 * ``run``      — one experiment spec (scenario + policy + seed replicas);
 * ``compare``  — several policies on one scenario, normalised to a baseline;
 * ``sweep``    — a cartesian grid over any axes, executed by the
   :class:`~repro.experiments.runner.BatchRunner` with spec-hash caching;
-* ``bench``    — time scalar vs vectorised round execution at several fleet sizes and
-  record the speedups in ``BENCH_roundengine.json``;
+* ``submit``   — enqueue a spec, preset or sweep as a durable job for the service;
+* ``serve``    — run a scheduler worker pool against the shared queue and store;
+* ``status``   — job table (or one job's detail) from the queue directory;
+* ``watch``    — tail the service's structured event stream (``-f`` to follow);
+* ``cancel``   — cancel a queued job immediately, a running job cooperatively;
+* ``bench``    — performance trajectories: the scalar-vs-vectorised round engine
+  (``BENCH_roundengine.json``) or the JSONL-vs-SQLite store (``--suite store``,
+  ``BENCH_store.json``);
 * ``validate`` — the validation subsystem: ``record`` golden trajectories for scenario
   presets, ``check`` them bit-exactly against a fresh run (exit 1 on drift, with a
   report naming the first diverging round and field), and ``fuzz`` randomised scenarios
   across every registered axis with invariant auditing;
 * ``list``     — enumerate any registry (policies, workloads, aggregators, scenarios, …).
 
-``run``/``compare``/``sweep`` accept ``--scenario PRESET`` to start from a registered
-scenario preset (``paper-200``, ``fleet-1k``, ``diurnal-1k``, ``flaky-fleet``,
-``churn-heavy``, …); any explicitly passed scenario flag overrides the preset field.
+``run``/``compare``/``sweep``/``submit`` accept ``--scenario PRESET`` to start from a
+registered scenario preset (``paper-200``, ``fleet-1k``, ``diurnal-1k``,
+``flaky-fleet``, ``churn-heavy``, …); any explicitly passed scenario flag overrides the
+preset field.  Result stores default to the indexed SQLite backend
+(``.repro-results/results.sqlite``); a ``--store`` path ending in ``.jsonl`` selects
+the legacy flat-file backend, and a legacy store sitting next to the SQLite default is
+migrated in automatically on first use.
 
 Examples
 --------
@@ -27,7 +38,12 @@ Examples
     python -m repro run --scenario flaky-fleet --rounds 100
     python -m repro compare --policies fedavg-random,power,performance,autofl
     python -m repro sweep --axis policy=fedavg-random,autofl --axis dropout-rate=0,0.1
+    python -m repro submit --scenario fleet-1k --priority 5 --retries 1
+    python -m repro serve --workers 4
+    python -m repro status --json
+    python -m repro watch -f
     python -m repro bench --sizes 200,1000,10000
+    python -m repro bench --suite store --entries 10000
     python -m repro validate check
     python -m repro validate fuzz --budget 60 --report fuzz-report.json
 """
@@ -37,8 +53,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from collections.abc import Sequence
 from dataclasses import replace
+from pathlib import Path
 
 from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.harness import run_policy_comparison
@@ -48,14 +66,30 @@ from repro.experiments.reporting import (
     format_experiment_results,
     format_registry,
 )
-from repro.experiments.runner import (
-    DEFAULT_STORE_PATH,
-    BatchRunner,
-    ResultStore,
-    get_executor,
-)
+from repro.experiments.runner import BatchRunner, get_executor
 from repro.experiments.spec import ExperimentSpec, Sweep, parse_axis
 from repro.registry import REGISTRIES, get_registry
+from repro.service import (
+    DEFAULT_LEASE_S,
+    DEFAULT_POLL_S,
+    DEFAULT_SERVICE_ROOT,
+    DEFAULT_SQLITE_STORE_PATH,
+    DEFAULT_STORE_BENCH_ENTRIES,
+    DEFAULT_STORE_BENCH_LOOKUPS,
+    DEFAULT_STORE_BENCH_OUTPUT,
+    EVENTS_FILENAME,
+    ArtifactStore,
+    EventLog,
+    JobQueue,
+    JobState,
+    Scheduler,
+    format_event,
+    format_store_bench,
+    make_job,
+    open_store,
+    run_store_bench,
+    tail_events,
+)
 from repro.sim.bench import (
     DEFAULT_BENCH_OUTPUT,
     DEFAULT_BENCH_SIZES,
@@ -179,14 +213,33 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser, replication: bool =
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store",
-        default=str(DEFAULT_STORE_PATH),
-        help="JSONL result store used as the spec-hash cache",
+        default=str(DEFAULT_SQLITE_STORE_PATH),
+        help=(
+            "result store used as the spec-hash cache (SQLite by default; "
+            "a path ending in .jsonl selects the legacy flat-file backend)"
+        ),
     )
     parser.add_argument(
         "--no-cache",
         action="store_true",
         help="run every grid point fresh, without reading or writing the store",
     )
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--root",
+        default=str(DEFAULT_SERVICE_ROOT),
+        help="orchestration-service directory (job queue + event log)",
+    )
+
+
+def _queue(args: argparse.Namespace) -> JobQueue:
+    return JobQueue(Path(args.root) / "queue")
+
+
+def _events_path(args: argparse.Namespace) -> Path:
+    return Path(args.root) / EVENTS_FILENAME
 
 
 def _resolve_scenario(args: argparse.Namespace) -> ScenarioSpec:
@@ -213,7 +266,7 @@ def _base_spec(args: argparse.Namespace, policy: str) -> ExperimentSpec:
 
 
 def _make_runner(args: argparse.Namespace, executor_name: str, jobs: int | None) -> BatchRunner:
-    store = None if args.no_cache else ResultStore(args.store)
+    store = None if args.no_cache else open_store(args.store)
     return BatchRunner(executor=get_executor(executor_name, jobs), store=store)
 
 
@@ -254,10 +307,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "store":
+        output = args.output if args.output is not None else DEFAULT_STORE_BENCH_OUTPUT
+        record = run_store_bench(
+            entries=args.entries, lookups=args.lookups, seed=args.seed, output=output
+        )
+        print(format_store_bench(record))
+        print(f"\nwrote {output}")
+        return 0
     try:
         sizes = tuple(int(size) for size in args.sizes.split(",") if size.strip())
     except ValueError:
         raise ConfigurationError(f"invalid --sizes value {args.sizes!r}") from None
+    output = args.output if args.output is not None else DEFAULT_BENCH_OUTPUT
     record = run_roundengine_bench(
         sizes=sizes,
         seed=args.seed,
@@ -265,10 +327,136 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         interference=args.interference,
         network=args.network,
         repeats=args.repeats,
-        output=args.output,
+        output=output,
     )
     print(format_bench_record(record))
-    print(f"\nwrote {args.output}")
+    print(f"\nwrote {output}")
+    return 0
+
+
+# ---------------------------------------------------------------------- service commands
+def _cmd_submit(args: argparse.Namespace) -> int:
+    base = _base_spec(args, args.policy)
+    if args.axis:
+        axes: dict[str, tuple[object, ...]] = {}
+        for name, values in (parse_axis(text) for text in args.axis):
+            if name in axes:
+                raise ConfigurationError(f"sweep axis {name!r} given twice")
+            axes[name] = values
+        experiments: ExperimentSpec | Sweep = Sweep(base, axes)
+    else:
+        experiments = base
+    label = args.label or (args.scenario if args.scenario else base.label)
+    job = make_job(
+        experiments,
+        label=label,
+        priority=args.priority,
+        retry_budget=args.retries,
+        validate=args.validate_results,
+        timeout_s=args.timeout,
+    )
+    if args.scenario:
+        job.provenance["preset"] = args.scenario
+    _queue(args).submit(job)
+    EventLog(_events_path(args)).emit(
+        "job_submitted",
+        job_id=job.job_id,
+        specs=len(job.specs),
+        priority=job.priority,
+        label=job.label,
+    )
+    print(
+        f"submitted {job.job_id}: {len(job.specs)} spec(s), priority {job.priority}, "
+        f"label {job.label!r}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    scheduler = Scheduler(
+        queue=_queue(args),
+        store=open_store(args.store),
+        events=EventLog(_events_path(args), echo=not args.quiet),
+        lease_s=args.lease,
+        poll_s=args.poll,
+    )
+    try:
+        scheduler.serve(workers=args.workers, drain=args.drain)
+    except KeyboardInterrupt:
+        print("interrupted: in-flight jobs were requeued", file=sys.stderr)
+        return 130
+    return 0
+
+
+def _format_job_row(job) -> str:
+    age_s = max(0.0, time.time() - job.submitted_at)
+    note = job.error.splitlines()[0][:40] if job.error else job.label[:40]
+    return (
+        f"{job.job_id:<17} {job.state.value:<9} {job.priority:>4} "
+        f"{len(job.specs):>5} {job.cache_hits:>4} {job.executed:>4} "
+        f"{job.attempts:>3} {age_s:>7.0f}s  {note}"
+    )
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    queue = _queue(args)
+    if args.job_id:
+        job = queue.get(args.job_id)
+        payload = job.to_dict()
+        store = open_store(args.store)
+        if isinstance(store, ArtifactStore):
+            payload["artifacts"] = store.get_artifacts(job.job_id)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if job.state is not JobState.FAILED else 1
+    jobs = queue.jobs()
+    if args.json:
+        print(
+            json.dumps(
+                {"counts": queue.counts(), "jobs": [job.to_dict() for job in jobs]},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    header = (
+        f"{'job':<17} {'state':<9} {'prio':>4} {'specs':>5} {'hits':>4} {'exec':>4} "
+        f"{'try':>3} {'age':>8}  label/error"
+    )
+    print(header)
+    print("-" * len(header))
+    for job in jobs:
+        print(_format_job_row(job))
+    counts = queue.counts()
+    print(
+        "\n"
+        + "  ".join(f"{state}: {count}" for state, count in counts.items() if count)
+        + (f"  (total: {sum(counts.values())})" if any(counts.values()) else "queue is empty")
+    )
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    path = _events_path(args)
+    if not path.exists() and not args.follow:
+        print(f"no events yet at {path}")
+        return 0
+    try:
+        for payload in tail_events(path, follow=args.follow):
+            if args.job and payload.get("job_id") != args.job:
+                continue
+            print(format_event(payload))
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    job = _queue(args).cancel(args.job_id)
+    EventLog(_events_path(args)).emit("cancel_requested", job_id=args.job_id)
+    if job.state is JobState.CANCELLED:
+        print(f"cancelled {job.job_id}")
+    else:
+        print(f"cancel requested for running job {job.job_id} (honoured between grid points)")
     return 0
 
 
@@ -383,31 +571,151 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = subparsers.add_parser(
         "bench",
-        help="time scalar vs vectorised round execution and record the speedups",
+        help="performance benchmarks: the round engine, or the result-store backends",
+    )
+    bench_parser.add_argument(
+        "--suite",
+        default="roundengine",
+        choices=("roundengine", "store"),
+        help="what to benchmark (default: scalar vs vectorised round execution)",
     )
     bench_parser.add_argument(
         "--sizes",
         default=",".join(str(size) for size in DEFAULT_BENCH_SIZES),
-        help="comma-separated fleet sizes to time",
+        help="[roundengine] comma-separated fleet sizes to time",
     )
     bench_parser.add_argument(
         "--repeats",
         type=int,
         default=None,
-        help="timed rounds per path (default: calibrated per fleet size)",
-    )
-    bench_parser.add_argument("--workload", default="cnn-mnist", help="FL workload name")
-    bench_parser.add_argument(
-        "--interference", default="moderate", help="interference scenario during the bench"
+        help="[roundengine] timed rounds per path (default: calibrated per fleet size)",
     )
     bench_parser.add_argument(
-        "--network", default="variable", help="network scenario during the bench"
+        "--workload", default="cnn-mnist", help="[roundengine] FL workload name"
+    )
+    bench_parser.add_argument(
+        "--interference",
+        default="moderate",
+        help="[roundengine] interference scenario during the bench",
+    )
+    bench_parser.add_argument(
+        "--network", default="variable", help="[roundengine] network scenario during the bench"
+    )
+    bench_parser.add_argument(
+        "--entries",
+        type=int,
+        default=DEFAULT_STORE_BENCH_ENTRIES,
+        help="[store] number of cached specs the stores are loaded with",
+    )
+    bench_parser.add_argument(
+        "--lookups",
+        type=int,
+        default=DEFAULT_STORE_BENCH_LOOKUPS,
+        help="[store] timed spec-hash lookups (half hits, half misses)",
     )
     bench_parser.add_argument("--seed", type=int, default=0, help="base random seed")
     bench_parser.add_argument(
-        "--output", default=DEFAULT_BENCH_OUTPUT, help="JSON file the record is written to"
+        "--output",
+        default=None,
+        help=(
+            "JSON file the record is written to (default: "
+            f"{DEFAULT_BENCH_OUTPUT} or {DEFAULT_STORE_BENCH_OUTPUT} per suite)"
+        ),
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="enqueue a spec, preset or sweep as a durable job for the service"
+    )
+    submit_parser.add_argument("--policy", default="autofl", help="selection policy to run")
+    submit_parser.add_argument(
+        "--axis",
+        action="append",
+        metavar="NAME=V1,V2,…",
+        help="sweep axis (repeatable); submits the expanded grid as one job",
+    )
+    submit_parser.add_argument(
+        "--priority", type=int, default=0, help="queue priority (higher first; default 0)"
+    )
+    submit_parser.add_argument(
+        "--retries", type=int, default=0, help="retry budget after failures (default 0)"
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=None, help="per-job wall-clock timeout in seconds"
+    )
+    submit_parser.add_argument(
+        "--validate",
+        dest="validate_results",
+        action="store_true",
+        help="audit every executed round against the simulator invariants",
+    )
+    submit_parser.add_argument("--label", default=None, help="human-readable job label")
+    _add_scenario_arguments(submit_parser)
+    _add_service_arguments(submit_parser)
+    submit_parser.set_defaults(func=_cmd_submit)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run a scheduler worker pool against the shared queue and store"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="worker threads in this serve process"
+    )
+    serve_parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the queue is empty instead of serving forever",
+    )
+    serve_parser.add_argument(
+        "--poll", type=float, default=DEFAULT_POLL_S, help="idle poll interval in seconds"
+    )
+    serve_parser.add_argument(
+        "--lease",
+        type=float,
+        default=DEFAULT_LEASE_S,
+        help="claim lease duration in seconds (crashed workers release after this)",
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true", help="do not echo events to stdout"
+    )
+    serve_parser.add_argument(
+        "--store",
+        default=str(DEFAULT_SQLITE_STORE_PATH),
+        help="result store shared by the worker pool",
+    )
+    _add_service_arguments(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    status_parser = subparsers.add_parser(
+        "status", help="job table (or one job's detail) from the queue directory"
+    )
+    status_parser.add_argument(
+        "job_id", nargs="?", default=None, help="show one job in full (JSON, with artifacts)"
+    )
+    status_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    status_parser.add_argument(
+        "--store",
+        default=str(DEFAULT_SQLITE_STORE_PATH),
+        help="store queried for job artifacts in single-job mode",
+    )
+    _add_service_arguments(status_parser)
+    status_parser.set_defaults(func=_cmd_status)
+
+    watch_parser = subparsers.add_parser(
+        "watch", help="print the service event stream (like tail on the event log)"
+    )
+    watch_parser.add_argument(
+        "-f", "--follow", action="store_true", help="keep following the log as it grows"
+    )
+    watch_parser.add_argument("--job", default=None, help="only events of this job id")
+    _add_service_arguments(watch_parser)
+    watch_parser.set_defaults(func=_cmd_watch)
+
+    cancel_parser = subparsers.add_parser(
+        "cancel", help="cancel a queued job now, or a running job between grid points"
+    )
+    cancel_parser.add_argument("job_id", help="job id to cancel (see: python -m repro status)")
+    _add_service_arguments(cancel_parser)
+    cancel_parser.set_defaults(func=_cmd_cancel)
 
     validate_parser = subparsers.add_parser(
         "validate",

@@ -34,4 +34,32 @@ class PolicyError(ReproError):
 
 
 class ValidationError(ReproError):
-    """Raised when a simulation outcome violates a promised invariant or golden trace."""
+    """Raised when a simulation outcome violates a promised invariant or golden trace.
+
+    When the violation was detected by an :class:`~repro.validation.invariants.\
+InvariantAuditor`, the full :class:`~repro.validation.invariants.ValidationReport` is
+    attached as the ``report`` attribute so callers (e.g. the orchestration scheduler)
+    can persist it as an artifact.
+    """
+
+    report = None
+
+
+class ExecutionError(ReproError):
+    """Raised when one or more specs of a batch failed while the rest completed.
+
+    ``failures`` holds one :class:`~repro.experiments.runner.SpecFailure` per failing
+    spec (naming its hash and carrying the original worker traceback); ``completed``
+    holds the results that did finish — by the time this is raised they have already
+    been flushed to the result store, so a re-run only re-executes the failures.
+    """
+
+    def __init__(self, message: str, failures=(), completed=()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+        self.completed = tuple(completed)
+
+
+class ServiceError(ReproError):
+    """Raised for orchestration-service misuse: illegal job-state transitions,
+    double claims, cancelling a finished job, or a corrupt queue/store entry."""

@@ -22,6 +22,8 @@ from repro.experiments.runner import (
     MultiprocessExecutor,
     ResultStore,
     SerialExecutor,
+    SpecFailure,
+    StoreBackend,
     build_simulation,
     get_executor,
     run_experiment,
@@ -48,6 +50,8 @@ __all__ = [
     "PredictionAccuracyReport",
     "ResultStore",
     "SerialExecutor",
+    "SpecFailure",
+    "StoreBackend",
     "Sweep",
     "build_simulation",
     "format_batch_footer",

@@ -13,17 +13,18 @@ from __future__ import annotations
 import json
 import os
 import time
+import traceback
 import warnings
-from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import Protocol
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.core.selection import make_policy
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ExecutionError
 from repro.experiments.spec import SPEC_SCHEMA_VERSION, ExperimentSpec, Sweep
 from repro.fl.metrics import EfficiencySummary
 from repro.sim.runner import FLSimulation, RoundObserver
@@ -179,35 +180,107 @@ def _run_payload(payload: dict) -> dict:
     ).to_dict()
 
 
+@dataclass(frozen=True)
+class SpecFailure:
+    """One grid point that failed during batch execution.
+
+    Carries the failing spec's deterministic hash and the *original* worker traceback,
+    so a multiprocess failure is debuggable instead of surfacing as an opaque pickle
+    or ``BrokenProcessPool`` error.
+    """
+
+    spec: ExperimentSpec | None
+    spec_hash: str
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def format(self) -> str:
+        """Multi-line rendering: identity line plus the captured worker traceback."""
+        label = self.spec.label if self.spec is not None else "<unknown>"
+        lines = [f"spec {self.spec_hash[:12]} ({label}): {self.error_type}: {self.message}"]
+        if self.traceback:
+            lines.append(self.traceback.rstrip())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable payload (used by the orchestration job record)."""
+        return {
+            "spec_hash": self.spec_hash,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
+
+
+def _run_payload_safe(payload: dict) -> dict:
+    """Worker entry point that never raises: failures come back as tagged payloads.
+
+    Catching in the worker keeps the process pool alive — one crashing spec no longer
+    aborts (or poisons) the whole batch — and preserves the original traceback, which
+    a pickled exception crossing the process boundary would lose.
+    """
+    try:
+        return {"ok": True, "result": _run_payload(payload)}
+    except Exception as exc:
+        return {
+            "ok": False,
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+
+
+#: Callback invoked with each finished result as soon as it is available (before the
+#: whole batch completes); the BatchRunner uses it to flush results to the store so an
+#: interrupted or partially-failed batch keeps its completed points.
+OnResult = Callable[["ExperimentResult"], None]
+
+
 class Executor(Protocol):
     """Structural interface of a batch executor."""
 
     name: str
 
     def map(
-        self, specs: Sequence[ExperimentSpec], validate: bool = False
+        self,
+        specs: Sequence[ExperimentSpec],
+        validate: bool = False,
+        on_result: OnResult | None = None,
     ) -> list[ExperimentResult]:
         """Run every spec and return results in the same order."""
         ...
 
 
 class SerialExecutor:
-    """Runs every spec in the calling process, one after another."""
+    """Runs every spec in the calling process, one after another (fail-fast)."""
 
     name = "serial"
 
     def map(
-        self, specs: Sequence[ExperimentSpec], validate: bool = False
+        self,
+        specs: Sequence[ExperimentSpec],
+        validate: bool = False,
+        on_result: OnResult | None = None,
     ) -> list[ExperimentResult]:
         """Run every spec and return results in the same order."""
-        return [run_experiment(spec, validate=validate) for spec in specs]
+        results = []
+        for spec in specs:
+            result = run_experiment(spec, validate=validate)
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        return results
 
 
 class MultiprocessExecutor:
     """Fans specs out over a process pool (one worker per core by default).
 
     Specs travel to the workers as JSON payloads and results come back the same way, so
-    the executor works under any multiprocessing start method.
+    the executor works under any multiprocessing start method.  Failures are isolated
+    per spec: a crashing grid point does not stop the others, and once every spec has
+    had its chance the batch raises :class:`~repro.exceptions.ExecutionError` naming
+    each failing spec's hash with its original worker traceback.
     """
 
     name = "process"
@@ -220,18 +293,83 @@ class MultiprocessExecutor:
         self.max_workers = max_workers if max_workers is not None else max(2, os.cpu_count() or 1)
 
     def map(
-        self, specs: Sequence[ExperimentSpec], validate: bool = False
+        self,
+        specs: Sequence[ExperimentSpec],
+        validate: bool = False,
+        on_result: OnResult | None = None,
     ) -> list[ExperimentResult]:
         """Run every spec and return results in the same order."""
         if not specs:
             return []
         workers = min(self.max_workers, len(specs))
         if workers == 1:
-            return SerialExecutor().map(specs, validate=validate)
+            return SerialExecutor().map(specs, validate=validate, on_result=on_result)
         payloads = [{"spec": spec.to_dict(), "validate": validate} for spec in specs]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            raw = list(pool.map(_run_payload, payloads))
-        return [ExperimentResult.from_dict(payload) for payload in raw]
+        slots: list[ExperimentResult | None] = [None] * len(specs)
+        failures: list[SpecFailure] = []
+        # No `with` block: its __exit__ would join the running workers even after an
+        # interrupt, stalling Ctrl-C for up to a full spec per worker.
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {
+                pool.submit(_run_payload_safe, payload): index
+                for index, payload in enumerate(payloads)
+            }
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = futures[future]
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:
+                        # The worker process died without reporting (segfault, OOM
+                        # kill, broken pool): synthesise a failure naming the spec.
+                        failures.append(
+                            SpecFailure(
+                                spec=specs[index],
+                                spec_hash=specs[index].spec_hash(),
+                                error_type=type(exc).__name__,
+                                message=str(exc) or "worker process died",
+                                traceback=(
+                                    "worker process exited before reporting a "
+                                    "traceback (crashed or was killed)"
+                                ),
+                            )
+                        )
+                        continue
+                    if outcome["ok"]:
+                        result = ExperimentResult.from_dict(outcome["result"])
+                        slots[index] = result
+                        if on_result is not None:
+                            on_result(result)
+                    else:
+                        failures.append(
+                            SpecFailure(
+                                spec=specs[index],
+                                spec_hash=specs[index].spec_hash(),
+                                error_type=outcome["error_type"],
+                                message=outcome["message"],
+                                traceback=outcome["traceback"],
+                            )
+                        )
+        except BaseException:
+            # Return control immediately (completed results were already flushed
+            # through on_result, so an interrupted batch is resumable); the in-flight
+            # workers are abandoned to finish or die with the interpreter.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+        if failures:
+            completed = [slot for slot in slots if slot is not None]
+            details = "\n".join(failure.format() for failure in failures)
+            raise ExecutionError(
+                f"{len(failures)} of {len(specs)} spec(s) failed "
+                f"({len(completed)} completed and were kept):\n{details}",
+                failures=failures,
+                completed=completed,
+            )
+        return [slot for slot in slots if slot is not None]
 
 
 #: Executor factories by CLI name.
@@ -249,6 +387,30 @@ def get_executor(name: str, jobs: int | None = None) -> Executor:
             f"unknown executor {name!r}; expected one of {sorted(EXECUTORS)}"
         )
     return EXECUTORS[key](jobs)
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """Structural interface of a result-store backend.
+
+    Anything with spec-hash keyed ``get``/``put`` (plus ``in``/``len``) can serve as
+    the :class:`BatchRunner` cache: the flat JSONL :class:`ResultStore`, the SQLite
+    :class:`~repro.service.store.ArtifactStore`, or an in-memory test double.  Serial
+    and multiprocess execution and the orchestration scheduler all share one cache
+    through this protocol.
+    """
+
+    def get(self, spec: "ExperimentSpec | str") -> "ExperimentResult | None":
+        """Return the stored result for a spec (or raw hash), or ``None`` on a miss."""
+        ...
+
+    def put(self, result: "ExperimentResult") -> None:
+        """Persist one result under its deterministic spec hash."""
+        ...
+
+    def __contains__(self, spec: "ExperimentSpec | str") -> bool: ...
+
+    def __len__(self) -> int: ...
 
 
 class ResultStore:
@@ -305,6 +467,10 @@ class ResultStore:
         key = spec if isinstance(spec, str) else spec.spec_hash()
         return self._results.get(key)
 
+    def results(self) -> dict[str, ExperimentResult]:
+        """Snapshot of every loaded entry by spec hash (used by store migration)."""
+        return dict(self._results)
+
     def put(self, result: ExperimentResult) -> None:
         """Persist one result (appends a JSONL line and updates the in-memory index)."""
         payload = result.to_dict()
@@ -344,8 +510,11 @@ class BatchRunner:
     executor:
         Fan-out strategy for cache misses; defaults to :class:`SerialExecutor`.
     store:
-        Optional :class:`ResultStore`; when given, hits skip execution entirely and
-        fresh results are persisted for the next run.
+        Optional :class:`StoreBackend` (the JSONL :class:`ResultStore`, the SQLite
+        :class:`~repro.service.store.ArtifactStore`, …); when given, hits skip
+        execution entirely and fresh results are persisted for the next run.  Results
+        are flushed as they complete, so an interrupted or partially-failed batch
+        keeps its finished points and a re-run resumes from them.
     validate:
         Self-check every executed grid point against the simulator's accounting
         invariants (:mod:`repro.validation.invariants`); a violation raises
@@ -356,7 +525,7 @@ class BatchRunner:
     def __init__(
         self,
         executor: Executor | None = None,
-        store: ResultStore | None = None,
+        store: StoreBackend | None = None,
         validate: bool = False,
     ):
         self.executor = executor if executor is not None else SerialExecutor()
@@ -385,10 +554,16 @@ class BatchRunner:
                 misses.setdefault(spec_hash, []).append(index)
         if misses:
             unique_specs = [specs[indices[0]] for indices in misses.values()]
-            fresh = self.executor.map(unique_specs, validate=self.validate)
+            # Flush each result the moment its spec finishes (not after the whole
+            # batch): a KeyboardInterrupt or per-spec failure then loses only the
+            # points still in flight — the completed ones are already persisted and a
+            # re-run resumes from them as cache hits.
+            flush = self.store.put if self.store is not None else None
+            try:
+                fresh = self.executor.map(unique_specs, validate=self.validate, on_result=flush)
+            except KeyboardInterrupt:
+                raise  # Completed results were flushed above; the sweep is resumable.
             for indices, result in zip(misses.values(), fresh):
-                if self.store is not None:
-                    self.store.put(result)
                 for index in indices:
                     slots[index] = result
         results = tuple(slot for slot in slots if slot is not None)

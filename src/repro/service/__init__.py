@@ -1,0 +1,79 @@
+"""Experiment orchestration service: durable jobs, scheduling and an indexed store.
+
+The service turns the simulator from a foreground batch tool into a long-lived system
+that many clients can drive concurrently:
+
+* :mod:`repro.service.jobs` — the :class:`Job` model: an
+  :class:`~repro.experiments.spec.ExperimentSpec` batch with priority, retry budget,
+  timeout, provenance and an enforced ``queued → running → done/failed/cancelled``
+  state machine;
+* :mod:`repro.service.queue` — a crash-safe on-disk priority queue whose atomic
+  rename-based claims and expiry leases let any number of worker processes pull
+  safely;
+* :mod:`repro.service.scheduler` — the worker pool: dedupes grid points against the
+  store by spec hash, enforces per-job timeouts, honours cancellation, retries
+  failures and attaches validation reports to failed jobs;
+* :mod:`repro.service.store` — the SQLite :class:`ArtifactStore`, the indexed
+  service-grade replacement of the flat JSONL result store (lossless migration
+  included), plus job artifacts;
+* :mod:`repro.service.events` — the append-only JSONL event log behind
+  ``python -m repro watch``;
+* :mod:`repro.service.bench` — the JSONL-vs-SQLite store benchmark
+  (``python -m repro bench --suite store``).
+
+The CLI front-ends are ``python -m repro {serve,submit,status,watch,cancel}``.
+"""
+
+from repro.service.bench import (
+    DEFAULT_STORE_BENCH_ENTRIES,
+    DEFAULT_STORE_BENCH_LOOKUPS,
+    DEFAULT_STORE_BENCH_OUTPUT,
+    format_store_bench,
+    run_store_bench,
+)
+from repro.service.events import EVENTS_FILENAME, EventLog, format_event, tail_events
+from repro.service.jobs import (
+    JOB_SCHEMA_VERSION,
+    TERMINAL_STATES,
+    Job,
+    JobState,
+    make_job,
+    submit_provenance,
+)
+from repro.service.queue import DEFAULT_LEASE_S, DEFAULT_SERVICE_ROOT, JobQueue
+from repro.service.scheduler import DEFAULT_POLL_S, Scheduler
+from repro.service.store import (
+    DEFAULT_SQLITE_STORE_PATH,
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    migrate_jsonl,
+    open_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_LEASE_S",
+    "DEFAULT_POLL_S",
+    "DEFAULT_SERVICE_ROOT",
+    "DEFAULT_SQLITE_STORE_PATH",
+    "DEFAULT_STORE_BENCH_ENTRIES",
+    "DEFAULT_STORE_BENCH_LOOKUPS",
+    "DEFAULT_STORE_BENCH_OUTPUT",
+    "EVENTS_FILENAME",
+    "EventLog",
+    "JOB_SCHEMA_VERSION",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "STORE_SCHEMA_VERSION",
+    "Scheduler",
+    "TERMINAL_STATES",
+    "format_event",
+    "format_store_bench",
+    "make_job",
+    "migrate_jsonl",
+    "open_store",
+    "run_store_bench",
+    "submit_provenance",
+    "tail_events",
+]

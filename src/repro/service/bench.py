@@ -1,0 +1,171 @@
+"""Store benchmark backing ``python -m repro bench --suite store``.
+
+Pits the legacy flat JSONL :class:`~repro.experiments.runner.ResultStore` against the
+SQLite :class:`~repro.service.store.ArtifactStore` on the operations the orchestration
+service leans on — inserts, spec-hash lookups (hits and misses) and a cold open — at
+cache sizes where the difference matters (10k cached specs by default).  The record is
+written to ``BENCH_store.json`` with the same provenance fields as
+``BENCH_roundengine.json`` so both trajectories stay machine-comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import ExperimentResult, ResultStore
+from repro.experiments.spec import ExperimentSpec
+from repro.fl.metrics import EfficiencySummary
+from repro.service.store import ArtifactStore
+from repro.sim.scenarios import ScenarioSpec
+
+#: Default number of cached specs the stores are loaded with.
+DEFAULT_STORE_BENCH_ENTRIES = 10_000
+
+#: Default number of timed lookups (half hits, half misses).
+DEFAULT_STORE_BENCH_LOOKUPS = 2_000
+
+#: Default output path of the store benchmark record.
+DEFAULT_STORE_BENCH_OUTPUT = "BENCH_store.json"
+
+
+def _fabricate_results(entries: int, seed: int) -> list[ExperimentResult]:
+    """Synthesise ``entries`` distinct cached results (distinct seeds → distinct hashes).
+
+    The store benchmark measures storage, not simulation, so the summaries are cheap
+    fabrications with plausible magnitudes rather than real trajectories.
+    """
+    rng = np.random.default_rng(seed)
+    base = ExperimentSpec(
+        scenario=ScenarioSpec(num_devices=200, max_rounds=100), policy="autofl"
+    )
+    accuracies = rng.uniform(0.6, 0.95, size=entries)
+    energies = rng.uniform(1e3, 1e5, size=entries)
+    results = []
+    for index in range(entries):
+        spec = replace(base, scenario=replace(base.scenario, seed=index))
+        summary = EfficiencySummary(
+            converged=bool(index % 2),
+            rounds_executed=100,
+            convergence_round=50 if index % 2 else None,
+            convergence_time_s=1e4,
+            total_time_s=2e4,
+            final_accuracy=float(accuracies[index]),
+            participant_energy_j=float(energies[index]),
+            global_energy_j=float(energies[index]) * 3.0,
+        )
+        results.append(ExperimentResult(spec=spec, summaries=(summary,), elapsed_s=0.5))
+    return results
+
+
+def _time_store(
+    store_factory, results: list[ExperimentResult], lookups: int, seed: int
+) -> dict:
+    """Measure insert, lookup and cold-open throughput of one store backend."""
+    rng = np.random.default_rng(seed)
+    store = store_factory()
+    start = time.perf_counter()
+    for result in results:
+        store.put(result)
+    insert_elapsed = time.perf_counter() - start
+
+    hashes = [result.spec.spec_hash() for result in results]
+    probe_hits = rng.choice(len(hashes), size=lookups // 2, replace=True)
+    probes = [hashes[index] for index in probe_hits]
+    probes += [f"{'0' * 56}{index:08x}" for index in range(lookups - len(probes))]  # misses
+    rng.shuffle(probes)
+    start = time.perf_counter()
+    found = sum(1 for key in probes if store.get(key) is not None)
+    lookup_elapsed = time.perf_counter() - start
+
+    close = getattr(store, "close", None)
+    if close is not None:
+        close()
+    # Cold open: construct a fresh instance and serve one lookup.  This is where the
+    # backends differ most — the JSONL store parses every line up front, the SQLite
+    # store touches only the index.
+    start = time.perf_counter()
+    reopened = store_factory()
+    reopened.get(hashes[0])
+    cold_open_elapsed = time.perf_counter() - start
+
+    return {
+        "entries": len(results),
+        "inserts_per_s": len(results) / max(insert_elapsed, 1e-9),
+        "lookups": lookups,
+        "lookup_hits": int(found),
+        "lookups_per_s": lookups / max(lookup_elapsed, 1e-9),
+        "cold_open_s": cold_open_elapsed,
+    }
+
+
+def run_store_bench(
+    entries: int = DEFAULT_STORE_BENCH_ENTRIES,
+    lookups: int = DEFAULT_STORE_BENCH_LOOKUPS,
+    seed: int = 0,
+    output: str | Path | None = DEFAULT_STORE_BENCH_OUTPUT,
+) -> dict:
+    """Benchmark both store backends at ``entries`` cached specs; write the record."""
+    # Local import: sim.bench owns the provenance convention shared by all records.
+    from repro.sim.bench import bench_provenance
+
+    if entries < 1:
+        raise ConfigurationError(f"store bench needs at least one entry, got {entries}")
+    if lookups < 2:
+        raise ConfigurationError(f"store bench needs at least two lookups, got {lookups}")
+    results = _fabricate_results(entries, seed)
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as scratch:
+        scratch_path = Path(scratch)
+        jsonl = _time_store(
+            lambda: ResultStore(scratch_path / "results.jsonl"), results, lookups, seed
+        )
+        sqlite = _time_store(
+            lambda: ArtifactStore(scratch_path / "results.sqlite"), results, lookups, seed
+        )
+    record = {
+        "benchmark": "store",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "provenance": bench_provenance(),
+        "entries": entries,
+        "lookups": lookups,
+        "seed": seed,
+        "results": {
+            "jsonl": jsonl,
+            "sqlite": sqlite,
+            "speedup": {
+                "inserts": sqlite["inserts_per_s"] / max(jsonl["inserts_per_s"], 1e-9),
+                "lookups": sqlite["lookups_per_s"] / max(jsonl["lookups_per_s"], 1e-9),
+                "cold_open": jsonl["cold_open_s"] / max(sqlite["cold_open_s"], 1e-9),
+            },
+        },
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    return record
+
+
+def format_store_bench(record: dict) -> str:
+    """Human-readable table of a store benchmark record for the CLI."""
+    rows = record["results"]
+    header = (
+        f"{'backend':>8}  {'inserts/s':>11}  {'lookups/s':>11}  {'cold open':>10}"
+    )
+    lines = [f"store benchmark: {record['entries']} cached specs", header, "-" * len(header)]
+    for name in ("jsonl", "sqlite"):
+        row = rows[name]
+        lines.append(
+            f"{name:>8}  {row['inserts_per_s']:>11.0f}  {row['lookups_per_s']:>11.0f}  "
+            f"{row['cold_open_s']:>9.4f}s"
+        )
+    speedup = rows["speedup"]
+    lines.append(
+        f"sqlite vs jsonl: {speedup['inserts']:.1f}x inserts, "
+        f"{speedup['lookups']:.1f}x lookups, {speedup['cold_open']:.1f}x cold open"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Structured progress events: an append-only JSONL log plus a ``tail``-able stream.
+
+Every scheduler action — job claimed, grid point served from cache, worker finished,
+retry, failure — lands as one JSON line in ``<service root>/events.jsonl``.  Lines are
+written with a single ``write()`` call well under the pipe-buffer atomicity limit, so
+any number of worker processes can append to the same log without interleaving.
+
+``python -m repro watch`` is a thin wrapper over :func:`tail_events`, which replays the
+existing log and can then follow the file as it grows (like ``tail -f``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Callable, Iterator
+from pathlib import Path
+
+#: Bumped whenever the event line shape changes.
+EVENT_SCHEMA_VERSION = 1
+
+#: Default event-log filename inside the service root.
+EVENTS_FILENAME = "events.jsonl"
+
+
+class EventLog:
+    """Append-only JSONL event sink, safe for concurrent multi-process writers."""
+
+    def __init__(self, path: str | os.PathLike, echo: bool = False) -> None:
+        self.path = Path(path)
+        #: When set, every emitted event is also printed (the ``serve`` foreground view).
+        self.echo = echo
+
+    def emit(self, event: str, job_id: str | None = None, worker: str | None = None, **data) -> dict:
+        """Append one event line (and echo it when configured); returns the payload."""
+        payload: dict = {"schema": EVENT_SCHEMA_VERSION, "ts": time.time(), "event": event}
+        if job_id is not None:
+            payload["job_id"] = job_id
+        if worker is not None:
+            payload["worker"] = worker
+        payload.update(data)
+        line = json.dumps(payload, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")  # One write call: concurrent appenders never interleave.
+        if self.echo:
+            print(format_event(payload), flush=True)
+        return payload
+
+    def read(self) -> list[dict]:
+        """Parse the whole log (skipping any torn trailing line)."""
+        return list(tail_events(self.path, follow=False))
+
+
+def tail_events(
+    path: str | os.PathLike,
+    follow: bool = False,
+    poll_s: float = 0.2,
+    stop: Callable[[], bool] | None = None,
+) -> Iterator[dict]:
+    """Yield parsed events from a JSONL log; with ``follow`` keep watching for growth.
+
+    A partially-written final line (no trailing newline yet) is held back until its
+    newline arrives.  ``stop`` is polled between reads so callers can end a follow.
+    """
+    path = Path(path)
+    buffer = ""
+    offset = 0
+    while True:
+        if path.exists():
+            with path.open("r", encoding="utf-8") as handle:
+                handle.seek(offset)
+                buffer += handle.read()
+                offset = handle.tell()
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                if line.strip():
+                    try:
+                        yield json.loads(line)
+                    except ValueError:
+                        continue  # Torn or foreign line: skip rather than kill the tail.
+        if not follow or (stop is not None and stop()):
+            return
+        time.sleep(poll_s)
+
+
+def format_event(payload: dict) -> str:
+    """One-line human rendering of an event for ``watch`` and the ``serve`` console."""
+    clock = time.strftime("%H:%M:%S", time.localtime(payload.get("ts", 0.0)))
+    parts = [clock, f"{payload.get('event', '?'):<14}"]
+    if "job_id" in payload:
+        parts.append(payload["job_id"])
+    if "worker" in payload:
+        parts.append(f"[{payload['worker']}]")
+    extras = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("schema", "ts", "event", "job_id", "worker")
+    }
+    if extras:
+        parts.append(" ".join(f"{key}={value}" for key, value in sorted(extras.items())))
+    return "  ".join(parts)

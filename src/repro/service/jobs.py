@@ -1,0 +1,239 @@
+"""The durable job model of the orchestration service.
+
+A :class:`Job` wraps one or more :class:`~repro.experiments.spec.ExperimentSpec` grid
+points (a single spec, or an expanded :class:`~repro.experiments.spec.Sweep`) together
+with everything the scheduler needs to run it unattended: a priority, a retry budget,
+an optional wall-clock timeout, and the provenance of whoever submitted it.  Jobs move
+through an explicit state machine::
+
+    queued ──▶ running ──▶ done
+       │          │  ├───▶ failed
+       │          │  └───▶ cancelled
+       │          └──────▶ queued      (retry after a crash or interrupt)
+       ├─────────────────▶ cancelled
+       └─────────────────▶ failed      (retry budget exhausted while queued)
+
+Every transition is checked — an illegal move raises
+:class:`~repro.exceptions.ServiceError` — and the whole job serialises to one JSON
+object, which is exactly what the on-disk :class:`~repro.service.queue.JobQueue`
+persists.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import time
+import uuid
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import ServiceError
+from repro.experiments.spec import ExperimentSpec, Sweep
+
+#: Bumped whenever the persisted job payload's shape changes.
+JOB_SCHEMA_VERSION = 1
+
+
+class JobState(str, Enum):
+    """Lifecycle states of a job; the string values are what the queue persists."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED})
+
+#: Legal state-machine moves; everything else raises :class:`ServiceError`.
+_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.QUEUED: frozenset({JobState.RUNNING, JobState.CANCELLED, JobState.FAILED}),
+    JobState.RUNNING: frozenset(
+        {JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.QUEUED}
+    ),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+
+def _new_job_id() -> str:
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+def submit_provenance() -> dict:
+    """Who/where/what submitted a job — recorded verbatim in the job payload."""
+    return {
+        "user": os.environ.get("USER") or os.environ.get("USERNAME") or "unknown",
+        "host": socket.gethostname(),
+        "pid": os.getpid(),
+        "python": platform.python_version(),
+    }
+
+
+@dataclass
+class Job:
+    """One unit of schedulable work: a batch of experiment specs plus run policy.
+
+    Jobs are mutable on purpose — the queue and scheduler advance ``state``,
+    ``attempts``, the timestamps and the hit/executed counters in place and persist the
+    updated payload after every move.
+    """
+
+    specs: tuple[ExperimentSpec, ...]
+    job_id: str = field(default_factory=_new_job_id)
+    label: str = ""
+    priority: int = 0
+    state: JobState = JobState.QUEUED
+    retry_budget: int = 0
+    attempts: int = 0
+    validate: bool = False
+    timeout_s: float | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    worker: str | None = None
+    error: str | None = None
+    cache_hits: int = 0
+    executed: int = 0
+    provenance: dict = field(default_factory=submit_provenance)
+
+    def __post_init__(self) -> None:
+        self.specs = tuple(self.specs)
+        if not self.specs:
+            raise ServiceError("a job needs at least one experiment spec")
+        if self.retry_budget < 0:
+            raise ServiceError(f"retry_budget must be >= 0, got {self.retry_budget}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ServiceError(f"timeout_s must be positive, got {self.timeout_s}")
+
+    # ------------------------------------------------------------------ state machine
+    def transition(self, new_state: JobState) -> "Job":
+        """Advance the state machine in place; illegal moves raise ``ServiceError``."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ServiceError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+        if new_state is JobState.RUNNING:
+            self.started_at = time.time()
+        elif new_state in TERMINAL_STATES:
+            self.finished_at = time.time()
+        elif new_state is JobState.QUEUED:  # requeued for retry
+            self.worker = None
+        return self
+
+    @property
+    def finished(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def retries_left(self) -> int:
+        """Attempts still allowed after the ones already consumed (first run included)."""
+        return max(0, self.retry_budget + 1 - self.attempts)
+
+    # ------------------------------------------------------------------ identity
+    @property
+    def spec_hashes(self) -> tuple[str, ...]:
+        """Deterministic content hashes of the job's grid points (store cache keys)."""
+        return tuple(spec.spec_hash() for spec in self.specs)
+
+    # ------------------------------------------------------------------ serialisation
+    def to_dict(self) -> dict:
+        """JSON-serialisable payload (the queue's on-disk job body)."""
+        return {
+            "schema": JOB_SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "label": self.label,
+            "priority": self.priority,
+            "state": self.state.value,
+            "specs": [spec.to_dict() for spec in self.specs],
+            "spec_hashes": list(self.spec_hashes),
+            "retry_budget": self.retry_budget,
+            "attempts": self.attempts,
+            "validate": self.validate,
+            "timeout_s": self.timeout_s,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "worker": self.worker,
+            "error": self.error,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Job":
+        """Rebuild a job from :meth:`to_dict` output."""
+        schema = payload.get("schema", JOB_SCHEMA_VERSION)
+        if schema != JOB_SCHEMA_VERSION:
+            raise ServiceError(
+                f"unsupported job schema {schema!r} (this version reads {JOB_SCHEMA_VERSION})"
+            )
+        try:
+            return cls(
+                specs=tuple(ExperimentSpec.from_dict(spec) for spec in payload["specs"]),
+                job_id=payload["job_id"],
+                label=payload.get("label", ""),
+                priority=payload.get("priority", 0),
+                state=JobState(payload["state"]),
+                retry_budget=payload.get("retry_budget", 0),
+                attempts=payload.get("attempts", 0),
+                validate=payload.get("validate", False),
+                timeout_s=payload.get("timeout_s"),
+                submitted_at=payload["submitted_at"],
+                started_at=payload.get("started_at"),
+                finished_at=payload.get("finished_at"),
+                worker=payload.get("worker"),
+                error=payload.get("error"),
+                cache_hits=payload.get("cache_hits", 0),
+                executed=payload.get("executed", 0),
+                provenance=dict(payload.get("provenance", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"corrupt job payload: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"Job({self.job_id}, {self.state.value}, priority={self.priority}, "
+            f"specs={len(self.specs)}, attempts={self.attempts})"
+        )
+
+
+def make_job(
+    experiments: ExperimentSpec | Sweep | Iterable[ExperimentSpec],
+    *,
+    label: str = "",
+    priority: int = 0,
+    retry_budget: int = 0,
+    validate: bool = False,
+    timeout_s: float | None = None,
+) -> Job:
+    """Build a validated job from a spec, a sweep, or any iterable of specs.
+
+    Sweeps are expanded eagerly — the queue persists concrete grid points, so a worker
+    never needs the sweep definition — and every spec is registry-validated here, at
+    submission time, rather than failing later inside a worker.
+    """
+    if isinstance(experiments, ExperimentSpec):
+        specs: tuple[ExperimentSpec, ...] = (experiments.validate(),)
+    elif isinstance(experiments, Sweep):
+        specs = tuple(experiments.expand())
+    else:
+        specs = tuple(spec.validate() for spec in experiments)
+    return Job(
+        specs=specs,
+        label=label,
+        priority=priority,
+        retry_budget=retry_budget,
+        validate=validate,
+        timeout_s=timeout_s,
+    )

@@ -1,0 +1,317 @@
+"""Crash-safe on-disk priority job queue with atomic claim/lease semantics.
+
+The queue is a directory tree — one subdirectory per job state plus a scratch area::
+
+    <root>/
+      tmp/        staging for atomic writes (never read)
+      queued/     <job_id>.json            jobs waiting to be claimed
+      claimed/    <job_id>.json + .lease   jobs a worker is running (lease = liveness)
+      done/ failed/ cancelled/             terminal jobs, kept for ``status``
+
+Durability and multi-process safety rest on two POSIX guarantees:
+
+* every file lands via write-to-``tmp``-then-``os.replace`` — a reader never sees a
+  half-written job, even if the writer dies mid-write;
+* a claim is a single ``os.rename`` of ``queued/<id>.json`` into ``claimed/`` — rename
+  is atomic within one filesystem, so when several workers race for the same job
+  exactly one rename succeeds and the losers get ``FileNotFoundError`` and move on.
+
+Liveness is lease-based: a claiming worker writes ``claimed/<id>.lease`` with an expiry
+timestamp and renews it while the job runs.  If the worker crashes, the lease expires
+and :meth:`JobQueue.release_expired` (called by every worker's poll loop) either
+requeues the job — consuming one retry, a crash and a failure spend the same budget —
+or marks it failed when the budget is exhausted.  Cancellation of a *running* job is
+cooperative: ``cancel`` drops a ``.cancel`` marker that the scheduler checks between
+grid points.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+from repro.service.jobs import TERMINAL_STATES, Job, JobState
+
+#: Default lease duration; workers renew at half this interval while a job runs.
+DEFAULT_LEASE_S = 60.0
+
+#: Default on-disk location of the service root (queue + event log).
+DEFAULT_SERVICE_ROOT = Path(".repro-service")
+
+#: Directory name per job state.
+_STATE_DIRS: dict[JobState, str] = {
+    JobState.QUEUED: "queued",
+    JobState.RUNNING: "claimed",
+    JobState.DONE: "done",
+    JobState.FAILED: "failed",
+    JobState.CANCELLED: "cancelled",
+}
+
+
+class JobQueue:
+    """Directory-backed priority queue shared by any number of worker processes."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        for name in ("tmp", *_STATE_DIRS.values()):
+            (self.root / name).mkdir(parents=True, exist_ok=True)
+        # Claim-ordering cache: a job's priority and submission time never change, so
+        # each queued body only needs parsing once per queue instance, not once per
+        # poll (pruned to the currently-queued ids on every scan).
+        self._order_cache: dict[str, tuple[int, float]] = {}
+
+    # ------------------------------------------------------------------ paths
+    def _dir(self, state: JobState) -> Path:
+        return self.root / _STATE_DIRS[state]
+
+    def _job_path(self, state: JobState, job_id: str) -> Path:
+        return self._dir(state) / f"{job_id}.json"
+
+    def _lease_path(self, job_id: str) -> Path:
+        return self._dir(JobState.RUNNING) / f"{job_id}.lease"
+
+    def _cancel_path(self, job_id: str) -> Path:
+        return self._dir(JobState.RUNNING) / f"{job_id}.cancel"
+
+    # ------------------------------------------------------------------ atomic IO
+    def _write_json(self, path: Path, payload: dict) -> None:
+        staging = self.root / "tmp" / f"{uuid.uuid4().hex}.json"
+        staging.write_text(json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8")
+        os.replace(staging, path)
+
+    def _write_job(self, job: Job, state: JobState | None = None) -> Path:
+        path = self._job_path(state if state is not None else job.state, job.job_id)
+        self._write_json(path, job.to_dict())
+        return path
+
+    @staticmethod
+    def _read_json(path: Path) -> dict | None:
+        """Load one JSON file; ``None`` when another worker moved it mid-scan."""
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        try:
+            return json.loads(text)
+        except ValueError as exc:
+            raise ServiceError(f"corrupt queue entry {path}: {exc}") from exc
+
+    def _load_job(self, path: Path) -> Job | None:
+        payload = self._read_json(path)
+        return Job.from_dict(payload) if payload is not None else None
+
+    # ------------------------------------------------------------------ submit / claim
+    def submit(self, job: Job) -> str:
+        """Persist a queued job and return its id."""
+        if job.state is not JobState.QUEUED:
+            raise ServiceError(
+                f"only queued jobs can be submitted, got state {job.state.value!r}"
+            )
+        self._write_job(job)
+        return job.job_id
+
+    def claim(self, worker_id: str, lease_s: float = DEFAULT_LEASE_S) -> Job | None:
+        """Atomically claim the highest-priority queued job, or ``None`` when empty.
+
+        Ties break oldest-first, then by job id so the order is total.  The winning
+        worker owns the job until it completes it, requeues it, or its lease expires.
+        """
+        order: dict[str, tuple[int, float]] = {}
+        for path in self._dir(JobState.QUEUED).glob("*.json"):
+            job_id = path.stem
+            cached = self._order_cache.get(job_id)
+            if cached is None:
+                payload = self._read_json(path)
+                if payload is None:
+                    continue
+                cached = (-payload.get("priority", 0), payload.get("submitted_at", 0.0))
+            order[job_id] = cached
+        self._order_cache = order  # Prune ids that left the queue.
+        for _, _, job_id in sorted(
+            (rank, stamp, job_id) for job_id, (rank, stamp) in order.items()
+        ):
+            source = self._job_path(JobState.QUEUED, job_id)
+            target = self._job_path(JobState.RUNNING, job_id)
+            try:
+                os.rename(source, target)  # Atomic: exactly one racing worker wins.
+            except FileNotFoundError:
+                continue  # Another worker claimed (or cancelled) it first.
+            # Lease immediately after the rename — before anything else — so the
+            # window in which a claimed job has no lease is two adjacent syscalls.
+            # A crash inside that window leaves a still-queued body in claimed/,
+            # which release_expired() renames straight back to the queue.
+            self.renew_lease(job_id, worker_id, lease_s)
+            job = self._load_job(target)
+            if job is None:  # pragma: no cover - defensive
+                continue
+            job.transition(JobState.RUNNING)
+            job.worker = worker_id
+            job.attempts += 1
+            self._write_job(job)
+            return job
+        return None
+
+    def renew_lease(self, job_id: str, worker_id: str, lease_s: float = DEFAULT_LEASE_S) -> None:
+        """Extend (or create) the liveness lease of a claimed job."""
+        self._write_json(
+            self._lease_path(job_id),
+            {"worker": worker_id, "expires_at": time.time() + lease_s},
+        )
+
+    def update(self, job: Job) -> None:
+        """Persist in-flight progress (counters, error text) of a running job."""
+        if job.state is not JobState.RUNNING:
+            raise ServiceError(f"update() is for running jobs, got {job.state.value!r}")
+        self._write_job(job)
+
+    # ------------------------------------------------------------------ completion
+    def complete(self, job: Job, state: JobState, error: str | None = None) -> Job:
+        """Move a running job into a terminal state (``done``/``failed``/``cancelled``)."""
+        if state not in TERMINAL_STATES:
+            raise ServiceError(f"complete() needs a terminal state, got {state.value!r}")
+        job.error = error
+        job.transition(state)
+        self._write_job(job)
+        self._remove_claim(job.job_id)
+        return job
+
+    def requeue(self, job: Job, consume_attempt: bool = True) -> Job:
+        """Put a running job back in the queue (crash recovery or interrupt).
+
+        With ``consume_attempt=False`` the attempt counter is rolled back — an operator
+        interrupt must not spend the job's retry budget.
+        """
+        if not consume_attempt:
+            job.attempts = max(0, job.attempts - 1)
+        job.transition(JobState.QUEUED)
+        self._write_job(job)
+        self._remove_claim(job.job_id)
+        return job
+
+    def _remove_claim(self, job_id: str) -> None:
+        for path in (
+            self._job_path(JobState.RUNNING, job_id),
+            self._lease_path(job_id),
+            self._cancel_path(job_id),
+        ):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    # ------------------------------------------------------------------ liveness
+    def release_expired(self, now: float | None = None) -> list[Job]:
+        """Recover claims whose lease expired (worker crashed or lost the machine).
+
+        Each recovered job is requeued while its retry budget lasts, otherwise marked
+        failed.  Returns the jobs that were moved, for event reporting.
+        """
+        now = time.time() if now is None else now
+        moved: list[Job] = []
+        for path in self._dir(JobState.RUNNING).glob("*.json"):
+            job_id = path.stem
+            lease = self._read_json(self._lease_path(job_id))
+            expires_at = (lease or {}).get("expires_at", 0.0)
+            if expires_at > now:
+                continue
+            job = self._load_job(path)
+            if job is None:
+                continue
+            if job.state is JobState.QUEUED:
+                # Crash inside claim(): the rename landed but neither the lease nor
+                # the RUNNING body ever did.  The body is still the pristine queued
+                # job — rename it straight back so it is claimable again (atomic, so
+                # concurrent recoverers cannot double it; no attempt was consumed).
+                try:
+                    os.rename(path, self._job_path(JobState.QUEUED, job_id))
+                except FileNotFoundError:
+                    continue  # Another recoverer (or the claimer's write) beat us.
+                self._remove_claim(job_id)
+                moved.append(job)
+                continue
+            if job.state is not JobState.RUNNING:  # pragma: no cover - defensive
+                continue
+            holder = (lease or {}).get("worker", "unknown")
+            if job.retries_left > 0:
+                moved.append(self.requeue(job))
+            else:
+                moved.append(
+                    self.complete(
+                        job,
+                        JobState.FAILED,
+                        error=(
+                            f"lease held by worker {holder!r} expired after "
+                            f"{job.attempts} attempt(s); retry budget exhausted"
+                        ),
+                    )
+                )
+        return moved
+
+    # ------------------------------------------------------------------ cancellation
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: immediately when queued, cooperatively when running."""
+        source = self._job_path(JobState.QUEUED, job_id)
+        target = self._job_path(JobState.RUNNING, job_id)  # reuse claim rename for atomicity
+        try:
+            os.rename(source, target)
+        except FileNotFoundError:
+            pass
+        else:
+            job = self._load_job(target)
+            if job is not None:
+                job.transition(JobState.CANCELLED)
+                self._write_job(job)
+                self._remove_claim(job_id)
+                return job
+        if self._job_path(JobState.RUNNING, job_id).exists():
+            # Running: drop a marker; the scheduler honours it between grid points.
+            self._write_json(self._cancel_path(job_id), {"requested_at": time.time()})
+            job = self._load_job(self._job_path(JobState.RUNNING, job_id))
+            if job is not None:
+                return job
+        job = self.get(job_id)
+        if job.finished:
+            raise ServiceError(f"job {job_id} already finished ({job.state.value})")
+        return job  # pragma: no cover - transient races land in one of the above
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """True when a cooperative cancel marker exists for a running job."""
+        return self._cancel_path(job_id).exists()
+
+    # ------------------------------------------------------------------ inspection
+    def get(self, job_id: str) -> Job:
+        """Load a job by id from whichever state directory holds it."""
+        for state in _STATE_DIRS:
+            job = self._load_job(self._job_path(state, job_id))
+            if job is not None:
+                return job
+        raise ServiceError(f"unknown job id {job_id!r}")
+
+    def jobs(self, states: tuple[JobState, ...] | None = None) -> list[Job]:
+        """All jobs (optionally filtered by state), oldest submission first."""
+        selected = states if states is not None else tuple(_STATE_DIRS)
+        loaded: list[Job] = []
+        for state in selected:
+            for path in self._dir(state).glob("*.json"):
+                job = self._load_job(path)
+                if job is not None:
+                    loaded.append(job)
+        return sorted(loaded, key=lambda job: (job.submitted_at, job.job_id))
+
+    def counts(self) -> dict[str, int]:
+        """Number of jobs per state (cheap: counts files, does not parse them)."""
+        return {
+            state.value: sum(1 for _ in self._dir(state).glob("*.json"))
+            for state in _STATE_DIRS
+        }
+
+    def pending(self) -> int:
+        """Number of jobs currently waiting in ``queued/``."""
+        return sum(1 for _ in self._dir(JobState.QUEUED).glob("*.json"))
+
+    def __len__(self) -> int:
+        return sum(self.counts().values())

@@ -1,0 +1,383 @@
+"""The scheduler: fans queued jobs out over a worker pool with leases and timeouts.
+
+A :class:`Scheduler` ties the service pieces together.  Each worker (a thread of the
+``serve`` process; any number of ``serve`` processes can share one queue directory)
+loops: recover expired leases, claim the highest-priority job, then run its grid
+points one at a time.  Every grid point is first deduped against the shared result
+store by spec hash — resubmitting an already-computed spec is a cache hit, never a
+re-execution — and misses run in a *child process*, which buys three properties the
+in-thread path cannot offer:
+
+* the worker keeps renewing its lease while a long spec runs, so a live job is never
+  reclaimed mid-flight;
+* per-job wall-clock timeouts and cooperative cancellation work by terminating the
+  child, not by waiting politely;
+* a crashing spec (segfault, OOM kill) fails the job with a named spec hash instead of
+  taking the scheduler down.
+
+Failure policy: an ordinary error consumes one retry (the job is requeued until its
+budget runs out); a :class:`~repro.exceptions.ValidationError` fails the job
+immediately — invariant violations are deterministic — and attaches the full
+:class:`~repro.validation.invariants.ValidationReport` to the job as a store artifact;
+an operator interrupt requeues the job *without* spending its budget.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+import time
+import traceback
+
+from repro.exceptions import ServiceError
+from repro.experiments.runner import ExperimentResult, StoreBackend, run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.service.events import EventLog
+from repro.service.jobs import Job, JobState
+from repro.service.queue import DEFAULT_LEASE_S, JobQueue
+from repro.service.store import ArtifactStore
+
+#: Default idle-poll interval of a worker with an empty queue.
+DEFAULT_POLL_S = 0.5
+
+#: Grace period for a terminated child to exit before it is force-killed.
+_CHILD_GRACE_S = 5.0
+
+#: Forking from a multi-threaded scheduler is serialised to keep the child's view of
+#: interpreter locks consistent (the child only simulates and writes to its pipe, but
+#: the spawn itself must not interleave with another thread's spawn).
+_SPAWN_LOCK = threading.Lock()
+
+
+def _child_entry(payload: dict, conn) -> None:
+    """Child-process entry point: run one spec and report through the pipe.
+
+    Never raises — every outcome (result, validation report, crash traceback) travels
+    back as a tagged JSON-serialisable payload, mirroring the executor protocol.
+    """
+    try:
+        result = run_experiment(
+            ExperimentSpec.from_dict(payload["spec"]), validate=payload.get("validate", False)
+        )
+        conn.send({"ok": True, "result": result.to_dict()})
+    except Exception as exc:
+        report = getattr(exc, "report", None)
+        conn.send(
+            {
+                "ok": False,
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+                "report": report.to_dict() if report is not None else None,
+            }
+        )
+    finally:
+        conn.close()
+
+
+class Scheduler:
+    """Pulls jobs from a :class:`JobQueue` and executes them against a shared store."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: StoreBackend,
+        events: EventLog,
+        lease_s: float = DEFAULT_LEASE_S,
+        poll_s: float = DEFAULT_POLL_S,
+        worker_prefix: str | None = None,
+    ) -> None:
+        if lease_s <= 0:
+            raise ServiceError(f"lease_s must be positive, got {lease_s}")
+        if poll_s <= 0:
+            raise ServiceError(f"poll_s must be positive, got {poll_s}")
+        self.queue = queue
+        self.store = store
+        self.events = events
+        self.lease_s = lease_s
+        self.poll_s = poll_s
+        self.worker_prefix = (
+            worker_prefix
+            if worker_prefix is not None
+            else f"{socket.gethostname()}-{os.getpid()}"
+        )
+
+    # ------------------------------------------------------------------ serving
+    def serve(
+        self, workers: int = 2, drain: bool = False, stop_event: threading.Event | None = None
+    ) -> None:
+        """Run a pool of worker threads until stopped (or, with ``drain``, until empty).
+
+        ``drain=True`` is the batch mode used by CI and tests: workers exit once the
+        queue has no queued jobs left (requeues by a still-running worker are picked
+        up by that worker, so nothing is stranded).  A ``KeyboardInterrupt`` stops the
+        pool gracefully: in-flight jobs are requeued without consuming their retry
+        budget, then the interrupt propagates.
+        """
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        stop = stop_event if stop_event is not None else threading.Event()
+        self.events.emit(
+            "scheduler_started", workers=workers, drain=drain, pid=os.getpid()
+        )
+        threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(f"{self.worker_prefix}-w{index}", drain, stop),
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            while any(thread.is_alive() for thread in threads):
+                for thread in threads:
+                    thread.join(timeout=0.2)
+        except KeyboardInterrupt:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            self.events.emit("scheduler_stopped", reason="interrupted")
+            raise
+        stop.set()
+        self.events.emit("scheduler_stopped", reason="drained" if drain else "stopped")
+
+    def _worker_loop(self, worker_id: str, drain: bool, stop: threading.Event) -> None:
+        self.events.emit("worker_started", worker=worker_id)
+        while not stop.is_set():
+            for released in self.queue.release_expired():
+                self.events.emit(
+                    "job_released",
+                    job_id=released.job_id,
+                    worker=worker_id,
+                    state=released.state.value,
+                    reason="lease-expired",
+                )
+            job = self.queue.claim(worker_id, self.lease_s)
+            if job is None:
+                if drain and self.queue.pending() == 0:
+                    break
+                stop.wait(self.poll_s)
+                continue
+            try:
+                self._run_job(job, worker_id, stop)
+            except Exception as exc:  # Scheduler bug: never wedge a claimed job.
+                try:
+                    self.queue.complete(
+                        job, JobState.FAILED, error=f"scheduler error: {exc}"
+                    )
+                except ServiceError:
+                    pass
+                self.events.emit(
+                    "job_failed",
+                    job_id=job.job_id,
+                    worker=worker_id,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                )
+        self.events.emit("worker_stopped", worker=worker_id)
+
+    # ------------------------------------------------------------------ one job
+    def _run_job(self, job: Job, worker_id: str, stop: threading.Event) -> None:
+        self.events.emit(
+            "job_started",
+            job_id=job.job_id,
+            worker=worker_id,
+            attempt=job.attempts,
+            specs=len(job.specs),
+            priority=job.priority,
+        )
+        deadline = time.time() + job.timeout_s if job.timeout_s is not None else None
+        job.cache_hits = 0  # Per-attempt counters: a retry re-counts against the store.
+        job.executed = 0
+        for spec in job.specs:
+            spec_hash = spec.spec_hash()
+            if stop.is_set():
+                self._requeue_interrupted(job, worker_id)
+                return
+            if self.queue.cancel_requested(job.job_id):
+                self.queue.complete(job, JobState.CANCELLED, error="cancelled by request")
+                self.events.emit("job_cancelled", job_id=job.job_id, worker=worker_id)
+                return
+            if self.store.get(spec_hash) is not None:
+                job.cache_hits += 1
+                self.queue.update(job)
+                self.events.emit(
+                    "spec_cached", job_id=job.job_id, worker=worker_id, spec=spec_hash[:12]
+                )
+                continue
+            outcome = self._run_spec_in_child(
+                {"spec": spec.to_dict(), "validate": job.validate},
+                job,
+                worker_id,
+                deadline,
+                stop,
+            )
+            interrupted = outcome.get("interrupted")
+            if interrupted == "stopped":
+                self._requeue_interrupted(job, worker_id)
+                return
+            if interrupted == "cancelled":
+                self.queue.complete(job, JobState.CANCELLED, error="cancelled by request")
+                self.events.emit("job_cancelled", job_id=job.job_id, worker=worker_id)
+                return
+            if interrupted == "timeout":
+                error = (
+                    f"timed out after {job.timeout_s}s (at spec {spec_hash[:12]}, "
+                    f"{job.executed + job.cache_hits} of {len(job.specs)} points finished)"
+                )
+                self.queue.complete(job, JobState.FAILED, error=error)
+                self.events.emit(
+                    "job_failed", job_id=job.job_id, worker=worker_id, reason="timeout"
+                )
+                return
+            if outcome["ok"]:
+                result = ExperimentResult.from_dict(outcome["result"])
+                self._store_result(result, job)
+                job.executed += 1
+                self.queue.update(job)
+                self.events.emit(
+                    "spec_done",
+                    job_id=job.job_id,
+                    worker=worker_id,
+                    spec=spec_hash[:12],
+                    elapsed_s=round(result.elapsed_s, 3),
+                )
+                continue
+            self._handle_spec_failure(job, worker_id, spec_hash, outcome)
+            return
+        self.queue.complete(job, JobState.DONE)
+        self.events.emit(
+            "job_done",
+            job_id=job.job_id,
+            worker=worker_id,
+            cache_hits=job.cache_hits,
+            executed=job.executed,
+        )
+
+    def _requeue_interrupted(self, job: Job, worker_id: str) -> None:
+        # An operator interrupt is not the job's fault: roll back the attempt so the
+        # retry budget only ever pays for genuine failures.
+        self.queue.requeue(job, consume_attempt=False)
+        self.events.emit(
+            "job_requeued", job_id=job.job_id, worker=worker_id, reason="interrupted"
+        )
+
+    def _handle_spec_failure(
+        self, job: Job, worker_id: str, spec_hash: str, outcome: dict
+    ) -> None:
+        error_type = outcome.get("error_type", "Error")
+        summary = f"spec {spec_hash[:12]}: {error_type}: {outcome.get('message', '')}"
+        report = outcome.get("report")
+        if report is not None and isinstance(self.store, ArtifactStore):
+            self.store.put_artifact(
+                job.job_id, f"validation-{spec_hash[:12]}", "validation-report", report
+            )
+        deterministic = error_type == "ValidationError"
+        if deterministic or job.retries_left <= 0:
+            error = summary
+            if outcome.get("traceback"):
+                error += "\n" + outcome["traceback"].rstrip()
+            self.queue.complete(job, JobState.FAILED, error=error)
+            self.events.emit(
+                "job_failed",
+                job_id=job.job_id,
+                worker=worker_id,
+                spec=spec_hash[:12],
+                error_type=error_type,
+                message=outcome.get("message", ""),
+            )
+        else:
+            job.error = summary
+            self.queue.requeue(job)
+            self.events.emit(
+                "job_requeued",
+                job_id=job.job_id,
+                worker=worker_id,
+                spec=spec_hash[:12],
+                error_type=error_type,
+                retries_left=job.retries_left,
+            )
+
+    def _store_result(self, result: ExperimentResult, job: Job) -> None:
+        if isinstance(self.store, ArtifactStore):
+            self.store.put(result, preset=job.provenance.get("preset"))
+        else:
+            self.store.put(result)
+
+    # ------------------------------------------------------------------ child process
+    def _run_spec_in_child(
+        self,
+        payload: dict,
+        job: Job,
+        worker_id: str,
+        deadline: float | None,
+        stop: threading.Event,
+    ) -> dict:
+        """Run one spec in a child process, babysitting lease, timeout and cancel.
+
+        Returns the child's tagged outcome payload, or ``{"interrupted": reason}``
+        when the child was terminated (``stopped``/``cancelled``/``timeout``).
+        """
+        context = multiprocessing.get_context()
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(target=_child_entry, args=(payload, sender), daemon=True)
+        with _SPAWN_LOCK:
+            process.start()
+        sender.close()  # Parent's copy: close so child exit yields EOF, not a hang.
+        next_renewal = time.time() + self.lease_s / 2
+        outcome: dict | None = None
+        reason: str | None = None
+        try:
+            while True:
+                if receiver.poll(self.poll_s):
+                    try:
+                        outcome = receiver.recv()
+                    except EOFError:
+                        outcome = None
+                    break
+                now = time.time()
+                if now >= next_renewal:
+                    self.queue.renew_lease(job.job_id, worker_id, self.lease_s)
+                    next_renewal = now + self.lease_s / 2
+                if stop.is_set():
+                    reason = "stopped"
+                    break
+                if self.queue.cancel_requested(job.job_id):
+                    reason = "cancelled"
+                    break
+                if deadline is not None and now >= deadline:
+                    reason = "timeout"
+                    break
+                if not process.is_alive():
+                    # Child exited between polls: drain any final message it managed.
+                    if receiver.poll(0.1):
+                        try:
+                            outcome = receiver.recv()
+                        except EOFError:
+                            pass
+                    break
+            if reason is not None:
+                process.terminate()
+            process.join(timeout=_CHILD_GRACE_S)
+            if process.is_alive():  # pragma: no cover - stuck in uninterruptible state
+                process.kill()
+                process.join(timeout=_CHILD_GRACE_S)
+        finally:
+            receiver.close()
+        if reason is not None:
+            return {"ok": False, "interrupted": reason}
+        if outcome is None:
+            return {
+                "ok": False,
+                "error_type": "WorkerCrash",
+                "message": (
+                    f"spec worker exited with code {process.exitcode} before reporting "
+                    "a result (crashed or was killed)"
+                ),
+                "traceback": "",
+            }
+        return outcome

@@ -1,0 +1,281 @@
+"""SQLite-backed experiment store: indexed results, job artifacts and JSONL migration.
+
+:class:`ArtifactStore` is the service-grade replacement of the flat JSONL
+:class:`~repro.experiments.runner.ResultStore`.  It satisfies the same
+:class:`~repro.experiments.runner.StoreBackend` protocol — ``get``/``put`` keyed by
+deterministic spec hash, identical cache-hit semantics — but keeps results in an
+indexed SQLite database so:
+
+* lookups stay O(log n) without loading the whole store at open time;
+* many worker processes can read and write concurrently (WAL journal + busy timeout);
+* results are queryable by spec schema version, scenario preset, workload and policy;
+* jobs can attach arbitrary artifacts (e.g. a failed run's ``ValidationReport``).
+
+Existing JSONL stores migrate losslessly via :func:`migrate_jsonl` — every line's spec
+hash is recomputed and verified during the copy — and :func:`open_store` picks the
+backend from the path suffix, auto-migrating a legacy sibling ``.jsonl`` file the first
+time a SQLite store opens next to one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import warnings
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+from repro.experiments.runner import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+    ResultStore,
+    StoreBackend,
+)
+from repro.experiments.spec import SPEC_SCHEMA_VERSION, ExperimentSpec
+
+#: Bumped whenever the database layout changes.
+STORE_SCHEMA_VERSION = 1
+
+#: Default on-disk location of the SQLite store (the service-era default backend).
+DEFAULT_SQLITE_STORE_PATH = Path(".repro-results") / "results.sqlite"
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS results (
+    hash          TEXT PRIMARY KEY,
+    spec_schema   INTEGER NOT NULL,
+    result_schema INTEGER NOT NULL,
+    policy        TEXT NOT NULL,
+    workload      TEXT NOT NULL,
+    setting       TEXT NOT NULL,
+    num_devices   INTEGER NOT NULL,
+    seed          INTEGER NOT NULL,
+    preset        TEXT,
+    payload       TEXT NOT NULL,
+    created_at    REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_spec_schema ON results (spec_schema);
+CREATE INDEX IF NOT EXISTS idx_results_scenario ON results (workload, policy, setting);
+CREATE INDEX IF NOT EXISTS idx_results_preset ON results (preset);
+CREATE TABLE IF NOT EXISTS artifacts (
+    job_id     TEXT NOT NULL,
+    name       TEXT NOT NULL,
+    kind       TEXT NOT NULL,
+    payload    TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    PRIMARY KEY (job_id, name)
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+class ArtifactStore:
+    """Concurrent, indexed result + artifact store over one SQLite file.
+
+    Connections are per-process (re-opened transparently after ``fork``) and guarded by
+    a lock so scheduler worker threads can share one store instance; cross-process
+    writers are serialised by SQLite itself (WAL journal, 30 s busy timeout).
+    """
+
+    def __init__(self, path: str | os.PathLike, timeout_s: float = 30.0) -> None:
+        self.path = Path(path)
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._conn: sqlite3.Connection | None = None
+        self._conn_pid: int | None = None
+        with self._connection() as conn:
+            conn.executescript(_TABLES)
+            conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES ('store_schema', ?)",
+                (str(STORE_SCHEMA_VERSION),),
+            )
+
+    # ------------------------------------------------------------------ connection
+    def _connection(self) -> sqlite3.Connection:
+        # A forked worker must not reuse the parent's connection object; reconnect
+        # whenever the pid changed since the connection was made.
+        if self._conn is None or self._conn_pid != os.getpid():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                self.path, timeout=self.timeout_s, check_same_thread=False
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(f"PRAGMA busy_timeout={int(self.timeout_s * 1000)}")
+            self._conn = conn
+            self._conn_pid = os.getpid()
+        return self._conn
+
+    def close(self) -> None:
+        """Close the current process's connection (reopened lazily on next use)."""
+        with self._lock:
+            if self._conn is not None and self._conn_pid == os.getpid():
+                self._conn.close()
+            self._conn = None
+            self._conn_pid = None
+
+    # ------------------------------------------------------------------ results
+    def get(self, spec: ExperimentSpec | str) -> ExperimentResult | None:
+        """Look up the stored result for a spec (or raw spec hash); hits are ``cached``."""
+        key = spec if isinstance(spec, str) else spec.spec_hash()
+        with self._lock:
+            row = (
+                self._connection()
+                .execute("SELECT payload FROM results WHERE hash = ?", (key,))
+                .fetchone()
+            )
+        if row is None:
+            return None
+        return ExperimentResult.from_dict(json.loads(row[0]), cached=True)
+
+    def put(self, result: ExperimentResult, preset: str | None = None) -> None:
+        """Persist one result (idempotent: a re-computed point supersedes its row)."""
+        payload = result.to_dict()
+        scenario = result.spec.scenario
+        with self._lock, self._connection() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO results (hash, spec_schema, result_schema, "
+                "policy, workload, setting, num_devices, seed, preset, payload, "
+                "created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    payload["hash"],
+                    payload["spec"]["schema"],
+                    RESULT_SCHEMA_VERSION,
+                    result.spec.policy,
+                    scenario.workload,
+                    scenario.setting,
+                    scenario.num_devices,
+                    scenario.seed,
+                    preset,
+                    json.dumps(payload, sort_keys=True),
+                    time.time(),
+                ),
+            )
+
+    def __contains__(self, spec: ExperimentSpec | str) -> bool:
+        key = spec if isinstance(spec, str) else spec.spec_hash()
+        with self._lock:
+            row = (
+                self._connection()
+                .execute("SELECT 1 FROM results WHERE hash = ?", (key,))
+                .fetchone()
+            )
+        return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._connection().execute("SELECT COUNT(*) FROM results").fetchone()
+        return int(count)
+
+    def count_by_schema(self) -> dict[int, int]:
+        """Stored results per spec schema version (stale generations stay queryable)."""
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT spec_schema, COUNT(*) FROM results GROUP BY spec_schema"
+            ).fetchall()
+        return {int(schema): int(count) for schema, count in rows}
+
+    # ------------------------------------------------------------------ artifacts
+    def put_artifact(self, job_id: str, name: str, kind: str, payload: dict) -> None:
+        """Attach a JSON artifact to a job (e.g. a failed run's validation report)."""
+        with self._lock, self._connection() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO artifacts (job_id, name, kind, payload, "
+                "created_at) VALUES (?, ?, ?, ?, ?)",
+                (job_id, name, kind, json.dumps(payload, sort_keys=True), time.time()),
+            )
+
+    def get_artifacts(self, job_id: str) -> list[dict]:
+        """All artifacts attached to a job, as ``{name, kind, payload, created_at}``."""
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT name, kind, payload, created_at FROM artifacts "
+                "WHERE job_id = ? ORDER BY name",
+                (job_id,),
+            ).fetchall()
+        return [
+            {
+                "name": name,
+                "kind": kind,
+                "payload": json.loads(payload),
+                "created_at": created_at,
+            }
+            for name, kind, payload, created_at in rows
+        ]
+
+    # ------------------------------------------------------------------ meta
+    def get_meta(self, key: str) -> str | None:
+        """Read one meta marker (store schema, migration receipts)."""
+        with self._lock:
+            row = (
+                self._connection()
+                .execute("SELECT value FROM meta WHERE key = ?", (key,))
+                .fetchone()
+            )
+        return None if row is None else str(row[0])
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Write one meta marker."""
+        with self._lock, self._connection() as conn:
+            conn.execute("INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value))
+
+
+def migrate_jsonl(
+    jsonl_path: str | os.PathLike, store: ArtifactStore, verify_hashes: bool = True
+) -> int:
+    """Copy every current-schema entry of a JSONL store into ``store``; returns the count.
+
+    The copy is lossless and verified: each line is rebuilt through the normal
+    :class:`ResultStore` loader (stale-schema lines are skipped with the usual warning)
+    and, with ``verify_hashes``, the spec hash is recomputed from the rebuilt spec and
+    checked against the stored key, so a corrupted line can never silently poison the
+    indexed store.  Already-present hashes are left untouched, making migration
+    idempotent and safe to run concurrently from several processes.
+    """
+    jsonl_path = Path(jsonl_path)
+    if not jsonl_path.exists():
+        return 0
+    migrated = 0
+    legacy = ResultStore(jsonl_path)
+    for spec_hash, result in legacy.results().items():
+        if verify_hashes and result.spec.spec_hash() != spec_hash:
+            raise ServiceError(
+                f"JSONL store {jsonl_path}: entry keyed {spec_hash[:12]} rebuilds to "
+                f"spec hash {result.spec.spec_hash()[:12]}; refusing to migrate a "
+                "store whose keys do not match their specs"
+            )
+        if spec_hash not in store:
+            store.put(result)
+            migrated += 1
+    return migrated
+
+
+def open_store(path: str | os.PathLike) -> StoreBackend:
+    """Open a result store, picking the backend from the path suffix.
+
+    ``*.jsonl`` opens the legacy flat-file :class:`ResultStore`; anything else opens
+    (creating if needed) a SQLite :class:`ArtifactStore`.  When a SQLite store sits
+    next to a legacy ``.jsonl`` sibling (the pre-service default layout), the sibling
+    is migrated in on first open and a receipt recorded in ``meta`` so later opens
+    skip the scan.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return ResultStore(path)
+    store = ArtifactStore(path)
+    legacy = path.with_suffix(".jsonl")
+    receipt_key = f"migrated:{legacy.name}"
+    if legacy.exists() and store.get_meta(receipt_key) is None:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # Stale legacy lines already warned once.
+            migrated = migrate_jsonl(legacy, store)
+        store.set_meta(
+            receipt_key,
+            json.dumps({"migrated": migrated, "at": time.time(), "spec_schema": SPEC_SCHEMA_VERSION}),
+        )
+    return store

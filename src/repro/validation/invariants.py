@@ -72,12 +72,35 @@ class ValidationReport:
         self.violations.extend(violations)
 
     def raise_if_failed(self) -> None:
-        """Raise :class:`~repro.exceptions.ValidationError` describing every violation."""
+        """Raise :class:`~repro.exceptions.ValidationError` describing every violation.
+
+        The raised error carries this report as its ``report`` attribute so callers
+        (e.g. the orchestration scheduler) can persist the full audit as an artifact.
+        """
         if self.violations:
             details = "\n".join(f"  - {violation}" for violation in self.violations)
-            raise ValidationError(
+            error = ValidationError(
                 f"{len(self.violations)} invariant violation(s) detected:\n{details}"
             )
+            error.report = self
+            raise error
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable payload (stored as a job artifact on validation failure)."""
+        return {
+            "kind": "validation-report",
+            "rounds_checked": self.rounds_checked,
+            "results_checked": self.results_checked,
+            "ok": self.ok,
+            "violations": [
+                {
+                    "invariant": violation.invariant,
+                    "message": violation.message,
+                    "round_index": violation.round_index,
+                }
+                for violation in self.violations
+            ],
+        }
 
     def __repr__(self) -> str:
         return (

@@ -8,7 +8,7 @@ import warnings
 
 import pytest
 
-from repro.exceptions import ConfigurationError, ValidationError
+from repro.exceptions import ConfigurationError, ExecutionError, ValidationError
 from repro.experiments.harness import run_simulation
 from repro.experiments.runner import (
     BatchRunner,
@@ -17,6 +17,7 @@ from repro.experiments.runner import (
     ResultStore,
     SerialExecutor,
     StaleResultWarning,
+    StoreBackend,
     build_simulation,
     get_executor,
     run_experiment,
@@ -230,6 +231,121 @@ class TestValidateHook:
             run_experiment(flaky, validate=True)
         # The unvalidated path still accepts the tainted run (nothing audits it).
         assert run_experiment(flaky).summaries
+
+
+def _crashing_spec(base):
+    """A spec that passes registry validation but fails inside the worker.
+
+    The tier counts contradict the fleet size, which only surfaces when the
+    environment is built — i.e. in the executing process, exactly where an opaque
+    ``BrokenProcessPool``/pickle error used to come from.
+    """
+    return base.with_axis("tier_counts", {"low": 1, "mid": 1, "high": 1})
+
+
+class TestMultiprocessFailureIsolation:
+    """A crashing grid point must not take down the batch — nor hide its traceback."""
+
+    def test_failure_names_the_spec_and_keeps_the_original_traceback(self, base):
+        bogus = _crashing_spec(base)
+        with pytest.raises(ExecutionError) as excinfo:
+            MultiprocessExecutor(max_workers=2).map([base, bogus])
+        error = excinfo.value
+        assert [failure.spec_hash for failure in error.failures] == [bogus.spec_hash()]
+        failure = error.failures[0]
+        assert failure.error_type == "ConfigurationError"
+        assert "tier_counts" in failure.message
+        assert "Traceback" in failure.traceback  # the worker's own, not a pickle artefact
+        # The message names the failing hash and how many points survived.
+        assert bogus.spec_hash()[:12] in str(error)
+        assert "1 completed" in str(error)
+
+    def test_other_specs_keep_running_and_are_reported_completed(self, base):
+        bogus = _crashing_spec(base)
+        others = [base, base.with_axis("seed", 7)]
+        with pytest.raises(ExecutionError) as excinfo:
+            MultiprocessExecutor(max_workers=2).map([others[0], bogus, others[1]])
+        completed = excinfo.value.completed
+        assert sorted(r.spec.spec_hash() for r in completed) == sorted(
+            spec.spec_hash() for spec in others
+        )
+
+    def test_batch_runner_flushes_completed_points_before_reraising(self, base, tmp_path):
+        bogus = _crashing_spec(base)
+        store = ResultStore(tmp_path / "results.jsonl")
+        runner = BatchRunner(executor=MultiprocessExecutor(max_workers=2), store=store)
+        with pytest.raises(ExecutionError):
+            runner.run([base, bogus])
+        assert store.get(base) is not None  # the good point survived the failure
+        assert store.get(bogus) is None
+
+    def test_on_result_callback_sees_each_success(self, sweep):
+        specs = sweep.expand()
+        seen = []
+        results = MultiprocessExecutor(max_workers=2).map(specs, on_result=seen.append)
+        assert sorted(r.spec.spec_hash() for r in seen) == sorted(
+            r.spec.spec_hash() for r in results
+        )
+
+
+class TestKeyboardInterruptFlush:
+    """An interrupted sweep must keep its finished points: resumable, not lost."""
+
+    def test_serial_interrupt_flushes_then_reraises_and_resumes(
+        self, base, tmp_path, monkeypatch
+    ):
+        import repro.experiments.runner as runner_module
+
+        other = base.with_axis("seed", 42)
+        real = run_experiment
+        ran = []
+
+        def interrupt_after_first(spec, validate=False):
+            if ran:
+                raise KeyboardInterrupt
+            ran.append(spec)
+            return real(spec, validate=validate)
+
+        monkeypatch.setattr(runner_module, "run_experiment", interrupt_after_first)
+        store = ResultStore(tmp_path / "results.jsonl")
+        with pytest.raises(KeyboardInterrupt):
+            BatchRunner(store=store).run([base, other])
+        assert store.get(base) is not None  # completed before the interrupt: flushed
+        assert store.get(other) is None
+
+        monkeypatch.setattr(runner_module, "run_experiment", real)
+        resumed = BatchRunner(store=ResultStore(tmp_path / "results.jsonl")).run([base, other])
+        assert resumed.cache_hits == 1  # the flushed point is served from cache
+        assert resumed.executed == 1
+
+
+class TestStoreBackendProtocol:
+    def test_jsonl_store_satisfies_the_protocol(self, tmp_path):
+        assert isinstance(ResultStore(tmp_path / "results.jsonl"), StoreBackend)
+
+    def test_any_backend_works_as_the_runner_cache(self, base):
+        class DictStore:
+            def __init__(self):
+                self.rows = {}
+
+            def get(self, spec):
+                key = spec if isinstance(spec, str) else spec.spec_hash()
+                return self.rows.get(key)
+
+            def put(self, result):
+                self.rows[result.spec.spec_hash()] = result
+
+            def __contains__(self, spec):
+                return self.get(spec) is not None
+
+            def __len__(self):
+                return len(self.rows)
+
+        store = DictStore()
+        assert isinstance(store, StoreBackend)
+        first = BatchRunner(store=store).run([base])
+        second = BatchRunner(store=store).run([base])
+        assert first.executed == 1 and second.cache_hits == 1
 
 
 class TestSpecHashAcrossProcesses:

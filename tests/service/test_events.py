@@ -1,0 +1,85 @@
+"""Tests for the JSONL event log and its tail stream."""
+
+import json
+import threading
+
+from repro.service.events import EventLog, format_event, tail_events
+
+
+class TestEmitAndRead:
+    def test_emit_read_roundtrip(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        log.emit("job_started", job_id="job-1", worker="w0", attempt=1)
+        log.emit("job_done", job_id="job-1", cache_hits=2)
+        events = log.read()
+        assert [event["event"] for event in events] == ["job_started", "job_done"]
+        assert events[0]["worker"] == "w0" and events[0]["attempt"] == 1
+        assert events[1]["cache_hits"] == 2
+        assert all("ts" in event and "schema" in event for event in events)
+
+    def test_emit_creates_parent_directories(self, tmp_path):
+        log = EventLog(tmp_path / "deep" / "nested" / "events.jsonl")
+        log.emit("scheduler_started")
+        assert len(log.read()) == 1
+
+    def test_echo_prints_the_formatted_line(self, tmp_path, capsys):
+        EventLog(tmp_path / "events.jsonl", echo=True).emit("worker_started", worker="w0")
+        out = capsys.readouterr().out
+        assert "worker_started" in out and "[w0]" in out
+
+    def test_concurrent_appends_never_interleave(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+
+        def spam(tag):
+            for index in range(50):
+                log.emit("tick", worker=tag, index=index)
+
+        threads = [threading.Thread(target=spam, args=(f"w{n}",)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = log.read()
+        assert len(events) == 200  # every line parsed cleanly
+
+
+class TestTail:
+    def test_tail_skips_torn_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            json.dumps({"event": "a"}) + "\n" + "garbage\n" + json.dumps({"event": "b"})
+        )  # final line has no newline: held back as torn
+        assert [event["event"] for event in tail_events(path, follow=False)] == ["a"]
+
+    def test_tail_missing_file_yields_nothing(self, tmp_path):
+        assert list(tail_events(tmp_path / "absent.jsonl", follow=False)) == []
+
+    def test_follow_sees_later_appends_and_stops(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("first")
+        seen = []
+        done = threading.Event()
+
+        def consume():
+            for event in tail_events(path, follow=True, poll_s=0.01, stop=done.is_set):
+                seen.append(event["event"])
+                if event["event"] == "second":
+                    done.set()
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        log.emit("second")
+        consumer.join(timeout=5.0)
+        assert not consumer.is_alive()
+        assert seen == ["first", "second"]
+
+
+class TestFormat:
+    def test_format_includes_extras_sorted(self):
+        line = format_event(
+            {"ts": 0.0, "event": "spec_done", "job_id": "job-1", "worker": "w0",
+             "spec": "abc", "elapsed_s": 1.5}
+        )
+        assert "spec_done" in line and "job-1" in line and "[w0]" in line
+        assert "elapsed_s=1.5 spec=abc" in line

@@ -1,0 +1,125 @@
+"""Tests for the job model: state machine, retry accounting and serialisation."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.experiments.spec import ExperimentSpec, Sweep
+from repro.service.jobs import TERMINAL_STATES, Job, JobState, make_job, submit_provenance
+from repro.sim.scenarios import ScenarioSpec
+
+
+@pytest.fixture
+def spec():
+    return ExperimentSpec(
+        scenario=ScenarioSpec(num_devices=25, max_rounds=4, seed=3), policy="fedavg-random"
+    )
+
+
+@pytest.fixture
+def job(spec):
+    return make_job(spec, label="unit", priority=2, retry_budget=1)
+
+
+class TestStateMachine:
+    def test_new_jobs_start_queued(self, job):
+        assert job.state is JobState.QUEUED
+        assert not job.finished
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES, key=lambda s: s.value))
+    def test_running_reaches_every_terminal_state(self, spec, terminal):
+        fresh = make_job(spec)
+        fresh.transition(JobState.RUNNING)
+        fresh.transition(terminal)
+        assert fresh.finished and fresh.finished_at is not None
+
+    def test_running_can_requeue_for_retry(self, job):
+        job.transition(JobState.RUNNING)
+        job.worker = "w0"
+        job.transition(JobState.QUEUED)
+        assert job.worker is None  # a requeued job belongs to nobody
+
+    def test_terminal_states_are_final(self, job):
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.DONE)
+        with pytest.raises(ServiceError, match="illegal transition"):
+            job.transition(JobState.RUNNING)
+
+    def test_queued_cannot_jump_to_done(self, job):
+        with pytest.raises(ServiceError, match="queued -> done"):
+            job.transition(JobState.DONE)
+
+    def test_running_sets_started_at(self, job):
+        assert job.started_at is None
+        job.transition(JobState.RUNNING)
+        assert job.started_at is not None
+
+
+class TestRetryAccounting:
+    def test_retries_left_counts_first_run(self, spec):
+        job = make_job(spec, retry_budget=2)
+        assert job.retries_left == 3  # the first attempt plus two retries
+        job.attempts = 3
+        assert job.retries_left == 0
+
+    def test_negative_budget_rejected(self, spec):
+        with pytest.raises(ServiceError, match="retry_budget"):
+            make_job(spec, retry_budget=-1)
+
+    def test_nonpositive_timeout_rejected(self, spec):
+        with pytest.raises(ServiceError, match="timeout_s"):
+            make_job(spec, timeout_s=0.0)
+
+
+class TestConstruction:
+    def test_job_needs_specs(self):
+        with pytest.raises(ServiceError, match="at least one"):
+            Job(specs=())
+
+    def test_make_job_expands_sweeps(self, spec):
+        sweep = Sweep(spec, policy=["fedavg-random", "performance"], setting=["S3", "S4"])
+        job = make_job(sweep)
+        assert len(job.specs) == 4
+        assert len(set(job.spec_hashes)) == 4
+
+    def test_make_job_validates_specs_at_submission(self, spec):
+        bogus = ExperimentSpec(scenario=spec.scenario, policy="autofk")
+        with pytest.raises(Exception, match="did you mean"):
+            make_job([bogus])
+
+    def test_job_ids_are_unique(self, spec):
+        assert make_job(spec).job_id != make_job(spec).job_id
+
+    def test_provenance_records_submitter(self):
+        provenance = submit_provenance()
+        assert set(provenance) >= {"user", "host", "pid", "python"}
+
+
+class TestSerialisation:
+    def test_roundtrip(self, job):
+        job.transition(JobState.RUNNING)
+        job.worker = "w0"
+        job.cache_hits = 1
+        clone = Job.from_dict(job.to_dict())
+        assert clone.job_id == job.job_id
+        assert clone.state is JobState.RUNNING
+        assert clone.specs == job.specs
+        assert clone.spec_hashes == job.spec_hashes
+        assert clone.cache_hits == 1
+        assert clone.priority == job.priority
+        assert clone.provenance == job.provenance
+
+    def test_payload_names_spec_hashes(self, job):
+        payload = job.to_dict()
+        assert payload["spec_hashes"] == list(job.spec_hashes)
+
+    def test_unknown_schema_rejected(self, job):
+        payload = job.to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ServiceError, match="unsupported job schema"):
+            Job.from_dict(payload)
+
+    def test_corrupt_payload_reported(self, job):
+        payload = job.to_dict()
+        del payload["job_id"]
+        with pytest.raises(ServiceError, match="corrupt job payload"):
+            Job.from_dict(payload)

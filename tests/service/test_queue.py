@@ -1,0 +1,205 @@
+"""Tests for the on-disk job queue: priority order, claims, leases and cancellation."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.experiments.spec import ExperimentSpec
+from repro.service.jobs import JobState, make_job
+from repro.service.queue import JobQueue
+from repro.sim.scenarios import ScenarioSpec
+
+
+def _spec(seed=0):
+    return ExperimentSpec(
+        scenario=ScenarioSpec(num_devices=25, max_rounds=4, seed=seed), policy="fedavg-random"
+    )
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path / "queue")
+
+
+class TestSubmitAndClaim:
+    def test_empty_queue_claims_nothing(self, queue):
+        assert queue.claim("w0") is None
+
+    def test_claim_marks_running_and_leases(self, queue):
+        job_id = queue.submit(make_job(_spec()))
+        claimed = queue.claim("w0", lease_s=30.0)
+        assert claimed.job_id == job_id
+        assert claimed.state is JobState.RUNNING
+        assert claimed.worker == "w0"
+        assert claimed.attempts == 1
+        assert queue.pending() == 0
+
+    def test_priority_order_then_fifo(self, queue):
+        low = queue.submit(make_job(_spec(0), priority=0))
+        high = queue.submit(make_job(_spec(1), priority=5))
+        low2 = queue.submit(make_job(_spec(2), priority=0))
+        order = [queue.claim("w0").job_id for _ in range(3)]
+        assert order == [high, low, low2]
+
+    def test_claimed_job_cannot_be_claimed_again(self, queue):
+        queue.submit(make_job(_spec()))
+        assert queue.claim("w0") is not None
+        assert queue.claim("w1") is None
+
+    def test_concurrent_claims_hand_out_each_job_once(self, queue):
+        ids = {queue.submit(make_job(_spec(seed))) for seed in range(8)}
+        claimed: list[str] = []
+        lock = threading.Lock()
+
+        def grab():
+            while True:
+                job = queue.claim("w")
+                if job is None:
+                    return
+                with lock:
+                    claimed.append(job.job_id)
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claimed) == sorted(ids)  # every job exactly once
+
+    def test_only_queued_jobs_can_be_submitted(self, queue):
+        job = make_job(_spec())
+        job.transition(JobState.RUNNING)
+        with pytest.raises(ServiceError, match="only queued"):
+            queue.submit(job)
+
+
+class TestCompletion:
+    def test_complete_moves_to_terminal_dir(self, queue):
+        queue.submit(make_job(_spec()))
+        job = queue.claim("w0")
+        queue.complete(job, JobState.DONE)
+        assert queue.get(job.job_id).state is JobState.DONE
+        assert queue.counts()["done"] == 1
+        assert queue.counts()["running"] == 0
+
+    def test_complete_requires_terminal_state(self, queue):
+        queue.submit(make_job(_spec()))
+        job = queue.claim("w0")
+        with pytest.raises(ServiceError, match="terminal"):
+            queue.complete(job, JobState.QUEUED)
+
+    def test_requeue_returns_job_to_queue(self, queue):
+        queue.submit(make_job(_spec(), retry_budget=1))
+        job = queue.claim("w0")
+        queue.requeue(job)
+        assert queue.pending() == 1
+        again = queue.claim("w1")
+        assert again.job_id == job.job_id
+        assert again.attempts == 2
+
+    def test_requeue_without_consuming_attempt(self, queue):
+        queue.submit(make_job(_spec()))
+        job = queue.claim("w0")
+        queue.requeue(job, consume_attempt=False)
+        assert queue.claim("w1").attempts == 1  # the interrupted attempt was refunded
+
+
+class TestLeases:
+    def test_live_lease_is_not_released(self, queue):
+        queue.submit(make_job(_spec()))
+        queue.claim("w0", lease_s=60.0)
+        assert queue.release_expired() == []
+
+    def test_expired_lease_requeues_within_budget(self, queue):
+        queue.submit(make_job(_spec(), retry_budget=1))
+        job = queue.claim("w0", lease_s=0.0)
+        released = queue.release_expired()
+        assert [j.job_id for j in released] == [job.job_id]
+        assert released[0].state is JobState.QUEUED
+        assert queue.pending() == 1
+
+    def test_expired_lease_fails_when_budget_exhausted(self, queue):
+        queue.submit(make_job(_spec(), retry_budget=0))
+        job = queue.claim("w0", lease_s=0.0)
+        released = queue.release_expired()
+        assert released[0].state is JobState.FAILED
+        failed = queue.get(job.job_id)
+        assert failed.state is JobState.FAILED
+        assert "lease" in failed.error and "w0" in failed.error
+
+    def test_crash_inside_claim_is_recovered_without_spending_a_retry(
+        self, queue, tmp_path
+    ):
+        # Simulate a worker dying between the claim rename and everything after it:
+        # the body sits in claimed/ still saying "queued", with no lease at all.
+        import os
+
+        job_id = queue.submit(make_job(_spec(), retry_budget=0))
+        os.rename(
+            tmp_path / "queue" / "queued" / f"{job_id}.json",
+            tmp_path / "queue" / "claimed" / f"{job_id}.json",
+        )
+        (released,) = queue.release_expired()
+        assert released.job_id == job_id
+        assert released.state is JobState.QUEUED
+        reclaimed = queue.claim("w1")
+        assert reclaimed.job_id == job_id
+        assert reclaimed.attempts == 1  # the phantom claim consumed nothing
+
+    def test_renewed_lease_survives(self, queue):
+        queue.submit(make_job(_spec()))
+        job = queue.claim("w0", lease_s=0.0)
+        queue.renew_lease(job.job_id, "w0", lease_s=60.0)
+        assert queue.release_expired() == []
+
+
+class TestCancel:
+    def test_cancel_queued_is_immediate(self, queue):
+        job_id = queue.submit(make_job(_spec()))
+        cancelled = queue.cancel(job_id)
+        assert cancelled.state is JobState.CANCELLED
+        assert queue.claim("w0") is None
+
+    def test_cancel_running_drops_a_marker(self, queue):
+        job_id = queue.submit(make_job(_spec()))
+        queue.claim("w0")
+        assert not queue.cancel_requested(job_id)
+        still_running = queue.cancel(job_id)
+        assert still_running.state is JobState.RUNNING
+        assert queue.cancel_requested(job_id)
+
+    def test_cancel_finished_job_rejected(self, queue):
+        queue.submit(make_job(_spec()))
+        job = queue.claim("w0")
+        queue.complete(job, JobState.DONE)
+        with pytest.raises(ServiceError, match="already finished"):
+            queue.cancel(job.job_id)
+
+    def test_cancel_unknown_job_rejected(self, queue):
+        with pytest.raises(ServiceError, match="unknown job"):
+            queue.cancel("job-nope")
+
+
+class TestInspection:
+    def test_get_unknown_job(self, queue):
+        with pytest.raises(ServiceError, match="unknown job"):
+            queue.get("job-missing")
+
+    def test_jobs_sorted_by_submission(self, queue):
+        ids = [queue.submit(make_job(_spec(seed))) for seed in range(3)]
+        listed = queue.jobs()
+        assert {job.job_id for job in listed} == set(ids)
+        stamps = [(job.submitted_at, job.job_id) for job in listed]
+        assert stamps == sorted(stamps)
+        assert len(queue) == 3
+
+    def test_corrupt_entry_reports_path(self, queue, tmp_path):
+        bad = tmp_path / "queue" / "queued" / "job-bad.json"
+        bad.write_text("not json")
+        with pytest.raises(ServiceError, match="corrupt queue entry"):
+            queue.claim("w0")
+
+    def test_writes_are_atomic_via_tmp_staging(self, queue, tmp_path):
+        queue.submit(make_job(_spec()))
+        assert list((tmp_path / "queue" / "tmp").iterdir()) == []  # no stragglers

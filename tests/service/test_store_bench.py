@@ -1,0 +1,62 @@
+"""Tests for the store benchmark behind ``python -m repro bench --suite store``."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.bench import format_store_bench, run_store_bench
+from repro.sim.bench import bench_provenance
+
+
+@pytest.fixture(scope="module")
+def record(tmp_path_factory):
+    output = tmp_path_factory.mktemp("bench") / "BENCH_store.json"
+    return run_store_bench(entries=200, lookups=50, output=output), output
+
+
+class TestRecord:
+    def test_measures_both_backends(self, record):
+        payload, _output = record
+        for backend in ("jsonl", "sqlite"):
+            row = payload["results"][backend]
+            assert row["entries"] == 200
+            assert row["inserts_per_s"] > 0
+            assert row["lookups_per_s"] > 0
+            assert row["cold_open_s"] > 0
+            assert 0 < row["lookup_hits"] <= 50
+
+    def test_speedup_ratios_present(self, record):
+        payload, _output = record
+        assert set(payload["results"]["speedup"]) == {"inserts", "lookups", "cold_open"}
+
+    def test_provenance_matches_the_roundengine_record_fields(self, record):
+        # The two trajectory files must stay machine-comparable: same provenance keys.
+        payload, _output = record
+        assert set(payload["provenance"]) == set(bench_provenance())
+        assert payload["benchmark"] == "store"
+
+    def test_record_written_to_disk(self, record):
+        payload, output = record
+        on_disk = json.loads(output.read_text())
+        assert on_disk["entries"] == payload["entries"]
+        assert on_disk["results"]["sqlite"]["entries"] == 200
+
+    def test_format_renders_both_backends(self, record):
+        payload, _output = record
+        text = format_store_bench(payload)
+        assert "jsonl" in text and "sqlite" in text and "cold open" in text
+
+
+class TestValidation:
+    def test_rejects_empty_bench(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="at least one entry"):
+            run_store_bench(entries=0, output=tmp_path / "x.json")
+
+    def test_rejects_too_few_lookups(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="lookups"):
+            run_store_bench(entries=5, lookups=1, output=tmp_path / "x.json")
+
+    def test_no_output_skips_writing(self, tmp_path):
+        record = run_store_bench(entries=10, lookups=4, output=None)
+        assert record["results"]["sqlite"]["entries"] == 10

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -296,3 +298,145 @@ class TestErrorPaths:
         )
         assert code == 2
         assert "did you mean 'fedprox'" in err
+
+
+class TestService:
+    """The orchestration front-end: submit → serve --drain → status/watch/cancel."""
+
+    @pytest.fixture
+    def svc(self, tmp_path):
+        return ["--root", str(tmp_path / "service")]
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        return ["--store", str(tmp_path / "results.sqlite")]
+
+    def _submit(self, capsys, svc, extra):
+        code, out, _err = _run(["submit", *extra, *svc], capsys)
+        assert code == 0
+        assert out.startswith("submitted job-")
+        return out.split()[1].rstrip(":")
+
+    def test_submit_serve_status_roundtrip(self, capsys, svc, store):
+        job_id = self._submit(
+            capsys, svc,
+            ["--scenario", "flaky-fleet", "--devices", "25", "--rounds", "4",
+             "--policy", "fedavg-random", "--priority", "3"],
+        )
+        code, out, _err = _run(["status", *svc], capsys)
+        assert code == 0 and job_id in out and "queued" in out
+
+        code, out, _err = _run(["serve", "--workers", "2", "--drain", *svc, *store], capsys)
+        assert code == 0
+        assert "job_done" in out and "scheduler_stopped" in out
+
+        code, out, _err = _run(["status", "--json", *svc], capsys)
+        payload = json.loads(out)
+        assert payload["counts"]["done"] == 1
+        (job,) = payload["jobs"]
+        assert job["job_id"] == job_id
+        assert job["state"] == "done"
+        assert (job["cache_hits"], job["executed"]) == (0, 1)
+        assert job["provenance"]["preset"] == "flaky-fleet"
+
+    def test_resubmit_is_a_pure_cache_hit(self, capsys, svc, store):
+        flags = ["--devices", "25", "--rounds", "4", "--policy", "fedavg-random"]
+        self._submit(capsys, svc, flags)
+        _run(["serve", "--drain", "--quiet", *svc, *store], capsys)
+        job_id = self._submit(capsys, svc, flags)
+        _run(["serve", "--drain", "--quiet", *svc, *store], capsys)
+        code, out, _err = _run(["status", job_id, *svc, *store], capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["state"] == "done"
+        assert (payload["cache_hits"], payload["executed"]) == (1, 0)
+
+    def test_submit_sweep_axis_expands_grid(self, capsys, svc):
+        job_id = self._submit(
+            capsys, svc,
+            ["--axis", "policy=fedavg-random,performance", "--devices", "25",
+             "--rounds", "4"],
+        )
+        code, out, _err = _run(["status", job_id, *svc], capsys)
+        assert code == 0
+        assert len(json.loads(out)["specs"]) == 2
+
+    def test_submit_validates_eagerly_with_suggestions(self, capsys, svc):
+        code, _out, err = _run(
+            ["submit", "--policy", "autofk", "--devices", "25", *svc], capsys
+        )
+        assert code == 2
+        assert "did you mean 'autofl'" in err
+
+    def test_cancel_queued_job(self, capsys, svc):
+        job_id = self._submit(capsys, svc, ["--devices", "25", "--rounds", "4"])
+        code, out, _err = _run(["cancel", job_id, *svc], capsys)
+        assert code == 0 and "cancelled" in out
+        code, out, _err = _run(["status", job_id, *svc], capsys)
+        assert json.loads(out)["state"] == "cancelled"
+
+    def test_cancel_unknown_job_fails(self, capsys, svc):
+        code, _out, err = _run(["cancel", "job-missing", *svc], capsys)
+        assert code == 2 and "unknown job" in err
+
+    def test_watch_replays_the_event_log(self, capsys, svc, store):
+        self._submit(capsys, svc, ["--devices", "25", "--rounds", "4"])
+        _run(["serve", "--drain", "--quiet", *svc, *store], capsys)
+        code, out, _err = _run(["watch", *svc], capsys)
+        assert code == 0
+        assert "job_submitted" in out and "job_done" in out
+
+    def test_watch_without_events(self, capsys, svc):
+        code, out, _err = _run(["watch", *svc], capsys)
+        assert code == 0 and "no events yet" in out
+
+    def test_failed_job_status_exits_one(self, capsys, svc, store, tmp_path):
+        # A spec whose tier counts contradict the fleet size fails inside the worker.
+        job_id = self._submit(
+            capsys, svc, ["--devices", "25", "--rounds", "4", "--timeout", "30"]
+        )
+        queue_dir = tmp_path / "service" / "queue" / "queued"
+        (path,) = queue_dir.glob("*.json")
+        payload = json.loads(path.read_text())
+        payload["specs"][0]["scenario"]["tier_counts"] = {"low": 1, "mid": 1, "high": 1}
+        path.write_text(json.dumps(payload))
+        _run(["serve", "--drain", "--quiet", *svc, *store], capsys)
+        code, out, _err = _run(["status", job_id, *svc, *store], capsys)
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["state"] == "failed"
+        assert "tier_counts" in payload["error"]
+
+
+class TestStoreBenchCLI:
+    def test_store_suite_writes_record(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_store.json"
+        code, out, _err = _run(
+            ["bench", "--suite", "store", "--entries", "50", "--lookups", "10",
+             "--output", str(output)],
+            capsys,
+        )
+        assert code == 0
+        assert "sqlite" in out and "jsonl" in out
+        record = json.loads(output.read_text())
+        assert record["benchmark"] == "store"
+        assert record["entries"] == 50
+
+
+class TestSqliteStoreCLI:
+    def test_run_uses_the_sqlite_store_by_default_backend(self, tmp_path, capsys):
+        store = tmp_path / "results.sqlite"
+        args = ["run", "--policy", "fedavg-random", "--devices", "25", "--rounds", "4",
+                "--store", str(store)]
+        code, out, _err = _run(args, capsys)
+        assert code == 0 and "1 executed" in out
+        code, out, _err = _run(args, capsys)
+        assert code == 0 and "1 from cache" in out
+
+    def test_legacy_jsonl_sibling_is_migrated_in(self, tmp_path, capsys):
+        args = ["run", "--policy", "fedavg-random", "--devices", "25", "--rounds", "4"]
+        code, _out, _err = _run([*args, "--store", str(tmp_path / "results.jsonl")], capsys)
+        assert code == 0
+        code, out, _err = _run([*args, "--store", str(tmp_path / "results.sqlite")], capsys)
+        assert code == 0
+        assert "1 from cache, 0 executed" in out  # served by the migrated entry
