@@ -19,7 +19,17 @@ orchestration service:
   presets, ``check`` them bit-exactly against a fresh run (exit 1 on drift, with a
   report naming the first diverging round and field), and ``fuzz`` randomised scenarios
   across every registered axis with invariant auditing;
+* ``ingest``   — load result stores, golden trajectories and ``BENCH_*.json`` records
+  into the columnar analytics warehouse under an ingest label;
+* ``query``    — filter + group-by aggregation (mean/p50/p95/…) over the warehouse;
+* ``report``   — cross-run comparison report, policies normalised per scenario;
+* ``eval``     — regression eval: diff a candidate ingest against a baseline label with
+  per-metric thresholds (exit 1 on any breach — the CI contract);
 * ``list``     — enumerate any registry (policies, workloads, aggregators, scenarios, …).
+
+Tabular commands (``compare``, ``status``, ``query``, ``report``, ``eval``) share one
+``--format {table,csv,json}`` flag via
+:func:`~repro.experiments.reporting.render_rows`.
 
 ``run``/``compare``/``sweep``/``submit`` accept ``--scenario PRESET`` to start from a
 registered scenario preset (``paper-200``, ``fleet-1k``, ``diurnal-1k``,
@@ -46,6 +56,11 @@ Examples
     python -m repro bench --suite store --entries 10000
     python -m repro validate check
     python -m repro validate fuzz --budget 60 --report fuzz-report.json
+    python -m repro ingest --store --goldens --label baseline
+    python -m repro query --where policy=autofl --group-by preset --agg mean,p95
+    python -m repro query --bench --format json
+    python -m repro report --baseline-policy fedavg-random
+    python -m repro eval --baseline baseline --candidate candidate --report eval.json
 """
 
 from __future__ import annotations
@@ -58,13 +73,26 @@ from collections.abc import Sequence
 from dataclasses import replace
 from pathlib import Path
 
+from repro.analytics import (
+    AGGREGATIONS,
+    DEFAULT_WAREHOUSE_ROOT,
+    EVAL_HEADERS,
+    Warehouse,
+    build_comparison_report,
+    parse_threshold,
+    parse_where,
+    run_query,
+    run_regression_eval,
+)
 from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.harness import run_policy_comparison
 from repro.experiments.reporting import (
+    COMPARISON_HEADERS,
+    OUTPUT_FORMATS,
     format_batch_footer,
-    format_comparison,
     format_experiment_results,
     format_registry,
+    render_rows,
 )
 from repro.experiments.runner import BatchRunner, get_executor
 from repro.experiments.spec import ExperimentSpec, Sweep, parse_axis
@@ -226,6 +254,33 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_format_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        default="table",
+        choices=OUTPUT_FORMATS,
+        help="output format (default: human-readable table)",
+    )
+
+
+def _add_warehouse_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--warehouse",
+        default=str(DEFAULT_WAREHOUSE_ROOT),
+        help="warehouse directory (columnar tables + manifest)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "parquet", "numpy"),
+        help="columnar backend (auto: Parquet when pyarrow is installed, else .npz)",
+    )
+
+
+def _warehouse(args: argparse.Namespace) -> Warehouse:
+    return Warehouse(args.warehouse, backend=getattr(args, "backend", "auto"))
+
+
 def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--root",
@@ -287,7 +342,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     _results, rows = run_policy_comparison(
         spec, policies=policies, baseline=args.baseline, max_rounds=spec.max_rounds
     )
-    print(format_comparison(rows))
+    print(render_rows(COMPARISON_HEADERS, [row.as_tuple() for row in rows], args.format))
     return 0
 
 
@@ -306,6 +361,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _register_bench(args: argparse.Namespace, record: dict) -> None:
+    """Register a fresh bench record in the warehouse so ``repro query --bench`` can
+    plot rounds/s trajectories across commits via the recorded provenance."""
+    if args.no_warehouse:
+        return
+    rows = Warehouse(args.warehouse).ingest_bench_record(record)
+    print(f"registered {rows} measurement(s) in warehouse {args.warehouse}")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.suite == "store":
         output = args.output if args.output is not None else DEFAULT_STORE_BENCH_OUTPUT
@@ -314,6 +378,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         print(format_store_bench(record))
         print(f"\nwrote {output}")
+        _register_bench(args, record)
         return 0
     try:
         sizes = tuple(int(size) for size in args.sizes.split(",") if size.strip())
@@ -331,6 +396,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     print(format_bench_record(record))
     print(f"\nwrote {output}")
+    _register_bench(args, record)
     return 0
 
 
@@ -388,13 +454,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _format_job_row(job) -> str:
+#: Column headers of the ``status`` job table (shared by every output format).
+STATUS_HEADERS: tuple[str, ...] = (
+    "job",
+    "state",
+    "prio",
+    "specs",
+    "hits",
+    "exec",
+    "try",
+    "age_s",
+    "label/error",
+)
+
+
+def _status_row(job) -> tuple[object, ...]:
     age_s = max(0.0, time.time() - job.submitted_at)
     note = job.error.splitlines()[0][:40] if job.error else job.label[:40]
     return (
-        f"{job.job_id:<17} {job.state.value:<9} {job.priority:>4} "
-        f"{len(job.specs):>5} {job.cache_hits:>4} {job.executed:>4} "
-        f"{job.attempts:>3} {age_s:>7.0f}s  {note}"
+        job.job_id,
+        job.state.value,
+        job.priority,
+        len(job.specs),
+        job.cache_hits,
+        job.executed,
+        job.attempts,
+        round(age_s, 1),
+        note,
     )
 
 
@@ -418,20 +504,18 @@ def _cmd_status(args: argparse.Namespace) -> int:
             )
         )
         return 0
-    header = (
-        f"{'job':<17} {'state':<9} {'prio':>4} {'specs':>5} {'hits':>4} {'exec':>4} "
-        f"{'try':>3} {'age':>8}  label/error"
-    )
-    print(header)
-    print("-" * len(header))
-    for job in jobs:
-        print(_format_job_row(job))
-    counts = queue.counts()
-    print(
-        "\n"
-        + "  ".join(f"{state}: {count}" for state, count in counts.items() if count)
-        + (f"  (total: {sum(counts.values())})" if any(counts.values()) else "queue is empty")
-    )
+    print(render_rows(STATUS_HEADERS, [_status_row(job) for job in jobs], args.format))
+    if args.format == "table":
+        counts = queue.counts()
+        print(
+            "\n"
+            + "  ".join(f"{state}: {count}" for state, count in counts.items() if count)
+            + (
+                f"  (total: {sum(counts.values())})"
+                if any(counts.values())
+                else "queue is empty"
+            )
+        )
     return 0
 
 
@@ -446,7 +530,10 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 continue
             print(format_event(payload))
     except KeyboardInterrupt:
-        return 130
+        # Ctrl-C is the normal way to leave a follow: exit cleanly, not with a
+        # traceback or an error status.
+        print("", flush=True)
+        return 0
     return 0
 
 
@@ -511,6 +598,98 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- analytics commands
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    warehouse = _warehouse(args)
+    ingested = 0
+    if args.store is not None:
+        rows = warehouse.ingest_store(args.store, label=args.label)
+        print(f"ingested {rows} run row(s) from store {args.store}")
+        ingested += 1
+    if args.goldens is not None:
+        rows = warehouse.ingest_goldens(args.goldens or None, label=args.label)
+        print(f"ingested {rows} row(s) from goldens in {args.goldens or 'goldens/'}")
+        ingested += 1
+    if args.bench is not None:
+        rows = warehouse.ingest_bench_files(args.bench)
+        print(f"ingested {rows} bench measurement(s) from {args.bench}")
+        ingested += 1
+    if not ingested:
+        raise ConfigurationError(
+            "nothing to ingest: pass --store [PATH], --goldens [DIR] and/or --bench [PATH]"
+        )
+    receipt = warehouse.describe()
+    tables = "  ".join(f"{name}: {rows}" for name, rows in receipt["tables"].items())
+    labels = ", ".join(receipt["labels"]) or "none"
+    print(f"\nwarehouse {receipt['root']} ({receipt['backend']})  {tables}")
+    print(f"labels: {labels}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    table = "bench" if args.bench else args.table
+    result = run_query(
+        _warehouse(args),
+        table=table,
+        where=parse_where(args.where or ()),
+        group_by=(
+            tuple(name.strip().replace("-", "_") for name in args.group_by.split(",") if name.strip())
+            if args.group_by is not None
+            else None
+        ),
+        metrics=(
+            tuple(name.strip().replace("-", "_") for name in args.metrics.split(",") if name.strip())
+            if args.metrics is not None
+            else None
+        ),
+        aggs=tuple(name.strip() for name in args.agg.split(",") if name.strip()),
+    )
+    print(render_rows(result.headers, result.rows, args.format))
+    if args.format == "table":
+        print(
+            f"\n{len(result.rows)} group(s) over {result.matched_rows} of "
+            f"{result.total_rows} {table} row(s)"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    headers, rows = build_comparison_report(
+        _warehouse(args),
+        where=parse_where(args.where or ()),
+        baseline_policy=args.baseline_policy,
+    )
+    print(render_rows(headers, rows, args.format))
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    suite = (
+        tuple(name.strip() for name in args.suite.split(",") if name.strip())
+        if args.suite
+        else None
+    )
+    thresholds = (
+        tuple(parse_threshold(text) for text in args.threshold) if args.threshold else None
+    )
+    report = run_regression_eval(
+        _warehouse(args),
+        baseline=args.baseline,
+        candidate=args.candidate,
+        suite=suite,
+        thresholds=thresholds,
+    )
+    if args.format == "table":
+        print(report.format())
+    else:
+        print(render_rows(EVAL_HEADERS, [c.as_row() for c in report.comparisons], args.format))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"\nwrote {args.report}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -541,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     # No --seeds/--no-early-stop: the comparison driver is single-seed, early-stopping.
     _add_scenario_arguments(compare_parser, replication=False)
+    _add_format_argument(compare_parser)
     compare_parser.set_defaults(func=_cmd_compare)
 
     sweep_parser = subparsers.add_parser(
@@ -622,6 +802,16 @@ def build_parser() -> argparse.ArgumentParser:
             f"{DEFAULT_BENCH_OUTPUT} or {DEFAULT_STORE_BENCH_OUTPUT} per suite)"
         ),
     )
+    bench_parser.add_argument(
+        "--warehouse",
+        default=str(DEFAULT_WAREHOUSE_ROOT),
+        help="warehouse the record is registered in (for: repro query --bench)",
+    )
+    bench_parser.add_argument(
+        "--no-warehouse",
+        action="store_true",
+        help="write the JSON record only, without registering it in the warehouse",
+    )
     bench_parser.set_defaults(func=_cmd_bench)
 
     submit_parser = subparsers.add_parser(
@@ -691,13 +881,18 @@ def build_parser() -> argparse.ArgumentParser:
     status_parser.add_argument(
         "job_id", nargs="?", default=None, help="show one job in full (JSON, with artifacts)"
     )
-    status_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    status_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="full machine-readable dump (counts + complete job payloads)",
+    )
     status_parser.add_argument(
         "--store",
         default=str(DEFAULT_SQLITE_STORE_PATH),
         help="store queried for job artifacts in single-job mode",
     )
     _add_service_arguments(status_parser)
+    _add_format_argument(status_parser)
     status_parser.set_defaults(func=_cmd_status)
 
     watch_parser = subparsers.add_parser(
@@ -775,6 +970,145 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, help="write the fuzz report to this JSON file"
     )
     fuzz_parser.set_defaults(func=_cmd_validate_fuzz)
+
+    ingest_parser = subparsers.add_parser(
+        "ingest", help="load results, goldens and bench records into the warehouse"
+    )
+    ingest_parser.add_argument(
+        "--store",
+        nargs="?",
+        const=str(DEFAULT_SQLITE_STORE_PATH),
+        default=None,
+        metavar="PATH",
+        help=(
+            "ingest a result store (SQLite or legacy .jsonl; "
+            f"default path: {DEFAULT_SQLITE_STORE_PATH})"
+        ),
+    )
+    ingest_parser.add_argument(
+        "--goldens",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "ingest recorded golden trajectories "
+            f"(default directory: {DEFAULT_GOLDEN_DIR})"
+        ),
+    )
+    ingest_parser.add_argument(
+        "--bench",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="PATH",
+        help="ingest BENCH_*.json records (a directory to glob, or one file)",
+    )
+    ingest_parser.add_argument(
+        "--label",
+        default="default",
+        help="ingest label the rows are tagged with (evals diff two labels)",
+    )
+    _add_warehouse_arguments(ingest_parser)
+    ingest_parser.set_defaults(func=_cmd_ingest)
+
+    query_parser = subparsers.add_parser(
+        "query", help="filter + group-by aggregation over the ingested warehouse"
+    )
+    query_parser.add_argument(
+        "--table",
+        default="runs",
+        choices=("rounds", "runs", "bench"),
+        help="warehouse table to query (default: per-seed run summaries)",
+    )
+    query_parser.add_argument(
+        "--bench",
+        action="store_true",
+        help="shorthand for --table bench (rounds/s trajectories across commits)",
+    )
+    query_parser.add_argument(
+        "--where",
+        action="append",
+        metavar="COL=V1,V2,…",
+        help="equality filter (repeatable; AND across flags, OR within one list)",
+    )
+    query_parser.add_argument(
+        "--group-by",
+        default=None,
+        metavar="COL1,COL2,…",
+        help="grouping columns (default per table, e.g. label,preset,policy)",
+    )
+    query_parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="COL1,COL2,…",
+        help="numeric columns to aggregate (default per table)",
+    )
+    query_parser.add_argument(
+        "--agg",
+        default="mean",
+        metavar="AGG1,AGG2,…",
+        help=f"aggregations per metric: any of {', '.join(AGGREGATIONS)}",
+    )
+    _add_warehouse_arguments(query_parser)
+    _add_format_argument(query_parser)
+    query_parser.set_defaults(func=_cmd_query)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="cross-run comparison report (policies normalised per scenario)",
+    )
+    report_parser.add_argument(
+        "--where",
+        action="append",
+        metavar="COL=V1,V2,…",
+        help="equality filter over the runs table (repeatable)",
+    )
+    report_parser.add_argument(
+        "--baseline-policy",
+        default="fedavg-random",
+        help="policy each scenario's energy/time columns are normalised to",
+    )
+    _add_warehouse_arguments(report_parser)
+    _add_format_argument(report_parser)
+    report_parser.set_defaults(func=_cmd_report)
+
+    eval_parser = subparsers.add_parser(
+        "eval",
+        help="regression eval: diff a candidate ingest against a baseline label",
+    )
+    eval_parser.add_argument(
+        "--baseline", required=True, help="ingest label of the known-good result set"
+    )
+    eval_parser.add_argument(
+        "--candidate",
+        default="default",
+        help="ingest label being scored (default: the default ingest label)",
+    )
+    eval_parser.add_argument(
+        "--suite",
+        default=None,
+        metavar="NAME1,NAME2,…",
+        help=(
+            "restrict the eval to these scenarios (preset names or "
+            "workload/setting/N<devices>); default: every baseline scenario"
+        ),
+    )
+    eval_parser.add_argument(
+        "--threshold",
+        action="append",
+        metavar="METRIC=PCT",
+        help=(
+            "allowed regression per metric, in percent (repeatable); a leading + "
+            "marks higher-is-better, e.g. final_accuracy=+1 global_energy_j=5"
+        ),
+    )
+    eval_parser.add_argument(
+        "--report", default=None, help="write the full eval report to this JSON file"
+    )
+    _add_warehouse_arguments(eval_parser)
+    _add_format_argument(eval_parser)
+    eval_parser.set_defaults(func=_cmd_eval)
 
     list_parser = subparsers.add_parser(
         "list", help="list a registry (policies, workloads, aggregators, …)"

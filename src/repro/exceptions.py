@@ -63,3 +63,8 @@ class ExecutionError(ReproError):
 class ServiceError(ReproError):
     """Raised for orchestration-service misuse: illegal job-state transitions,
     double claims, cancelling a finished job, or a corrupt queue/store entry."""
+
+
+class AnalyticsError(ReproError):
+    """Raised for results-warehouse misuse: unknown tables/columns/labels, a backend
+    mismatch against an existing warehouse, or a corrupt columnar file."""

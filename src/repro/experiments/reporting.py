@@ -7,10 +7,17 @@ the benchmarks print: policy-comparison rows (normalised to FedAvg-Random), batc
 
 from __future__ import annotations
 
+import csv
+import io
+import json
+import math
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 from repro.exceptions import ConfigurationError
+
+#: Output formats every tabular CLI command accepts (``--format``).
+OUTPUT_FORMATS: tuple[str, ...] = ("table", "csv", "json")
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.experiments.harness import ComparisonRow
@@ -56,6 +63,48 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     for row in rendered_rows:
         lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_rows(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], fmt: str = "table"
+) -> str:
+    """Render a header/row grid in one of the shared output formats.
+
+    ``table`` is the human fixed-width rendering of :func:`format_table`; ``csv`` and
+    ``json`` are machine-readable with raw (unrounded) values — ``json`` yields a list
+    of one object per row keyed by header, ``csv`` a standard comma-separated document
+    with a header line.  Every tabular command (``compare``, ``status``, ``query``,
+    ``report``, ``eval``) renders through here, so downstream tooling sees one shape.
+    """
+    if fmt == "table":
+        return format_table(headers, rows)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+        return buffer.getvalue().rstrip("\n")
+    if fmt == "json":
+        def _cell(value: object) -> object:
+            # NaN cells (missing metrics) become null: strict JSON has no NaN literal.
+            if isinstance(value, float) and math.isnan(value):
+                return None
+            return value
+
+        return json.dumps(
+            [{header: _cell(value) for header, value in zip(headers, row)} for row in rows],
+            indent=2,
+            sort_keys=False,
+        )
+    raise ConfigurationError(
+        f"unknown output format {fmt!r}; expected one of {list(OUTPUT_FORMATS)}"
+    )
 
 
 def _render_cell(cell: object) -> str:

@@ -27,7 +27,7 @@ import time
 import warnings
 from pathlib import Path
 
-from repro.exceptions import ServiceError
+from repro.exceptions import ReproError, ServiceError
 from repro.experiments.runner import (
     RESULT_SCHEMA_VERSION,
     ExperimentResult,
@@ -171,6 +171,32 @@ class ArtifactStore:
         with self._lock:
             (count,) = self._connection().execute("SELECT COUNT(*) FROM results").fetchone()
         return int(count)
+
+    def iter_results(self):
+        """Yield every current-schema ``(result, preset)`` pair, oldest first.
+
+        This is the warehouse-ingest seam: the analytics layer drains the whole store
+        through it without learning any SQL.  Rows written under an older spec schema
+        are skipped with the usual :class:`~repro.experiments.runner.StaleResultWarning`
+        (their hashes can never be looked up again anyway).
+        """
+        from repro.experiments.runner import StaleResultWarning
+
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT payload, preset FROM results ORDER BY created_at, hash"
+            ).fetchall()
+        for payload, preset in rows:
+            try:
+                result = ExperimentResult.from_dict(json.loads(payload), cached=True)
+            except ReproError as exc:
+                warnings.warn(
+                    f"result store {self.path}: skipping stale entry ({exc})",
+                    StaleResultWarning,
+                    stacklevel=2,
+                )
+                continue
+            yield result, preset
 
     def count_by_schema(self) -> dict[int, int]:
         """Stored results per spec schema version (stale generations stay queryable)."""

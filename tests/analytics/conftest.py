@@ -1,0 +1,88 @@
+"""Shared fixtures for the analytics (results warehouse) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import have_pyarrow
+from repro.experiments.spec import ExperimentSpec
+from repro.sim.scenarios import ScenarioSpec
+from repro.validation.golden import run_trajectory
+
+#: Both columnar backends; the Parquet leg only runs where pyarrow is installed.
+BACKENDS_UNDER_TEST = (
+    "numpy",
+    pytest.param(
+        "parquet",
+        marks=pytest.mark.skipif(not have_pyarrow(), reason="pyarrow not installed"),
+    ),
+)
+
+
+@pytest.fixture(params=BACKENDS_UNDER_TEST)
+def backend(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def small_spec() -> ExperimentSpec:
+    """A fast single-seed spec whose trajectory feeds ingest tests."""
+    return ExperimentSpec(
+        scenario=ScenarioSpec(
+            workload="cnn-mnist", setting="S4", num_devices=30, max_rounds=6, seed=3
+        ),
+        policy="fedavg-random",
+        n_seeds=1,
+        stop_at_convergence=False,
+    ).validate()
+
+
+@pytest.fixture(scope="session")
+def _session_result_cache() -> dict:
+    return {}
+
+
+@pytest.fixture
+def small_result(small_spec, _session_result_cache):
+    """The (deterministic) trajectory of ``small_spec``, computed once per session."""
+    key = small_spec.spec_hash()
+    if key not in _session_result_cache:
+        _session_result_cache[key] = run_trajectory(small_spec)
+    return _session_result_cache[key]
+
+
+@pytest.fixture
+def make_run_row():
+    """Factory fixture: a synthetic, fully-populated ``runs`` row for query/eval tests."""
+    return _make_run_row
+
+
+def _make_run_row(**overrides) -> dict:
+    row = {
+        "label": "baseline",
+        "source": "store",
+        "spec_hash": "hash-0",
+        "spec_schema": 3.0,
+        "preset": "fleet-1k",
+        "policy": "autofl",
+        "workload": "cnn-mnist",
+        "setting": "S3",
+        "interference": "none",
+        "network": "stable",
+        "data_distribution": "iid",
+        "availability": "always-on",
+        "num_devices": 1000.0,
+        "seed": 0.0,
+        "converged": 1.0,
+        "rounds_executed": 20.0,
+        "convergence_round": 18.0,
+        "convergence_time_s": 90.0,
+        "total_time_s": 100.0,
+        "final_accuracy": 0.8,
+        "participant_energy_j": 1000.0,
+        "global_energy_j": 1100.0,
+        "total_straggler_drops": 2.0,
+        "total_fault_failures": 1.0,
+    }
+    row.update(overrides)
+    return row

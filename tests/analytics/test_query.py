@@ -1,0 +1,135 @@
+"""Tests for the vectorised filter/group-by/aggregate query layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics import Warehouse, filter_mask, parse_where, run_query
+from repro.exceptions import AnalyticsError
+
+
+
+@pytest.fixture
+def warehouse(tmp_path, make_run_row):
+    """A warehouse with a small hand-built ``runs`` table of known values."""
+    warehouse = Warehouse(tmp_path / "wh", backend="numpy")
+    warehouse.append_rows(
+        "runs",
+        [
+            make_run_row(spec_hash="h0", policy="autofl", seed=0.0, total_time_s=10.0,
+                         final_accuracy=0.80),
+            make_run_row(spec_hash="h0", policy="autofl", seed=1.0, total_time_s=30.0,
+                         final_accuracy=0.90),
+            make_run_row(spec_hash="h1", policy="fedavg-random", seed=0.0,
+                         total_time_s=50.0, final_accuracy=0.70),
+            make_run_row(spec_hash="h2", policy="power", seed=0.0, total_time_s=70.0,
+                         final_accuracy=float("nan")),
+        ],
+    )
+    return warehouse
+
+
+class TestParseWhere:
+    def test_values_split_on_commas(self):
+        assert parse_where(["policy=autofl,power", "seed=0"]) == {
+            "policy": ("autofl", "power"),
+            "seed": ("0",),
+        }
+
+    def test_dashes_normalise_to_underscores(self):
+        assert "num_devices" in parse_where(["num-devices=100"])
+
+    def test_malformed_term_raises(self):
+        with pytest.raises(AnalyticsError, match="invalid filter"):
+            parse_where(["policy"])
+
+    def test_duplicate_column_raises(self):
+        with pytest.raises(AnalyticsError, match="given twice"):
+            parse_where(["policy=a", "policy=b"])
+
+
+class TestFilterMask:
+    def test_string_and_numeric_predicates_and_together(self, warehouse):
+        columns = warehouse.table("runs")
+        mask = filter_mask("runs", columns, {"policy": ["autofl"], "seed": ["1"]})
+        assert int(mask.sum()) == 1
+
+    def test_numeric_column_rejects_non_numeric_value(self, warehouse):
+        with pytest.raises(AnalyticsError, match="is numeric"):
+            filter_mask("runs", warehouse.table("runs"), {"seed": ["zero"]})
+
+    def test_unknown_column_raises(self, warehouse):
+        with pytest.raises(AnalyticsError, match="unknown filter column"):
+            filter_mask("runs", warehouse.table("runs"), {"policee": ["x"]})
+
+
+class TestRunQuery:
+    def test_mean_per_policy_matches_numpy(self, warehouse):
+        result = run_query(
+            warehouse, "runs", group_by=("policy",), metrics=("total_time_s",),
+            aggs=("mean",),
+        )
+        values = dict(result.rows)
+        assert values["autofl"] == np.mean([10.0, 30.0])
+        assert values["fedavg-random"] == 50.0
+        assert result.headers == ("policy", "total_time_s:mean")
+        assert (result.matched_rows, result.total_rows) == (4, 4)
+
+    def test_percentiles_and_sum(self, warehouse):
+        result = run_query(
+            warehouse, "runs", where={"policy": ["autofl"]}, group_by=(),
+            metrics=("total_time_s",), aggs=("p50", "p95", "sum"),
+        )
+        (row,) = result.rows
+        assert row == (
+            np.percentile([10.0, 30.0], 50),
+            np.percentile([10.0, 30.0], 95),
+            40.0,
+        )
+
+    def test_nan_cells_are_excluded(self, warehouse):
+        result = run_query(
+            warehouse, "runs", group_by=(), metrics=("final_accuracy",),
+            aggs=("mean", "count"),
+        )
+        (row,) = result.rows
+        assert row[0] == np.mean([0.80, 0.90, 0.70])  # NaN row excluded
+        assert row[1] == 3.0  # count is of finite cells only
+
+    def test_all_nan_group_aggregates_to_nan(self, warehouse):
+        result = run_query(
+            warehouse, "runs", where={"policy": ["power"]}, group_by=(),
+            metrics=("final_accuracy",), aggs=("mean", "count"),
+        )
+        (row,) = result.rows
+        assert np.isnan(row[0]) and row[1] == 0.0
+
+    def test_empty_filter_yields_no_groups(self, warehouse):
+        result = run_query(warehouse, "runs", where={"policy": ["oracle"]})
+        assert result.rows == ()
+        assert result.matched_rows == 0
+
+    def test_defaults_group_by_label_preset_policy(self, warehouse):
+        result = run_query(warehouse, "runs")
+        assert result.group_by == ("label", "preset", "policy")
+        assert len(result.rows) == 3
+
+    def test_unknown_metric_and_agg_raise(self, warehouse):
+        with pytest.raises(AnalyticsError, match="unknown metric column"):
+            run_query(warehouse, "runs", metrics=("velocity",))
+        with pytest.raises(AnalyticsError, match="unknown aggregation"):
+            run_query(warehouse, "runs", aggs=("stdev",))
+
+    def test_string_metric_rejected(self, warehouse):
+        with pytest.raises(AnalyticsError, match="is not numeric"):
+            run_query(warehouse, "runs", metrics=("policy",))
+
+    def test_to_dict_is_json_ready(self, warehouse):
+        import json
+
+        payload = run_query(
+            warehouse, "runs", group_by=("policy",), metrics=("total_time_s",)
+        ).to_dict()
+        assert payload["groups"][0]["policy"] == "autofl"
+        json.dumps(payload)  # must not raise

@@ -1,0 +1,183 @@
+"""Tests for the warehouse column schemas and row builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics.schema import (
+    NULL_STR,
+    TABLE_KEYS,
+    TABLES,
+    bench_rows_from_record,
+    column_kinds,
+    empty_columns,
+    identity_row,
+    round_rows_from_golden,
+    round_rows_from_result,
+    rows_to_columns,
+    run_row_from_golden,
+    run_row_from_result,
+    run_rows_from_experiment,
+    table_schema,
+)
+from repro.exceptions import AnalyticsError
+from repro.experiments.runner import BatchRunner
+from repro.validation.golden import GoldenStore, golden_spec
+
+
+class TestSchemaShape:
+    def test_every_table_has_key_columns(self):
+        for table, columns in TABLES.items():
+            names = {column.name for column in columns}
+            for key in TABLE_KEYS[table]:
+                assert key in names, f"{table} key {key} missing from schema"
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(AnalyticsError, match="unknown warehouse table"):
+            table_schema("runz")
+
+    def test_column_kinds_partition(self):
+        kinds = column_kinds("runs")
+        assert kinds["policy"] == "str"
+        assert kinds["final_accuracy"] == "num"
+        assert set(kinds.values()) <= {"str", "num"}
+
+
+class TestIdentityRow:
+    def test_fields_come_from_the_spec(self, small_spec):
+        row = identity_row(small_spec, "lbl", "run", "my-preset")
+        assert row["label"] == "lbl"
+        assert row["source"] == "run"
+        assert row["spec_hash"] == small_spec.spec_hash()
+        assert row["policy"] == "fedavg-random"
+        assert row["workload"] == "cnn-mnist"
+        assert row["num_devices"] == 30.0
+        assert row["preset"] == "my-preset"
+
+    def test_missing_preset_is_null_string(self, small_spec):
+        assert identity_row(small_spec, "lbl", "run", None)["preset"] == NULL_STR
+
+
+class TestResultRows:
+    def test_one_round_row_per_record(self, small_result, small_spec):
+        rows = round_rows_from_result(small_result, small_spec)
+        assert len(rows) == small_result.num_rounds
+        for row, record in zip(rows, small_result.records):
+            assert row["round_index"] == float(record.round_index)
+            assert row["round_time_s"] == record.round_time_s
+            assert row["accuracy"] == record.accuracy
+            assert row["num_selected"] == float(len(record.selected_ids))
+
+    def test_run_row_matches_trajectory_totals(self, small_result, small_spec):
+        row = run_row_from_result(small_result, small_spec)
+        assert row["rounds_executed"] == float(small_result.num_rounds)
+        assert row["total_time_s"] == float(small_result.total_time_s)
+        assert row["final_accuracy"] == float(small_result.final_accuracy)
+        assert row["participant_energy_j"] == float(
+            small_result.total_participant_energy_j
+        )
+        assert row["global_energy_j"] == float(small_result.total_global_energy_j)
+
+
+class TestGoldenRows:
+    @pytest.fixture(scope="class")
+    def golden(self, tmp_path_factory):
+        store = GoldenStore(tmp_path_factory.mktemp("goldens"))
+        return store.record("flaky-fleet", golden_spec("flaky-fleet", max_rounds=3))
+
+    def test_round_rows_mirror_the_recorded_rows(self, golden):
+        rows = round_rows_from_golden(golden)
+        assert len(rows) == golden.num_rounds
+        for row, recorded in zip(rows, golden.rows):
+            assert row["round_index"] == float(recorded["round"])
+            assert row["accuracy"] == recorded["accuracy"]
+            assert row["num_aggregated"] == float(
+                recorded["num_selected"] - recorded["num_dropped"] - recorded["num_failed"]
+            )
+        assert rows[0]["source"] == "golden"
+        assert rows[0]["preset"] == "flaky-fleet"
+
+    def test_run_row_sums_the_trajectory(self, golden):
+        row = run_row_from_golden(golden)
+        assert row["rounds_executed"] == float(golden.num_rounds)
+        assert row["total_time_s"] == pytest.approx(
+            sum(r["round_time_s"] for r in golden.rows)
+        )
+        assert row["final_accuracy"] == golden.rows[-1]["accuracy"]
+        # Goldens are recorded without early stopping: convergence is unknowable.
+        assert np.isnan(row["converged"])
+
+
+class TestExperimentRows:
+    def test_one_row_per_seed_replica(self, small_spec):
+        import dataclasses
+
+        spec = dataclasses.replace(small_spec, n_seeds=2).validate()
+        report = BatchRunner().run([spec])
+        (result,) = report.results
+        rows = run_rows_from_experiment(result, label="lbl", preset="p")
+        assert len(rows) == 2
+        assert {row["seed"] for row in rows} == {
+            float(unit.scenario.seed) for unit in spec.seed_specs()
+        }
+        for row, summary in zip(rows, result.summaries):
+            assert row["final_accuracy"] == float(summary.final_accuracy)
+            assert row["total_time_s"] == float(summary.total_time_s)
+            # Store payloads keep summaries only: per-round failure totals unknown.
+            assert np.isnan(row["total_straggler_drops"])
+
+
+class TestBenchRows:
+    def test_roundengine_record_yields_one_row_per_size(self):
+        record = {
+            "benchmark": "roundengine",
+            "timestamp": "2026-01-01T00:00:00Z",
+            "workload": "cnn-mnist",
+            "seed": 0,
+            "provenance": {"git_sha": "abc", "numpy": "2.4.6"},
+            "results": [
+                {"num_devices": 200, "scalar_rounds_per_s": 10.0,
+                 "batch_rounds_per_s": 100.0, "speedup": 10.0},
+                {"num_devices": 1000, "scalar_rounds_per_s": 1.0,
+                 "batch_rounds_per_s": 50.0, "speedup": 50.0},
+            ],
+        }
+        rows = bench_rows_from_record(record)
+        assert [row["num_devices"] for row in rows] == [200.0, 1000.0]
+        assert rows[0]["git_sha"] == "abc"
+        assert rows[0]["numpy_version"] == "2.4.6"
+        # The store-suite column is absent and materialises as the null string.
+        assert rows_to_columns("bench", rows)["backend"][0] == NULL_STR
+
+    def test_store_record_yields_one_row_per_backend(self):
+        record = {
+            "benchmark": "store",
+            "timestamp": "t",
+            "results": {
+                "jsonl": {"entries": 10, "inserts_per_s": 1.0},
+                "sqlite": {"entries": 10, "inserts_per_s": 2.0},
+            },
+        }
+        rows = bench_rows_from_record(record)
+        assert [row["backend"] for row in rows] == ["jsonl", "sqlite"]
+        # The roundengine-suite column is absent and materialises as NaN.
+        assert np.isnan(rows_to_columns("bench", rows)["speedup"][0])
+
+    def test_unknown_record_kind_raises(self):
+        with pytest.raises(AnalyticsError, match="unknown bench record kind"):
+            bench_rows_from_record({"benchmark": "gpu"})
+
+
+class TestRowsToColumns:
+    def test_missing_cells_become_nulls(self):
+        columns = rows_to_columns("runs", [{"label": "x", "policy": "autofl"}])
+        assert columns["label"][0] == "x"
+        assert columns["preset"][0] == NULL_STR
+        assert np.isnan(columns["final_accuracy"][0])
+        assert columns["final_accuracy"].dtype == np.float64
+
+    def test_empty_columns_are_zero_row(self):
+        columns = empty_columns("bench")
+        assert all(column.shape == (0,) for column in columns.values())
+        assert set(columns) == {c.name for c in table_schema("bench")}

@@ -10,7 +10,7 @@ from repro.experiments.harness import (
     run_static_cluster,
     run_with_reference,
 )
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import OUTPUT_FORMATS, format_table, render_rows
 from repro.experiments.settings import (
     BASELINE_POLICIES,
     CLUSTER_TEMPLATES,
@@ -117,3 +117,41 @@ class TestFormatTable:
     def test_empty_headers_rejected(self):
         with pytest.raises(ConfigurationError):
             format_table([], [])
+
+
+class TestRenderRows:
+    HEADERS = ("policy", "energy", "converged")
+    ROWS = [("autofl", 4.12345, True), ("random", float("nan"), False)]
+
+    def test_table_format_matches_format_table(self):
+        assert render_rows(self.HEADERS, self.ROWS, "table") == format_table(
+            self.HEADERS, self.ROWS
+        )
+
+    def test_csv_format_keeps_raw_values(self):
+        import csv
+        import io
+
+        text = render_rows(self.HEADERS, self.ROWS, "csv")
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == list(self.HEADERS)
+        assert parsed[1][0] == "autofl"
+        assert float(parsed[1][1]) == 4.12345  # unrounded, unlike the table rendering
+        assert len(parsed) == 3
+
+    def test_json_format_yields_objects_with_null_for_nan(self):
+        import json
+
+        payload = json.loads(render_rows(self.HEADERS, self.ROWS, "json"))
+        assert payload[0] == {"policy": "autofl", "energy": 4.12345, "converged": True}
+        assert payload[1]["energy"] is None  # strict JSON has no NaN literal
+
+    def test_unknown_format_rejected(self):
+        assert set(OUTPUT_FORMATS) == {"table", "csv", "json"}
+        with pytest.raises(ConfigurationError, match="unknown output format"):
+            render_rows(self.HEADERS, self.ROWS, "yaml")
+
+    def test_mismatched_row_rejected_in_every_format(self):
+        for fmt in OUTPUT_FORMATS:
+            with pytest.raises(ConfigurationError):
+                render_rows(["a", "b"], [(1,)], fmt)

@@ -150,19 +150,38 @@ class TestSweep:
 
 
 class TestBench:
-    def test_bench_writes_record(self, tmp_path, capsys):
+    def test_bench_writes_record_and_registers_it(self, tmp_path, capsys):
         output = tmp_path / "bench.json"
+        warehouse = tmp_path / "wh"
         code, out, _err = _run(
-            ["bench", "--sizes", "30", "--repeats", "2", "--output", str(output)],
+            ["bench", "--sizes", "30", "--repeats", "2", "--output", str(output),
+             "--warehouse", str(warehouse)],
             capsys,
         )
         assert code == 0
         assert "speedup" in out
         assert output.exists()
+        assert "registered 1 measurement(s)" in out
+
+        from repro.analytics import Warehouse, run_query
+
+        result = run_query(Warehouse(warehouse), "bench", group_by=("benchmark",))
+        ((benchmark, *_),) = result.rows
+        assert benchmark == "roundengine"
+
+    def test_no_warehouse_skips_registration(self, tmp_path, capsys):
+        code, out, _err = _run(
+            ["bench", "--sizes", "30", "--repeats", "1",
+             "--output", str(tmp_path / "bench.json"), "--no-warehouse"],
+            capsys,
+        )
+        assert code == 0
+        assert "registered" not in out
 
     def test_bench_rejects_malformed_sizes(self, tmp_path, capsys):
         code, _out, err = _run(
-            ["bench", "--sizes", "30,abc", "--output", str(tmp_path / "bench.json")],
+            ["bench", "--sizes", "30,abc", "--output", str(tmp_path / "bench.json"),
+             "--no-warehouse"],
             capsys,
         )
         assert code == 2
@@ -413,7 +432,7 @@ class TestStoreBenchCLI:
         output = tmp_path / "BENCH_store.json"
         code, out, _err = _run(
             ["bench", "--suite", "store", "--entries", "50", "--lookups", "10",
-             "--output", str(output)],
+             "--output", str(output), "--warehouse", str(tmp_path / "wh")],
             capsys,
         )
         assert code == 0
@@ -440,3 +459,210 @@ class TestSqliteStoreCLI:
         code, out, _err = _run([*args, "--store", str(tmp_path / "results.sqlite")], capsys)
         assert code == 0
         assert "1 from cache, 0 executed" in out  # served by the migrated entry
+
+
+class TestOutputFormats:
+    def test_compare_csv_and_json(self, capsys):
+        args = ["compare", "--policies", "fedavg-random,performance", "--devices", "30",
+                "--rounds", "5"]
+        code, out, _err = _run([*args, "--format", "csv"], capsys)
+        assert code == 0
+        assert out.splitlines()[0].startswith("policy,")
+
+        code, out, _err = _run([*args, "--format", "json"], capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert {row["policy"] for row in payload} == {"fedavg-random", "performance"}
+
+    def test_status_format_csv_and_json(self, tmp_path, capsys):
+        svc = ["--root", str(tmp_path / "service")]
+        _run(["submit", "--devices", "25", "--rounds", "4", *svc], capsys)
+        code, out, _err = _run(["status", "--format", "csv", *svc], capsys)
+        assert code == 0
+        assert out.splitlines()[0].startswith("job,state,")
+
+        code, out, _err = _run(["status", "--format", "json", *svc], capsys)
+        assert code == 0
+        (job,) = json.loads(out)
+        assert job["state"] == "queued"
+
+
+class TestWatchInterrupt:
+    def test_follow_interrupt_exits_cleanly(self, tmp_path, capsys, monkeypatch):
+        # Ctrl-C in `watch -f` must exit 0 without a traceback, not 130.
+        import repro.cli as cli
+
+        def _interrupted(path, follow=False):
+            assert follow
+            raise KeyboardInterrupt
+            yield  # pragma: no cover - makes this a generator
+
+        monkeypatch.setattr(cli, "tail_events", _interrupted)
+        code, _out, _err = _run(
+            ["watch", "-f", "--root", str(tmp_path / "service")], capsys
+        )
+        assert code == 0
+
+
+class TestAnalyticsCLI:
+    """The warehouse front-end: ingest -> query/report -> eval."""
+
+    @pytest.fixture
+    def wh(self, tmp_path):
+        return ["--warehouse", str(tmp_path / "wh")]
+
+    @pytest.fixture
+    def ingested(self, tmp_path, capsys, wh):
+        """A warehouse holding one small store ingested under the 'baseline' label."""
+        store = tmp_path / "results.sqlite"
+        _run(["run", "--policy", "fedavg-random", "--devices", "25", "--rounds", "4",
+              "--store", str(store)], capsys)
+        code, out, _err = _run(
+            ["ingest", "--store", str(store), "--label", "baseline", *wh], capsys
+        )
+        assert code == 0
+        assert "ingested 1 run row(s)" in out
+        return store
+
+    def test_ingest_requires_a_source(self, capsys, wh):
+        code, _out, err = _run(["ingest", *wh], capsys)
+        assert code == 2
+        assert "nothing to ingest" in err
+
+    def test_query_json_output(self, capsys, wh, ingested):
+        code, out, _err = _run(
+            ["query", "--table", "runs", "--group-by", "policy",
+             "--metrics", "final_accuracy", "--agg", "mean,count",
+             "--format", "json", *wh],
+            capsys,
+        )
+        assert code == 0
+        (group,) = json.loads(out)
+        assert group["policy"] == "fedavg-random"
+        assert group["final_accuracy:count"] == 1.0
+
+    def test_query_where_filters(self, capsys, wh, ingested):
+        code, out, _err = _run(
+            ["query", "--where", "policy=oracle", *wh], capsys
+        )
+        assert code == 0
+        assert "0 group(s)" in out
+
+    def test_query_unknown_column_fails(self, capsys, wh, ingested):
+        code, _out, err = _run(["query", "--where", "polarity=up", *wh], capsys)
+        assert code == 2
+        assert "unknown filter column" in err
+
+    def test_report_renders_ingested_runs(self, capsys, wh, ingested):
+        code, out, _err = _run(["report", "--format", "csv", *wh], capsys)
+        assert code == 0
+        assert out.splitlines()[0].startswith("scenario,policy,")
+        assert "fedavg-random" in out
+
+    def test_eval_identical_labels_pass(self, capsys, wh, ingested):
+        code, out, _err = _run(
+            ["ingest", "--store", str(ingested), "--label", "candidate", *wh], capsys
+        )
+        assert code == 0
+        code, out, _err = _run(
+            ["eval", "--baseline", "baseline", "--candidate", "candidate", *wh], capsys
+        )
+        assert code == 0
+        assert "eval OK" in out
+
+    def test_eval_regression_exits_one_and_writes_report(self, tmp_path, capsys, wh):
+        # Two synthetic ingests with a known 2x energy regression in the candidate.
+        from repro.analytics import Warehouse
+
+        warehouse = Warehouse(tmp_path / "wh", backend="numpy")
+        base = {
+            "label": "baseline", "source": "store", "spec_hash": "h0", "seed": 0.0,
+            "preset": "fleet-1k", "policy": "autofl", "workload": "cnn-mnist",
+            "setting": "S3", "num_devices": 1000.0, "final_accuracy": 0.8,
+            "rounds_executed": 20.0, "total_time_s": 100.0,
+            "participant_energy_j": 1000.0, "global_energy_j": 1000.0,
+        }
+        warehouse.append_rows("runs", [base])
+        warehouse.append_rows(
+            "runs", [{**base, "label": "candidate", "global_energy_j": 2000.0}]
+        )
+        report_path = tmp_path / "eval-report.json"
+        code, out, _err = _run(
+            ["eval", "--baseline", "baseline", "--candidate", "candidate",
+             "--report", str(report_path), *wh],
+            capsys,
+        )
+        assert code == 1
+        assert "eval FAILED" in out and "FAIL" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is False
+        assert any(
+            c["metric"] == "global_energy_j" and not c["passed"]
+            for c in payload["comparisons"]
+        )
+
+    def test_eval_custom_threshold_flips_the_verdict(self, tmp_path, capsys, wh):
+        from repro.analytics import Warehouse
+
+        warehouse = Warehouse(tmp_path / "wh", backend="numpy")
+        base = {
+            "label": "baseline", "source": "store", "spec_hash": "h0", "seed": 0.0,
+            "preset": "fleet-1k", "policy": "autofl", "total_time_s": 100.0,
+        }
+        warehouse.append_rows("runs", [base])
+        warehouse.append_rows("runs", [{**base, "label": "candidate",
+                                        "total_time_s": 104.0}])
+        # 4% growth: fails the default 5%-style custom 1% gate, passes a 10% gate.
+        code, _out, _err = _run(
+            ["eval", "--baseline", "baseline", "--candidate", "candidate",
+             "--threshold", "total_time_s=1", *wh],
+            capsys,
+        )
+        assert code == 1
+        code, _out, _err = _run(
+            ["eval", "--baseline", "baseline", "--candidate", "candidate",
+             "--threshold", "total_time_s=10", *wh],
+            capsys,
+        )
+        assert code == 0
+
+    def test_eval_unknown_baseline_label_fails(self, capsys, wh, ingested):
+        code, _out, err = _run(["eval", "--baseline", "nope", *wh], capsys)
+        assert code == 2
+        assert "ingested labels" in err
+
+    def test_ingest_goldens_and_query_rounds(self, capsys, wh):
+        from pathlib import Path
+
+        goldens = Path(__file__).parents[1] / "goldens"
+        code, out, _err = _run(
+            ["ingest", "--goldens", str(goldens), "--label", "golden", *wh], capsys
+        )
+        assert code == 0
+        code, out, _err = _run(
+            ["query", "--table", "rounds", "--group-by", "preset",
+             "--metrics", "accuracy", "--agg", "count", "--format", "json", *wh],
+            capsys,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert {group["preset"] for group in payload} == {
+            "fleet-1k", "diurnal-1k", "flaky-fleet", "churn-heavy"
+        }
+
+    def test_ingest_bench_then_query_bench_shortcut(self, tmp_path, capsys, wh):
+        bench = tmp_path / "BENCH_roundengine.json"
+        bench.write_text(json.dumps({
+            "benchmark": "roundengine",
+            "timestamp": "2026-01-01T00:00:00Z",
+            "provenance": {"git_sha": "abc1234"},
+            "results": [{"num_devices": 100, "scalar_rounds_per_s": 5.0,
+                         "batch_rounds_per_s": 50.0, "speedup": 10.0}],
+        }))
+        code, _out, _err = _run(["ingest", "--bench", str(bench), *wh], capsys)
+        assert code == 0
+        code, out, _err = _run(["query", "--bench", "--format", "json", *wh], capsys)
+        assert code == 0
+        (row,) = json.loads(out)
+        assert row["git_sha"] == "abc1234"
+        assert row["speedup:mean"] == 10.0
