@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.validation.golden import GoldenTrajectory
 
 #: Bumped whenever a table's column set changes, so stale warehouses fail loudly.
-WAREHOUSE_SCHEMA_VERSION = 1
+WAREHOUSE_SCHEMA_VERSION = 2
 
 #: Sentinel for a missing string cell.
 NULL_STR = ""
@@ -124,6 +124,14 @@ BENCH_COLUMNS: tuple[Column, ...] = _columns(
     ("scalar_rounds_per_s", "num"),
     ("batch_rounds_per_s", "num"),
     ("speedup", "num"),
+    ("control_plane_round_s", "num"),
+    ("energy_math_round_s", "num"),
+    # Seed-replication measurement (one row per record, benchmark
+    # "roundengine-replication").
+    ("replicates", "num"),
+    ("rounds", "num"),
+    ("serial_wall_s", "num"),
+    ("replicated_wall_s", "num"),
     # Store suite measurements (one row per backend).
     ("backend", "str"),
     ("entries", "num"),
@@ -358,7 +366,7 @@ def bench_rows_from_record(record: Mapping) -> list[dict]:
     }
     benchmark = record.get("benchmark")
     if benchmark == "roundengine":
-        return [
+        rows = [
             {
                 **base,
                 "num_devices": _num(row.get("num_devices")),
@@ -366,9 +374,29 @@ def bench_rows_from_record(record: Mapping) -> list[dict]:
                 "scalar_rounds_per_s": _num(row.get("scalar_rounds_per_s")),
                 "batch_rounds_per_s": _num(row.get("batch_rounds_per_s")),
                 "speedup": _num(row.get("speedup")),
+                "control_plane_round_s": _num(row.get("control_plane_round_s")),
+                "energy_math_round_s": _num(row.get("energy_math_round_s")),
             }
             for row in record.get("results", ())
         ]
+        replication = record.get("replication")
+        if replication:
+            # A distinct benchmark name keys the replication measurement, so it never
+            # collides with a fleet-size row of the same record in the dedup keys.
+            rows.append(
+                {
+                    **base,
+                    "benchmark": "roundengine-replication",
+                    "num_devices": _num(replication.get("num_devices")),
+                    "num_participants": _num(replication.get("num_participants")),
+                    "replicates": _num(replication.get("replicates")),
+                    "rounds": _num(replication.get("rounds")),
+                    "serial_wall_s": _num(replication.get("serial_wall_s")),
+                    "replicated_wall_s": _num(replication.get("replicated_wall_s")),
+                    "speedup": _num(replication.get("speedup")),
+                }
+            )
+        return rows
     if benchmark == "store":
         results = record.get("results", {})
         return [

@@ -75,12 +75,15 @@ from pathlib import Path
 
 from repro.analytics import (
     AGGREGATIONS,
+    BENCH_FLOOR_HEADERS,
     DEFAULT_WAREHOUSE_ROOT,
     EVAL_HEADERS,
     Warehouse,
     build_comparison_report,
+    parse_bench_floor,
     parse_threshold,
     parse_where,
+    run_bench_floor_eval,
     run_query,
     run_regression_eval,
 )
@@ -120,7 +123,9 @@ from repro.service import (
 )
 from repro.sim.bench import (
     DEFAULT_BENCH_OUTPUT,
+    DEFAULT_BENCH_REPLICATES,
     DEFAULT_BENCH_SIZES,
+    DEFAULT_REPLICATION_ROUNDS,
     format_bench_record,
     run_roundengine_bench,
 )
@@ -393,6 +398,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         network=args.network,
         repeats=args.repeats,
         output=output,
+        replicates=args.replicates,
+        replication_rounds=args.replication_rounds,
     )
     print(format_bench_record(record))
     print(f"\nwrote {output}")
@@ -664,6 +671,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
+    if args.bench_floor:
+        floors = tuple(parse_bench_floor(text) for text in args.bench_floor)
+        floor_report = run_bench_floor_eval(_warehouse(args), floors)
+        if args.format == "table":
+            print(floor_report.format())
+        else:
+            print(
+                render_rows(
+                    BENCH_FLOOR_HEADERS,
+                    [c.as_row() for c in floor_report.checks],
+                    args.format,
+                )
+            )
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(floor_report.to_dict(), handle, indent=2, sort_keys=True)
+            print(f"\nwrote {args.report}")
+        return 0 if floor_report.ok else 1
+    if not args.baseline:
+        raise ReproError(
+            "repro eval needs --baseline (label regression eval) or --bench-floor "
+            "(absolute bench floors)"
+        )
     suite = (
         tuple(name.strip() for name in args.suite.split(",") if name.strip())
         if args.suite
@@ -780,6 +810,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--network", default="variable", help="[roundengine] network scenario during the bench"
+    )
+    bench_parser.add_argument(
+        "--replicates",
+        type=int,
+        default=DEFAULT_BENCH_REPLICATES,
+        help="[roundengine] seeds of the replication measurement (0 disables it)",
+    )
+    bench_parser.add_argument(
+        "--replication-rounds",
+        type=int,
+        default=DEFAULT_REPLICATION_ROUNDS,
+        help="[roundengine] rounds each replicate runs in the replication measurement",
     )
     bench_parser.add_argument(
         "--entries",
@@ -1078,7 +1120,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression eval: diff a candidate ingest against a baseline label",
     )
     eval_parser.add_argument(
-        "--baseline", required=True, help="ingest label of the known-good result set"
+        "--baseline",
+        default=None,
+        help="ingest label of the known-good result set (required unless --bench-floor)",
+    )
+    eval_parser.add_argument(
+        "--bench-floor",
+        action="append",
+        metavar="METRIC@DEVICES=VALUE",
+        help=(
+            "absolute floor on an ingested bench measurement (repeatable), e.g. "
+            "batch_rounds_per_s@10000=1500 or speedup@replication=4; checks the "
+            "latest ingested row and needs no baseline label"
+        ),
     )
     eval_parser.add_argument(
         "--candidate",

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.actions import ActionCatalog
-from repro.core.agent import AutoFLAgent, QLearningConfig
+from repro.core.agent import AutoFLAgent, QLearningConfig, VectorAutoFLAgent
 from repro.core.qtable import QTableStore
 from repro.core.reward import RewardCalculator, RewardWeights
 from repro.core.selection import Policy, effective_num_participants
@@ -14,7 +14,7 @@ from repro.exceptions import PolicyError
 from repro.registry import POLICIES
 from repro.fl.server import RoundTrainingResult
 from repro.sim.context import RoundContext, SelectionDecision
-from repro.sim.results import RoundExecution
+from repro.sim.results import BatchRoundExecution, RoundExecution
 
 
 @POLICIES.register("autofl")
@@ -28,6 +28,7 @@ class AutoFLPolicy(Policy):
     """
 
     name = "autofl"
+    uses_feedback = True
 
     def __init__(
         self,
@@ -36,6 +37,8 @@ class AutoFLPolicy(Policy):
         reward_weights: RewardWeights | None = None,
         qtable_sharing: str = QTableStore.PER_TIER,
         catalog: ActionCatalog | None = None,
+        vectorized: bool = False,
+        init_scale: float = 0.01,
     ) -> None:
         super().__init__(rng)
         self._config = config or QLearningConfig()
@@ -43,24 +46,46 @@ class AutoFLPolicy(Policy):
         self._qtable_sharing = qtable_sharing
         self._catalog = catalog or ActionCatalog()
         self._encoder = StateEncoder()
-        self._agent: AutoFLAgent | None = None
+        self._vectorized = vectorized
+        self._init_scale = init_scale
+        self._agent: AutoFLAgent | VectorAutoFLAgent | None = None
+        if vectorized:
+            self.name = "autofl-fast"
 
     @property
-    def agent(self) -> AutoFLAgent:
+    def vectorized(self) -> bool:
+        """Whether the array-native agent hot path is in use."""
+        return self._vectorized
+
+    @property
+    def agent(self) -> AutoFLAgent | VectorAutoFLAgent:
         """The underlying Q-learning agent (created on first use)."""
         if self._agent is None:
             raise PolicyError("the AutoFL agent is created on the first select() call")
         return self._agent
 
-    def _ensure_agent(self, ctx: RoundContext) -> AutoFLAgent:
+    def _ensure_agent(self, ctx: RoundContext) -> AutoFLAgent | VectorAutoFLAgent:
         if self._agent is None:
-            self._agent = AutoFLAgent(
-                fleet=ctx.environment.fleet,
-                catalog=self._catalog,
-                config=self._config,
-                qtable_sharing=self._qtable_sharing,
-                rng=self._rng,
-            )
+            if self._vectorized:
+                arrays = ctx.environment.fleet_arrays
+                self._agent = VectorAutoFLAgent(
+                    tier_codes=arrays.tier_codes,
+                    device_ids=arrays.device_ids,
+                    catalog=self._catalog,
+                    config=self._config,
+                    qtable_sharing=self._qtable_sharing,
+                    rng=self._rng,
+                    init_scale=self._init_scale,
+                )
+            else:
+                self._agent = AutoFLAgent(
+                    fleet=ctx.environment.fleet,
+                    catalog=self._catalog,
+                    config=self._config,
+                    qtable_sharing=self._qtable_sharing,
+                    rng=self._rng,
+                    init_scale=self._init_scale,
+                )
         return self._agent
 
     def _encode_states(
@@ -79,17 +104,91 @@ class AutoFLPolicy(Policy):
         }
         return global_state, local_states
 
+    def _candidate_rows(self, ctx: RoundContext) -> np.ndarray:
+        if ctx.online_mask is None:
+            return np.arange(len(ctx.environment.fleet_arrays), dtype=np.int64)
+        return np.flatnonzero(ctx.online_mask)
+
     def select(self, ctx: RoundContext) -> SelectionDecision:
         agent = self._ensure_agent(ctx)
-        global_state, local_states = self._encode_states(ctx)
-        selection = agent.select(
-            global_state, local_states, effective_num_participants(ctx)
-        )
+        if self._vectorized:
+            assert isinstance(agent, VectorAutoFLAgent)
+            environment = ctx.environment
+            global_state = self._encoder.encode_global(
+                environment.workload, environment.global_params
+            )
+            rows = self._candidate_rows(ctx)
+            conditions = ctx.conditions_as_arrays()
+            local_codes = self._encoder.encode_local_codes(
+                conditions.take(rows), environment.class_fraction_array[rows]
+            )
+            selection = agent.select(
+                global_state, rows, local_codes, effective_num_participants(ctx)
+            )
+        else:
+            global_state, local_states = self._encode_states(ctx)
+            selection = agent.select(
+                global_state, local_states, effective_num_participants(ctx)
+            )
         targets = {
             device_id: self._catalog.to_target(action_id, ctx.environment.fleet[device_id])
             for device_id, action_id in selection.actions.items()
         }
         return SelectionDecision(participants=selection.participant_ids, targets=targets)
+
+    def feedback_batch(
+        self,
+        ctx: RoundContext,
+        decision: SelectionDecision,
+        batch: BatchRoundExecution,
+        training: RoundTrainingResult,
+    ) -> bool:
+        if not self._vectorized:
+            return False
+        self._ensure_agent(ctx)
+        arrays = ctx.environment.fleet_arrays
+        rows = arrays.rows_for(decision.participants)
+        # Fleet-order per-device energies straight from the batch arrays: participants
+        # contribute compute + communication + waiting, everyone else their idle draw.
+        fleet_local = batch.idle_j.copy()
+        fleet_local[rows] = (batch.compute_j + batch.communication_j) + batch.waiting_j
+        selected_mask = np.zeros(len(arrays), dtype=bool)
+        selected_mask[rows] = True
+        failed_mask = np.zeros(len(arrays), dtype=bool)
+        failed_mask[rows] = batch.failed
+        self._apply_vector_feedback(
+            ctx, fleet_local, selected_mask, failed_mask, float(np.sum(fleet_local)), training
+        )
+        return True
+
+    def _apply_vector_feedback(
+        self,
+        ctx: RoundContext,
+        fleet_local: np.ndarray,
+        selected_mask: np.ndarray,
+        failed_mask: np.ndarray,
+        global_energy: float,
+        training: RoundTrainingResult,
+    ) -> None:
+        agent = self.agent
+        assert isinstance(agent, VectorAutoFLAgent)
+        participant_local = fleet_local[selected_mask]
+        mean_participant = (
+            float(np.mean(participant_local)) if len(participant_local) else 0.0
+        )
+        self._reward.observe_round(global_energy, mean_participant)
+        # Rewards land on the round's observable candidates — the same rows the agent
+        # holds pending transitions for (offline devices got no transition).
+        candidate_rows = self._candidate_rows(ctx)
+        rewards = self._reward.rewards_batch(
+            global_energy_j=global_energy,
+            local_energy_j=fleet_local[candidate_rows],
+            accuracy=training.accuracy,
+            previous_accuracy=training.previous_accuracy,
+            selected=selected_mask[candidate_rows],
+            failed=failed_mask[candidate_rows],
+        )
+        agent.record_rewards(rewards)
 
     def feedback(
         self,
@@ -99,6 +198,29 @@ class AutoFLPolicy(Policy):
         training: RoundTrainingResult,
     ) -> None:
         agent = self._ensure_agent(ctx)
+        if self._vectorized:
+            # Slow array-path fallback for callers that only have the scalar execution
+            # object; the simulation runner routes through feedback_batch instead.
+            assert isinstance(agent, VectorAutoFLAgent)
+            fleet_ids = ctx.environment.fleet_arrays.device_ids
+            selected_set = set(decision.participants)
+            failed_set = set(execution.failed_ids)
+            energies = [execution.energy.device(int(d)) for d in fleet_ids]
+            fleet_local = np.array(
+                [
+                    energy.total_j if int(d) in selected_set else energy.idle_j
+                    for d, energy in zip(fleet_ids, energies)
+                ],
+                dtype=np.float64,
+            )
+            selected_mask = np.array([int(d) in selected_set for d in fleet_ids])
+            failed_mask = np.array([int(d) in failed_set for d in fleet_ids])
+            self._apply_vector_feedback(
+                ctx, fleet_local, selected_mask, failed_mask,
+                execution.energy.global_j, training,
+            )
+            return
+        assert isinstance(agent, AutoFLAgent)
         selected = set(decision.participants)
         global_energy = execution.energy.global_j
         participant_energies = [
@@ -131,3 +253,10 @@ class AutoFLPolicy(Policy):
         if self._agent is None:
             return []
         return self._agent.reward_history
+
+
+POLICIES.add(
+    "autofl-fast",
+    lambda rng=None, **kwargs: AutoFLPolicy(rng=rng, vectorized=True, **kwargs),
+    summary="AutoFL with the vectorised (array-native) agent hot path.",
+)

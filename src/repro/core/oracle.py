@@ -102,6 +102,15 @@ class OracleParticipantPolicy(Policy):
     def __init__(self, rng: np.random.Generator | None = None) -> None:
         super().__init__(rng)
         self._catalog = ActionCatalog()
+        self._engine: RoundEngine | None = None
+        self._engine_env: object | None = None
+
+    def _engine_for(self, ctx: RoundContext) -> RoundEngine:
+        """The plan-scoring engine, cached across rounds of the same environment."""
+        if self._engine is None or self._engine_env is not ctx.environment:
+            self._engine = RoundEngine(ctx.environment)
+            self._engine_env = ctx.environment
+        return self._engine
 
     # ------------------------------------------------------------------ device ranking
     def _build_cache(self, ctx: RoundContext) -> _RoundCache:
@@ -183,7 +192,7 @@ class OracleParticipantPolicy(Policy):
         V-F step); :class:`OracleFLPolicy` overrides this with batched target search.
         """
         processors = np.full(len(rows), PROC_CPU, dtype=np.int64)
-        vf_steps = cache.arrays.default_vf_steps()[rows].copy()
+        vf_steps = cache.arrays.default_vf_steps()[rows]
         return processors, vf_steps
 
     def _evaluate_plan(
@@ -219,7 +228,7 @@ class OracleParticipantPolicy(Policy):
         )
 
     def select(self, ctx: RoundContext) -> SelectionDecision:
-        engine = RoundEngine(ctx.environment)
+        engine = self._engine_for(ctx)
         cache = self._build_cache(ctx)
         plans = [
             self._evaluate_plan(
@@ -230,7 +239,14 @@ class OracleParticipantPolicy(Policy):
         if not plans:
             raise PolicyError("no candidate plans could be evaluated")
         best = max(plans, key=lambda plan: plan.score)
-        return SelectionDecision(participants=best.participants, targets=best.targets())
+        # The array form of the winning plan's targets lets the round engine skip its
+        # per-participant dict walk; the dict form stays for scalar consumers.
+        return SelectionDecision(
+            participants=best.participants,
+            targets=best.targets(),
+            target_processors=best.processors,
+            target_vf_steps=best.vf_steps,
+        )
 
 
 @POLICIES.register("ofl", aliases=("o-fl", "oracle-fl", "oracle"))

@@ -32,10 +32,18 @@ class QTable:
         return (global_state.as_tuple(), local_state.as_tuple(), action_id)
 
     def get(self, global_state: GlobalState, local_state: LocalState, action_id: int) -> float:
-        """Q-value of a (state, action) pair, lazily initialised to a small random value."""
+        """Q-value of a (state, action) pair, lazily initialised to a small random value.
+
+        At ``init_scale=0.0`` entries initialise to exact zero *without consuming the RNG
+        stream* — the configuration under which the scalar and vectorised agents are
+        stream-compatible.
+        """
         key = self._key(global_state, local_state, action_id)
         if key not in self._values:
-            self._values[key] = float(self._rng.normal(0.0, self._init_scale))
+            if self._init_scale == 0.0:
+                self._values[key] = 0.0
+            else:
+                self._values[key] = float(self._rng.normal(0.0, self._init_scale))
         return self._values[key]
 
     def set(
@@ -63,6 +71,80 @@ class QTable:
         return len(self._values)
 
 
+class VectorQTableStore:
+    """Dense Q-value blocks for the vectorised AutoFL agent.
+
+    Where :class:`QTable` is a sparse per-entry dict, this store keeps, per global-state
+    tuple, one dense array of shape ``[num_keys, num_local_codes, num_actions + 1]`` —
+    ``num_keys`` is the number of sharing groups (fleet size for per-device sharing,
+    number of tiers for per-tier), local states are addressed by their packed code
+    (:meth:`repro.core.state.StateEncoder.local_code`) and the final action column is the
+    reserved idle action.  Lookup, argmax and the Q-update for a whole candidate set then
+    collapse into fancy indexing.
+
+    Blocks are initialised with one draw of ``rng.normal(0, init_scale)`` per cell at
+    first access of their global tuple.  The draw *order* necessarily differs from the
+    sparse table's per-entry lazy initialisation, so the vectorised agent is stream-
+    compatible with the scalar agent only at ``init_scale=0.0`` (both start from exact
+    zeros) — which is how the equivalence tests pin the two implementations.
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        num_local_codes: int,
+        num_actions: int,
+        rng: np.random.Generator | None = None,
+        init_scale: float = 0.01,
+    ) -> None:
+        if num_keys <= 0 or num_local_codes <= 0 or num_actions <= 0:
+            raise PolicyError("VectorQTableStore dimensions must be positive")
+        self._num_keys = num_keys
+        self._num_local_codes = num_local_codes
+        self._num_actions = num_actions
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._init_scale = init_scale
+        self._blocks: dict[tuple[int, ...], np.ndarray] = {}
+
+    @property
+    def num_actions(self) -> int:
+        """Number of selectable actions (the idle column is extra)."""
+        return self._num_actions
+
+    @property
+    def idle_column(self) -> int:
+        """Column index of the reserved idle action."""
+        return self._num_actions
+
+    def block(self, global_tuple: tuple[int, ...]) -> np.ndarray:
+        """The dense Q-block of one global state, created on first access."""
+        existing = self._blocks.get(global_tuple)
+        if existing is not None:
+            return existing
+        if self._init_scale == 0.0:
+            block = np.zeros(
+                (self._num_keys, self._num_local_codes, self._num_actions + 1),
+                dtype=np.float64,
+            )
+        else:
+            block = self._rng.normal(
+                0.0,
+                self._init_scale,
+                size=(self._num_keys, self._num_local_codes, self._num_actions + 1),
+            )
+        self._blocks[global_tuple] = block
+        return block
+
+    @property
+    def num_tables(self) -> int:
+        """Number of materialised global-state blocks."""
+        return len(self._blocks)
+
+    def total_entries(self) -> int:
+        """Total number of Q-cells materialised (a proxy for memory footprint)."""
+        return sum(block.size for block in self._blocks.values())
+
+
 class QTableStore:
     """Holds the Q-tables of a fleet, either one per device or one per performance tier."""
 
@@ -73,6 +155,7 @@ class QTableStore:
         self,
         sharing: str = PER_TIER,
         rng: np.random.Generator | None = None,
+        init_scale: float = 0.01,
     ) -> None:
         if sharing not in (self.PER_DEVICE, self.PER_TIER):
             raise PolicyError(
@@ -80,6 +163,7 @@ class QTableStore:
             )
         self._sharing = sharing
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._init_scale = init_scale
         self._tables: dict[object, QTable] = {}
 
     @property
@@ -91,7 +175,7 @@ class QTableStore:
         """The Q-table responsible for a device."""
         key: object = device_id if self._sharing == self.PER_DEVICE else tier
         if key not in self._tables:
-            self._tables[key] = QTable(rng=self._rng)
+            self._tables[key] = QTable(rng=self._rng, init_scale=self._init_scale)
         return self._tables[key]
 
     @property

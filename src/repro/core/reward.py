@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.exceptions import PolicyError
 
 
@@ -108,3 +110,41 @@ class RewardCalculator:
             + self._weights.alpha * accuracy_pct
             + self._weights.beta * improvement_pct
         )
+
+    def rewards_batch(
+        self,
+        global_energy_j: float,
+        local_energy_j: np.ndarray,
+        accuracy: float,
+        previous_accuracy: float,
+        selected: np.ndarray,
+        failed: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`reward` over per-device energies and selection masks.
+
+        ``local_energy_j`` / ``selected`` / ``failed`` are aligned per-device arrays;
+        each element computes exactly the scalar branches of Eq. 7, so values match the
+        per-device loop bit-for-bit.
+        """
+        if not 0.0 <= accuracy <= 1.0 or not 0.0 <= previous_accuracy <= 1.0:
+            raise PolicyError("accuracies must be fractions in [0, 1]")
+        accuracy_pct = accuracy * 100.0
+        improvement_pct = (accuracy - previous_accuracy) * 100.0
+        local_reference = self._local_mean.value
+        if local_reference <= 0:
+            norm_local = np.full_like(local_energy_j, self.ENERGY_SCALE)
+        else:
+            norm_local = self.ENERGY_SCALE * local_energy_j / local_reference
+        norm_global = self._normalise(global_energy_j, self._global_mean)
+        base = (
+            -norm_global
+            - norm_local
+            + self._weights.alpha * accuracy_pct
+            + self._weights.beta * max(0.0, improvement_pct)
+        )
+        rewards = np.where(
+            selected & failed,
+            accuracy_pct - 100.0 - norm_local,
+            np.where(selected & (improvement_pct <= 0.0), accuracy_pct - 100.0, base),
+        )
+        return rewards

@@ -9,12 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.devices.fleet_arrays import TIER_ORDER
 from repro.devices.specs import DeviceTier
 from repro.exceptions import PolicyError
 from repro.fl.server import RoundTrainingResult
 from repro.registry import POLICIES
 from repro.sim.context import RoundContext, SelectionDecision
-from repro.sim.results import RoundExecution
+from repro.sim.results import BatchRoundExecution, RoundExecution
 
 #: Paper Table 4 — cluster templates, expressed as device counts per tier for K = 20.
 #: C0 is the random baseline (no fixed composition).
@@ -36,6 +37,10 @@ class Policy:
     """Base class for participant-selection policies."""
 
     name = "base"
+    #: Whether :meth:`feedback` does anything.  Policies that learn from round outcomes
+    #: (AutoFL) set this True; the replicated execution path only supports policies whose
+    #: feedback is a no-op, because it skips the per-round feedback call entirely.
+    uses_feedback = False
 
     def __init__(self, rng: np.random.Generator | None = None) -> None:
         self._rng = rng if rng is not None else np.random.default_rng(0)
@@ -52,6 +57,21 @@ class Policy:
         training: RoundTrainingResult,
     ) -> None:
         """Receive the measured outcome of the round.  Non-learning policies ignore it."""
+
+    def feedback_batch(
+        self,
+        ctx: RoundContext,
+        decision: SelectionDecision,
+        batch: BatchRoundExecution,
+        training: RoundTrainingResult,
+    ) -> bool:
+        """Array-form feedback: return True if handled, False to request :meth:`feedback`.
+
+        The simulation runner offers the round outcome in batch (array) form first;
+        policies with a vectorised learning path accept it here and skip the scalar
+        :class:`RoundExecution` materialisation cost.  The default declines.
+        """
+        return False
 
 
 def effective_num_participants(ctx: RoundContext) -> int:
@@ -73,7 +93,9 @@ class RandomPolicy(Policy):
     name = "fedavg-random"
 
     def select(self, ctx: RoundContext) -> SelectionDecision:
-        device_ids = ctx.candidate_ids()
+        # The cached candidate array draws the exact same stream as the id list did —
+        # Generator.choice converts a list to this array before sampling.
+        device_ids = ctx.candidate_id_array()
         num_participants = effective_num_participants(ctx)
         chosen = self._rng.choice(device_ids, size=num_participants, replace=False)
         return SelectionDecision(participants=[int(device_id) for device_id in chosen])
@@ -122,28 +144,31 @@ class StaticClusterPolicy(Policy):
         self._composition = dict(composition)
 
     def select(self, ctx: RoundContext) -> SelectionDecision:
-        fleet = ctx.environment.fleet
+        # Per-tier candidate pools as array ops over the fleet snapshot.  Tier masks
+        # preserve fleet order exactly like the per-device ``by_tier`` walk did, so the
+        # RNG stream (and therefore every committed trajectory) is unchanged.
+        arrays = ctx.environment.fleet_arrays
+        candidates = ctx.candidate_id_array()
+        online_tiers = (
+            arrays.tier_codes
+            if ctx.online_mask is None
+            else arrays.tier_codes[np.asarray(ctx.online_mask, dtype=bool)]
+        )
         num_participants = effective_num_participants(ctx)
         target_counts = scale_template(self._composition, num_participants)
         participants: list[int] = []
         shortfall = 0
-        for tier in (DeviceTier.HIGH, DeviceTier.MID, DeviceTier.LOW):
+        for code, tier in enumerate(TIER_ORDER):
             wanted = target_counts.get(tier, 0)
-            available = [
-                device.device_id
-                for device in fleet.by_tier(tier)
-                if ctx.is_online(device.device_id)
-            ]
+            available = candidates[online_tiers == code]
             take = min(wanted, len(available))
             shortfall += wanted - take
             if take > 0:
                 chosen = self._rng.choice(available, size=take, replace=False)
                 participants.extend(int(device_id) for device_id in chosen)
         if shortfall > 0:
-            taken = set(participants)
-            remaining = [
-                device_id for device_id in ctx.candidate_ids() if device_id not in taken
-            ]
+            taken = np.array(participants, dtype=np.int64)
+            remaining = candidates[np.isin(candidates, taken, invert=True)]
             if len(remaining) < shortfall:
                 raise PolicyError("fleet too small to satisfy the requested cluster composition")
             extra = self._rng.choice(remaining, size=shortfall, replace=False)

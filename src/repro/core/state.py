@@ -10,9 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import GlobalParams
 from repro.data.profiles import DeviceDataProfile
 from repro.devices.device import RoundConditions
+from repro.devices.fleet_arrays import RoundConditionsArrays
 from repro.exceptions import PolicyError
 from repro.network.bandwidth import BAD_NETWORK_THRESHOLD_MBPS
 from repro.nn.workloads import WorkloadProfile
@@ -108,3 +111,43 @@ class StateEncoder:
             s_network=0 if conditions.bandwidth_mbps > BAD_NETWORK_THRESHOLD_MBPS else 1,
             s_data=_bin_value(data_profile.class_fraction, self.DATA_THRESHOLDS),
         )
+
+    # ------------------------------------------------------------------ batch encoding
+    #: Bin counts per local-state feature — the mixed radix of :meth:`local_code`.
+    NUM_UTILIZATION_BINS = len(UTILIZATION_THRESHOLDS) + 1
+    NUM_NETWORK_BINS = 2
+    NUM_DATA_BINS = len(DATA_THRESHOLDS) + 1
+    #: Total number of distinct packed local states (4 * 4 * 2 * 3 = 96).
+    NUM_LOCAL_CODES = (
+        NUM_UTILIZATION_BINS * NUM_UTILIZATION_BINS * NUM_NETWORK_BINS * NUM_DATA_BINS
+    )
+
+    @classmethod
+    def local_code(cls, state: LocalState) -> int:
+        """Pack a :class:`LocalState` into its dense integer code in ``[0, 96)``."""
+        return (
+            (state.s_co_cpu * cls.NUM_UTILIZATION_BINS + state.s_co_mem)
+            * cls.NUM_NETWORK_BINS
+            + state.s_network
+        ) * cls.NUM_DATA_BINS + state.s_data
+
+    def encode_local_codes(
+        self, conditions: RoundConditionsArrays, class_fractions: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`encode_local` over aligned condition/coverage arrays.
+
+        Returns packed local-state codes (``local_code`` of the per-device
+        :class:`LocalState`).  Binning uses ``searchsorted(side="right")``, which is
+        exactly ``_bin_value``'s first-threshold-exceeding rule including the
+        on-threshold tie (a value equal to a threshold lands in the upper bin in both).
+        """
+        utilization = np.asarray(self.UTILIZATION_THRESHOLDS, dtype=np.float64)
+        data = np.asarray(self.DATA_THRESHOLDS, dtype=np.float64)
+        s_co_cpu = np.searchsorted(utilization, conditions.co_cpu_util, side="right")
+        s_co_mem = np.searchsorted(utilization, conditions.co_mem_util, side="right")
+        s_network = np.where(conditions.bandwidth_mbps > BAD_NETWORK_THRESHOLD_MBPS, 0, 1)
+        s_data = np.searchsorted(data, class_fractions, side="right")
+        return (
+            (s_co_cpu * self.NUM_UTILIZATION_BINS + s_co_mem) * self.NUM_NETWORK_BINS
+            + s_network
+        ) * self.NUM_DATA_BINS + s_data

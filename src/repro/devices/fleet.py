@@ -23,6 +23,7 @@ class Fleet:
             raise DeviceError("fleet device ids must be unique")
         self._devices = list(devices)
         self._by_id = {device.device_id: device for device in self._devices}
+        self._device_ids = ids
 
     def __len__(self) -> int:
         return len(self._devices)
@@ -38,8 +39,8 @@ class Fleet:
 
     @property
     def device_ids(self) -> list[int]:
-        """All device ids in fleet order."""
-        return [device.device_id for device in self._devices]
+        """All device ids in fleet order (a copy)."""
+        return list(self._device_ids)
 
     @property
     def devices(self) -> list[MobileDevice]:

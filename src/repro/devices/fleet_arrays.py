@@ -119,12 +119,31 @@ class FleetArrays:
             "_row_of",
             {int(device_id): row for row, device_id in enumerate(self.device_ids)},
         )
+        # Fleets number their devices 0..N-1 in fleet order, so id == row and the
+        # per-id dict walk collapses into one bounds-checked array conversion.
+        object.__setattr__(
+            self,
+            "_contiguous_ids",
+            bool(
+                int(self.device_ids[0]) == 0
+                and int(self.device_ids[-1]) == n - 1
+                and np.array_equal(self.device_ids, np.arange(n, dtype=np.int64))
+            ),
+        )
+        object.__setattr__(self, "_default_vf_steps", self.num_vf_steps[PROC_CPU] - 1)
 
     def __len__(self) -> int:
         return len(self.device_ids)
 
     def rows_for(self, device_ids: Sequence[int]) -> np.ndarray:
         """Map device ids to fleet rows, raising on unknown ids."""
+        if self._contiguous_ids:  # type: ignore[attr-defined]
+            rows = np.array(device_ids, dtype=np.int64)
+            bad = (rows < 0) | (rows >= len(self))
+            if np.any(bad):
+                missing = int(rows[bad][0])
+                raise DeviceError(f"no device with id {missing} in fleet")
+            return rows
         row_of: dict[int, int] = self._row_of  # type: ignore[attr-defined]
         try:
             return np.array([row_of[device_id] for device_id in device_ids], dtype=np.int64)
@@ -137,8 +156,12 @@ class FleetArrays:
         return self.peak_gflops[PROC_CPU]
 
     def default_vf_steps(self) -> np.ndarray:
-        """Per-device default V-F step (highest CPU step), mirroring ``default_target``."""
-        return self.num_vf_steps[PROC_CPU] - 1
+        """Per-device default V-F step (highest CPU step), mirroring ``default_target``.
+
+        The array is computed once per snapshot and shared — callers must treat it as
+        read-only (per-selection gathers like ``default_vf_steps()[rows]`` copy anyway).
+        """
+        return self._default_vf_steps  # type: ignore[attr-defined]
 
     def relative_frequency(self, processors: np.ndarray, vf_steps: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Vectorised ``ProcessorSpec.relative_frequency`` for per-device targets.
@@ -240,15 +263,26 @@ class LazyConditionMapping(Mapping[int, RoundConditions]):
         if len(device_ids) != len(arrays):
             raise SimulationError("device_ids length does not match condition arrays")
         self._arrays = arrays
-        self._device_ids = [int(device_id) for device_id in device_ids]
-        self._row_of = {device_id: row for row, device_id in enumerate(self._device_ids)}
+        self._ids = device_ids
+        # The id list and row index are built on first scalar access: array-native
+        # consumers construct one of these views every round and never open it, so
+        # __init__ must stay O(1).
+        self._device_ids: list[int] | None = None
+        self._rows: dict[int, int] | None = None
         self._cache: dict[int, RoundConditions] = {}
+
+    def _id_list(self) -> list[int]:
+        if self._device_ids is None:
+            self._device_ids = [int(device_id) for device_id in self._ids]
+        return self._device_ids
 
     def __getitem__(self, device_id: int) -> RoundConditions:
         cached = self._cache.get(device_id)
         if cached is not None:
             return cached
-        row = self._row_of[device_id]  # Raises KeyError for unknown ids, like a dict.
+        if self._rows is None:
+            self._rows = {did: row for row, did in enumerate(self._id_list())}
+        row = self._rows[device_id]  # Raises KeyError for unknown ids, like a dict.
         conditions = RoundConditions(
             co_cpu_util=float(self._arrays.co_cpu_util[row]),
             co_mem_util=float(self._arrays.co_mem_util[row]),
@@ -258,7 +292,7 @@ class LazyConditionMapping(Mapping[int, RoundConditions]):
         return conditions
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self._device_ids)
+        return iter(self._id_list())
 
     def __len__(self) -> int:
-        return len(self._device_ids)
+        return len(self._ids)

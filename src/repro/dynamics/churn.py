@@ -44,19 +44,31 @@ class ChurnModel:
         self.leave_rate = leave_rate
         self.rejoin_rate = rejoin_rate
         self._member: np.ndarray | None = None
-        self._events: list[ChurnEvent] = []
+        #: Compact per-round flip log: (round_index, leave_labels, join_labels) arrays.
+        #: ChurnEvent objects are materialised lazily — the per-round hot path only
+        #: appends the flip arrays instead of building O(flips) Python objects.
+        self._flips: list[tuple[int, np.ndarray, np.ndarray]] = []
 
     @property
     def events(self) -> list[ChurnEvent]:
-        """All membership changes so far, in round order (a copy)."""
-        return list(self._events)
+        """All membership changes so far, in round order (a fresh list).
+
+        Within a round, leaves precede joins and both follow fleet order — the same
+        order the eager per-flip log used to record.
+        """
+        return [
+            ChurnEvent(round_index, int(label), kind)
+            for round_index, leaves, joins in self._flips
+            for kind, labels in (("leave", leaves), ("join", joins))
+            for label in labels
+        ]
 
     def reset(self, num_devices: int) -> None:
         """Start a new job: every device enrolled, event log cleared."""
         if num_devices <= 0:
             raise ConfigurationError("num_devices must be positive")
         self._member = np.ones(num_devices, dtype=bool)
-        self._events = []
+        self._flips = []
 
     def membership_mask(
         self,
@@ -78,9 +90,6 @@ class ChurnModel:
         updated = (member & ~leaving) | joining
         if leaving.any() or joining.any():
             labels = device_ids if device_ids is not None else np.arange(len(member))
-            for row in np.flatnonzero(leaving):
-                self._events.append(ChurnEvent(round_index, int(labels[row]), "leave"))
-            for row in np.flatnonzero(joining):
-                self._events.append(ChurnEvent(round_index, int(labels[row]), "join"))
+            self._flips.append((round_index, labels[leaving], labels[joining]))
         self._member = updated
         return updated.copy()

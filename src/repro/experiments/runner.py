@@ -165,9 +165,23 @@ def run_experiment(spec: ExperimentSpec, validate: bool = False) -> ExperimentRe
     against the simulator's accounting invariants
     (:mod:`repro.validation.invariants`); a violation raises
     :class:`~repro.exceptions.ValidationError` instead of returning a tainted result.
+
+    Seed replicas of non-learning policies run through the batch engine's replicate
+    axis (one stacked physics call per round instead of N serial loops); learning
+    policies, single seeds and validated runs keep the serial per-seed path.  Either
+    way each replica's trajectory is byte-identical to running its seed alone.
     """
     start = time.perf_counter()
-    summaries = tuple(_run_unit(unit, validate) for unit in spec.seed_specs())
+    units = spec.seed_specs()
+    if not validate and len(units) > 1:
+        simulations = [build_simulation(unit) for unit in units]
+        if all(simulation.replication_supported for simulation in simulations):
+            results = FLSimulation.run_replicated(simulations)
+            summaries = tuple(result.summary() for result in results)
+        else:
+            summaries = tuple(simulation.run().summary() for simulation in simulations)
+    else:
+        summaries = tuple(_run_unit(unit, validate) for unit in units)
     return ExperimentResult(
         spec=spec, summaries=summaries, elapsed_s=time.perf_counter() - start
     )

@@ -123,19 +123,27 @@ class CommunicationModel:
         payload_megabits = model_size_mb * 8.0 * self._protocol_overhead
         upload_time = payload_megabits / bandwidth_mbps
         download_time = payload_megabits / (bandwidth_mbps * DOWNLINK_BANDWIDTH_FACTOR)
-        conditions = [
-            bandwidth_mbps > STRONG_NETWORK_THRESHOLD_MBPS,
-            bandwidth_mbps > BAD_NETWORK_THRESHOLD_MBPS,
-        ]
-        tx_power = np.select(
-            conditions,
-            [TX_POWER_WATT[SignalStrength.STRONG], TX_POWER_WATT[SignalStrength.MODERATE]],
-            default=TX_POWER_WATT[SignalStrength.WEAK],
+        # First-match signal banding as nested np.where — same values as np.select
+        # over the ordered conditions, without its per-choice temporary arrays.
+        strong = bandwidth_mbps > STRONG_NETWORK_THRESHOLD_MBPS
+        moderate = bandwidth_mbps > BAD_NETWORK_THRESHOLD_MBPS
+        tx_power = np.where(
+            strong,
+            TX_POWER_WATT[SignalStrength.STRONG],
+            np.where(
+                moderate,
+                TX_POWER_WATT[SignalStrength.MODERATE],
+                TX_POWER_WATT[SignalStrength.WEAK],
+            ),
         )
-        rx_power = np.select(
-            conditions,
-            [RX_POWER_WATT[SignalStrength.STRONG], RX_POWER_WATT[SignalStrength.MODERATE]],
-            default=RX_POWER_WATT[SignalStrength.WEAK],
+        rx_power = np.where(
+            strong,
+            RX_POWER_WATT[SignalStrength.STRONG],
+            np.where(
+                moderate,
+                RX_POWER_WATT[SignalStrength.MODERATE],
+                RX_POWER_WATT[SignalStrength.WEAK],
+            ),
         )
         energy = tx_power * upload_time + rx_power * download_time
         return upload_time, download_time, energy

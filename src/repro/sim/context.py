@@ -51,6 +51,22 @@ class RoundContext:
             device_id for device_id, online in zip(device_ids, self.online_mask) if online
         ]
 
+    @cached_property
+    def _candidate_id_array(self) -> np.ndarray:
+        device_ids = self.environment.fleet_arrays.device_ids
+        if self.online_mask is None:
+            return device_ids
+        return device_ids[np.asarray(self.online_mask, dtype=bool)]
+
+    def candidate_id_array(self) -> np.ndarray:
+        """Array view of :meth:`candidate_ids` (same ids, same fleet order).
+
+        Cached per round and shared — callers must treat it as read-only.  Policies that
+        draw with ``rng.choice`` get identical streams from the array and the list form,
+        so switching is trajectory-neutral.
+        """
+        return self._candidate_id_array
+
     @property
     def num_candidates(self) -> int:
         """Number of selectable (online) devices this round."""
@@ -86,6 +102,11 @@ class SelectionDecision:
 
     participants: list[int]
     targets: dict[int, ExecutionTarget] = field(default_factory=dict)
+    #: Optional array form of ``targets`` aligned on ``participants`` (processor codes
+    #: and V-F step indices).  Policies that score targets as arrays populate both
+    #: representations; the round engine then skips the per-participant dict walk.
+    target_processors: np.ndarray | None = None
+    target_vf_steps: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if len(set(self.participants)) != len(self.participants):
@@ -93,6 +114,13 @@ class SelectionDecision:
         unknown = set(self.targets) - set(self.participants)
         if unknown:
             raise PolicyError(f"targets specified for non-participants: {sorted(unknown)}")
+        if (self.target_processors is None) != (self.target_vf_steps is None):
+            raise PolicyError("target_processors and target_vf_steps must be set together")
+        if self.target_processors is not None and (
+            len(self.target_processors) != len(self.participants)
+            or len(self.target_vf_steps) != len(self.participants)
+        ):
+            raise PolicyError("target arrays must align with the participant list")
 
     def target_for(self, device_id: int, default: ExecutionTarget) -> ExecutionTarget:
         """The execution target for a participant, falling back to ``default``."""

@@ -77,6 +77,7 @@ class EdgeCloudEnvironment:
         self._fleet_arrays: FleetArrays | None = None
         self._data_quality_array: np.ndarray | None = None
         self._data_samples_array: np.ndarray | None = None
+        self._class_fraction_array: np.ndarray | None = None
         if global_params.num_participants > len(self.fleet):
             raise SimulationError(
                 f"K={global_params.num_participants} exceeds fleet size {len(self.fleet)}"
@@ -126,6 +127,23 @@ class EdgeCloudEnvironment:
                 dtype=np.int64,
             )
         return self._data_samples_array
+
+    @property
+    def class_fraction_array(self) -> np.ndarray:
+        """Per-device class-coverage fractions in fleet order (fixed per job).
+
+        Backs the vectorised AutoFL state encoder, which bins data coverage for the
+        whole fleet in one array op instead of touching profile objects per round.
+        """
+        if self._class_fraction_array is None:
+            self._class_fraction_array = np.array(
+                [
+                    self.data_profiles[device_id].class_fraction
+                    for device_id in self.fleet.device_ids
+                ],
+                dtype=np.float64,
+            )
+        return self._class_fraction_array
 
     def data_profile(self, device_id: int) -> DeviceDataProfile:
         """Data profile of one device."""

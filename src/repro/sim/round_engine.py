@@ -16,8 +16,8 @@ Equivalence tests pin the batched path to the scalar reference within 1e-9.
 from __future__ import annotations
 
 import math
-from collections.abc import Mapping
-from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -87,6 +87,73 @@ class BatchEstimates:
     def total_time_s(self) -> np.ndarray:
         """Compute plus communication time per participant."""
         return self.compute_time_s + self.communication_time_s
+
+
+@dataclass(frozen=True)
+class _StaticInputs:
+    """Condition-independent per-participant gathers for one selection.
+
+    Everything the estimate math needs from a :class:`FleetArrays` snapshot, gathered
+    once per selection.  All fields are aligned on the selection order; stacking several
+    replicates' gathers along a leading axis (:meth:`stack`) yields the
+    ``[replicates, devices]`` layout the replicated executor feeds through the exact
+    same math, so per-replicate results are bitwise identical to solo execution.
+    """
+
+    gpu_mask: np.ndarray
+    num_samples: np.ndarray
+    capability: np.ndarray
+    peak_gflops: np.ndarray
+    mem_bandwidth: np.ndarray
+    saturation: np.ndarray
+    rel_f: np.ndarray
+    peak_power: np.ndarray
+    power_scale: np.ndarray
+    awake_power: np.ndarray
+
+    @classmethod
+    def gather(
+        cls, arrays, rows: np.ndarray, processors: np.ndarray, vf_steps: np.ndarray
+    ) -> "_StaticInputs":
+        return cls(
+            gpu_mask=processors == PROC_GPU,
+            num_samples=arrays.num_samples[rows],
+            capability=arrays.cpu_capability_gflops[rows],
+            peak_gflops=arrays.peak_gflops[processors, rows],
+            mem_bandwidth=arrays.mem_bandwidth_gbs[processors, rows],
+            saturation=arrays.saturation_batch[processors, rows],
+            rel_f=arrays.relative_frequency(processors, vf_steps, rows),
+            peak_power=arrays.peak_power_watt[processors, rows],
+            power_scale=arrays.training_power_scale[rows],
+            awake_power=arrays.awake_power_watt[rows],
+        )
+
+    @classmethod
+    def stack(cls, inputs: Sequence["_StaticInputs"]) -> "_StaticInputs":
+        return cls(
+            **{
+                spec.name: np.stack([getattr(item, spec.name) for item in inputs])
+                for spec in fields(cls)
+            }
+        )
+
+
+@dataclass(frozen=True)
+class _ResolvedRound:
+    """Straggler/fault/waiting resolution of one (or a stack of) executed round(s).
+
+    Per-participant arrays have the shape of the estimates they came from (``[K]`` or
+    ``[replicates, K]``); ``round_time`` keeps a trailing length-1 axis so it broadcasts
+    against them.
+    """
+
+    compute_time_s: np.ndarray
+    communication_time_s: np.ndarray
+    compute_j: np.ndarray
+    communication_j: np.ndarray
+    waiting_j: np.ndarray
+    dropped: np.ndarray
+    round_time: np.ndarray
 
 
 class RoundEngine:
@@ -187,33 +254,43 @@ class RoundEngine:
         conditions:
             Runtime conditions aligned on ``rows``.
         """
-        arrays = self._env.fleet_arrays
+        static = _StaticInputs.gather(self._env.fleet_arrays, rows, processors, vf_steps)
+        return self._estimate_math(static, conditions)
+
+    def _estimate_math(
+        self, static: _StaticInputs, conditions: RoundConditionsArrays
+    ) -> BatchEstimates:
+        """The shape-agnostic math half of :meth:`estimate_batch`.
+
+        Operates purely on pre-gathered arrays, so the same expressions evaluate a
+        ``[K]`` selection or a stacked ``[replicates, K]`` batch.  Everything is
+        elementwise, which keeps each stacked row bitwise identical to evaluating that
+        replicate alone.
+        """
         workload = self._env.workload
         params = self._env.global_params
         batch_size = params.batch_size
 
         # Workload aggregation (ComputeWorkload.for_round, vectorised over shard sizes).
-        num_samples = arrays.num_samples[rows]
-        batches_per_epoch = (num_samples + batch_size - 1) // batch_size
+        batches_per_epoch = (static.num_samples + batch_size - 1) // batch_size
         processed = batches_per_epoch * batch_size * params.local_epochs
         flops = workload.flops_per_sample * processed
         memory_bytes = workload.bytes_per_sample * processed
 
         # Interference slowdowns for the selected targets.
-        gpu_mask = processors == PROC_GPU
-        capability = arrays.cpu_capability_gflops[rows]
+        gpu_mask = static.gpu_mask
         compute_slowdown = self._env.slowdown.compute_slowdown_batch(
-            conditions.co_cpu_util, conditions.co_mem_util, gpu_mask, capability
+            conditions.co_cpu_util, conditions.co_mem_util, gpu_mask, static.capability
         )
         memory_slowdown = self._env.slowdown.memory_slowdown_batch(
-            conditions.co_cpu_util, conditions.co_mem_util, gpu_mask, capability
+            conditions.co_cpu_util, conditions.co_mem_util, gpu_mask, static.capability
         )
 
         # Roofline time model (TrainingTimeModel, vectorised).
-        peak_gflops = arrays.peak_gflops[processors, rows]
-        mem_bandwidth = arrays.mem_bandwidth_gbs[processors, rows]
-        saturation = arrays.saturation_batch[processors, rows]
-        rel_f = arrays.relative_frequency(processors, vf_steps, rows)
+        peak_gflops = static.peak_gflops
+        mem_bandwidth = static.mem_bandwidth
+        saturation = static.saturation
+        rel_f = static.rel_f
         efficiency = np.where(
             batch_size >= saturation, 1.0, (batch_size / saturation) ** 0.75
         )
@@ -241,10 +318,10 @@ class RoundEngine:
             ),
             0.0,
         )
-        peak_power = arrays.peak_power_watt[processors, rows]
+        peak_power = static.peak_power
         static_power = STATIC_POWER_FRACTION * peak_power
         dynamic_power = (peak_power - static_power) * rel_f**DVFS_POWER_EXPONENT * utilization
-        power_scale = arrays.training_power_scale[rows]
+        power_scale = static.power_scale
         power = power_scale * (static_power + dynamic_power)
 
         # Thermal throttling stretches the compute term of CPU targets whose sustained
@@ -295,8 +372,15 @@ class RoundEngine:
         self, decision: SelectionDecision, rows: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         arrays = self._env.fleet_arrays
+        if decision.target_processors is not None and decision.target_vf_steps is not None:
+            # Policies that already scored targets as arrays hand them over directly,
+            # skipping the per-participant dict walk below.
+            return (
+                np.asarray(decision.target_processors, dtype=np.int64),
+                np.asarray(decision.target_vf_steps, dtype=np.int64),
+            )
         processors = np.full(len(rows), PROC_CPU, dtype=np.int64)
-        vf_steps = arrays.default_vf_steps()[rows].copy()
+        vf_steps = arrays.default_vf_steps()[rows]
         if decision.targets:
             for i, device_id in enumerate(decision.participants):
                 target = decision.targets.get(device_id)
@@ -348,24 +432,76 @@ class RoundEngine:
             self._check_selection_online(rows, online_mask)
         processors, vf_steps = self._decision_targets(decision, rows)
         participant_conditions = self._participant_conditions(decision, conditions, rows)
-        estimates = self.estimate_batch(rows, processors, vf_steps, participant_conditions)
+        static = _StaticInputs.gather(arrays, rows, processors, vf_steps)
+        estimates = self._estimate_math(static, participant_conditions)
 
-        compute_time_est = estimates.compute_time_s
-        compute_j_est = estimates.compute_j
+        fault_slowdown = None
         failed = None
         if faults is not None:
             if len(faults) != len(rows):
                 raise SimulationError("fault draw must align with the selection")
             if np.any(faults.compute_slowdown > 1.0):
-                # Slow-fail stragglers: the transient condition stretches compute time
-                # at unchanged power, so wasted energy grows with the slowdown.
-                compute_time_est = compute_time_est * faults.compute_slowdown
-                compute_j_est = compute_j_est * faults.compute_slowdown
+                fault_slowdown = faults.compute_slowdown
             if faults.upload_failure.any():
                 failed = faults.upload_failure
 
+        resolved = self._resolve_round(estimates, static, fault_slowdown, failed)
+        round_time = float(resolved.round_time[0])
+        idle_j = arrays.idle_power_watt * round_time
+        idle_j[rows] = 0.0
+        if online_mask is not None:
+            # Offline devices are unreachable (or churned away) — they are not idling
+            # on behalf of this training job, so the global account excludes them.
+            idle_j = np.where(np.asarray(online_mask, dtype=bool), idle_j, 0.0)
+
+        return BatchRoundExecution(
+            selected_ids=np.array(decision.participants, dtype=np.int64),
+            processors=processors,
+            vf_steps=vf_steps,
+            compute_time_s=resolved.compute_time_s,
+            communication_time_s=resolved.communication_time_s,
+            compute_j=resolved.compute_j,
+            communication_j=resolved.communication_j,
+            waiting_j=resolved.waiting_j,
+            dropped=resolved.dropped,
+            round_time_s=round_time,
+            fleet_device_ids=arrays.device_ids,
+            idle_j=idle_j,
+            failed=failed,  # BatchRoundExecution defaults None to all-False.
+        )
+
+    def _resolve_round(
+        self,
+        estimates: BatchEstimates,
+        static: _StaticInputs,
+        fault_slowdown: np.ndarray | None,
+        failed: np.ndarray | None,
+    ) -> _ResolvedRound:
+        """Straggler cutoff, fault truncation and waiting energy for executed estimates.
+
+        Shape-agnostic: reductions run over the trailing (participant) axis with
+        ``keepdims``, so a stacked ``[replicates, K]`` batch resolves each replicate row
+        exactly as the 1-D solo path would — including the per-replicate deadline,
+        retained-set maximum and waiting-time accounting.
+        """
+        compute_time_est = estimates.compute_time_s
+        compute_j_est = estimates.compute_j
+        if fault_slowdown is not None:
+            # Slow-fail stragglers: the transient condition stretches compute time
+            # at unchanged power, so wasted energy grows with the slowdown.
+            compute_time_est = compute_time_est * fault_slowdown
+            compute_j_est = compute_j_est * fault_slowdown
+
         times = compute_time_est + estimates.communication_time_s
-        deadline = straggler_deadline(times, self._straggler_cutoff)
+        # Vectorised straggler_deadline(): cutoff times the median participant time,
+        # falling back to the slowest participant and then to +inf per stacked row.
+        median_time = np.median(times, axis=-1, keepdims=True)
+        max_time = np.max(times, axis=-1, keepdims=True)
+        deadline = np.where(
+            median_time > 0,
+            self._straggler_cutoff * median_time,
+            np.where(max_time > 0, max_time, np.inf),
+        )
         dropped = times > deadline
         # The server closes the round at the deadline; stragglers abort, so they only
         # spend time and energy up to the deadline (scaled proportionally).
@@ -392,40 +528,33 @@ class RoundEngine:
 
         excluded = dropped if failed is None else dropped | failed
         retained = ~excluded
-        if retained.any():
-            round_time = float(final_times[retained].max())
-        elif math.isfinite(deadline):
-            round_time = deadline
-        else:  # Every participant failed with zero-time outcomes: nothing to wait for.
-            round_time = float(final_times.max())
+        has_retained = np.any(retained, axis=-1, keepdims=True)
+        retained_max = np.max(np.where(retained, final_times, -np.inf), axis=-1, keepdims=True)
+        round_time = np.where(
+            has_retained,
+            retained_max,
+            np.where(
+                np.isfinite(deadline),
+                deadline,
+                # Every participant failed with zero-time outcomes: nothing to wait for.
+                np.max(final_times, axis=-1, keepdims=True),
+            ),
+        )
 
         # Participants that finish before the round closes stay awake (wakelock, radio
         # connected) waiting for the aggregated model, at awake power.
         waiting_time = np.maximum(0.0, round_time - np.minimum(final_times, round_time))
-        waiting_j = arrays.awake_power_watt[rows] * waiting_time
+        waiting_j = static.awake_power * waiting_time
         if failed is not None:
             waiting_j = np.where(failed, 0.0, waiting_j)
-        idle_j = arrays.idle_power_watt * round_time
-        idle_j[rows] = 0.0
-        if online_mask is not None:
-            # Offline devices are unreachable (or churned away) — they are not idling
-            # on behalf of this training job, so the global account excludes them.
-            idle_j = np.where(np.asarray(online_mask, dtype=bool), idle_j, 0.0)
-
-        return BatchRoundExecution(
-            selected_ids=np.array(decision.participants, dtype=np.int64),
-            processors=processors,
-            vf_steps=vf_steps,
+        return _ResolvedRound(
             compute_time_s=compute_time,
             communication_time_s=communication_time,
             compute_j=compute_j,
             communication_j=communication_j,
             waiting_j=waiting_j,
             dropped=dropped,
-            round_time_s=round_time,
-            fleet_device_ids=arrays.device_ids,
-            idle_j=idle_j,
-            failed=failed,  # BatchRoundExecution defaults None to all-False.
+            round_time=round_time,
         )
 
     def execute(
@@ -569,3 +698,150 @@ class RoundEngine:
         return RoundExecution(
             outcomes=final_outcomes, round_time_s=round_time, energy=energy_account
         )
+
+
+def execute_batch_replicated(
+    engines: Sequence[RoundEngine],
+    decisions: Sequence[SelectionDecision],
+    conditions: Sequence[Mapping[int, RoundConditions] | RoundConditionsArrays],
+    faults: Sequence[FaultDraw | None] | None = None,
+    online_masks: Sequence[np.ndarray | None] | None = None,
+) -> list[BatchRoundExecution]:
+    """Execute one round of N seed-replicates of the same scenario in one stacked pass.
+
+    Each replicate ``i`` is described by its own engine (over its own seed's
+    environment), selection decision, conditions and optional fault draw / online mask.
+    Replicates whose selections have the same size are stacked into ``[replicates, K]``
+    arrays and resolved by a single :meth:`RoundEngine._estimate_math` /
+    :meth:`RoundEngine._resolve_round` evaluation, so the per-round Python cost is paid
+    once per selection size instead of once per replicate.
+
+    Every per-replicate result is **bitwise identical** to calling
+    ``engines[i].execute_batch(...)`` alone: the math is elementwise, reductions run per
+    stacked row, fault-free replicates ride along under identity masks (slowdown 1.0,
+    ``failed`` all-False), and idle accounting uses each replicate's own fleet arrays.
+
+    Replicates must come from the same scenario (same workload, interference, network
+    and straggler models) — only the seed may differ.  A light compatibility check
+    rejects mixed workloads; mixing scenarios with different physics constants is
+    undefined.
+    """
+    n = len(engines)
+    if not (len(decisions) == len(conditions) == n):
+        raise SimulationError("replicated execution requires aligned per-replicate inputs")
+    if faults is not None and len(faults) != n:
+        raise SimulationError("replicated execution requires aligned per-replicate inputs")
+    if online_masks is not None and len(online_masks) != n:
+        raise SimulationError("replicated execution requires aligned per-replicate inputs")
+    if n == 0:
+        return []
+    first = engines[0]
+    for engine in engines[1:]:
+        workload, first_workload = engine._env.workload, first._env.workload
+        params, first_params = engine._env.global_params, first._env.global_params
+        if (
+            engine._straggler_cutoff != first._straggler_cutoff
+            or workload.flops_per_sample != first_workload.flops_per_sample
+            or workload.bytes_per_sample != first_workload.bytes_per_sample
+            or workload.model_size_mb != first_workload.model_size_mb
+            or params.batch_size != first_params.batch_size
+            or params.local_epochs != first_params.local_epochs
+        ):
+            raise SimulationError(
+                "replicated execution requires same-scenario replicates (only the seed "
+                "may differ between replicates)"
+            )
+
+    prepared = []
+    for i in range(n):
+        engine, decision = engines[i], decisions[i]
+        if not decision.participants:
+            raise SimulationError("a round needs at least one selected participant")
+        arrays = engine._env.fleet_arrays
+        rows = arrays.rows_for(decision.participants)
+        online_mask = None if online_masks is None else online_masks[i]
+        if online_mask is not None:
+            engine._check_selection_online(rows, online_mask)
+        processors, vf_steps = engine._decision_targets(decision, rows)
+        taken = engine._participant_conditions(decision, conditions[i], rows)
+        fault = None if faults is None else faults[i]
+        fault_slowdown = None
+        upload_failure = None
+        if fault is not None:
+            if len(fault) != len(rows):
+                raise SimulationError("fault draw must align with the selection")
+            if np.any(fault.compute_slowdown > 1.0):
+                fault_slowdown = fault.compute_slowdown
+            if fault.upload_failure.any():
+                upload_failure = fault.upload_failure
+        static = _StaticInputs.gather(arrays, rows, processors, vf_steps)
+        prepared.append(
+            (rows, processors, vf_steps, static, taken, fault_slowdown, upload_failure)
+        )
+
+    # Selections of different sizes cannot share one rectangular stack (padding would
+    # change each row's median/max reductions), so replicates group by selection size.
+    groups: dict[int, list[int]] = {}
+    for i, item in enumerate(prepared):
+        groups.setdefault(len(item[0]), []).append(i)
+
+    results: list[BatchRoundExecution | None] = [None] * n
+    for members in groups.values():
+        static = _StaticInputs.stack([prepared[i][3] for i in members])
+        stacked_conditions = RoundConditionsArrays(
+            co_cpu_util=np.stack([prepared[i][4].co_cpu_util for i in members]),
+            co_mem_util=np.stack([prepared[i][4].co_mem_util for i in members]),
+            bandwidth_mbps=np.stack([prepared[i][4].bandwidth_mbps for i in members]),
+        )
+        # Fault-free replicates ride along under identity masks: multiplying by an
+        # all-1.0 slowdown and masking with an all-False ``failed`` row reproduce the
+        # fault-less dataflow bit-for-bit.
+        fault_slowdown = None
+        if any(prepared[i][5] is not None for i in members):
+            fault_slowdown = np.stack(
+                [
+                    prepared[i][5]
+                    if prepared[i][5] is not None
+                    else np.ones(len(prepared[i][0]), dtype=np.float64)
+                    for i in members
+                ]
+            )
+        failed = None
+        if any(prepared[i][6] is not None for i in members):
+            failed = np.stack(
+                [
+                    prepared[i][6]
+                    if prepared[i][6] is not None
+                    else np.zeros(len(prepared[i][0]), dtype=bool)
+                    for i in members
+                ]
+            )
+        estimates = first._estimate_math(static, stacked_conditions)
+        resolved = first._resolve_round(estimates, static, fault_slowdown, failed)
+
+        for g, i in enumerate(members):
+            rows, processors, vf_steps = prepared[i][0], prepared[i][1], prepared[i][2]
+            engine, decision = engines[i], decisions[i]
+            arrays = engine._env.fleet_arrays
+            round_time = float(resolved.round_time[g, 0])
+            idle_j = arrays.idle_power_watt * round_time
+            idle_j[rows] = 0.0
+            online_mask = None if online_masks is None else online_masks[i]
+            if online_mask is not None:
+                idle_j = np.where(np.asarray(online_mask, dtype=bool), idle_j, 0.0)
+            results[i] = BatchRoundExecution(
+                selected_ids=np.array(decision.participants, dtype=np.int64),
+                processors=processors,
+                vf_steps=vf_steps,
+                compute_time_s=resolved.compute_time_s[g],
+                communication_time_s=resolved.communication_time_s[g],
+                compute_j=resolved.compute_j[g],
+                communication_j=resolved.communication_j[g],
+                waiting_j=resolved.waiting_j[g],
+                dropped=resolved.dropped[g],
+                round_time_s=round_time,
+                fleet_device_ids=arrays.device_ids,
+                idle_j=idle_j,
+                failed=None if failed is None else failed[g],
+            )
+    return [result for result in results if result is not None]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import Protocol
 
 import numpy as np
@@ -105,6 +106,25 @@ class FLSimulation:
         return self._policy
 
     @property
+    def backend(self) -> TrainingBackend:
+        """The training backend providing per-round accuracy."""
+        return self._backend
+
+    @property
+    def replication_supported(self) -> bool:
+        """Whether this job can ride the replicate axis of the batch engine.
+
+        The replicated path skips the per-round feedback call and the observer hook,
+        so it only applies to non-learning policies without a round observer.  Unknown
+        policies (no ``uses_feedback`` attribute) are conservatively treated as
+        learning.
+        """
+        return (
+            not getattr(self._policy, "uses_feedback", True)
+            and self._round_observer is None
+        )
+
+    @property
     def target_accuracy(self) -> float:
         """The accuracy threshold used to declare convergence."""
         return self._tracker.target_accuracy
@@ -138,7 +158,16 @@ class FLSimulation:
         )
         execution = batch.to_execution()
         training = self._backend.run_round(execution.participant_ids)
-        self._policy.feedback(ctx, decision, execution, training)
+        # Offer the outcome in array form first; policies with a vectorised learning
+        # path (autofl-fast) handle it there and skip the scalar reward loop.
+        feedback_batch = getattr(self._policy, "feedback_batch", None)
+        handled = (
+            bool(feedback_batch(ctx, decision, batch, training))
+            if feedback_batch is not None
+            else False
+        )
+        if not handled:
+            self._policy.feedback(ctx, decision, execution, training)
         record = RoundRecord(
             round_index=round_index,
             selected_ids=tuple(sorted(decision.participants)),
@@ -177,3 +206,15 @@ class FLSimulation:
                 if self._stop_at_convergence:
                     break
         return result
+
+    @classmethod
+    def run_replicated(cls, simulations: Sequence["FLSimulation"]) -> list[SimulationResult]:
+        """Run same-scenario, different-seed simulations through the replicate axis.
+
+        Each replicate's result is byte-identical to running it alone via :meth:`run`;
+        the per-round physics of all replicates executes as one stacked engine call.
+        Every simulation must satisfy :attr:`replication_supported`.
+        """
+        from repro.sim.replicated import ReplicatedSimulation
+
+        return ReplicatedSimulation(simulations).run()

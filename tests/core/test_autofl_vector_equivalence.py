@@ -1,0 +1,166 @@
+"""Pin the vectorised AutoFL hot path to the scalar reference implementation.
+
+With per-device Q-table sharing and ``init_scale=0.0`` (no per-entry init draws on the
+shared RNG stream) the vectorised agent consumes the exact same random numbers as the
+scalar agent, so selections and targets must match bit-for-bit every round; energies may
+differ only by float summation order (``np.sum`` pairwise vs Python sequential), pinned
+at 1e-9 relative.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import AutoFLPolicy
+from repro.core.qtable import QTableStore
+from repro.core.reward import RewardCalculator
+from repro.core.state import StateEncoder
+from repro.experiments.runner import POLICY_SEED_OFFSET
+from repro.sim.runner import FLSimulation
+from repro.sim.scenarios import ScenarioSpec, build_environment, build_surrogate_backend
+
+STATIC_SPEC = dict(workload="cnn-mnist", num_devices=60, max_rounds=8)
+DYNAMIC_SPEC = dict(
+    workload="cnn-mnist",
+    num_devices=80,
+    max_rounds=8,
+    interference="heavy",
+    network="variable",
+    data_distribution="non_iid_50",
+    availability="diurnal",
+    churn_rate=0.02,
+    dropout_rate=0.05,
+    slow_fault_rate=0.05,
+)
+
+
+def _run(spec_kwargs, vectorized, seed=0):
+    spec = ScenarioSpec(seed=seed, **spec_kwargs)
+    environment = build_environment(spec)
+    backend = build_surrogate_backend(environment, aggregator=spec.aggregator)
+    policy = AutoFLPolicy(
+        rng=np.random.default_rng(seed + POLICY_SEED_OFFSET),
+        qtable_sharing=QTableStore.PER_DEVICE,
+        vectorized=vectorized,
+        init_scale=0.0,
+    )
+    result = FLSimulation(
+        environment, policy, backend, stop_at_convergence=False
+    ).run()
+    return result, policy
+
+
+@pytest.mark.parametrize("spec_kwargs", [STATIC_SPEC, DYNAMIC_SPEC], ids=["static", "dynamics"])
+def test_vectorized_autofl_matches_scalar(spec_kwargs):
+    scalar_result, scalar_policy = _run(spec_kwargs, vectorized=False)
+    vector_result, vector_policy = _run(spec_kwargs, vectorized=True)
+    assert len(scalar_result.records) == len(vector_result.records)
+    for scalar_round, vector_round in zip(scalar_result.records, vector_result.records):
+        # Stream-equivalence: identical RNG consumption means identical picks/targets.
+        assert vector_round.selected_ids == scalar_round.selected_ids
+        assert vector_round.targets == scalar_round.targets
+        assert vector_round.dropped_ids == scalar_round.dropped_ids
+        assert vector_round.failed_ids == scalar_round.failed_ids
+        assert vector_round.accuracy == scalar_round.accuracy
+        assert vector_round.round_time_s == scalar_round.round_time_s
+        assert vector_round.global_energy_j == pytest.approx(
+            scalar_round.global_energy_j, rel=1e-9
+        )
+        assert vector_round.participant_energy_j == pytest.approx(
+            scalar_round.participant_energy_j, rel=1e-9
+        )
+    # The learned signal matches too: same per-round mean rewards within float noise.
+    assert scalar_policy.reward_history() == pytest.approx(
+        vector_policy.reward_history(), rel=1e-9, abs=1e-12
+    )
+
+
+def test_autofl_fast_is_registered():
+    from repro.registry import POLICIES
+
+    policy = POLICIES.create("autofl-fast", rng=np.random.default_rng(0))
+    assert isinstance(policy, AutoFLPolicy)
+    assert policy.vectorized
+    assert policy.name == "autofl-fast"
+
+
+def test_rewards_batch_matches_scalar_reward():
+    calculator_scalar = RewardCalculator()
+    calculator_batch = RewardCalculator()
+    rng = np.random.default_rng(42)
+    num_devices = 64
+    for round_index in range(5):
+        global_energy = float(rng.uniform(50.0, 150.0))
+        local = rng.uniform(0.0, 5.0, size=num_devices)
+        selected = rng.random(num_devices) < 0.3
+        failed = selected & (rng.random(num_devices) < 0.2)
+        accuracy = 0.1 + 0.05 * round_index
+        previous = accuracy - 0.05
+        mean_local = float(np.mean(local[selected])) if selected.any() else 0.0
+        calculator_scalar.observe_round(global_energy, mean_local)
+        calculator_batch.observe_round(global_energy, mean_local)
+        expected = np.array(
+            [
+                calculator_scalar.reward(
+                    global_energy_j=global_energy,
+                    local_energy_j=float(local[i]),
+                    accuracy=accuracy,
+                    previous_accuracy=previous,
+                    selected=bool(selected[i]),
+                    failed=bool(failed[i]),
+                )
+                for i in range(num_devices)
+            ]
+        )
+        batched = calculator_batch.rewards_batch(
+            global_energy_j=global_energy,
+            local_energy_j=local,
+            accuracy=accuracy,
+            previous_accuracy=previous,
+            selected=selected,
+            failed=failed,
+        )
+        assert np.array_equal(batched, expected)
+
+
+def test_encode_local_codes_matches_scalar_encoding():
+    encoder = StateEncoder()
+    spec = ScenarioSpec(seed=3, **STATIC_SPEC)
+    environment = build_environment(spec)
+    arrays = environment.sample_condition_arrays()
+    fleet_ids = environment.fleet.device_ids
+    codes = encoder.encode_local_codes(arrays, environment.class_fraction_array)
+    mapping = arrays.to_mapping(fleet_ids)
+    for row, device_id in enumerate(fleet_ids):
+        state = encoder.encode_local(
+            mapping[device_id], environment.data_profile(device_id)
+        )
+        assert int(codes[row]) == StateEncoder.local_code(state)
+
+
+def test_encode_local_codes_threshold_ties_match():
+    # On-threshold values must land in the same bin on both paths.
+    from repro.devices.fleet_arrays import RoundConditionsArrays
+
+    encoder = StateEncoder()
+    thresholds = np.array(encoder.UTILIZATION_THRESHOLDS, dtype=np.float64)
+    values = np.concatenate([thresholds, thresholds - 1e-12, thresholds + 1e-12, [0.0, 1.0]])
+    n = len(values)
+    arrays = RoundConditionsArrays(
+        co_cpu_util=values,
+        co_mem_util=np.zeros(n),
+        bandwidth_mbps=np.full(n, 100.0),
+    )
+    data_thresholds = np.array(encoder.DATA_THRESHOLDS, dtype=np.float64)
+    fractions = np.resize(
+        np.concatenate([data_thresholds, data_thresholds + 1e-12, [0.0, 1.0]]), n
+    )
+    codes = encoder.encode_local_codes(arrays, fractions)
+    mapping = arrays.to_mapping(list(range(n)))
+
+    class _Profile:
+        def __init__(self, class_fraction):
+            self.class_fraction = class_fraction
+
+    for row in range(n):
+        state = encoder.encode_local(mapping[row], _Profile(float(fractions[row])))
+        assert int(codes[row]) == StateEncoder.local_code(state)

@@ -154,8 +154,8 @@ class TestBench:
         output = tmp_path / "bench.json"
         warehouse = tmp_path / "wh"
         code, out, _err = _run(
-            ["bench", "--sizes", "30", "--repeats", "2", "--output", str(output),
-             "--warehouse", str(warehouse)],
+            ["bench", "--sizes", "30", "--repeats", "2", "--replicates", "0",
+             "--output", str(output), "--warehouse", str(warehouse)],
             capsys,
         )
         assert code == 0
@@ -169,9 +169,30 @@ class TestBench:
         ((benchmark, *_),) = result.rows
         assert benchmark == "roundengine"
 
+    def test_bench_replication_registers_its_own_row(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        warehouse = tmp_path / "wh"
+        code, out, _err = _run(
+            ["bench", "--sizes", "30", "--repeats", "2", "--replicates", "2",
+             "--replication-rounds", "2", "--output", str(output),
+             "--warehouse", str(warehouse)],
+            capsys,
+        )
+        assert code == 0
+        assert "replication @" in out
+        assert "registered 2 measurement(s)" in out
+
+        from repro.analytics import Warehouse, run_query
+
+        result = run_query(Warehouse(warehouse), "bench", group_by=("benchmark",))
+        assert {row[0] for row in result.rows} == {
+            "roundengine",
+            "roundengine-replication",
+        }
+
     def test_no_warehouse_skips_registration(self, tmp_path, capsys):
         code, out, _err = _run(
-            ["bench", "--sizes", "30", "--repeats", "1",
+            ["bench", "--sizes", "30", "--repeats", "1", "--replicates", "0",
              "--output", str(tmp_path / "bench.json"), "--no-warehouse"],
             capsys,
         )
