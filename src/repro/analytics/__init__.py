@@ -49,6 +49,7 @@ from repro.analytics.schema import (
     TABLES,
     WAREHOUSE_SCHEMA_VERSION,
     bench_rows_from_record,
+    metrics_rows_from_snapshot,
     round_rows_from_golden,
     round_rows_from_result,
     run_row_from_golden,
@@ -93,6 +94,7 @@ __all__ = [
     "filter_mask",
     "get_backend",
     "have_pyarrow",
+    "metrics_rows_from_snapshot",
     "parse_bench_floor",
     "parse_threshold",
     "parse_where",

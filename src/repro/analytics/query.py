@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.analytics.schema import column_kinds
 from repro.analytics.warehouse import Warehouse
 from repro.exceptions import AnalyticsError
@@ -46,6 +47,7 @@ DEFAULT_METRICS: dict[str, tuple[str, ...]] = {
         "global_energy_j",
     ),
     "bench": ("scalar_rounds_per_s", "batch_rounds_per_s", "speedup"),
+    "metrics": ("value", "count", "sum", "p50", "p95", "p99"),
 }
 
 #: Default grouping per table.
@@ -53,6 +55,7 @@ DEFAULT_GROUP_BY: dict[str, tuple[str, ...]] = {
     "rounds": ("label", "preset", "policy"),
     "runs": ("label", "preset", "policy"),
     "bench": ("benchmark", "git_sha", "num_devices"),
+    "metrics": ("label", "name", "kind"),
 }
 
 
@@ -199,22 +202,25 @@ def run_query(
             raise AnalyticsError(
                 f"unknown aggregation {agg!r}; expected one of {list(AGGREGATIONS)}"
             )
-    columns = warehouse.table(table)
-    total = warehouse.num_rows(table)
-    mask = filter_mask(table, columns, where) if where else np.ones(total, dtype=bool)
-    groups = _group_rows(columns, group_by, mask)
-    headers = group_by + tuple(
-        f"{metric}:{agg}" for metric in metrics for agg in aggs
-    )
-    rows = []
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", RuntimeWarning)  # All-NaN slices -> NaN cells.
-        for key, index in groups:
-            cells: list[object] = list(key)
-            for metric in metrics:
-                values = columns[metric][index]
-                cells.extend(_aggregate(values, agg) for agg in aggs)
-            rows.append(tuple(cells))
+    with telemetry.get_tracer().span("query", category="warehouse", table=table):
+        columns = warehouse.table(table)
+        total = warehouse.num_rows(table)
+        mask = (
+            filter_mask(table, columns, where) if where else np.ones(total, dtype=bool)
+        )
+        groups = _group_rows(columns, group_by, mask)
+        headers = group_by + tuple(
+            f"{metric}:{agg}" for metric in metrics for agg in aggs
+        )
+        rows = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)  # All-NaN slices -> NaN.
+            for key, index in groups:
+                cells: list[object] = list(key)
+                for metric in metrics:
+                    values = columns[metric][index]
+                    cells.extend(_aggregate(values, agg) for agg in aggs)
+                rows.append(tuple(cells))
     return QueryResult(
         table=table,
         where={name: tuple(values) for name, values in where.items()},

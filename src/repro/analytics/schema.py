@@ -38,7 +38,8 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.validation.golden import GoldenTrajectory
 
 #: Bumped whenever a table's column set changes, so stale warehouses fail loudly.
-WAREHOUSE_SCHEMA_VERSION = 2
+#: v3 added the ``metrics`` table (telemetry snapshot ingest).
+WAREHOUSE_SCHEMA_VERSION = 3
 
 #: Sentinel for a missing string cell.
 NULL_STR = ""
@@ -140,11 +141,29 @@ BENCH_COLUMNS: tuple[Column, ...] = _columns(
     ("cold_open_s", "num"),
 )
 
+#: One row per metric series of an ingested telemetry snapshot
+#: (:func:`repro.telemetry.exporter.snapshot_payload`).  Counters and gauges fill
+#: ``value``; histograms fill ``count``/``sum`` and the bucket-rule quantiles.
+METRICS_COLUMNS: tuple[Column, ...] = _columns(
+    ("label", "str"),  # ingest label, like rounds/runs
+    ("ts", "num"),  # snapshot wall-clock timestamp
+    ("name", "str"),  # metric name, e.g. repro_round_time_s
+    ("kind", "str"),  # counter | gauge | histogram
+    ("labels", "str"),  # canonical "k=v,k=v" series labels
+    ("value", "num"),
+    ("count", "num"),
+    ("sum", "num"),
+    ("p50", "num"),
+    ("p95", "num"),
+    ("p99", "num"),
+)
+
 #: The warehouse tables by name.
 TABLES: dict[str, tuple[Column, ...]] = {
     "rounds": ROUNDS_COLUMNS,
     "runs": RUNS_COLUMNS,
     "bench": BENCH_COLUMNS,
+    "metrics": METRICS_COLUMNS,
 }
 
 #: Columns whose values identify a run, used to deduplicate re-ingests.
@@ -152,6 +171,7 @@ TABLE_KEYS: dict[str, tuple[str, ...]] = {
     "rounds": ("label", "source", "spec_hash", "seed"),
     "runs": ("label", "source", "spec_hash", "seed"),
     "bench": ("benchmark", "timestamp", "num_devices", "backend"),
+    "metrics": ("label", "ts", "name", "labels"),
 }
 
 
@@ -414,6 +434,46 @@ def bench_rows_from_record(record: Mapping) -> list[dict]:
     raise AnalyticsError(
         f"unknown bench record kind {benchmark!r}; expected 'roundengine' or 'store'"
     )
+
+
+def metrics_rows_from_snapshot(
+    snapshot: Mapping | list, label: str = "metrics"
+) -> list[dict]:
+    """Flatten a telemetry snapshot payload into ``metrics`` rows.
+
+    Accepts the payload shape written by
+    :func:`repro.telemetry.exporter.write_snapshot` (``{"schema", "ts", "metrics"}``)
+    or a bare entry list as returned by
+    :meth:`repro.telemetry.metrics.MetricsRegistry.snapshot`.
+    """
+    if isinstance(snapshot, Mapping):
+        entries = snapshot.get("metrics", ())
+        ts = _num(snapshot.get("ts"))
+    else:
+        entries = snapshot
+        ts = float("nan")
+    rows = []
+    for entry in entries:
+        labels = entry.get("labels", {})
+        row = {
+            "label": label,
+            "ts": ts,
+            "name": str(entry["name"]),
+            "kind": str(entry["kind"]),
+            "labels": ",".join(f"{k}={v}" for k, v in sorted(labels.items())),
+        }
+        if entry["kind"] == "histogram":
+            row.update(
+                count=float(entry["count"]),
+                sum=float(entry["sum"]),
+                p50=_num(entry.get("p50")),
+                p95=_num(entry.get("p95")),
+                p99=_num(entry.get("p99")),
+            )
+        else:
+            row["value"] = float(entry["value"])
+        rows.append(row)
+    return rows
 
 
 def rows_to_columns(table: str, rows: list[dict]) -> dict[str, np.ndarray]:

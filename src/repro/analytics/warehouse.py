@@ -28,12 +28,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.analytics.schema import (
     TABLE_KEYS,
     TABLES,
     WAREHOUSE_SCHEMA_VERSION,
     bench_rows_from_record,
     empty_columns,
+    metrics_rows_from_snapshot,
     round_rows_from_golden,
     round_rows_from_result,
     rows_to_columns,
@@ -251,20 +253,30 @@ class Warehouse:
         """
         if not rows:
             return 0
-        fresh = rows_to_columns(table, rows)
-        existing = self.table(table)
-        if next(iter(existing.values())).shape[0]:
-            keep = ~np.isin(self._row_keys(table, existing), self._row_keys(table, fresh))
-            merged = {
-                name: np.concatenate([existing[name][keep], fresh[name]])
-                for name in fresh
-            }
-        else:
-            merged = fresh
-        self._tables[table] = merged
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.backend.write(self._table_path(table), merged)
-        self._save_manifest()
+        with telemetry.get_tracer().span(
+            "ingest", category="warehouse", table=table, rows=len(rows)
+        ):
+            fresh = rows_to_columns(table, rows)
+            existing = self.table(table)
+            if next(iter(existing.values())).shape[0]:
+                keep = ~np.isin(
+                    self._row_keys(table, existing), self._row_keys(table, fresh)
+                )
+                merged = {
+                    name: np.concatenate([existing[name][keep], fresh[name]])
+                    for name in fresh
+                }
+            else:
+                merged = fresh
+            self._tables[table] = merged
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.backend.write(self._table_path(table), merged)
+            self._save_manifest()
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_warehouse_rows_total", help="Rows appended to warehouse tables."
+            ).inc(len(rows), table=table)
         return len(rows)
 
     # ------------------------------------------------------------------ ingest
@@ -336,6 +348,22 @@ class Warehouse:
             added += self.append_rows("rounds", round_rows_from_golden(golden, label=label))
             added += self.append_rows("runs", [run_row_from_golden(golden, label=label)])
         self._log_ingest(label, "golden", added)
+        self._save_manifest()
+        return added
+
+    def ingest_metrics(self, snapshot, label: str = "metrics") -> int:
+        """Ingest a telemetry metrics snapshot into the ``metrics`` table.
+
+        ``snapshot`` is a snapshot payload dict, a bare entry list
+        (:meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`) or a path to a
+        snapshot file written by :func:`repro.telemetry.exporter.write_snapshot`.
+        Rows are keyed by (label, ts, name, labels), so re-ingesting the same
+        snapshot file is idempotent.
+        """
+        if isinstance(snapshot, (str, os.PathLike)):
+            snapshot = telemetry.read_snapshot(snapshot)
+        added = self.append_rows("metrics", metrics_rows_from_snapshot(snapshot, label=label))
+        self._log_ingest(label, "metrics", added)
         self._save_manifest()
         return added
 

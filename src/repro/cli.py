@@ -19,8 +19,12 @@ orchestration service:
   presets, ``check`` them bit-exactly against a fresh run (exit 1 on drift, with a
   report naming the first diverging round and field), and ``fuzz`` randomised scenarios
   across every registered axis with invariant auditing;
-* ``ingest``   — load result stores, golden trajectories and ``BENCH_*.json`` records
-  into the columnar analytics warehouse under an ingest label;
+* ``metrics``  — dump a telemetry snapshot (scheduler-written ``metrics.json`` plus
+  live queue gauges) in the shared ``--format {table,csv,json}``;
+* ``trace``    — run one traced job end to end (engine → scheduler → warehouse) and
+  write a Chrome-trace JSON openable in ``chrome://tracing`` or Perfetto;
+* ``ingest``   — load result stores, golden trajectories, ``BENCH_*.json`` records
+  and telemetry snapshots into the columnar analytics warehouse under an ingest label;
 * ``query``    — filter + group-by aggregation (mean/p50/p95/…) over the warehouse;
 * ``report``   — cross-run comparison report, policies normalised per scenario;
 * ``eval``     — regression eval: diff a candidate ingest against a baseline label with
@@ -50,7 +54,10 @@ Examples
     python -m repro sweep --axis policy=fedavg-random,autofl --axis dropout-rate=0,0.1
     python -m repro submit --scenario fleet-1k --priority 5 --retries 1
     python -m repro serve --workers 4
+    python -m repro serve --workers 4 --metrics-port 9100
     python -m repro status --json
+    python -m repro metrics
+    python -m repro trace --output trace.json
     python -m repro watch -f
     python -m repro bench --sizes 200,1000,10000
     python -m repro bench --suite store --entries 10000
@@ -67,12 +74,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 from collections.abc import Sequence
 from dataclasses import replace
 from pathlib import Path
 
+from repro import telemetry
 from repro.analytics import (
     AGGREGATIONS,
     BENCH_FLOOR_HEADERS,
@@ -130,6 +140,7 @@ from repro.sim.bench import (
     run_roundengine_bench,
 )
 from repro.sim.scenarios import ScenarioSpec, get_scenario_preset
+from repro.telemetry import METRICS_FILENAME, MetricsServer
 from repro.validation import (
     DEFAULT_GOLDEN_DIR,
     GOLDEN_MAX_ROUNDS,
@@ -446,18 +457,41 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    queue = _queue(args)
+    # --metrics-port / --trace-file imply telemetry; --telemetry turns it on without
+    # either surface (the scheduler still drops metrics.json into the service root).
+    telemetry_on = (
+        telemetry.enabled()
+        or args.telemetry
+        or args.metrics_port is not None
+        or args.trace_file is not None
+    )
+    if telemetry_on:
+        telemetry.configure(enabled=True)
+        if args.trace_file is not None:
+            telemetry.configure(trace_path=args.trace_file)
     scheduler = Scheduler(
-        queue=_queue(args),
+        queue=queue,
         store=open_store(args.store),
         events=EventLog(_events_path(args), echo=not args.quiet),
         lease_s=args.lease,
         poll_s=args.poll,
+        metrics_path=(Path(args.root) / METRICS_FILENAME) if telemetry_on else None,
     )
+    server = None
+    if args.metrics_port is not None:
+        server = MetricsServer(
+            telemetry.get_registry(), port=args.metrics_port, refresh=queue.export_gauges
+        ).start()
+        print(f"metrics: {server.url}")
     try:
         scheduler.serve(workers=args.workers, drain=args.drain)
     except KeyboardInterrupt:
         print("interrupted: in-flight jobs were requeued", file=sys.stderr)
         return 130
+    finally:
+        if server is not None:
+            server.close()
     return 0
 
 
@@ -491,6 +525,19 @@ def _status_row(job) -> tuple[object, ...]:
     )
 
 
+def _queue_gauges(queue: JobQueue) -> dict[str, float]:
+    """Live queue gauges as ``name{labels}`` → value, via a private registry (the
+    process-wide one stays untouched — ``status`` is read-only introspection)."""
+    registry = telemetry.MetricsRegistry(enabled=True)
+    queue.export_gauges(registry)
+    gauges: dict[str, float] = {}
+    for entry in registry.snapshot():
+        labels = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+        key = f"{entry['name']}{{{labels}}}" if labels else entry["name"]
+        gauges[key] = entry["value"]
+    return gauges
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     queue = _queue(args)
     if args.job_id:
@@ -505,7 +552,11 @@ def _cmd_status(args: argparse.Namespace) -> int:
     if args.json:
         print(
             json.dumps(
-                {"counts": queue.counts(), "jobs": [job.to_dict() for job in jobs]},
+                {
+                    "counts": queue.counts(),
+                    "gauges": _queue_gauges(queue),
+                    "jobs": [job.to_dict() for job in jobs],
+                },
                 indent=2,
                 sort_keys=True,
             )
@@ -523,6 +574,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 else "queue is empty"
             )
         )
+        gauges = _queue_gauges(queue)
+        print("gauges: " + "  ".join(f"{key}={value:g}" for key, value in gauges.items()))
     return 0
 
 
@@ -552,6 +605,104 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     else:
         print(f"cancel requested for running job {job.job_id} (honoured between grid points)")
     return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    registry = telemetry.MetricsRegistry(enabled=True)
+    path = Path(args.file) if args.file else Path(args.root) / METRICS_FILENAME
+    snapshot_ts = None
+    try:
+        payload = telemetry.read_snapshot(path)
+    except FileNotFoundError:
+        payload = None
+    if payload is not None:
+        registry.merge(payload["metrics"])
+        snapshot_ts = payload.get("ts")
+    # Queue gauges are computed live from the queue directory, so they are fresh
+    # even when the snapshot is stale (or missing entirely).
+    queue_dir = Path(args.root) / "queue"
+    if queue_dir.exists():
+        JobQueue(queue_dir).export_gauges(registry)
+    elif payload is None:
+        print(
+            f"no metrics yet: no snapshot at {path} and no queue under {args.root} "
+            "(run `repro serve --telemetry` or `repro trace` first)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.prometheus:
+        sys.stdout.write(telemetry.render_prometheus(registry))
+        return 0
+    entries = registry.snapshot()
+    print(
+        render_rows(
+            telemetry.METRICS_HEADERS, telemetry.metrics_table_rows(entries), args.format
+        )
+    )
+    if args.format == "table" and snapshot_ts is not None:
+        age_s = max(0.0, time.time() - snapshot_ts)
+        print(f"\n{len(entries)} series; snapshot {path} written {age_s:.1f}s ago")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.spans:
+        spans = telemetry.load_spans(args.spans)
+        if not spans:
+            raise ReproError(f"no spans found in {args.spans}")
+    else:
+        spans = _run_traced_job(args)
+    telemetry.write_chrome_trace(spans, args.output)
+    layers = sorted({span.category for span in spans})
+    print(f"traced {len(spans)} span(s) across {len(layers)} layer(s): {', '.join(layers)}")
+    print(f"wrote {args.output} (open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+def _run_traced_job(args: argparse.Namespace) -> list:
+    """Run one job through every layer — engine, scheduler, warehouse — with the span
+    sink attached, inside a throwaway service root; returns the collected spans."""
+    base = (
+        get_scenario_preset(args.scenario)
+        if args.scenario
+        else ScenarioSpec(num_devices=50, max_rounds=8)
+    )
+    overrides: dict[str, object] = {}
+    if args.devices is not None:
+        overrides["num_devices"] = args.devices
+    if args.rounds is not None:
+        overrides["max_rounds"] = args.rounds
+    spec = ExperimentSpec(scenario=replace(base, **overrides), policy=args.policy).validate()
+    was_enabled = telemetry.enabled()
+    old_sink = telemetry.get_tracer().sink_path
+    with tempfile.TemporaryDirectory(prefix="repro-trace-") as tmp:
+        root = Path(tmp)
+        sink = root / "spans.jsonl"
+        telemetry.configure(enabled=True, trace_path=sink)
+        try:
+            queue = JobQueue(root / "queue")
+            job = make_job(spec, label="trace")
+            queue.submit(job)
+            scheduler = Scheduler(
+                queue=queue,
+                store=open_store(str(root / "results.sqlite")),
+                events=EventLog(root / EVENTS_FILENAME, echo=False),
+                metrics_path=root / METRICS_FILENAME,
+            )
+            scheduler.serve(workers=1, drain=True)
+            finished = queue.get(job.job_id)
+            if finished.state is not JobState.DONE:
+                raise ReproError(
+                    f"traced job finished {finished.state.value}: "
+                    f"{finished.error or 'unknown error'}"
+                )
+            warehouse = Warehouse(root / "warehouse")
+            warehouse.ingest_store(str(root / "results.sqlite"), label="trace")
+            warehouse.ingest_metrics(root / METRICS_FILENAME, label="trace")
+            run_query(warehouse, table="runs")
+            return telemetry.load_spans(sink)
+        finally:
+            telemetry.configure(enabled=was_enabled, trace_path=old_sink)
 
 
 def _parse_presets(raw: str) -> tuple[str, ...]:
@@ -621,9 +772,14 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         rows = warehouse.ingest_bench_files(args.bench)
         print(f"ingested {rows} bench measurement(s) from {args.bench}")
         ingested += 1
+    if args.metrics is not None:
+        rows = warehouse.ingest_metrics(args.metrics, label=args.label)
+        print(f"ingested {rows} metric row(s) from snapshot {args.metrics}")
+        ingested += 1
     if not ingested:
         raise ConfigurationError(
-            "nothing to ingest: pass --store [PATH], --goldens [DIR] and/or --bench [PATH]"
+            "nothing to ingest: pass --store [PATH], --goldens [DIR], --bench [PATH] "
+            "and/or --metrics [PATH]"
         )
     receipt = warehouse.describe()
     tables = "  ".join(f"{name}: {rows}" for name, rows in receipt["tables"].items())
@@ -910,6 +1066,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="do not echo events to stdout"
     )
     serve_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve the Prometheus text exposition on this port "
+            "(0 binds an ephemeral port; implies --telemetry)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "record metrics and spans while serving; the scheduler drops a "
+            f"{METRICS_FILENAME} snapshot into the service root after every job"
+        ),
+    )
+    serve_parser.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="JSONL",
+        help=(
+            "append finished spans to this JSONL file (implies --telemetry; "
+            "convert with: repro trace --spans JSONL)"
+        ),
+    )
+    serve_parser.add_argument(
         "--store",
         default=str(DEFAULT_SQLITE_STORE_PATH),
         help="result store shared by the worker pool",
@@ -953,6 +1136,60 @@ def build_parser() -> argparse.ArgumentParser:
     cancel_parser.add_argument("job_id", help="job id to cancel (see: python -m repro status)")
     _add_service_arguments(cancel_parser)
     cancel_parser.set_defaults(func=_cmd_cancel)
+
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="dump the telemetry snapshot plus live queue gauges",
+    )
+    metrics_parser.add_argument(
+        "--file",
+        default=None,
+        metavar="PATH",
+        help=f"snapshot file to read (default: <root>/{METRICS_FILENAME})",
+    )
+    metrics_parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the Prometheus text exposition instead of a table",
+    )
+    _add_service_arguments(metrics_parser)
+    _add_format_argument(metrics_parser)
+    metrics_parser.set_defaults(func=_cmd_metrics)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run one traced job end to end and write a Chrome-trace JSON",
+    )
+    trace_parser.add_argument(
+        "--output",
+        default="trace.json",
+        help="Chrome-trace file to write (default: trace.json)",
+    )
+    trace_parser.add_argument(
+        "--spans",
+        default=None,
+        metavar="JSONL",
+        help=(
+            "convert an existing span sink (e.g. from serve --trace-file) "
+            "instead of running a fresh traced job"
+        ),
+    )
+    trace_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="PRESET",
+        help="scenario preset the traced job runs (default: a fast 50-device job)",
+    )
+    trace_parser.add_argument(
+        "--policy", default="autofl", help="selection policy of the traced job"
+    )
+    trace_parser.add_argument(
+        "--devices", type=int, default=None, help="fleet size of the traced job"
+    )
+    trace_parser.add_argument(
+        "--rounds", type=int, default=None, help="rounds of the traced job (default: 8)"
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
 
     validate_parser = subparsers.add_parser(
         "validate",
@@ -1047,6 +1284,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="ingest BENCH_*.json records (a directory to glob, or one file)",
     )
     ingest_parser.add_argument(
+        "--metrics",
+        nargs="?",
+        const=str(Path(DEFAULT_SERVICE_ROOT) / METRICS_FILENAME),
+        default=None,
+        metavar="PATH",
+        help=(
+            "ingest a telemetry metrics snapshot into the metrics table "
+            f"(default path: {Path(DEFAULT_SERVICE_ROOT) / METRICS_FILENAME})"
+        ),
+    )
+    ingest_parser.add_argument(
         "--label",
         default="default",
         help="ingest label the rows are tagged with (evals diff two labels)",
@@ -1060,7 +1308,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--table",
         default="runs",
-        choices=("rounds", "runs", "bench"),
+        choices=("rounds", "runs", "bench", "metrics"),
         help="warehouse table to query (default: per-seed run summaries)",
     )
     query_parser.add_argument(
@@ -1186,6 +1434,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``repro metrics | head``) closed the pipe;
+        # detach stdout so the interpreter's shutdown flush doesn't re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

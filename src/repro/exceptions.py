@@ -65,6 +65,12 @@ class ServiceError(ReproError):
     double claims, cancelling a finished job, or a corrupt queue/store entry."""
 
 
+class TelemetryError(ReproError):
+    """Raised for telemetry misuse: registering the same metric name with a different
+    instrument kind, negative counter increments, or merging histogram snapshots whose
+    bucket bounds disagree."""
+
+
 class AnalyticsError(ReproError):
     """Raised for results-warehouse misuse: unknown tables/columns/labels, a backend
     mismatch against an existing warehouse, or a corrupt columnar file."""

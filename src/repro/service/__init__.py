@@ -31,7 +31,13 @@ from repro.service.bench import (
     format_store_bench,
     run_store_bench,
 )
-from repro.service.events import EVENTS_FILENAME, EventLog, format_event, tail_events
+from repro.service.events import (
+    EVENT_SCHEMA_VERSION,
+    EVENTS_FILENAME,
+    EventLog,
+    format_event,
+    tail_events,
+)
 from repro.service.jobs import (
     JOB_SCHEMA_VERSION,
     TERMINAL_STATES,
@@ -60,6 +66,7 @@ __all__ = [
     "DEFAULT_STORE_BENCH_LOOKUPS",
     "DEFAULT_STORE_BENCH_OUTPUT",
     "EVENTS_FILENAME",
+    "EVENT_SCHEMA_VERSION",
     "EventLog",
     "JOB_SCHEMA_VERSION",
     "Job",

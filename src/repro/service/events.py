@@ -13,12 +13,16 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from collections.abc import Callable, Iterator
 from pathlib import Path
 
 #: Bumped whenever the event line shape changes.
-EVENT_SCHEMA_VERSION = 1
+#: v2: events carrying a ``job_id`` gain a per-job monotone ``seq`` counter, and the
+#: scheduler stamps terminal job events with a monotonic ``dur_s`` (claim-to-finish,
+#: measured with ``perf_counter`` so it survives wall-clock steps).
+EVENT_SCHEMA_VERSION = 2
 
 #: Default event-log filename inside the service root.
 EVENTS_FILENAME = "events.jsonl"
@@ -31,12 +35,21 @@ class EventLog:
         self.path = Path(path)
         #: When set, every emitted event is also printed (the ``serve`` foreground view).
         self.echo = echo
+        # Per-job sequence counters (schema v2).  Scoped to this EventLog instance —
+        # the scheduler's worker threads share one log, so the counter covers every
+        # event a job generates within one scheduler process.
+        self._seq: dict[str, int] = {}
+        self._seq_lock = threading.Lock()
 
     def emit(self, event: str, job_id: str | None = None, worker: str | None = None, **data) -> dict:
         """Append one event line (and echo it when configured); returns the payload."""
         payload: dict = {"schema": EVENT_SCHEMA_VERSION, "ts": time.time(), "event": event}
         if job_id is not None:
             payload["job_id"] = job_id
+            with self._seq_lock:
+                seq = self._seq.get(job_id, 0) + 1
+                self._seq[job_id] = seq
+            payload["seq"] = seq
         if worker is not None:
             payload["worker"] = worker
         payload.update(data)

@@ -33,6 +33,7 @@ import time
 import uuid
 from pathlib import Path
 
+from repro import telemetry
 from repro.exceptions import ServiceError
 from repro.service.jobs import TERMINAL_STATES, Job, JobState
 
@@ -312,6 +313,28 @@ class JobQueue:
     def pending(self) -> int:
         """Number of jobs currently waiting in ``queued/``."""
         return sum(1 for _ in self._dir(JobState.QUEUED).glob("*.json"))
+
+    def export_gauges(self, registry=None) -> dict[str, int]:
+        """Export queue depth and per-state job counts as telemetry gauges.
+
+        Sets ``repro_queue_depth`` (jobs waiting in ``queued/``) and one
+        ``repro_jobs{state=...}`` series per state on ``registry`` (the process-wide
+        registry by default; recording still honours its ``enabled`` switch), and
+        returns the raw :meth:`counts` mapping either way.
+        """
+        counts = self.counts()
+        if registry is None:
+            registry = telemetry.get_registry()
+        if registry.enabled:
+            registry.gauge(
+                "repro_queue_depth", help="Jobs waiting to be claimed."
+            ).set(float(counts[JobState.QUEUED.value]))
+            jobs_gauge = registry.gauge(
+                "repro_jobs", help="Jobs currently in each queue state."
+            )
+            for state, count in counts.items():
+                jobs_gauge.set(float(count), state=state)
+        return counts
 
     def __len__(self) -> int:
         return sum(self.counts().values())

@@ -30,7 +30,9 @@ import socket
 import threading
 import time
 import traceback
+from pathlib import Path
 
+from repro import telemetry
 from repro.exceptions import ServiceError
 from repro.experiments.runner import ExperimentResult, StoreBackend, run_experiment
 from repro.experiments.spec import ExperimentSpec
@@ -61,18 +63,22 @@ def _child_entry(payload: dict, conn) -> None:
         result = run_experiment(
             ExperimentSpec.from_dict(payload["spec"]), validate=payload.get("validate", False)
         )
-        conn.send({"ok": True, "result": result.to_dict()})
+        response = {"ok": True, "result": result.to_dict()}
     except Exception as exc:
         report = getattr(exc, "report", None)
-        conn.send(
-            {
-                "ok": False,
-                "error_type": type(exc).__name__,
-                "message": str(exc),
-                "traceback": traceback.format_exc(),
-                "report": report.to_dict() if report is not None else None,
-            }
-        )
+        response = {
+            "ok": False,
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+            "report": report.to_dict() if report is not None else None,
+        }
+    try:
+        # Ship the child's metrics (round histograms etc.) home with the outcome; the
+        # parent merges them so ``--metrics-port`` reflects work done in children.
+        if telemetry.enabled():
+            response["metrics"] = telemetry.get_registry().snapshot()
+        conn.send(response)
     finally:
         conn.close()
 
@@ -88,6 +94,7 @@ class Scheduler:
         lease_s: float = DEFAULT_LEASE_S,
         poll_s: float = DEFAULT_POLL_S,
         worker_prefix: str | None = None,
+        metrics_path: str | os.PathLike | None = None,
     ) -> None:
         if lease_s <= 0:
             raise ServiceError(f"lease_s must be positive, got {lease_s}")
@@ -103,6 +110,27 @@ class Scheduler:
             if worker_prefix is not None
             else f"{socket.gethostname()}-{os.getpid()}"
         )
+        #: Where to drop metrics snapshots (after every job and at shutdown) so
+        #: ``python -m repro metrics`` can inspect the service without scraping HTTP.
+        self.metrics_path = Path(metrics_path) if metrics_path is not None else None
+
+    def _flush_metrics(self) -> None:
+        if self.metrics_path is not None and telemetry.enabled():
+            telemetry.write_snapshot(telemetry.get_registry(), self.metrics_path)
+
+    @staticmethod
+    def _job_finished(state: str, claimed_at: float) -> float:
+        """Close out a job's telemetry; returns the monotonic claim-to-finish latency."""
+        dur_s = round(time.perf_counter() - claimed_at, 6)
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_jobs_finished_total", help="Jobs finished, by terminal state."
+            ).inc(state=state)
+            registry.histogram(
+                "repro_job_duration_s", help="Claim-to-finish job latency."
+            ).observe(dur_s, state=state)
+        return dur_s
 
     # ------------------------------------------------------------------ serving
     def serve(
@@ -140,9 +168,11 @@ class Scheduler:
             stop.set()
             for thread in threads:
                 thread.join()
+            self._flush_metrics()
             self.events.emit("scheduler_stopped", reason="interrupted")
             raise
         stop.set()
+        self._flush_metrics()
         self.events.emit("scheduler_stopped", reason="drained" if drain else "stopped")
 
     def _worker_loop(self, worker_id: str, drain: bool, stop: threading.Event) -> None:
@@ -156,14 +186,25 @@ class Scheduler:
                     state=released.state.value,
                     reason="lease-expired",
                 )
+            claimed_at = time.perf_counter()
             job = self.queue.claim(worker_id, self.lease_s)
+            if telemetry.enabled():
+                self.queue.export_gauges()
             if job is None:
                 if drain and self.queue.pending() == 0:
                     break
                 stop.wait(self.poll_s)
                 continue
+            telemetry.get_tracer().record(
+                "claim",
+                category="scheduler",
+                start_s=claimed_at,
+                end_s=time.perf_counter(),
+                job=job.job_id,
+                worker=worker_id,
+            )
             try:
-                self._run_job(job, worker_id, stop)
+                self._run_job(job, worker_id, stop, claimed_at)
             except Exception as exc:  # Scheduler bug: never wedge a claimed job.
                 try:
                     self.queue.complete(
@@ -177,11 +218,15 @@ class Scheduler:
                     worker=worker_id,
                     error_type=type(exc).__name__,
                     message=str(exc),
+                    dur_s=self._job_finished("failed", claimed_at),
                 )
+            self._flush_metrics()
         self.events.emit("worker_stopped", worker=worker_id)
 
     # ------------------------------------------------------------------ one job
-    def _run_job(self, job: Job, worker_id: str, stop: threading.Event) -> None:
+    def _run_job(
+        self, job: Job, worker_id: str, stop: threading.Event, claimed_at: float
+    ) -> None:
         self.events.emit(
             "job_started",
             job_id=job.job_id,
@@ -190,6 +235,8 @@ class Scheduler:
             specs=len(job.specs),
             priority=job.priority,
         )
+        tracer = telemetry.get_tracer()
+        registry = telemetry.get_registry()
         deadline = time.time() + job.timeout_s if job.timeout_s is not None else None
         job.cache_hits = 0  # Per-attempt counters: a retry re-counts against the store.
         job.executed = 0
@@ -200,29 +247,50 @@ class Scheduler:
                 return
             if self.queue.cancel_requested(job.job_id):
                 self.queue.complete(job, JobState.CANCELLED, error="cancelled by request")
-                self.events.emit("job_cancelled", job_id=job.job_id, worker=worker_id)
+                self.events.emit(
+                    "job_cancelled",
+                    job_id=job.job_id,
+                    worker=worker_id,
+                    dur_s=self._job_finished("cancelled", claimed_at),
+                )
                 return
             if self.store.get(spec_hash) is not None:
                 job.cache_hits += 1
                 self.queue.update(job)
+                if registry.enabled:
+                    registry.counter(
+                        "repro_specs_total", help="Grid points served, by outcome."
+                    ).inc(outcome="cached")
                 self.events.emit(
                     "spec_cached", job_id=job.job_id, worker=worker_id, spec=spec_hash[:12]
                 )
                 continue
-            outcome = self._run_spec_in_child(
-                {"spec": spec.to_dict(), "validate": job.validate},
-                job,
-                worker_id,
-                deadline,
-                stop,
-            )
+            with tracer.span(
+                "execute",
+                category="scheduler",
+                job=job.job_id,
+                spec=spec_hash[:12],
+                worker=worker_id,
+            ):
+                outcome = self._run_spec_in_child(
+                    {"spec": spec.to_dict(), "validate": job.validate},
+                    job,
+                    worker_id,
+                    deadline,
+                    stop,
+                )
             interrupted = outcome.get("interrupted")
             if interrupted == "stopped":
                 self._requeue_interrupted(job, worker_id)
                 return
             if interrupted == "cancelled":
                 self.queue.complete(job, JobState.CANCELLED, error="cancelled by request")
-                self.events.emit("job_cancelled", job_id=job.job_id, worker=worker_id)
+                self.events.emit(
+                    "job_cancelled",
+                    job_id=job.job_id,
+                    worker=worker_id,
+                    dur_s=self._job_finished("cancelled", claimed_at),
+                )
                 return
             if interrupted == "timeout":
                 error = (
@@ -231,14 +299,29 @@ class Scheduler:
                 )
                 self.queue.complete(job, JobState.FAILED, error=error)
                 self.events.emit(
-                    "job_failed", job_id=job.job_id, worker=worker_id, reason="timeout"
+                    "job_failed",
+                    job_id=job.job_id,
+                    worker=worker_id,
+                    reason="timeout",
+                    dur_s=self._job_finished("failed", claimed_at),
                 )
                 return
             if outcome["ok"]:
                 result = ExperimentResult.from_dict(outcome["result"])
-                self._store_result(result, job)
-                job.executed += 1
-                self.queue.update(job)
+                with tracer.span(
+                    "flush",
+                    category="scheduler",
+                    job=job.job_id,
+                    spec=spec_hash[:12],
+                    worker=worker_id,
+                ):
+                    self._store_result(result, job)
+                    job.executed += 1
+                    self.queue.update(job)
+                if registry.enabled:
+                    registry.counter(
+                        "repro_specs_total", help="Grid points served, by outcome."
+                    ).inc(outcome="executed")
                 self.events.emit(
                     "spec_done",
                     job_id=job.job_id,
@@ -247,7 +330,11 @@ class Scheduler:
                     elapsed_s=round(result.elapsed_s, 3),
                 )
                 continue
-            self._handle_spec_failure(job, worker_id, spec_hash, outcome)
+            if registry.enabled:
+                registry.counter(
+                    "repro_specs_total", help="Grid points served, by outcome."
+                ).inc(outcome="failed")
+            self._handle_spec_failure(job, worker_id, spec_hash, outcome, claimed_at)
             return
         self.queue.complete(job, JobState.DONE)
         self.events.emit(
@@ -256,6 +343,7 @@ class Scheduler:
             worker=worker_id,
             cache_hits=job.cache_hits,
             executed=job.executed,
+            dur_s=self._job_finished("done", claimed_at),
         )
 
     def _requeue_interrupted(self, job: Job, worker_id: str) -> None:
@@ -267,7 +355,7 @@ class Scheduler:
         )
 
     def _handle_spec_failure(
-        self, job: Job, worker_id: str, spec_hash: str, outcome: dict
+        self, job: Job, worker_id: str, spec_hash: str, outcome: dict, claimed_at: float
     ) -> None:
         error_type = outcome.get("error_type", "Error")
         summary = f"spec {spec_hash[:12]}: {error_type}: {outcome.get('message', '')}"
@@ -289,6 +377,7 @@ class Scheduler:
                 spec=spec_hash[:12],
                 error_type=error_type,
                 message=outcome.get("message", ""),
+                dur_s=self._job_finished("failed", claimed_at),
             )
         else:
             job.error = summary
@@ -343,6 +432,12 @@ class Scheduler:
                 if now >= next_renewal:
                     self.queue.renew_lease(job.job_id, worker_id, self.lease_s)
                     next_renewal = now + self.lease_s / 2
+                    registry = telemetry.get_registry()
+                    if registry.enabled:
+                        registry.counter(
+                            "repro_lease_renewals_total",
+                            help="Lease renewals while specs run in children.",
+                        ).inc()
                 if stop.is_set():
                     reason = "stopped"
                     break
@@ -368,6 +463,10 @@ class Scheduler:
                 process.join(timeout=_CHILD_GRACE_S)
         finally:
             receiver.close()
+        if outcome is not None and outcome.get("metrics"):
+            # Fold the child's metrics (round histograms, engine counters) into this
+            # process' registry so exposition covers work done in children.
+            telemetry.get_registry().merge(outcome.pop("metrics"))
         if reason is not None:
             return {"ok": False, "interrupted": reason}
         if outcome is None:

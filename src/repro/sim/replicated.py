@@ -24,6 +24,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import SimulationError
 from repro.sim.context import RoundContext
 from repro.sim.results import BatchRoundExecution, RoundRecord, SimulationResult
@@ -124,13 +125,19 @@ class ReplicatedSimulation:
                 faults.append(env.sample_faults(decision.participants, round_index))
                 masks.append(online_mask)
             # One stacked engine call for the whole round's physics.
-            batches = execute_batch_replicated(
-                [sims[i]._engine for i in active],
-                decisions,
-                [ctx.condition_arrays for ctx in contexts],
-                faults=faults,
-                online_masks=masks,
-            )
+            with telemetry.get_tracer().span(
+                "replicated_round",
+                category="engine",
+                round=round_index,
+                replicates=len(active),
+            ):
+                batches = execute_batch_replicated(
+                    [sims[i]._engine for i in active],
+                    decisions,
+                    [ctx.condition_arrays for ctx in contexts],
+                    faults=faults,
+                    online_masks=masks,
+                )
             for pos, i in enumerate(active):
                 batch = batches[pos]
                 training = sims[i].backend.run_round(batch.participant_ids)

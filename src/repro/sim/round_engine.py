@@ -21,6 +21,7 @@ from dataclasses import dataclass, fields
 
 import numpy as np
 
+from repro import telemetry
 from repro.devices.device import ExecutionTarget, MobileDevice, RoundConditions
 from repro.devices.energy import DeviceEnergy, RoundEnergyAccount
 from repro.devices.fleet_arrays import (
@@ -53,6 +54,12 @@ STRAGGLER_CUTOFF_FACTOR = 2.5
 #: Additional sustained power (W) contributed by a fully busy co-runner, fed into the
 #: thermal throttling model alongside the training power draw.
 CO_RUNNER_POWER_WATT = 1.5
+
+#: Histogram buckets for selection sizes (device counts, up to the 1M stretch goal).
+SELECTION_SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+    10000, 20000, 50000, 100000, 200000, 500000, 1000000,
+)
 
 
 def straggler_deadline(times: np.ndarray, cutoff: float) -> float:
@@ -454,6 +461,17 @@ class RoundEngine:
             # on behalf of this training job, so the global account excludes them.
             idle_j = np.where(np.asarray(online_mask, dtype=bool), idle_j, 0.0)
 
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_engine_batch_rounds_total", help="Vectorised engine round executions."
+            ).inc()
+            registry.histogram(
+                "repro_engine_selection_size",
+                help="Participants per executed round.",
+                buckets=SELECTION_SIZE_BUCKETS,
+            ).observe(float(len(rows)))
+
         return BatchRoundExecution(
             selected_ids=np.array(decision.participants, dtype=np.int64),
             processors=processors,
@@ -784,6 +802,13 @@ def execute_batch_replicated(
     groups: dict[int, list[int]] = {}
     for i, item in enumerate(prepared):
         groups.setdefault(len(item[0]), []).append(i)
+
+    registry = telemetry.get_registry()
+    if registry.enabled:
+        registry.counter(
+            "repro_engine_replicated_rounds_total",
+            help="Replicate-rounds executed through the stacked batch path.",
+        ).inc(n)
 
     results: list[BatchRoundExecution | None] = [None] * n
     for members in groups.values():

@@ -7,6 +7,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import SimulationError
 from repro.fl.metrics import ConvergenceTracker
 from repro.fl.server import RoundTrainingResult, TrainingBackend
@@ -131,43 +132,49 @@ class FLSimulation:
 
     def run_round(self, round_index: int) -> RoundRecord:
         """Execute a single aggregation round and return its record."""
-        # Fleet dynamics first: who is reachable this round (None = static fleet).
-        online_mask = self._env.round_online_mask(round_index)
-        condition_arrays = self._env.sample_condition_arrays()
-        # Lazy view: scalar policies see the usual per-device mapping, vectorised ones
-        # read the arrays and never pay the O(N) object construction.
-        conditions = condition_arrays.lazy_mapping(self._env.fleet.device_ids)
-        ctx = RoundContext(
-            round_index=round_index,
-            environment=self._env,
-            conditions=conditions,
-            accuracy=self._backend.accuracy,
-            condition_arrays=condition_arrays,
-            online_mask=online_mask,
-        )
-        decision = self._policy.select(ctx)
+        # The three spans mirror the bench phase names (control_plane / energy_math /
+        # feedback) so trace profiles line up with BENCH_roundengine.json numbers.
+        tracer = telemetry.get_tracer()
+        with tracer.span("control_plane", category="engine", round=round_index):
+            # Fleet dynamics first: who is reachable this round (None = static fleet).
+            online_mask = self._env.round_online_mask(round_index)
+            condition_arrays = self._env.sample_condition_arrays()
+            # Lazy view: scalar policies see the usual per-device mapping, vectorised
+            # ones read the arrays and never pay the O(N) object construction.
+            conditions = condition_arrays.lazy_mapping(self._env.fleet.device_ids)
+            ctx = RoundContext(
+                round_index=round_index,
+                environment=self._env,
+                conditions=conditions,
+                accuracy=self._backend.accuracy,
+                condition_arrays=condition_arrays,
+                online_mask=online_mask,
+            )
+            decision = self._policy.select(ctx)
         if not decision.participants:
             raise SimulationError(f"policy {self._policy.name!r} selected no participants")
-        # Mid-round faults are drawn after selection (the failure of a device that was
-        # never picked is unobservable) from the dedicated dynamics RNG stream.
-        faults = self._env.sample_faults(decision.participants, round_index)
-        # The hot path is the vectorised engine; the scalar RoundExecution view is
-        # materialised once per round for the policy feedback hooks and the record.
-        batch = self._engine.execute_batch(
-            decision, condition_arrays, faults=faults, online_mask=online_mask
-        )
-        execution = batch.to_execution()
-        training = self._backend.run_round(execution.participant_ids)
-        # Offer the outcome in array form first; policies with a vectorised learning
-        # path (autofl-fast) handle it there and skip the scalar reward loop.
-        feedback_batch = getattr(self._policy, "feedback_batch", None)
-        handled = (
-            bool(feedback_batch(ctx, decision, batch, training))
-            if feedback_batch is not None
-            else False
-        )
-        if not handled:
-            self._policy.feedback(ctx, decision, execution, training)
+        with tracer.span("energy_math", category="engine", round=round_index):
+            # Mid-round faults are drawn after selection (the failure of a device that
+            # was never picked is unobservable) from the dedicated dynamics RNG stream.
+            faults = self._env.sample_faults(decision.participants, round_index)
+            # The hot path is the vectorised engine; the scalar RoundExecution view is
+            # materialised once per round for the policy feedback hooks and the record.
+            batch = self._engine.execute_batch(
+                decision, condition_arrays, faults=faults, online_mask=online_mask
+            )
+            execution = batch.to_execution()
+        with tracer.span("feedback", category="engine", round=round_index):
+            training = self._backend.run_round(execution.participant_ids)
+            # Offer the outcome in array form first; policies with a vectorised
+            # learning path (autofl-fast) handle it there and skip the scalar loop.
+            feedback_batch = getattr(self._policy, "feedback_batch", None)
+            handled = (
+                bool(feedback_batch(ctx, decision, batch, training))
+                if feedback_batch is not None
+                else False
+            )
+            if not handled:
+                self._policy.feedback(ctx, decision, execution, training)
         record = RoundRecord(
             round_index=round_index,
             selected_ids=tuple(sorted(decision.participants)),
@@ -181,6 +188,27 @@ class FLSimulation:
             failed_ids=tuple(execution.failed_ids),
             num_online=None if online_mask is None else int(online_mask.sum()),
         )
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            policy_name = self._policy.name
+            registry.counter(
+                "repro_rounds_total", help="Aggregation rounds executed."
+            ).inc(policy=policy_name)
+            registry.counter(
+                "repro_selected_devices_total", help="Devices selected across rounds."
+            ).inc(len(record.selected_ids))
+            registry.counter(
+                "repro_straggler_drops_total", help="Devices dropped as stragglers."
+            ).inc(len(record.dropped_ids))
+            registry.counter(
+                "repro_fault_failures_total", help="Mid-round device failures."
+            ).inc(len(record.failed_ids))
+            registry.histogram(
+                "repro_round_time_s", help="Simulated wall-clock time per round."
+            ).observe(record.round_time_s, policy=policy_name)
+            registry.histogram(
+                "repro_round_energy_j", help="Simulated global energy per round."
+            ).observe(record.global_energy_j, policy=policy_name)
         if self._round_observer is not None:
             self._round_observer(
                 round_index=round_index,
@@ -198,13 +226,19 @@ class FLSimulation:
             workload_name=self._env.workload.name,
             target_accuracy=self._tracker.target_accuracy,
         )
-        for round_index in range(self._max_rounds):
-            record = self.run_round(round_index)
-            result.append(record)
-            if self._tracker.update(round_index, record.accuracy):
-                result.converged_round = self._tracker.converged_round
-                if self._stop_at_convergence:
-                    break
+        with telemetry.get_tracer().span(
+            "simulation",
+            category="engine",
+            policy=self._policy.name,
+            workload=self._env.workload.name,
+        ):
+            for round_index in range(self._max_rounds):
+                record = self.run_round(round_index)
+                result.append(record)
+                if self._tracker.update(round_index, record.accuracy):
+                    result.converged_round = self._tracker.converged_round
+                    if self._stop_at_convergence:
+                        break
         return result
 
     @classmethod

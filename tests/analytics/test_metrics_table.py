@@ -1,0 +1,79 @@
+"""Tests for the warehouse ``metrics`` table: row building, ingest and query."""
+
+import math
+
+import pytest
+
+from repro import telemetry
+from repro.analytics import Warehouse, metrics_rows_from_snapshot, run_query
+from repro.analytics.schema import TABLE_KEYS, TABLES
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    """A written snapshot file with one of each instrument kind."""
+    registry = telemetry.MetricsRegistry(enabled=True)
+    registry.counter("repro_rounds_total", help="Rounds.").inc(6.0, policy="autofl")
+    registry.gauge("repro_queue_depth").set(2.0)
+    histogram = registry.histogram("repro_round_time_s", buckets=(1.0, 10.0))
+    for value in (0.5, 0.7, 8.0):
+        histogram.observe(value, policy="autofl")
+    path = tmp_path / "metrics.json"
+    telemetry.write_snapshot(registry, path)
+    return path
+
+
+class TestRowBuilder:
+    def test_payload_and_bare_list_shapes(self, snapshot):
+        payload = telemetry.read_snapshot(snapshot)
+        rows = metrics_rows_from_snapshot(payload, label="run1")
+        assert {row["name"] for row in rows} == {
+            "repro_rounds_total", "repro_queue_depth", "repro_round_time_s",
+        }
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["repro_rounds_total"]["value"] == 6.0
+        assert by_name["repro_rounds_total"]["labels"] == "policy=autofl"
+        assert by_name["repro_round_time_s"]["count"] == 3.0
+        assert by_name["repro_round_time_s"]["p50"] == 1.0
+        assert all(row["ts"] == payload["ts"] for row in rows)
+        # A bare entry list (no payload wrapper) carries no timestamp.
+        bare = metrics_rows_from_snapshot(payload["metrics"])
+        assert math.isnan(bare[0]["ts"])
+
+    def test_rows_fit_the_table_schema(self, snapshot):
+        columns = {column.name for column in TABLES["metrics"]}
+        for row in metrics_rows_from_snapshot(telemetry.read_snapshot(snapshot)):
+            assert set(row) <= columns
+            assert set(TABLE_KEYS["metrics"]) <= set(row)
+
+
+class TestIngestAndQuery:
+    def test_ingest_metrics_is_idempotent(self, tmp_path, snapshot, backend):
+        warehouse = Warehouse(tmp_path / "wh", backend=backend)
+        added = warehouse.ingest_metrics(snapshot, label="obs")
+        assert added == 3
+        # Re-ingesting replaces same-key rows instead of duplicating them.
+        warehouse.ingest_metrics(snapshot, label="obs")
+        assert warehouse.num_rows("metrics") == 3
+        assert "obs" in warehouse.describe()["labels"]
+
+    def test_query_metrics_table(self, tmp_path, snapshot, backend):
+        warehouse = Warehouse(tmp_path / "wh", backend=backend)
+        warehouse.ingest_metrics(snapshot, label="obs")
+        result = run_query(
+            warehouse,
+            table="metrics",
+            where={"name": ("repro_round_time_s",)},
+            aggs=("mean",),
+        )
+        assert result.matched_rows == 1
+        row = dict(zip(result.headers, result.rows[0]))
+        assert row["name"] == "repro_round_time_s"
+        assert row["count:mean"] == pytest.approx(3.0)
+        assert row["p50:mean"] == pytest.approx(1.0)
+
+    def test_ingest_accepts_in_memory_payloads(self, tmp_path, backend):
+        registry = telemetry.MetricsRegistry(enabled=True)
+        registry.counter("c").inc(1.0)
+        warehouse = Warehouse(tmp_path / "wh", backend=backend)
+        assert warehouse.ingest_metrics(telemetry.snapshot_payload(registry)) == 1

@@ -203,4 +203,4 @@ class TestDescribe:
         warehouse.append_rows("runs", [make_run_row()])
         receipt = warehouse.describe()
         assert receipt["backend"] == "numpy"
-        assert receipt["tables"] == {"rounds": 0, "runs": 1, "bench": 0}
+        assert receipt["tables"] == {"rounds": 0, "runs": 1, "bench": 0, "metrics": 0}

@@ -2,6 +2,7 @@
 
 import multiprocessing
 import threading
+import time
 
 import pytest
 
@@ -177,7 +178,7 @@ class TestCancellation:
         queue.submit(job)
         claimed = queue.claim("t-w0")
         queue.cancel(claimed.job_id)  # running: drops the cooperative marker
-        scheduler._run_job(claimed, "t-w0", threading.Event())
+        scheduler._run_job(claimed, "t-w0", threading.Event(), time.perf_counter())
         assert queue.get(job.job_id).state is JobState.CANCELLED
         assert "job_cancelled" in _event_names(events)
 
@@ -190,7 +191,7 @@ class TestInterrupt:
         assert claimed.attempts == 1
         stop = threading.Event()
         stop.set()  # operator interrupt before the first spec
-        scheduler._run_job(claimed, "t-w0", stop)
+        scheduler._run_job(claimed, "t-w0", stop, time.perf_counter())
         requeued = queue.get(job.job_id)
         assert requeued.state is JobState.QUEUED
         assert requeued.attempts == 0  # the interrupted attempt was refunded

@@ -1,0 +1,124 @@
+"""Service-layer telemetry: queue gauges, event seq/dur_s and scheduler metrics."""
+
+import pytest
+
+from repro import telemetry
+from repro.experiments.spec import ExperimentSpec
+from repro.service.events import EVENT_SCHEMA_VERSION, EventLog
+from repro.service.jobs import make_job
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.store import ArtifactStore
+from repro.sim.scenarios import ScenarioSpec
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def _spec(seed=0, devices=25, rounds=3):
+    return ExperimentSpec(
+        scenario=ScenarioSpec(num_devices=devices, max_rounds=rounds, seed=seed),
+        policy="fedavg-random",
+    )
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path / "queue")
+
+
+@pytest.fixture
+def events(tmp_path):
+    return EventLog(tmp_path / "events.jsonl")
+
+
+class TestQueueGauges:
+    def test_export_gauges_reflect_job_states(self, queue):
+        registry = telemetry.MetricsRegistry(enabled=True)
+        queue.submit(make_job(_spec(0)))
+        queue.submit(make_job(_spec(1)))
+        counts = queue.export_gauges(registry)
+        assert counts["queued"] == 2
+        assert registry.gauge("repro_queue_depth").value() == 2.0
+        assert registry.gauge("repro_jobs").value(state="queued") == 2.0
+        assert registry.gauge("repro_jobs").value(state="done") == 0.0
+
+    def test_export_gauges_default_to_the_process_registry(self, queue):
+        queue.submit(make_job(_spec(0)))
+        counts = queue.export_gauges()  # process registry is disabled: counts only
+        assert counts["queued"] == 1
+        assert telemetry.get_registry().snapshot() == []
+
+
+class TestEventSequencing:
+    def test_schema_version_is_two(self):
+        assert EVENT_SCHEMA_VERSION == 2
+
+    def test_seq_increments_per_job(self, events):
+        events.emit("job_started", job_id="job-a")
+        events.emit("spec_done", job_id="job-a")
+        events.emit("job_started", job_id="job-b")
+        events.emit("job_done", job_id="job-a")
+        recorded = events.read()
+        assert [event.get("seq") for event in recorded] == [1, 2, 1, 3]
+        assert all(event["schema"] == EVENT_SCHEMA_VERSION for event in recorded)
+
+    def test_events_without_a_job_carry_no_seq(self, events):
+        events.emit("scheduler_started", workers=1)
+        assert "seq" not in events.read()[0]
+
+
+class TestSchedulerTelemetry:
+    def test_drain_writes_snapshot_with_child_metrics(self, tmp_path, queue, events):
+        telemetry.configure(enabled=True)
+        store = ArtifactStore(tmp_path / "results.sqlite")
+        metrics_path = tmp_path / "metrics.json"
+        queue.submit(make_job(_spec(), label="obs"))
+        scheduler = Scheduler(
+            queue, store, events, poll_s=0.05, worker_prefix="t", metrics_path=metrics_path
+        )
+        scheduler.serve(workers=1, drain=True)
+
+        registry = telemetry.get_registry()
+        # Parent-side scheduler metrics.
+        assert registry.counter("repro_jobs_finished_total").value(state="done") == 1.0
+        assert registry.counter("repro_specs_total").value(outcome="executed") == 1.0
+        assert registry.histogram("repro_job_duration_s").count(state="done") == 1
+        # Child-side engine metrics travel through the result pipe and are merged.
+        assert registry.counter("repro_rounds_total").value(policy="fedavg-random") == 3.0
+
+        payload = telemetry.read_snapshot(metrics_path)
+        merged = telemetry.MetricsRegistry()
+        merged.merge(payload["metrics"])
+        assert merged.counter("repro_rounds_total").value(policy="fedavg-random") == 3.0
+
+        # Scheduler spans: one claim, one execute, one flush for the single job.
+        names = [span.name for span in telemetry.get_tracer().spans()]
+        assert names.count("claim") == 1
+        assert names.count("execute") == 1
+        assert names.count("flush") == 1
+
+    def test_terminal_job_events_carry_dur_s(self, tmp_path, queue, events):
+        store = ArtifactStore(tmp_path / "results.sqlite")
+        queue.submit(make_job(_spec()))
+        Scheduler(queue, store, events, poll_s=0.05, worker_prefix="t").serve(
+            workers=1, drain=True
+        )
+        done = [event for event in events.read() if event["event"] == "job_done"]
+        assert len(done) == 1
+        assert done[0]["dur_s"] > 0.0
+        assert done[0]["seq"] >= 1
+
+    def test_disabled_telemetry_writes_no_snapshot(self, tmp_path, queue, events):
+        store = ArtifactStore(tmp_path / "results.sqlite")
+        metrics_path = tmp_path / "metrics.json"
+        queue.submit(make_job(_spec()))
+        Scheduler(
+            queue, store, events, poll_s=0.05, worker_prefix="t", metrics_path=metrics_path
+        ).serve(workers=1, drain=True)
+        assert not metrics_path.exists()
+        assert telemetry.get_registry().snapshot() == []

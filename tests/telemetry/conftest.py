@@ -1,0 +1,12 @@
+"""Telemetry tests share one process-wide registry/tracer: reset around each test."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()

@@ -1,0 +1,139 @@
+"""Tests for the span tracer: nesting, sink files and Chrome-trace export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    Span,
+    SpanTracer,
+    chrome_trace_events,
+    load_spans,
+    write_chrome_trace,
+)
+from repro.telemetry.tracing import _NULL_SPAN
+
+
+@pytest.fixture
+def tracer():
+    return SpanTracer(enabled=True)
+
+
+class TestSpanRecording:
+    def test_nested_spans_link_parent_ids(self, tracer):
+        with tracer.span("outer", category="engine") as outer:
+            with tracer.span("inner", category="engine") as inner:
+                pass
+        spans = tracer.spans()
+        assert [span.name for span in spans] == ["inner", "outer"]
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_span_timestamps_and_attrs(self, tracer):
+        with tracer.span("phase", category="engine", round=3):
+            pass
+        (span,) = tracer.spans()
+        assert span.end_s >= span.start_s
+        assert span.dur_s >= 0.0
+        assert span.attrs == {"round": 3}
+
+    def test_exception_is_annotated_not_suppressed(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("phase"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span.attrs["error"] == "ValueError"
+
+    def test_record_manual_span(self, tracer):
+        span = tracer.record("claim", category="scheduler", start_s=1.0, end_s=1.5, job="j")
+        assert span.dur_s == pytest.approx(0.5)
+        assert tracer.spans()[0].attrs == {"job": "j"}
+
+    def test_threads_nest_independently(self, tracer):
+        def worker():
+            with tracer.span("thread_span"):
+                pass
+
+        with tracer.span("main_span"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        by_name = {span.name: span for span in tracer.spans()}
+        # The thread's span must not adopt the main thread's open span as parent.
+        assert by_name["thread_span"].parent_id is None
+
+    def test_ring_buffer_caps_memory(self):
+        tracer = SpanTracer(enabled=True, max_spans=5)
+        for index in range(20):
+            tracer.record(f"s{index}")
+        assert len(tracer.spans()) == 5
+
+    def test_disabled_tracer_returns_shared_null_span(self):
+        tracer = SpanTracer(enabled=False)
+        assert tracer.span("x") is _NULL_SPAN  # no per-call allocation
+        assert tracer.record("x") is None
+        assert tracer.spans() == []
+
+    def test_finished_spans_feed_the_metrics_registry(self):
+        registry = MetricsRegistry(enabled=True)
+        tracer = SpanTracer(registry=registry, enabled=True)
+        with tracer.span("phase", category="engine"):
+            pass
+        assert registry.histogram("repro_span_s").count(name="phase", cat="engine") == 1
+
+
+class TestSink:
+    def test_sink_appends_jsonl_and_roundtrips(self, tracer, tmp_path):
+        sink = tmp_path / "spans.jsonl"
+        tracer.set_sink(sink)
+        with tracer.span("a", category="engine"):
+            pass
+        tracer.record("b", category="scheduler", start_s=1.0, end_s=2.0)
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["schema"] == 1 for line in lines)
+        spans = load_spans(sink)
+        assert [span.name for span in spans] == ["a", "b"]
+        assert spans[1].category == "scheduler"
+
+    def test_load_spans_skips_bad_lines_and_missing_files(self, tmp_path):
+        sink = tmp_path / "spans.jsonl"
+        sink.write_text('{"name": "ok", "cat": "x"}\ngarbage\n\n')
+        assert [span.name for span in load_spans(sink)] == ["ok"]
+        assert load_spans(tmp_path / "absent.jsonl") == []
+
+    def test_reset_detaches_the_sink(self, tracer, tmp_path):
+        tracer.set_sink(tmp_path / "spans.jsonl")
+        tracer.reset()
+        assert tracer.sink_path is None
+        tracer.record("after")  # must not write anywhere
+        assert not (tmp_path / "spans.jsonl").exists()
+
+
+class TestChromeTraceExport:
+    def test_events_are_relative_microsecond_complete_events(self):
+        spans = [
+            Span("a", "engine", 1, None, start_s=10.0, end_s=10.5, pid=1, tid=2),
+            Span("b", "scheduler", 2, 1, start_s=10.2, end_s=10.3, pid=1, tid=2),
+        ]
+        events = chrome_trace_events(spans)
+        assert [event["name"] for event in events] == ["a", "b"]
+        assert events[0] == {
+            "name": "a", "cat": "engine", "ph": "X", "ts": 0.0, "dur": 500000.0,
+            "pid": 1, "tid": 2, "args": {"span_id": 1},
+        }
+        assert events[1]["ts"] == pytest.approx(200000.0)
+        assert events[1]["args"]["parent_id"] == 1
+
+    def test_empty_span_list_yields_no_events(self):
+        assert chrome_trace_events([]) == []
+
+    def test_write_chrome_trace_file_shape(self, tmp_path):
+        path = tmp_path / "trace.json"
+        payload = write_chrome_trace([Span("a", "engine", 1, None, 0.0, 1.0)], path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["displayTimeUnit"] == "ms"
+        assert len(on_disk["traceEvents"]) == 1

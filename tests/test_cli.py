@@ -687,3 +687,115 @@ class TestAnalyticsCLI:
         (row,) = json.loads(out)
         assert row["git_sha"] == "abc1234"
         assert row["speedup:mean"] == 10.0
+
+
+class TestTelemetryCLI:
+    """The observability front-end: serve --telemetry, metrics, trace, ingest."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_telemetry(self):
+        from repro import telemetry
+
+        telemetry.reset()
+        yield
+        telemetry.reset()
+
+    @pytest.fixture
+    def svc(self, tmp_path):
+        return ["--root", str(tmp_path / "service")]
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        return ["--store", str(tmp_path / "results.sqlite")]
+
+    def _drain_one_job(self, capsys, svc, store):
+        code, _out, _err = _run(
+            ["submit", "--devices", "25", "--rounds", "3",
+             "--policy", "fedavg-random", *svc],
+            capsys,
+        )
+        assert code == 0
+        code, _out, _err = _run(
+            ["serve", "--workers", "1", "--drain", "--quiet", "--telemetry",
+             *svc, *store],
+            capsys,
+        )
+        assert code == 0
+
+    def test_metrics_without_any_source_fails(self, capsys, svc):
+        code, _out, err = _run(["metrics", *svc], capsys)
+        assert code == 1
+        assert "no metrics yet" in err
+
+    def test_serve_telemetry_then_metrics_roundtrip(self, capsys, svc, store, tmp_path):
+        self._drain_one_job(capsys, svc, store)
+        assert (tmp_path / "service" / "metrics.json").exists()
+        code, out, _err = _run(["metrics", *svc], capsys)
+        assert code == 0
+        assert "repro_rounds_total" in out  # child engine metrics made it across
+        assert "repro_queue_depth" in out  # live queue gauges overlay the snapshot
+        code, out, _err = _run(["metrics", "--prometheus", *svc], capsys)
+        assert code == 0
+        assert "# TYPE repro_rounds_total counter" in out
+        assert 'repro_jobs{state="done"} 1' in out
+
+    def test_status_surfaces_queue_gauges(self, capsys, svc, store):
+        self._drain_one_job(capsys, svc, store)
+        code, out, _err = _run(["status", *svc], capsys)
+        assert code == 0
+        assert "gauges: " in out and "repro_queue_depth=0" in out
+        code, out, _err = _run(["status", "--json", *svc], capsys)
+        payload = json.loads(out)
+        assert payload["gauges"]["repro_jobs{state=done}"] == 1.0
+
+    def test_ingest_metrics_then_query(self, capsys, svc, store, tmp_path):
+        self._drain_one_job(capsys, svc, store)
+        wh = ["--warehouse", str(tmp_path / "wh"), "--backend", "numpy"]
+        snapshot = tmp_path / "service" / "metrics.json"
+        code, out, _err = _run(
+            ["ingest", "--metrics", str(snapshot), "--label", "obs", *wh], capsys
+        )
+        assert code == 0
+        assert "metric row(s)" in out
+        code, out, _err = _run(
+            ["query", "--table", "metrics", "--where", "name=repro_rounds_total",
+             "--agg", "max", "--format", "json", *wh],
+            capsys,
+        )
+        assert code == 0
+        (row,) = json.loads(out)
+        assert row["value:max"] == 3.0
+
+    def test_trace_writes_chrome_trace_across_layers(self, capsys, tmp_path):
+        output = tmp_path / "trace.json"
+        code, out, _err = _run(
+            ["trace", "--devices", "20", "--rounds", "2", "--output", str(output)],
+            capsys,
+        )
+        assert code == 0
+        assert "3 layer(s): engine, scheduler, warehouse" in out
+        payload = json.loads(output.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert {"control_plane", "energy_math", "feedback", "execute", "ingest"} <= names
+
+    def test_trace_converts_an_existing_span_sink(self, capsys, tmp_path):
+        from repro.telemetry import SpanTracer
+
+        sink = tmp_path / "spans.jsonl"
+        tracer = SpanTracer(enabled=True)
+        tracer.set_sink(sink)
+        tracer.record("claim", category="scheduler", start_s=0.0, end_s=0.5)
+        output = tmp_path / "trace.json"
+        code, out, _err = _run(
+            ["trace", "--spans", str(sink), "--output", str(output)], capsys
+        )
+        assert code == 0
+        assert "1 span(s)" in out
+        assert json.loads(output.read_text())["traceEvents"][0]["name"] == "claim"
+
+    def test_trace_empty_sink_fails(self, capsys, tmp_path):
+        sink = tmp_path / "empty.jsonl"
+        sink.write_text("")
+        code, _out, err = _run(["trace", "--spans", str(sink)], capsys)
+        assert code == 2
+        assert "no spans" in err
