@@ -53,9 +53,12 @@ Examples
     python -m repro compare --policies fedavg-random,power,performance,autofl
     python -m repro sweep --axis policy=fedavg-random,autofl --axis dropout-rate=0,0.1
     python -m repro submit --scenario fleet-1k --priority 5 --retries 1
+    python -m repro submit --scenario fleet-1k --lane team-a --weight 3
     python -m repro serve --workers 4
     python -m repro serve --workers 4 --metrics-port 9100
+    python -m repro serve --workers 4 --store .repro-shards --store-shards 4
     python -m repro status --json
+    python -m repro status --by-lane
     python -m repro metrics
     python -m repro trace --output trace.json
     python -m repro watch -f
@@ -111,6 +114,7 @@ from repro.experiments.runner import BatchRunner, get_executor
 from repro.experiments.spec import ExperimentSpec, Sweep, parse_axis
 from repro.registry import REGISTRIES, get_registry
 from repro.service import (
+    DEFAULT_DRAIN_GRACE_S,
     DEFAULT_LEASE_S,
     DEFAULT_POLL_S,
     DEFAULT_SERVICE_ROOT,
@@ -119,7 +123,6 @@ from repro.service import (
     DEFAULT_STORE_BENCH_LOOKUPS,
     DEFAULT_STORE_BENCH_OUTPUT,
     EVENTS_FILENAME,
-    ArtifactStore,
     EventLog,
     JobQueue,
     JobState,
@@ -434,6 +437,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     job = make_job(
         experiments,
         label=label,
+        lane=args.lane or "",
+        weight=args.weight,
         priority=args.priority,
         retry_budget=args.retries,
         validate=args.validate_results,
@@ -448,10 +453,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         specs=len(job.specs),
         priority=job.priority,
         label=job.label,
+        lane=job.lane,
+        weight=job.weight,
     )
     print(
         f"submitted {job.job_id}: {len(job.specs)} spec(s), priority {job.priority}, "
-        f"label {job.label!r}"
+        f"lane {job.lane!r} (weight {job.weight}), label {job.label!r}"
     )
     return 0
 
@@ -472,11 +479,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             telemetry.configure(trace_path=args.trace_file)
     scheduler = Scheduler(
         queue=queue,
-        store=open_store(args.store),
+        store=open_store(args.store, shards=args.store_shards),
         events=EventLog(_events_path(args), echo=not args.quiet),
         lease_s=args.lease,
         poll_s=args.poll,
         metrics_path=(Path(args.root) / METRICS_FILENAME) if telemetry_on else None,
+        drain_grace_s=args.drain_grace,
     )
     server = None
     if args.metrics_port is not None:
@@ -487,11 +495,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         scheduler.serve(workers=args.workers, drain=args.drain)
     except KeyboardInterrupt:
+        # Only reachable when no signal handler could be installed (non-main
+        # thread); the normal Ctrl-C / SIGTERM path is the graceful drain below.
         print("interrupted: in-flight jobs were requeued", file=sys.stderr)
         return 130
     finally:
         if server is not None:
             server.close()
+    if scheduler.signals_seen:
+        print("drained on signal: in-flight work finished or was requeued", file=sys.stderr)
     return 0
 
 
@@ -538,13 +550,52 @@ def _queue_gauges(queue: JobQueue) -> dict[str, float]:
     return gauges
 
 
+#: Column headers of the per-lane ``status --by-lane`` table.
+LANE_HEADERS: tuple[str, ...] = (
+    "lane",
+    "weight",
+    "queued",
+    "running",
+    "done",
+    "failed",
+    "oldest_wait_s",
+)
+
+
+def _lane_rows(queue: JobQueue, jobs) -> list[tuple[object, ...]]:
+    depths = queue.lane_depths()
+    by_lane: dict[str, dict[str, int]] = {}
+    weights: dict[str, int] = {}
+    for job in jobs:
+        lane = job.lane or "lane-unknown"
+        counts = by_lane.setdefault(lane, {})
+        counts[job.state.value] = counts.get(job.state.value, 0) + 1
+        weights[lane] = max(weights.get(lane, 1), job.weight)
+    rows: list[tuple[object, ...]] = []
+    for lane in sorted(set(depths) | set(by_lane)):
+        info = depths.get(lane, {})
+        counts = by_lane.get(lane, {})
+        rows.append(
+            (
+                lane,
+                int(info.get("weight", weights.get(lane, 1))),
+                counts.get("queued", 0),
+                counts.get("running", 0),
+                counts.get("done", 0),
+                counts.get("failed", 0),
+                round(float(info.get("oldest_wait_s", 0.0)), 1),
+            )
+        )
+    return rows
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     queue = _queue(args)
     if args.job_id:
         job = queue.get(args.job_id)
         payload = job.to_dict()
         store = open_store(args.store)
-        if isinstance(store, ArtifactStore):
+        if hasattr(store, "get_artifacts"):
             payload["artifacts"] = store.get_artifacts(job.job_id)
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0 if job.state is not JobState.FAILED else 1
@@ -555,12 +606,16 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 {
                     "counts": queue.counts(),
                     "gauges": _queue_gauges(queue),
+                    "lanes": queue.lane_depths(),
                     "jobs": [job.to_dict() for job in jobs],
                 },
                 indent=2,
                 sort_keys=True,
             )
         )
+        return 0
+    if args.by_lane:
+        print(render_rows(LANE_HEADERS, _lane_rows(queue, jobs), args.format))
         return 0
     print(render_rows(STATUS_HEADERS, [_status_row(job) for job in jobs], args.format))
     if args.format == "table":
@@ -1038,6 +1093,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit every executed round against the simulator invariants",
     )
     submit_parser.add_argument("--label", default=None, help="human-readable job label")
+    submit_parser.add_argument(
+        "--lane",
+        default=None,
+        metavar="NAME",
+        help=(
+            "fair-scheduling lane for this job (defaults to a hash of the "
+            "submitting user@host, so each submitter gets their own lane)"
+        ),
+    )
+    submit_parser.add_argument(
+        "--weight",
+        type=int,
+        default=1,
+        help="relative claim share of the job's lane under contention (default 1)",
+    )
     _add_scenario_arguments(submit_parser)
     _add_service_arguments(submit_parser)
     submit_parser.set_defaults(func=_cmd_submit)
@@ -1097,6 +1167,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=str(DEFAULT_SQLITE_STORE_PATH),
         help="result store shared by the worker pool",
     )
+    serve_parser.add_argument(
+        "--store-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "open --store as a directory of N SQLite shards so many serve hosts "
+            "can share it (the shard count is pinned on first use)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=DEFAULT_DRAIN_GRACE_S,
+        metavar="SECONDS",
+        help=(
+            "on SIGTERM/SIGINT, let each in-flight grid point run this long before "
+            f"it is requeued without spending a retry (default {DEFAULT_DRAIN_GRACE_S:g})"
+        ),
+    )
     _add_service_arguments(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 
@@ -1110,6 +1200,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="full machine-readable dump (counts + complete job payloads)",
+    )
+    status_parser.add_argument(
+        "--by-lane",
+        action="store_true",
+        help="per-lane summary (weight, depth, state counts, oldest queued wait)",
     )
     status_parser.add_argument(
         "--store",

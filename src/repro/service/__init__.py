@@ -43,21 +43,32 @@ from repro.service.jobs import (
     TERMINAL_STATES,
     Job,
     JobState,
+    derive_lane,
+    hash_lane,
     make_job,
     submit_provenance,
 )
-from repro.service.queue import DEFAULT_LEASE_S, DEFAULT_SERVICE_ROOT, JobQueue
-from repro.service.scheduler import DEFAULT_POLL_S, Scheduler
+from repro.service.queue import (
+    CLAIM_GRACE_S,
+    DEFAULT_LEASE_S,
+    DEFAULT_SERVICE_ROOT,
+    JobQueue,
+)
+from repro.service.scheduler import DEFAULT_DRAIN_GRACE_S, DEFAULT_POLL_S, Scheduler
 from repro.service.store import (
     DEFAULT_SQLITE_STORE_PATH,
+    DEFAULT_STORE_SHARDS,
     STORE_SCHEMA_VERSION,
     ArtifactStore,
+    ShardedStore,
     migrate_jsonl,
     open_store,
 )
 
 __all__ = [
     "ArtifactStore",
+    "CLAIM_GRACE_S",
+    "DEFAULT_DRAIN_GRACE_S",
     "DEFAULT_LEASE_S",
     "DEFAULT_POLL_S",
     "DEFAULT_SERVICE_ROOT",
@@ -65,6 +76,7 @@ __all__ = [
     "DEFAULT_STORE_BENCH_ENTRIES",
     "DEFAULT_STORE_BENCH_LOOKUPS",
     "DEFAULT_STORE_BENCH_OUTPUT",
+    "DEFAULT_STORE_SHARDS",
     "EVENTS_FILENAME",
     "EVENT_SCHEMA_VERSION",
     "EventLog",
@@ -74,9 +86,12 @@ __all__ = [
     "JobState",
     "STORE_SCHEMA_VERSION",
     "Scheduler",
+    "ShardedStore",
     "TERMINAL_STATES",
+    "derive_lane",
     "format_event",
     "format_store_bench",
+    "hash_lane",
     "make_job",
     "migrate_jsonl",
     "open_store",

@@ -21,6 +21,7 @@ persists.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import platform
 import socket
@@ -34,7 +35,11 @@ from repro.exceptions import ServiceError
 from repro.experiments.spec import ExperimentSpec, Sweep
 
 #: Bumped whenever the persisted job payload's shape changes.
-JOB_SCHEMA_VERSION = 1
+#: v2: jobs carry a fair-scheduling ``lane`` (hashed from the submitter identity
+#: unless given explicitly) and an integer ``weight`` hint for that lane.  v1
+#: payloads are still readable; their jobs land in the lane their provenance hashes
+#: to, with weight 1.
+JOB_SCHEMA_VERSION = 2
 
 
 class JobState(str, Enum):
@@ -76,6 +81,23 @@ def submit_provenance() -> dict:
     }
 
 
+def hash_lane(key: str) -> str:
+    """Deterministic lane id for an arbitrary submitter key (``lane-`` + 8 hex chars).
+
+    Hashing (rather than using the raw key) keeps lane ids filesystem- and
+    label-safe regardless of what the submitter string contains, and gives every
+    host that sees the same submitter the same lane without coordination.
+    """
+    return f"lane-{hashlib.sha1(key.encode('utf-8')).hexdigest()[:8]}"
+
+
+def derive_lane(provenance: Mapping) -> str:
+    """Default lane of a job: its submitter identity (``user@host``), hashed."""
+    user = provenance.get("user", "unknown")
+    host = provenance.get("host", "unknown")
+    return hash_lane(f"{user}@{host}")
+
+
 @dataclass
 class Job:
     """One unit of schedulable work: a batch of experiment specs plus run policy.
@@ -88,6 +110,8 @@ class Job:
     specs: tuple[ExperimentSpec, ...]
     job_id: str = field(default_factory=_new_job_id)
     label: str = ""
+    lane: str = ""
+    weight: int = 1
     priority: int = 0
     state: JobState = JobState.QUEUED
     retry_budget: int = 0
@@ -111,6 +135,10 @@ class Job:
             raise ServiceError(f"retry_budget must be >= 0, got {self.retry_budget}")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ServiceError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.weight < 1:
+            raise ServiceError(f"weight must be >= 1, got {self.weight}")
+        if not self.lane:
+            self.lane = derive_lane(self.provenance)
 
     # ------------------------------------------------------------------ state machine
     def transition(self, new_state: JobState) -> "Job":
@@ -152,6 +180,8 @@ class Job:
             "schema": JOB_SCHEMA_VERSION,
             "job_id": self.job_id,
             "label": self.label,
+            "lane": self.lane,
+            "weight": self.weight,
             "priority": self.priority,
             "state": self.state.value,
             "specs": [spec.to_dict() for spec in self.specs],
@@ -174,15 +204,19 @@ class Job:
     def from_dict(cls, payload: Mapping) -> "Job":
         """Rebuild a job from :meth:`to_dict` output."""
         schema = payload.get("schema", JOB_SCHEMA_VERSION)
-        if schema != JOB_SCHEMA_VERSION:
+        # v1 payloads (no lane/weight) are read with the same defaults __post_init__
+        # applies, so mixed-version queues keep working during a rolling upgrade.
+        if not isinstance(schema, int) or schema < 1 or schema > JOB_SCHEMA_VERSION:
             raise ServiceError(
-                f"unsupported job schema {schema!r} (this version reads {JOB_SCHEMA_VERSION})"
+                f"unsupported job schema {schema!r} (this version reads 1..{JOB_SCHEMA_VERSION})"
             )
         try:
             return cls(
                 specs=tuple(ExperimentSpec.from_dict(spec) for spec in payload["specs"]),
                 job_id=payload["job_id"],
                 label=payload.get("label", ""),
+                lane=payload.get("lane", ""),
+                weight=payload.get("weight", 1),
                 priority=payload.get("priority", 0),
                 state=JobState(payload["state"]),
                 retry_budget=payload.get("retry_budget", 0),
@@ -203,8 +237,8 @@ class Job:
 
     def __repr__(self) -> str:
         return (
-            f"Job({self.job_id}, {self.state.value}, priority={self.priority}, "
-            f"specs={len(self.specs)}, attempts={self.attempts})"
+            f"Job({self.job_id}, {self.state.value}, lane={self.lane}, "
+            f"priority={self.priority}, specs={len(self.specs)}, attempts={self.attempts})"
         )
 
 
@@ -212,6 +246,8 @@ def make_job(
     experiments: ExperimentSpec | Sweep | Iterable[ExperimentSpec],
     *,
     label: str = "",
+    lane: str = "",
+    weight: int = 1,
     priority: int = 0,
     retry_budget: int = 0,
     validate: bool = False,
@@ -232,6 +268,8 @@ def make_job(
     return Job(
         specs=specs,
         label=label,
+        lane=lane,
+        weight=weight,
         priority=priority,
         retry_budget=retry_budget,
         validate=validate,

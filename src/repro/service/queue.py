@@ -1,4 +1,4 @@
-"""Crash-safe on-disk priority job queue with atomic claim/lease semantics.
+"""Crash-safe on-disk priority job queue with fair lanes and atomic claim/lease semantics.
 
 The queue is a directory tree — one subdirectory per job state plus a scratch area::
 
@@ -16,19 +16,28 @@ Durability and multi-process safety rest on two POSIX guarantees:
   is atomic within one filesystem, so when several workers race for the same job
   exactly one rename succeeds and the losers get ``FileNotFoundError`` and move on.
 
-Liveness is lease-based: a claiming worker writes ``claimed/<id>.lease`` with an expiry
-timestamp and renews it while the job runs.  If the worker crashes, the lease expires
-and :meth:`JobQueue.release_expired` (called by every worker's poll loop) either
-requeues the job — consuming one retry, a crash and a failure spend the same budget —
-or marks it failed when the budget is exhausted.  Cancellation of a *running* job is
-cooperative: ``cancel`` drops a ``.cancel`` marker that the scheduler checks between
-grid points.
+**Fair lanes.** Every job carries a ``lane`` (hashed from its submitter unless set
+explicitly) and an integer ``weight``.  :meth:`JobQueue.claim` does not drain the
+queue in one global priority order; it runs smooth weighted round-robin *across the
+currently non-empty lanes* and only then applies priority/FIFO *within* the chosen
+lane.  A submitter flooding one lane with thousands of jobs therefore delays another
+lane's next claim by at most its weight share, no matter how deep its backlog is.
+
+Liveness is lease-based: a claiming worker stages ``claimed/<id>.lease`` with an
+expiry timestamp *before* the claim rename (so a claimed body is never visible
+without a lease) and renews it while the job runs.  If the worker crashes, the lease
+expires and :meth:`JobQueue.release_expired` (called by every worker's poll loop)
+either requeues the job — consuming one retry, a crash and a failure spend the same
+budget — or marks it failed when the budget is exhausted.  Cancellation of a
+*running* job is cooperative: ``cancel`` drops a ``.cancel`` marker that the
+scheduler checks between grid points.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 import uuid
 from pathlib import Path
@@ -39,6 +48,13 @@ from repro.service.jobs import TERMINAL_STATES, Job, JobState
 
 #: Default lease duration; workers renew at half this interval while a job runs.
 DEFAULT_LEASE_S = 60.0
+
+#: Grace period for claimed bodies with no (or a fresh) lease and for orphaned
+#: sidecar files.  A lease-less body younger than this is assumed to be a claim in
+#: flight (or a clock-skewed peer) rather than a crash, so recovery waits it out —
+#: the window between a claim's lease write and its rename is two adjacent syscalls,
+#: so five seconds is orders of magnitude more than enough.
+CLAIM_GRACE_S = 5.0
 
 #: Default on-disk location of the service root (queue + event log).
 DEFAULT_SERVICE_ROOT = Path(".repro-service")
@@ -60,10 +76,18 @@ class JobQueue:
         self.root = Path(root)
         for name in ("tmp", *_STATE_DIRS.values()):
             (self.root / name).mkdir(parents=True, exist_ok=True)
-        # Claim-ordering cache: a job's priority and submission time never change, so
-        # each queued body only needs parsing once per queue instance, not once per
-        # poll (pruned to the currently-queued ids on every scan).
-        self._order_cache: dict[str, tuple[int, float]] = {}
+        # Claim-ordering cache: a job's priority, submission time, lane and weight
+        # never change, so each queued body only needs parsing once per queue
+        # instance, not once per poll (pruned to the currently-queued ids on every
+        # scan).  Entries are (-priority, submitted_at, lane, weight).
+        self._order_cache: dict[str, tuple[int, float, str, int]] = {}
+        # Smooth weighted round-robin credit per lane.  Worker-local on purpose:
+        # every claimer converges to the same weight shares without any cross-process
+        # coordination, which is what lets many hosts drain one queue directory.
+        self._lane_credit: dict[str, float] = {}
+        self._credit_lock = threading.Lock()  # Worker threads share one instance.
+        # Lanes this instance has exported gauges for (to zero drained lanes).
+        self._known_lanes: set[str] = set()
 
     # ------------------------------------------------------------------ paths
     def _dir(self, state: JobState) -> Path:
@@ -115,13 +139,9 @@ class JobQueue:
         self._write_job(job)
         return job.job_id
 
-    def claim(self, worker_id: str, lease_s: float = DEFAULT_LEASE_S) -> Job | None:
-        """Atomically claim the highest-priority queued job, or ``None`` when empty.
-
-        Ties break oldest-first, then by job id so the order is total.  The winning
-        worker owns the job until it completes it, requeues it, or its lease expires.
-        """
-        order: dict[str, tuple[int, float]] = {}
+    def _scan_queued(self) -> dict[str, tuple[int, float, str, int]]:
+        """Refresh and return the order cache for the currently-queued jobs."""
+        order: dict[str, tuple[int, float, str, int]] = {}
         for path in self._dir(JobState.QUEUED).glob("*.json"):
             job_id = path.stem
             cached = self._order_cache.get(job_id)
@@ -129,32 +149,92 @@ class JobQueue:
                 payload = self._read_json(path)
                 if payload is None:
                     continue
-                cached = (-payload.get("priority", 0), payload.get("submitted_at", 0.0))
+                cached = (
+                    -payload.get("priority", 0),
+                    payload.get("submitted_at", 0.0),
+                    payload.get("lane", "") or "lane-unknown",
+                    max(1, payload.get("weight", 1)),
+                )
             order[job_id] = cached
         self._order_cache = order  # Prune ids that left the queue.
-        for _, _, job_id in sorted(
-            (rank, stamp, job_id) for job_id, (rank, stamp) in order.items()
-        ):
-            source = self._job_path(JobState.QUEUED, job_id)
-            target = self._job_path(JobState.RUNNING, job_id)
-            try:
-                os.rename(source, target)  # Atomic: exactly one racing worker wins.
-            except FileNotFoundError:
-                continue  # Another worker claimed (or cancelled) it first.
-            # Lease immediately after the rename — before anything else — so the
-            # window in which a claimed job has no lease is two adjacent syscalls.
-            # A crash inside that window leaves a still-queued body in claimed/,
-            # which release_expired() renames straight back to the queue.
-            self.renew_lease(job_id, worker_id, lease_s)
-            job = self._load_job(target)
-            if job is None:  # pragma: no cover - defensive
-                continue
-            job.transition(JobState.RUNNING)
-            job.worker = worker_id
-            job.attempts += 1
-            self._write_job(job)
-            return job
+        return order
+
+    def _fair_lane_order(self, weights: dict[str, int]) -> list[str]:
+        """Rank the non-empty lanes by smooth weighted round-robin.
+
+        Each call advances every present lane's credit by its weight, ranks lanes by
+        credit (ties by name, so the order is total), and charges the front-runner
+        the credit total — the classic SWRR step, which interleaves lanes in exact
+        proportion to their weights (weights 3:1 yield A A A B A A A B …).  Credit for
+        lanes that drained away is dropped, so a returning lane starts fresh rather
+        than with a hoarded backlog of credit.
+        """
+        with self._credit_lock:
+            for lane in list(self._lane_credit):
+                if lane not in weights:
+                    del self._lane_credit[lane]
+            for lane, weight in weights.items():
+                self._lane_credit[lane] = self._lane_credit.get(lane, 0.0) + weight
+            ranked = sorted(weights, key=lambda lane: (-self._lane_credit[lane], lane))
+            self._lane_credit[ranked[0]] -= sum(weights.values())
+        return ranked
+
+    def claim(self, worker_id: str, lease_s: float = DEFAULT_LEASE_S) -> Job | None:
+        """Atomically claim the next queued job under weighted lane fairness.
+
+        Lanes are tried in smooth weighted round-robin order; within a lane, highest
+        priority first, then oldest, then job id so the order is total.  The winning
+        worker owns the job until it completes it, requeues it, or its lease expires.
+        """
+        started = time.perf_counter()
+        order = self._scan_queued()
+        lanes: dict[str, list[tuple[int, float, str]]] = {}
+        weights: dict[str, int] = {}
+        for job_id, (rank, stamp, lane, weight) in order.items():
+            lanes.setdefault(lane, []).append((rank, stamp, job_id))
+            weights[lane] = max(weights.get(lane, 1), weight)
+        if not lanes:
+            return None
+        for lane in self._fair_lane_order(weights):
+            for rank, stamp, job_id in sorted(lanes[lane]):
+                source = self._job_path(JobState.QUEUED, job_id)
+                target = self._job_path(JobState.RUNNING, job_id)
+                # Stage the lease BEFORE the rename: from the instant a body becomes
+                # visible in claimed/, its lease already exists, so a concurrent
+                # release_expired() can never observe a claimed body as lease-less
+                # and steal it back mid-claim.  If the rename below loses the race,
+                # the staged lease is either overwritten by the real winner's
+                # renewals (same expiry horizon, so it never triggers an early
+                # release) or — when the job went terminal instead — swept as an
+                # orphaned sidecar by sweep_sidecars() once CLAIM_GRACE_S passes.
+                self.renew_lease(job_id, worker_id, lease_s)
+                try:
+                    os.rename(source, target)  # Atomic: exactly one racing worker wins.
+                except FileNotFoundError:
+                    continue  # Another worker claimed (or cancelled) it first.
+                job = self._load_job(target)
+                if job is None:  # pragma: no cover - defensive
+                    continue
+                job.transition(JobState.RUNNING)
+                job.worker = worker_id
+                job.attempts += 1
+                self._write_job(job)
+                self._observe_claim(job, started)
+                return job
         return None
+
+    @staticmethod
+    def _observe_claim(job: Job, started: float) -> None:
+        """Record per-lane claim telemetry (scan latency + time spent queued)."""
+        registry = telemetry.get_registry()
+        if not registry.enabled:
+            return
+        registry.histogram(
+            "repro_claim_latency_s", help="Queue-scan-to-claim latency per claim."
+        ).observe(time.perf_counter() - started, lane=job.lane)
+        registry.histogram(
+            "repro_claim_wait_s", help="Submit-to-claim wait of claimed jobs."
+        ).observe(max(0.0, time.time() - job.submitted_at), lane=job.lane)
 
     def renew_lease(self, job_id: str, worker_id: str, lease_s: float = DEFAULT_LEASE_S) -> None:
         """Extend (or create) the liveness lease of a claimed job."""
@@ -209,14 +289,29 @@ class JobQueue:
         """Recover claims whose lease expired (worker crashed or lost the machine).
 
         Each recovered job is requeued while its retry budget lasts, otherwise marked
-        failed.  Returns the jobs that were moved, for event reporting.
+        failed.  Returns the jobs that were moved, for event reporting.  A claimed
+        body with *no* lease at all is given :data:`CLAIM_GRACE_S` from its file
+        mtime before recovery — claims stage their lease before the rename, so a
+        lease-less body is either a crashed old claim (recover it) or external
+        tampering, never a claim in flight; the grace is belt-and-braces against
+        writers that do not stage first.  Orphaned sidecar files are swept on the
+        way out.
         """
         now = time.time() if now is None else now
         moved: list[Job] = []
         for path in self._dir(JobState.RUNNING).glob("*.json"):
             job_id = path.stem
             lease = self._read_json(self._lease_path(job_id))
-            expires_at = (lease or {}).get("expires_at", 0.0)
+            if lease is None:
+                try:
+                    mtime = path.stat().st_mtime
+                except FileNotFoundError:
+                    continue  # Raced a completion/requeue mid-scan.
+                if now - mtime < CLAIM_GRACE_S:
+                    continue
+                expires_at = 0.0
+            else:
+                expires_at = lease.get("expires_at", 0.0)
             if expires_at > now:
                 continue
             job = self._load_job(path)
@@ -250,7 +345,34 @@ class JobQueue:
                         ),
                     )
                 )
+        self.sweep_sidecars(now)
         return moved
+
+    def sweep_sidecars(self, now: float | None = None) -> list[Path]:
+        """Delete ``.lease``/``.cancel`` files whose job body left ``claimed/``.
+
+        Sidecars go stale when a recovery (or cancel) renames the body away in the
+        window between a claimer's rename and its next ``renew_lease`` — the late
+        lease write then lands for a job that is no longer claimed, and nothing else
+        would ever delete it because recovery only globs ``*.json``.  Files younger
+        than :data:`CLAIM_GRACE_S` are kept: a fresh body-less lease is most likely a
+        claim staging its lease just before the rename lands.  Idempotent and safe to
+        run concurrently from any number of workers.
+        """
+        now = time.time() if now is None else now
+        swept: list[Path] = []
+        for pattern in ("*.lease", "*.cancel"):
+            for path in self._dir(JobState.RUNNING).glob(pattern):
+                if self._job_path(JobState.RUNNING, path.stem).exists():
+                    continue
+                try:
+                    if now - path.stat().st_mtime < CLAIM_GRACE_S:
+                        continue
+                    path.unlink()
+                except FileNotFoundError:
+                    continue  # Another sweeper (or the job's return) beat us.
+                swept.append(path)
+        return swept
 
     # ------------------------------------------------------------------ cancellation
     def cancel(self, job_id: str) -> Job:
@@ -314,13 +436,29 @@ class JobQueue:
         """Number of jobs currently waiting in ``queued/``."""
         return sum(1 for _ in self._dir(JobState.QUEUED).glob("*.json"))
 
-    def export_gauges(self, registry=None) -> dict[str, int]:
-        """Export queue depth and per-state job counts as telemetry gauges.
+    def lane_depths(self, now: float | None = None) -> dict[str, dict[str, float]]:
+        """Per-lane view of ``queued/``: ``{lane: {depth, weight, oldest_wait_s}}``."""
+        now = time.time() if now is None else now
+        lanes: dict[str, dict[str, float]] = {}
+        for _rank, stamp, lane, weight in self._scan_queued().values():
+            entry = lanes.setdefault(
+                lane, {"depth": 0, "weight": 1, "oldest_wait_s": 0.0}
+            )
+            entry["depth"] += 1
+            entry["weight"] = max(entry["weight"], weight)
+            entry["oldest_wait_s"] = max(entry["oldest_wait_s"], round(now - stamp, 3))
+        return lanes
 
-        Sets ``repro_queue_depth`` (jobs waiting in ``queued/``) and one
-        ``repro_jobs{state=...}`` series per state on ``registry`` (the process-wide
-        registry by default; recording still honours its ``enabled`` switch), and
-        returns the raw :meth:`counts` mapping either way.
+    def export_gauges(self, registry=None) -> dict[str, int]:
+        """Export queue depth, per-state and per-lane job counts as telemetry gauges.
+
+        Sets ``repro_queue_depth`` (jobs waiting in ``queued/``), one
+        ``repro_jobs{state=...}`` series per state, and per-lane
+        ``repro_lane_depth{lane=...}`` / ``repro_lane_oldest_wait_s{lane=...}``
+        series on ``registry`` (the process-wide registry by default; recording
+        still honours its ``enabled`` switch), and returns the raw :meth:`counts`
+        mapping either way.  Lanes that drained to empty are re-exported once at
+        depth 0 so dashboards see them hit zero instead of a vanishing series.
         """
         counts = self.counts()
         if registry is None:
@@ -334,6 +472,21 @@ class JobQueue:
             )
             for state, count in counts.items():
                 jobs_gauge.set(float(count), state=state)
+            lanes = self.lane_depths()
+            depth_gauge = registry.gauge(
+                "repro_lane_depth", help="Queued jobs per fair-scheduling lane."
+            )
+            wait_gauge = registry.gauge(
+                "repro_lane_oldest_wait_s",
+                help="Age of the oldest queued job per lane.",
+            )
+            for lane in self._known_lanes - set(lanes):
+                depth_gauge.set(0.0, lane=lane)
+                wait_gauge.set(0.0, lane=lane)
+            self._known_lanes |= set(lanes)
+            for lane, entry in lanes.items():
+                depth_gauge.set(float(entry["depth"]), lane=lane)
+                wait_gauge.set(float(entry["oldest_wait_s"]), lane=lane)
         return counts
 
     def __len__(self) -> int:

@@ -20,12 +20,19 @@ budget runs out); a :class:`~repro.exceptions.ValidationError` fails the job
 immediately — invariant violations are deterministic — and attaches the full
 :class:`~repro.validation.invariants.ValidationReport` to the job as a store artifact;
 an operator interrupt requeues the job *without* spending its budget.
+
+Shutdown policy: the first ``SIGTERM``/``SIGINT`` starts a *graceful drain* — stop
+claiming, let each in-flight grid point finish (bounded by ``drain_grace_s``, lease
+still renewed), requeue the interrupted jobs without consuming an attempt, flush
+metrics and events, return.  A second signal terminates in-flight children
+immediately (the requeue still refunds the attempt).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import socket
 import threading
 import time
@@ -39,13 +46,16 @@ from repro.experiments.spec import ExperimentSpec
 from repro.service.events import EventLog
 from repro.service.jobs import Job, JobState
 from repro.service.queue import DEFAULT_LEASE_S, JobQueue
-from repro.service.store import ArtifactStore
 
 #: Default idle-poll interval of a worker with an empty queue.
 DEFAULT_POLL_S = 0.5
 
 #: Grace period for a terminated child to exit before it is force-killed.
 _CHILD_GRACE_S = 5.0
+
+#: How long a graceful drain (SIGTERM/SIGINT) lets an in-flight grid point keep
+#: running before it is terminated and the job requeued without spending a retry.
+DEFAULT_DRAIN_GRACE_S = 30.0
 
 #: Forking from a multi-threaded scheduler is serialised to keep the child's view of
 #: interpreter locks consistent (the child only simulates and writes to its pipe, but
@@ -95,16 +105,24 @@ class Scheduler:
         poll_s: float = DEFAULT_POLL_S,
         worker_prefix: str | None = None,
         metrics_path: str | os.PathLike | None = None,
+        drain_grace_s: float = DEFAULT_DRAIN_GRACE_S,
     ) -> None:
         if lease_s <= 0:
             raise ServiceError(f"lease_s must be positive, got {lease_s}")
         if poll_s <= 0:
             raise ServiceError(f"poll_s must be positive, got {poll_s}")
+        if drain_grace_s < 0:
+            raise ServiceError(f"drain_grace_s must be >= 0, got {drain_grace_s}")
         self.queue = queue
         self.store = store
         self.events = events
         self.lease_s = lease_s
         self.poll_s = poll_s
+        self.drain_grace_s = drain_grace_s
+        #: Set by the second drain signal (or programmatically): in-flight grid
+        #: points are terminated immediately instead of finishing within the grace.
+        self._force_stop = threading.Event()
+        self.signals_seen = 0
         self.worker_prefix = (
             worker_prefix
             if worker_prefix is not None
@@ -134,19 +152,50 @@ class Scheduler:
 
     # ------------------------------------------------------------------ serving
     def serve(
-        self, workers: int = 2, drain: bool = False, stop_event: threading.Event | None = None
+        self,
+        workers: int = 2,
+        drain: bool = False,
+        stop_event: threading.Event | None = None,
+        install_signals: bool = True,
     ) -> None:
         """Run a pool of worker threads until stopped (or, with ``drain``, until empty).
 
         ``drain=True`` is the batch mode used by CI and tests: workers exit once the
         queue has no queued jobs left (requeues by a still-running worker are picked
-        up by that worker, so nothing is stranded).  A ``KeyboardInterrupt`` stops the
-        pool gracefully: in-flight jobs are requeued without consuming their retry
-        budget, then the interrupt propagates.
+        up by that worker, so nothing is stranded).
+
+        With ``install_signals`` (on by default, effective only from the main
+        thread), the first ``SIGTERM``/``SIGINT`` triggers a *graceful drain*:
+        workers stop claiming, the in-flight grid point of each running job is
+        allowed to finish (up to ``drain_grace_s``, with the lease still renewed),
+        the job is then requeued without consuming a retry, and metrics/events are
+        flushed before ``serve`` returns.  A second signal terminates in-flight
+        children immediately (still requeueing without spending the budget).
+        Without a handler installed, a ``KeyboardInterrupt`` keeps the legacy
+        behaviour: stop, requeue without consuming, re-raise.
         """
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
         stop = stop_event if stop_event is not None else threading.Event()
+        self._force_stop.clear()
+        self.signals_seen = 0
+        previous_handlers: dict[int, object] = {}
+        if install_signals and threading.current_thread() is threading.main_thread():
+
+            def _on_signal(signum, frame):
+                self.signals_seen += 1
+                if self.signals_seen == 1:
+                    stop.set()
+                    self.events.emit(
+                        "drain_requested",
+                        signal=signal.Signals(signum).name,
+                        grace_s=self.drain_grace_s,
+                    )
+                else:
+                    self._force_stop.set()
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous_handlers[signum] = signal.signal(signum, _on_signal)
         self.events.emit(
             "scheduler_started", workers=workers, drain=drain, pid=os.getpid()
         )
@@ -171,9 +220,18 @@ class Scheduler:
             self._flush_metrics()
             self.events.emit("scheduler_stopped", reason="interrupted")
             raise
+        finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
         stop.set()
         self._flush_metrics()
-        self.events.emit("scheduler_stopped", reason="drained" if drain else "stopped")
+        if self.signals_seen:
+            reason = "drained-on-signal"
+        elif drain:
+            reason = "drained"
+        else:
+            reason = "stopped"
+        self.events.emit("scheduler_stopped", reason=reason)
 
     def _worker_loop(self, worker_id: str, drain: bool, stop: threading.Event) -> None:
         self.events.emit("worker_started", worker=worker_id)
@@ -234,6 +292,7 @@ class Scheduler:
             attempt=job.attempts,
             specs=len(job.specs),
             priority=job.priority,
+            lane=job.lane,
         )
         tracer = telemetry.get_tracer()
         registry = telemetry.get_registry()
@@ -360,7 +419,9 @@ class Scheduler:
         error_type = outcome.get("error_type", "Error")
         summary = f"spec {spec_hash[:12]}: {error_type}: {outcome.get('message', '')}"
         report = outcome.get("report")
-        if report is not None and isinstance(self.store, ArtifactStore):
+        # Duck-typed: any artifact-grade backend (ArtifactStore, ShardedStore, …)
+        # can hold the report; the flat JSONL store simply cannot.
+        if report is not None and hasattr(self.store, "put_artifact"):
             self.store.put_artifact(
                 job.job_id, f"validation-{spec_hash[:12]}", "validation-report", report
             )
@@ -392,7 +453,7 @@ class Scheduler:
             )
 
     def _store_result(self, result: ExperimentResult, job: Job) -> None:
-        if isinstance(self.store, ArtifactStore):
+        if hasattr(self.store, "put_artifact"):  # Artifact-grade stores index presets.
             self.store.put(result, preset=job.provenance.get("preset"))
         else:
             self.store.put(result)
@@ -420,6 +481,7 @@ class Scheduler:
         next_renewal = time.time() + self.lease_s / 2
         outcome: dict | None = None
         reason: str | None = None
+        drain_deadline: float | None = None
         try:
             while True:
                 if receiver.poll(self.poll_s):
@@ -439,8 +501,15 @@ class Scheduler:
                             help="Lease renewals while specs run in children.",
                         ).inc()
                 if stop.is_set():
-                    reason = "stopped"
-                    break
+                    # Graceful drain: let the in-flight grid point finish (the lease
+                    # above keeps being renewed) for up to drain_grace_s, then — or
+                    # immediately on a force stop — terminate and requeue without
+                    # consuming the attempt.
+                    if drain_deadline is None:
+                        drain_deadline = now + self.drain_grace_s
+                    if self._force_stop.is_set() or now >= drain_deadline:
+                        reason = "stopped"
+                        break
                 if self.queue.cancel_requested(job.job_id):
                     reason = "cancelled"
                     break

@@ -15,10 +15,16 @@ Existing JSONL stores migrate losslessly via :func:`migrate_jsonl` — every lin
 hash is recomputed and verified during the copy — and :func:`open_store` picks the
 backend from the path suffix, auto-migrating a legacy sibling ``.jsonl`` file the first
 time a SQLite store opens next to one.
+
+For horizontally scaled fleets, :class:`ShardedStore` spreads the same contract over
+N SQLite shard files keyed by spec hash, so many ``repro serve`` hosts mounting one
+directory share a single logical store without serialising every write behind one
+database lock.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import sqlite3
@@ -251,8 +257,122 @@ class ArtifactStore:
             conn.execute("INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value))
 
 
+#: Default shard count of a freshly-created :class:`ShardedStore`.
+DEFAULT_STORE_SHARDS = 4
+
+
+class ShardedStore:
+    """One logical result store spread over N SQLite shard files in a directory.
+
+    A single SQLite file serialises all writers behind one database lock; with a
+    fleet of ``serve`` hosts hammering the same store, that lock becomes the
+    bottleneck.  ``ShardedStore`` keeps the exact :class:`StoreBackend` contract but
+    routes every result to ``shard-<k>.sqlite`` by its deterministic spec hash (and
+    every job artifact by its job id), so unrelated writes land on unrelated files
+    and contention drops by roughly the shard count.  Because routing is pure hash
+    arithmetic, any number of hosts mounting the same directory agree on placement
+    with no coordination beyond the ``shards.json`` manifest, which pins the shard
+    count at creation time (resharding is a migration, not a config change).
+    """
+
+    MANIFEST = "shards.json"
+
+    def __init__(
+        self, root: str | os.PathLike, shards: int | None = None, timeout_s: float = 30.0
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.root / self.MANIFEST
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            pinned = int(manifest["shards"])
+            if shards is not None and shards != pinned:
+                raise ServiceError(
+                    f"store {self.root} is pinned to {pinned} shard(s); requested "
+                    f"{shards} (resharding requires a migration, not a flag)"
+                )
+            self.n_shards = pinned
+        else:
+            self.n_shards = shards if shards is not None else DEFAULT_STORE_SHARDS
+            if self.n_shards < 1:
+                raise ServiceError(f"shards must be >= 1, got {self.n_shards}")
+            # Atomic create: racing hosts both write the same content, last wins.
+            staging = self.root / f".{self.MANIFEST}.{os.getpid()}"
+            staging.write_text(
+                json.dumps({"shards": self.n_shards, "store_schema": STORE_SCHEMA_VERSION})
+                + "\n",
+                encoding="utf-8",
+            )
+            os.replace(staging, manifest_path)
+        self.shards = tuple(
+            ArtifactStore(self.root / f"shard-{index:02d}.sqlite", timeout_s=timeout_s)
+            for index in range(self.n_shards)
+        )
+
+    # ------------------------------------------------------------------ routing
+    def _shard_for(self, key: str) -> ArtifactStore:
+        """Route a spec hash (hex) to its shard; non-hex keys hash structurally."""
+        try:
+            bucket = int(key[:8], 16)
+        except ValueError:
+            bucket = int.from_bytes(key.encode("utf-8")[:8], "big")
+        return self.shards[bucket % self.n_shards]
+
+    def _job_shard(self, job_id: str) -> ArtifactStore:
+        digest = hashlib.sha1(job_id.encode("utf-8")).hexdigest()
+        return self.shards[int(digest[:8], 16) % self.n_shards]
+
+    # ------------------------------------------------------------------ results
+    def get(self, spec: ExperimentSpec | str) -> ExperimentResult | None:
+        key = spec if isinstance(spec, str) else spec.spec_hash()
+        return self._shard_for(key).get(key)
+
+    def put(self, result: ExperimentResult, preset: str | None = None) -> None:
+        self._shard_for(result.spec.spec_hash()).put(result, preset=preset)
+
+    def __contains__(self, spec: ExperimentSpec | str) -> bool:
+        key = spec if isinstance(spec, str) else spec.spec_hash()
+        return key in self._shard_for(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def iter_results(self):
+        """Every shard's ``(result, preset)`` pairs (shard-major, oldest first)."""
+        for shard in self.shards:
+            yield from shard.iter_results()
+
+    def count_by_schema(self) -> dict[int, int]:
+        merged: dict[int, int] = {}
+        for shard in self.shards:
+            for schema, count in shard.count_by_schema().items():
+                merged[schema] = merged.get(schema, 0) + count
+        return merged
+
+    # ------------------------------------------------------------------ artifacts
+    def put_artifact(self, job_id: str, name: str, kind: str, payload: dict) -> None:
+        self._job_shard(job_id).put_artifact(job_id, name, kind, payload)
+
+    def get_artifacts(self, job_id: str) -> list[dict]:
+        return self._job_shard(job_id).get_artifacts(job_id)
+
+    # ------------------------------------------------------------------ meta
+    def get_meta(self, key: str) -> str | None:
+        """Meta markers live on shard 0 (they are store-wide, not per-hash)."""
+        return self.shards[0].get_meta(key)
+
+    def set_meta(self, key: str, value: str) -> None:
+        self.shards[0].set_meta(key, value)
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+
 def migrate_jsonl(
-    jsonl_path: str | os.PathLike, store: ArtifactStore, verify_hashes: bool = True
+    jsonl_path: str | os.PathLike,
+    store: "ArtifactStore | ShardedStore",
+    verify_hashes: bool = True,
 ) -> int:
     """Copy every current-schema entry of a JSONL store into ``store``; returns the count.
 
@@ -281,18 +401,24 @@ def migrate_jsonl(
     return migrated
 
 
-def open_store(path: str | os.PathLike) -> StoreBackend:
-    """Open a result store, picking the backend from the path suffix.
+def open_store(path: str | os.PathLike, shards: int | None = None) -> StoreBackend:
+    """Open a result store, picking the backend from the path (and ``shards``).
 
-    ``*.jsonl`` opens the legacy flat-file :class:`ResultStore`; anything else opens
-    (creating if needed) a SQLite :class:`ArtifactStore`.  When a SQLite store sits
-    next to a legacy ``.jsonl`` sibling (the pre-service default layout), the sibling
-    is migrated in on first open and a receipt recorded in ``meta`` so later opens
-    skip the scan.
+    ``*.jsonl`` opens the legacy flat-file :class:`ResultStore`.  A directory
+    carrying a ``shards.json`` manifest — or any path opened with ``shards`` set —
+    opens (creating if needed) a :class:`ShardedStore`, the multi-host backend.
+    Anything else opens a single-file SQLite :class:`ArtifactStore`; when it sits
+    next to a legacy ``.jsonl`` sibling (the pre-service default layout), the
+    sibling is migrated in on first open and a receipt recorded in ``meta`` so later
+    opens skip the scan.
     """
     path = Path(path)
     if path.suffix == ".jsonl":
+        if shards is not None:
+            raise ServiceError(f"a .jsonl store cannot be sharded: {path}")
         return ResultStore(path)
+    if shards is not None or (path.is_dir() and (path / ShardedStore.MANIFEST).exists()):
+        return ShardedStore(path, shards=shards)
     store = ArtifactStore(path)
     legacy = path.with_suffix(".jsonl")
     receipt_key = f"migrated:{legacy.name}"

@@ -1,13 +1,14 @@
 """Tests for the on-disk job queue: priority order, claims, leases and cancellation."""
 
 import threading
+import time
 
 import pytest
 
 from repro.exceptions import ServiceError
 from repro.experiments.spec import ExperimentSpec
 from repro.service.jobs import JobState, make_job
-from repro.service.queue import JobQueue
+from repro.service.queue import CLAIM_GRACE_S, JobQueue
 from repro.sim.scenarios import ScenarioSpec
 
 
@@ -136,10 +137,12 @@ class TestLeases:
         import os
 
         job_id = queue.submit(make_job(_spec(), retry_budget=0))
-        os.rename(
-            tmp_path / "queue" / "queued" / f"{job_id}.json",
-            tmp_path / "queue" / "claimed" / f"{job_id}.json",
-        )
+        body = tmp_path / "queue" / "claimed" / f"{job_id}.json"
+        os.rename(tmp_path / "queue" / "queued" / f"{job_id}.json", body)
+        # A fresh lease-less body is within the claim grace: recovery must wait.
+        assert queue.release_expired() == []
+        aged = time.time() - 2 * CLAIM_GRACE_S
+        os.utime(body, (aged, aged))
         (released,) = queue.release_expired()
         assert released.job_id == job_id
         assert released.state is JobState.QUEUED

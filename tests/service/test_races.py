@@ -1,0 +1,165 @@
+"""Race tests for claim/lease interleavings, cancel-vs-claim and sidecar sweeping.
+
+These force the exact interleavings the lease-before-rename fix closes: a recovery
+scan firing in the instant between a claim's rename and everything after it must
+never steal (and thereby double-execute) the job.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.experiments.spec import ExperimentSpec
+from repro.service import queue as queue_module
+from repro.service.jobs import JobState, make_job
+from repro.service.queue import CLAIM_GRACE_S, JobQueue
+from repro.sim.scenarios import ScenarioSpec
+
+
+def _spec(seed=0):
+    return ExperimentSpec(
+        scenario=ScenarioSpec(num_devices=25, max_rounds=4, seed=seed), policy="fedavg-random"
+    )
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path / "queue")
+
+
+class TestClaimLeaseRace:
+    def test_recovery_firing_inside_a_claim_cannot_steal_the_job(
+        self, queue, tmp_path, monkeypatch
+    ):
+        # Force the historical race: the instant the claim rename lands — before
+        # claim() has done anything else — a rival worker runs a recovery scan, and
+        # an aggressive one at that (its clock is past the claim grace, so a
+        # lease-less body WOULD be recovered).  The lease staged before the rename
+        # is what must stop it.
+        job_id = queue.submit(make_job(_spec()))
+        rival = JobQueue(tmp_path / "queue")
+        stolen: list = []
+        real_rename = os.rename
+        raced = threading.Event()
+
+        def racing_rename(source, target):
+            real_rename(source, target)
+            if "claimed" in str(target) and not raced.is_set():
+                raced.set()
+                stolen.extend(rival.release_expired(now=time.time() + CLAIM_GRACE_S + 1))
+
+        monkeypatch.setattr(queue_module.os, "rename", racing_rename)
+        claimed = queue.claim("w0", lease_s=600.0)
+        assert raced.is_set()
+        assert stolen == []  # the staged lease kept the recovery scan out
+        assert claimed.job_id == job_id
+        assert claimed.attempts == 1
+        assert rival.claim("w1") is None  # no second copy to double-execute
+        assert queue.get(job_id).state is JobState.RUNNING
+
+    def test_lease_exists_from_the_instant_the_body_is_claimed(
+        self, queue, tmp_path, monkeypatch
+    ):
+        queue.submit(make_job(_spec()))
+        lease_present: list[bool] = []
+        real_rename = os.rename
+
+        def asserting_rename(source, target):
+            if "claimed" in str(target):
+                lease_present.append(os.path.exists(str(target)[: -len(".json")] + ".lease"))
+            real_rename(source, target)
+
+        monkeypatch.setattr(queue_module.os, "rename", asserting_rename)
+        assert queue.claim("w0") is not None
+        assert lease_present == [True]
+
+    def test_losing_claimers_staged_lease_is_harmless(self, queue, tmp_path):
+        # Two workers race for one job: the loser has already staged a lease by the
+        # time its rename fails.  That stale stage must neither release the winner's
+        # claim nor linger as an orphan once the job completes.
+        job_id = queue.submit(make_job(_spec()))
+        rival = JobQueue(tmp_path / "queue")
+        winner = queue.claim("w0", lease_s=600.0)
+        assert winner is not None
+        # The loser stages its lease (overwriting the winner's) and then loses the
+        # rename — exactly what a concurrent claim() does internally.
+        rival.renew_lease(job_id, "w1", lease_s=600.0)
+        assert rival.claim("w1") is None
+        assert queue.release_expired() == []  # staged lease never triggers recovery
+        queue.complete(winner, JobState.DONE)
+        assert not (tmp_path / "queue" / "claimed" / f"{job_id}.lease").exists()
+
+
+class TestCancelVsClaim:
+    def test_concurrent_cancel_and_claim_agree_on_every_job(self, queue, tmp_path):
+        ids = [queue.submit(make_job(_spec(seed))) for seed in range(16)]
+        rival = JobQueue(tmp_path / "queue")
+        claimed: list[str] = []
+        cancelled: list[str] = []
+        lock = threading.Lock()
+
+        def claimer():
+            while True:
+                job = queue.claim("w0")
+                if job is None:
+                    if queue.pending() == 0:
+                        return
+                    continue
+                with lock:
+                    claimed.append(job.job_id)
+
+        def canceller():
+            for job_id in ids:
+                job = rival.cancel(job_id)
+                if job.state is JobState.CANCELLED:
+                    with lock:
+                        cancelled.append(job_id)
+
+        threads = [threading.Thread(target=claimer), threading.Thread(target=canceller)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every job went exactly one way: immediately cancelled, or claimed (the
+        # cancel then degrades to a cooperative marker) — never both, never neither.
+        assert sorted(claimed + cancelled) == sorted(ids)
+        for job_id in claimed:
+            assert queue.get(job_id).state is JobState.RUNNING
+        for job_id in cancelled:
+            assert queue.get(job_id).state is JobState.CANCELLED
+
+
+class TestSidecarSweep:
+    def test_orphaned_sidecars_are_swept_once_aged(self, queue, tmp_path):
+        claimed_dir = tmp_path / "queue" / "claimed"
+        orphan_lease = claimed_dir / "job-ghost.lease"
+        orphan_cancel = claimed_dir / "job-ghost.cancel"
+        orphan_lease.write_text("{}")
+        orphan_cancel.write_text("{}")
+        assert queue.sweep_sidecars() == []  # fresh: could be a claim staging
+        aged = time.time() - 2 * CLAIM_GRACE_S
+        for path in (orphan_lease, orphan_cancel):
+            os.utime(path, (aged, aged))
+        swept = queue.sweep_sidecars()
+        assert sorted(path.name for path in swept) == ["job-ghost.cancel", "job-ghost.lease"]
+        assert not orphan_lease.exists() and not orphan_cancel.exists()
+        assert queue.sweep_sidecars() == []  # idempotent
+
+    def test_sidecars_of_live_claims_are_kept(self, queue, tmp_path):
+        job_id = queue.submit(make_job(_spec()))
+        queue.claim("w0", lease_s=600.0)
+        lease = tmp_path / "queue" / "claimed" / f"{job_id}.lease"
+        aged = time.time() - 2 * CLAIM_GRACE_S
+        os.utime(lease, (aged, aged))  # even an old lease is not an orphan
+        assert queue.sweep_sidecars() == []
+        assert lease.exists()
+
+    def test_release_expired_sweeps_on_the_way_out(self, queue, tmp_path):
+        orphan = tmp_path / "queue" / "claimed" / "job-ghost.lease"
+        orphan.write_text("{}")
+        aged = time.time() - 2 * CLAIM_GRACE_S
+        os.utime(orphan, (aged, aged))
+        assert queue.release_expired() == []
+        assert not orphan.exists()

@@ -1,0 +1,203 @@
+"""Tests for graceful drain: SIGTERM/SIGINT handling, grace windows and refunds."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.experiments.spec import ExperimentSpec
+from repro.service.events import EventLog
+from repro.service.jobs import JobState, make_job
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.store import ArtifactStore
+from repro.sim.scenarios import ScenarioSpec
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: A spec that keeps running until told to stop (convergence exit disabled).
+_ENDLESS = dict(num_devices=200, max_rounds=100_000)
+
+
+def _spec(rounds=3, seed=0, endless=False):
+    scenario = (
+        ScenarioSpec(seed=seed, **_ENDLESS)
+        if endless
+        else ScenarioSpec(num_devices=25, max_rounds=rounds, seed=seed)
+    )
+    return ExperimentSpec(
+        scenario=scenario, policy="fedavg-random", stop_at_convergence=not endless
+    )
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path / "queue")
+
+
+@pytest.fixture
+def events(tmp_path):
+    return EventLog(tmp_path / "events.jsonl")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "results.sqlite")
+
+
+_SERVE_SCRIPT = """
+import sys
+from repro.experiments.spec import ExperimentSpec
+from repro.service import ArtifactStore, EventLog, JobQueue, Scheduler, make_job
+from repro.sim.scenarios import ScenarioSpec
+
+root = sys.argv[1]
+queue = JobQueue(root + "/queue")
+spec = ExperimentSpec(
+    scenario=ScenarioSpec(num_devices=200, max_rounds=100_000),
+    policy="fedavg-random",
+    stop_at_convergence=False,
+)
+queue.submit(make_job(spec))
+scheduler = Scheduler(
+    queue,
+    ArtifactStore(root + "/results.sqlite"),
+    EventLog(root + "/events.jsonl"),
+    poll_s=0.05,
+    lease_s=5.0,
+    drain_grace_s=0.2,
+)
+scheduler.serve(workers=1)
+"""
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_and_requeues_without_spending_a_retry(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        process = subprocess.Popen(
+            [sys.executable, "-c", _SERVE_SCRIPT, str(tmp_path)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            queue = JobQueue(tmp_path / "queue")
+            deadline = time.time() + 60
+            while time.time() < deadline and queue.counts()["running"] == 0:
+                time.sleep(0.1)
+            assert queue.counts()["running"] == 1, "serve never claimed the job"
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        assert process.returncode == 0  # a drain is a clean exit, not a crash
+        (job,) = queue.jobs()
+        assert job.state is JobState.QUEUED
+        assert job.attempts == 0  # the interrupted attempt was refunded
+        names = [
+            json.loads(line)["event"]
+            for line in (tmp_path / "events.jsonl").read_text().splitlines()
+        ]
+        assert "drain_requested" in names
+        assert "job_requeued" in names
+        stopped = [
+            json.loads(line)
+            for line in (tmp_path / "events.jsonl").read_text().splitlines()
+            if json.loads(line)["event"] == "scheduler_stopped"
+        ]
+        assert stopped[-1]["reason"] == "drained-on-signal"
+
+
+class TestGracefulDrainInProcess:
+    def test_stop_within_grace_lets_the_inflight_point_finish(
+        self, queue, store, events
+    ):
+        # The drain contract: a stop with a generous grace does NOT kill the child;
+        # the in-flight grid point runs to completion and reports ok.
+        scheduler = Scheduler(
+            queue, store, events, poll_s=0.02, drain_grace_s=60.0, worker_prefix="t"
+        )
+        job = make_job(_spec())
+        queue.submit(job)
+        claimed = queue.claim("t-w0")
+        stop = threading.Event()
+        stop.set()  # drain requested before the spec even starts
+        outcome = scheduler._run_spec_in_child(
+            {"spec": _spec().to_dict(), "validate": False},
+            claimed,
+            "t-w0",
+            None,
+            stop,
+        )
+        assert outcome["ok"] is True
+
+    def test_force_stop_terminates_the_inflight_point(self, queue, store, events):
+        scheduler = Scheduler(
+            queue, store, events, poll_s=0.02, drain_grace_s=60.0, worker_prefix="t"
+        )
+        job = make_job(_spec(endless=True))
+        queue.submit(job)
+        claimed = queue.claim("t-w0")
+        stop = threading.Event()
+        stop.set()
+        scheduler._force_stop.set()  # the second signal: no grace, terminate now
+        started = time.time()
+        outcome = scheduler._run_spec_in_child(
+            {"spec": _spec(endless=True).to_dict(), "validate": False},
+            claimed,
+            "t-w0",
+            None,
+            stop,
+        )
+        assert outcome == {"ok": False, "interrupted": "stopped"}
+        assert time.time() - started < 30  # terminated, not drained for the grace
+
+    def test_grace_deadline_terminates_a_long_point(self, queue, store, events):
+        scheduler = Scheduler(
+            queue, store, events, poll_s=0.02, drain_grace_s=0.2, worker_prefix="t"
+        )
+        job = make_job(_spec(endless=True))
+        queue.submit(job)
+        claimed = queue.claim("t-w0")
+        stop = threading.Event()
+        stop.set()
+        outcome = scheduler._run_spec_in_child(
+            {"spec": _spec(endless=True).to_dict(), "validate": False},
+            claimed,
+            "t-w0",
+            None,
+            stop,
+        )
+        assert outcome == {"ok": False, "interrupted": "stopped"}
+
+    def test_drain_grace_must_be_non_negative(self, queue, store, events):
+        with pytest.raises(ServiceError, match="drain_grace_s"):
+            Scheduler(queue, store, events, drain_grace_s=-1.0)
+
+    def test_serve_off_the_main_thread_skips_signal_handlers(self, queue, store, events):
+        # Signal handlers can only be installed on the main thread; serve() must
+        # degrade gracefully instead of crashing when embedded in one.
+        scheduler = Scheduler(queue, store, events, poll_s=0.02, worker_prefix="t")
+        errors: list[BaseException] = []
+
+        def run():
+            try:
+                scheduler.serve(workers=1, drain=True)
+            except BaseException as exc:  # pragma: no cover - the failure under test
+                errors.append(exc)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert errors == []

@@ -447,6 +447,51 @@ class TestService:
         assert payload["state"] == "failed"
         assert "tier_counts" in payload["error"]
 
+    def test_submit_lane_and_weight_flow_through_status(self, capsys, svc):
+        code, out, _err = _run(
+            ["submit", "--devices", "25", "--rounds", "4", "--lane", "team-a",
+             "--weight", "3", *svc],
+            capsys,
+        )
+        assert code == 0
+        assert "lane 'team-a' (weight 3)" in out
+        code, out, _err = _run(["status", "--by-lane", *svc], capsys)
+        assert code == 0
+        assert "team-a" in out and "oldest_wait_s" in out
+        code, out, _err = _run(["status", "--json", *svc], capsys)
+        payload = json.loads(out)
+        assert payload["lanes"]["team-a"]["depth"] == 1
+        assert payload["lanes"]["team-a"]["weight"] == 3
+        (job,) = payload["jobs"]
+        assert (job["lane"], job["weight"]) == ("team-a", 3)
+
+    def test_serve_against_a_sharded_store(self, capsys, svc, tmp_path):
+        self._submit(capsys, svc, ["--devices", "25", "--rounds", "4"])
+        shard_root = tmp_path / "shards"
+        code, _out, _err = _run(
+            ["serve", "--drain", "--quiet", "--store", str(shard_root),
+             "--store-shards", "2", *svc],
+            capsys,
+        )
+        assert code == 0
+        assert (shard_root / "shards.json").exists()
+        assert (shard_root / "shard-00.sqlite").exists()
+        code, out, _err = _run(["status", "--by-lane", "--format", "csv", *svc], capsys)
+        assert code == 0
+        assert ",0,0,1,0," in out  # the submitter's lane: one job done
+
+    def test_serve_rejects_conflicting_shard_count(self, capsys, svc, tmp_path):
+        shard_root = tmp_path / "shards"
+        _run(["serve", "--drain", "--quiet", "--store", str(shard_root),
+              "--store-shards", "2", *svc], capsys)
+        code, _out, err = _run(
+            ["serve", "--drain", "--quiet", "--store", str(shard_root),
+             "--store-shards", "4", *svc],
+            capsys,
+        )
+        assert code == 2
+        assert "pinned to 2" in err
+
 
 class TestStoreBenchCLI:
     def test_store_suite_writes_record(self, tmp_path, capsys):
