@@ -10,7 +10,11 @@ orchestration service:
 * ``submit``   — enqueue a spec, preset or sweep as a durable job for the service;
 * ``serve``    — run a scheduler worker pool against the shared queue and store;
 * ``status``   — job table (or one job's detail) from the queue directory;
-* ``watch``    — tail the service's structured event stream (``-f`` to follow);
+* ``watch``    — tail the service's structured event stream (``-f`` to follow,
+  ``--http`` to consume a ``serve --events-port`` long-poll endpoint);
+* ``events``   — ``events sub``: durable-cursor subscription printing JSON lines,
+  from the local log or an ``/events`` endpoint;
+* ``webhooks`` — register/list/remove/test signed HTTP event callbacks;
 * ``cancel``   — cancel a queued job immediately, a running job cooperatively;
 * ``bench``    — performance trajectories: the scalar-vs-vectorised round engine
   (``BENCH_roundengine.json``) or the JSONL-vs-SQLite store (``--suite store``,
@@ -77,13 +81,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 import tempfile
 import time
+import urllib.error
+import urllib.request
 from collections.abc import Sequence
 from dataclasses import replace
 from pathlib import Path
+from urllib.parse import urlencode, urlsplit
 
 from repro import telemetry
 from repro.analytics import (
@@ -100,7 +108,7 @@ from repro.analytics import (
     run_query,
     run_regression_eval,
 )
-from repro.exceptions import ConfigurationError, ReproError
+from repro.exceptions import ConfigurationError, QueueSaturated, ReproError
 from repro.experiments.harness import run_policy_comparison
 from repro.experiments.reporting import (
     COMPARISON_HEADERS,
@@ -123,10 +131,18 @@ from repro.service import (
     DEFAULT_STORE_BENCH_LOOKUPS,
     DEFAULT_STORE_BENCH_OUTPUT,
     EVENTS_FILENAME,
+    SHED_POLICIES,
+    AdmissionPolicy,
+    EventBus,
     EventLog,
+    EventPlaneServer,
     JobQueue,
     JobState,
     Scheduler,
+    WebhookDispatcher,
+    WebhookRegistry,
+    deliver_once,
+    event_matches,
     format_event,
     format_store_bench,
     make_job,
@@ -316,6 +332,63 @@ def _events_path(args: argparse.Namespace) -> Path:
     return Path(args.root) / EVENTS_FILENAME
 
 
+def _store_p95(args: argparse.Namespace) -> float | None:
+    """Worst ``repro_store_op_s`` p95 from the scheduler's metrics snapshot.
+
+    ``None`` when no snapshot (or no store series) exists — admission's store-latency
+    threshold then simply does not apply, rather than blocking all submissions.
+    """
+    try:
+        payload = telemetry.read_snapshot(Path(args.root) / METRICS_FILENAME)
+    except (FileNotFoundError, ReproError):
+        return None
+    worst = None
+    for entry in payload.get("metrics", []):
+        if entry.get("name") != "repro_store_op_s" or entry.get("kind") != "histogram":
+            continue
+        p95 = entry.get("p95")
+        if isinstance(p95, (int, float)) and not math.isnan(p95):
+            worst = p95 if worst is None else max(worst, p95)
+    return worst
+
+
+def _iter_http_events(
+    url: str,
+    cursor: int = 0,
+    job: str | None = None,
+    events: Sequence[str] | None = None,
+    follow: bool = False,
+    poll_timeout: float = 30.0,
+):
+    """Yield events from an ``/events`` long-poll endpoint, resuming by cursor.
+
+    ``url`` may be the server base (``http://host:port``), the endpoint itself,
+    or a bare ``host:port`` (http is assumed).  Without ``follow``, stops at the
+    first empty batch (the backlog is drained).
+    """
+    if "//" not in url:
+        url = "http://" + url
+    parts = urlsplit(url)
+    base = url if parts.path.rstrip("/").endswith("/events") else url.rstrip("/") + "/events"
+    while True:
+        query: list[tuple[str, str]] = [("cursor", str(cursor))]
+        if job:
+            query.append(("job", job))
+        for name in events or ():
+            query.append(("event", name))
+        query.append(("timeout", str(poll_timeout if follow else 0)))
+        try:
+            with urllib.request.urlopen(f"{base}?{urlencode(query)}") as response:
+                body = json.loads(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise ReproError(f"event endpoint {base} unreachable: {exc}") from exc
+        batch = body.get("events", [])
+        cursor = int(body.get("cursor", cursor))
+        yield from batch
+        if not follow and not batch:
+            return
+
+
 def _resolve_scenario(args: argparse.Namespace) -> ScenarioSpec:
     base = (
         get_scenario_preset(args.scenario)
@@ -446,8 +519,26 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     )
     if args.scenario:
         job.provenance["preset"] = args.scenario
-    _queue(args).submit(job)
-    EventLog(_events_path(args)).emit(
+    queue = _queue(args)
+    events = EventLog(_events_path(args))
+    try:
+        shed = queue.admit(job, store_p95_s=_store_p95(args))
+    except QueueSaturated as exc:
+        events.emit("queue_saturated", job_id=job.job_id, reason=str(exc))
+        raise
+    if shed is not None:
+        events.emit(
+            "job_shed",
+            job_id=shed.job_id,
+            priority=shed.priority,
+            shed_for=job.job_id,
+        )
+        print(
+            f"shed {shed.job_id} (priority {shed.priority}) to admit this submission",
+            file=sys.stderr,
+        )
+    queue.submit(job)
+    events.emit(
         "job_submitted",
         job_id=job.job_id,
         specs=len(job.specs),
@@ -465,6 +556,19 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     queue = _queue(args)
+    # Admission flags persist into the queue root so submitters (usually other
+    # processes) enforce them too; --max-depth 0 clears a persisted policy.
+    if args.max_depth is not None or args.max_store_p95 is not None:
+        if args.max_depth == 0:
+            queue.set_admission(None)
+            print("admission control cleared", file=sys.stderr)
+        else:
+            policy = AdmissionPolicy(
+                max_depth=args.max_depth,
+                shed_policy=args.shed_policy,
+                max_store_p95_s=args.max_store_p95,
+            )
+            queue.set_admission(policy)
     # --metrics-port / --trace-file imply telemetry; --telemetry turns it on without
     # either surface (the scheduler still drops metrics.json into the service root).
     telemetry_on = (
@@ -477,21 +581,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         telemetry.configure(enabled=True)
         if args.trace_file is not None:
             telemetry.configure(trace_path=args.trace_file)
+    events = EventLog(_events_path(args), echo=not args.quiet)
     scheduler = Scheduler(
         queue=queue,
         store=open_store(args.store, shards=args.store_shards),
-        events=EventLog(_events_path(args), echo=not args.quiet),
+        events=events,
         lease_s=args.lease,
         poll_s=args.poll,
         metrics_path=(Path(args.root) / METRICS_FILENAME) if telemetry_on else None,
         drain_grace_s=args.drain_grace,
     )
     server = None
+    bus = None
+    event_server = None
+    dispatcher = None
     if args.metrics_port is not None:
         server = MetricsServer(
             telemetry.get_registry(), port=args.metrics_port, refresh=queue.export_gauges
         ).start()
         print(f"metrics: {server.url}")
+    if args.events_port is not None:
+        bus = EventBus(_events_path(args), since_cursor=None).start()
+        events.attach_bus(bus)  # In-process emits wake the follower immediately.
+        event_server = EventPlaneServer(bus, port=args.events_port).start()
+        print(f"events: {event_server.url} (+ /events/stream SSE)")
+    if not args.no_webhooks:
+        # The dispatcher re-reads the registry every pass, so it also picks up
+        # hooks added while this serve runs; with none registered it is an idle
+        # poll, so it always starts.
+        dispatcher = WebhookDispatcher(args.root, events_path=_events_path(args)).start()
     try:
         scheduler.serve(workers=args.workers, drain=args.drain)
     except KeyboardInterrupt:
@@ -500,6 +618,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("interrupted: in-flight jobs were requeued", file=sys.stderr)
         return 130
     finally:
+        if dispatcher is not None:
+            dispatcher.close()  # Flushes already-logged events one last time.
+        if event_server is not None:
+            event_server.close()
+        if bus is not None:
+            bus.close()
         if server is not None:
             server.close()
     if scheduler.signals_seen:
@@ -600,10 +724,12 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0 if job.state is not JobState.FAILED else 1
     jobs = queue.jobs()
+    admission = queue.admission()
     if args.json:
         print(
             json.dumps(
                 {
+                    "admission": admission.to_dict() if admission is not None else None,
                     "counts": queue.counts(),
                     "gauges": _queue_gauges(queue),
                     "lanes": queue.lane_depths(),
@@ -631,15 +757,34 @@ def _cmd_status(args: argparse.Namespace) -> int:
         )
         gauges = _queue_gauges(queue)
         print("gauges: " + "  ".join(f"{key}={value:g}" for key, value in gauges.items()))
+        if admission is not None:
+            depth = queue.depth()
+            saturated = admission.max_depth is not None and depth >= admission.max_depth
+            limits = []
+            if admission.max_depth is not None:
+                limits.append(f"max_depth={admission.max_depth} ({admission.shed_policy})")
+            if admission.max_store_p95_s is not None:
+                limits.append(f"max_store_p95_s={admission.max_store_p95_s:g}")
+            print(
+                "admission: "
+                + "  ".join(limits)
+                + ("  ** SATURATED **" if saturated else f"  depth={depth}")
+            )
     return 0
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
-    path = _events_path(args)
-    if not path.exists() and not args.follow:
-        print(f"no events yet at {path}")
-        return 0
     try:
+        if args.http:
+            for payload in _iter_http_events(
+                args.http, cursor=args.cursor, job=args.job, follow=args.follow
+            ):
+                print(format_event(payload))
+            return 0
+        path = _events_path(args)
+        if not path.exists() and not args.follow:
+            print(f"no events yet at {path}")
+            return 0
         for payload in tail_events(path, follow=args.follow):
             if args.job and payload.get("job_id") != args.job:
                 continue
@@ -649,6 +794,84 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         # traceback or an error status.
         print("", flush=True)
         return 0
+    return 0
+
+
+def _cmd_events_sub(args: argparse.Namespace) -> int:
+    """``repro events sub``: one JSON line per event, resumable by ``--cursor``."""
+    emitted = 0
+    try:
+        if args.http:
+            source = _iter_http_events(
+                args.http,
+                cursor=args.cursor,
+                job=args.job,
+                events=args.event,
+                follow=args.follow,
+            )
+        else:
+            source = (
+                payload
+                for payload in tail_events(
+                    _events_path(args), follow=args.follow, since_cursor=args.cursor
+                )
+                if event_matches(payload, job=args.job, events=args.event)
+            )
+        for payload in source:
+            print(json.dumps(payload, sort_keys=True), flush=True)
+            emitted += 1
+            if args.limit is not None and emitted >= args.limit:
+                return 0
+    except KeyboardInterrupt:
+        print("", flush=True)
+    return 0
+
+
+def _cmd_webhooks(args: argparse.Namespace) -> int:
+    registry = WebhookRegistry(args.root)
+    if args.webhooks_action == "add":
+        hook = registry.add(
+            args.url,
+            events=args.event,
+            secret=args.secret,
+            events_path=_events_path(args),
+        )
+        EventLog(_events_path(args)).emit(
+            "webhook_added", hook=hook.hook_id, url=hook.url
+        )
+        print(f"registered {hook.hook_id} -> {hook.url}")
+        print(f"secret: {hook.secret}")
+        if hook.events:
+            print(f"events: {','.join(hook.events)}")
+        return 0
+    if args.webhooks_action == "list":
+        hooks = registry.load()
+        if not hooks:
+            print("no webhooks registered")
+            return 0
+        for hook in hooks:
+            events = ",".join(hook.events) if hook.events else "*"
+            print(
+                f"{hook.hook_id}  {hook.url}  events={events}  "
+                f"cursor={registry.cursor_of(hook)}"
+            )
+        return 0
+    if args.webhooks_action == "rm":
+        removed = registry.remove(args.hook_id)
+        EventLog(_events_path(args)).emit(
+            "webhook_removed", hook=removed.hook_id, url=removed.url
+        )
+        print(f"removed {removed.hook_id} ({removed.url})")
+        return 0
+    # test: one synthetic signed delivery, bypassing the dispatcher.
+    hook = registry.get(args.hook_id)
+    payload = {
+        "event": "webhook_test",
+        "ts": time.time(),
+        "hook": hook.hook_id,
+    }
+    status = deliver_once(hook, payload)
+    print(f"delivered test event to {hook.url}: HTTP {status}")
     return 0
 
 
@@ -1187,6 +1410,50 @@ def build_parser() -> argparse.ArgumentParser:
             f"it is requeued without spending a retry (default {DEFAULT_DRAIN_GRACE_S:g})"
         ),
     )
+    serve_parser.add_argument(
+        "--events-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve the event plane on this port: GET /events long-poll and "
+            "/events/stream SSE (0 binds an ephemeral port)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission control: refuse submissions once N jobs are queued "
+            "(persisted in the queue root so submitters enforce it; 0 clears)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--shed-policy",
+        default="reject",
+        choices=SHED_POLICIES,
+        help=(
+            "what a saturated queue does with a new submission: refuse it, or shed "
+            "a lower-priority queued job to make room (default: reject)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-store-p95",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "admission control: also refuse submissions while the store's p95 "
+            "operation latency (from the metrics snapshot) exceeds this"
+        ),
+    )
+    serve_parser.add_argument(
+        "--no-webhooks",
+        action="store_true",
+        help="do not run the webhook dispatcher in this serve process",
+    )
     _add_service_arguments(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 
@@ -1222,8 +1489,101 @@ def build_parser() -> argparse.ArgumentParser:
         "-f", "--follow", action="store_true", help="keep following the log as it grows"
     )
     watch_parser.add_argument("--job", default=None, help="only events of this job id")
+    watch_parser.add_argument(
+        "--http",
+        default=None,
+        metavar="URL",
+        help=(
+            "consume from a serve --events-port long-poll endpoint instead of the "
+            "local file (e.g. http://127.0.0.1:9200)"
+        ),
+    )
+    watch_parser.add_argument(
+        "--cursor",
+        type=int,
+        default=0,
+        metavar="N",
+        help="resume after this durable cursor in --http mode (default 0: from the top)",
+    )
     _add_service_arguments(watch_parser)
     watch_parser.set_defaults(func=_cmd_watch)
+
+    events_parser = subparsers.add_parser(
+        "events", help="subscribe to the event plane (durable cursors, JSON lines)"
+    )
+    events_sub = events_parser.add_subparsers(dest="events_action", required=True)
+    sub_parser = events_sub.add_parser(
+        "sub",
+        help=(
+            "print matching events as JSON lines, each carrying its durable "
+            "cursor; resume any time with --cursor"
+        ),
+    )
+    sub_parser.add_argument(
+        "--cursor",
+        type=int,
+        default=0,
+        metavar="N",
+        help="start after this durable cursor (default 0: replay everything)",
+    )
+    sub_parser.add_argument("--job", default=None, help="only events of this job id")
+    sub_parser.add_argument(
+        "--event",
+        action="append",
+        default=None,
+        metavar="TYPE",
+        help="only events of this type (repeatable, e.g. --event job_done)",
+    )
+    sub_parser.add_argument(
+        "--http",
+        default=None,
+        metavar="URL",
+        help="consume from a serve --events-port endpoint instead of the local file",
+    )
+    sub_parser.add_argument(
+        "-f", "--follow", action="store_true", help="keep waiting for new events"
+    )
+    sub_parser.add_argument(
+        "--limit", type=int, default=None, metavar="N", help="stop after N events"
+    )
+    _add_service_arguments(sub_parser)
+    sub_parser.set_defaults(func=_cmd_events_sub)
+
+    webhooks_parser = subparsers.add_parser(
+        "webhooks", help="manage signed HTTP event callbacks for this service root"
+    )
+    webhooks_sub = webhooks_parser.add_subparsers(dest="webhooks_action", required=True)
+    wh_add = webhooks_sub.add_parser(
+        "add", help="register a callback URL (prints its signing secret once)"
+    )
+    wh_add.add_argument("url", help="http(s) endpoint events are POSTed to")
+    wh_add.add_argument(
+        "--event",
+        action="append",
+        default=None,
+        metavar="TYPE",
+        help="only deliver events of this type (repeatable; default: all)",
+    )
+    wh_add.add_argument(
+        "--secret",
+        default=None,
+        help="HMAC-SHA256 signing secret (default: generated and printed)",
+    )
+    _add_service_arguments(wh_add)
+    wh_add.set_defaults(func=_cmd_webhooks)
+    wh_list = webhooks_sub.add_parser("list", help="list registered webhooks")
+    _add_service_arguments(wh_list)
+    wh_list.set_defaults(func=_cmd_webhooks)
+    wh_rm = webhooks_sub.add_parser("rm", help="remove a webhook by id")
+    wh_rm.add_argument("hook_id", help="webhook id (see: repro webhooks list)")
+    _add_service_arguments(wh_rm)
+    wh_rm.set_defaults(func=_cmd_webhooks)
+    wh_test = webhooks_sub.add_parser(
+        "test", help="send one signed webhook_test delivery to a hook now"
+    )
+    wh_test.add_argument("hook_id", help="webhook id (see: repro webhooks list)")
+    _add_service_arguments(wh_test)
+    wh_test.set_defaults(func=_cmd_webhooks)
 
     cancel_parser = subparsers.add_parser(
         "cancel", help="cancel a queued job now, or a running job between grid points"
@@ -1526,6 +1886,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except QueueSaturated as exc:
+        # Distinct exit code so submitters can tell "back off and retry" (3) from
+        # plain usage errors (2).
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

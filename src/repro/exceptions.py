@@ -65,6 +65,18 @@ class ServiceError(ReproError):
     double claims, cancelling a finished job, or a corrupt queue/store entry."""
 
 
+class QueueSaturated(ServiceError):
+    """Raised when admission control refuses a submission because the queue depth or
+    the store's p95 operation latency crossed the configured threshold.  The CLI maps
+    this to exit code 3 so callers can tell "back off and retry" apart from plain
+    usage errors (exit 2)."""
+
+
+class WebhookError(ServiceError):
+    """Raised for webhook misuse or delivery failure: unknown hook ids, invalid
+    callback URLs, or an endpoint that rejected a delivery."""
+
+
 class TelemetryError(ReproError):
     """Raised for telemetry misuse: registering the same metric name with a different
     instrument kind, negative counter increments, or merging histogram snapshots whose

@@ -17,11 +17,15 @@ that many clients can drive concurrently:
   service-grade replacement of the flat JSONL result store (lossless migration
   included), plus job artifacts;
 * :mod:`repro.service.events` — the append-only JSONL event log behind
-  ``python -m repro watch``;
+  ``python -m repro watch``, with durable cursors and cross-process seq counters;
+* :mod:`repro.service.eventbus` — push-based fan-out over that log: in-process
+  subscriptions plus the ``/events`` long-poll and ``/events/stream`` SSE server;
+* :mod:`repro.service.webhooks` — signed at-least-once HTTP callbacks with retry,
+  backoff and a dead-letter log;
 * :mod:`repro.service.bench` — the JSONL-vs-SQLite store benchmark
   (``python -m repro bench --suite store``).
 
-The CLI front-ends are ``python -m repro {serve,submit,status,watch,cancel}``.
+The CLI front-ends are ``python -m repro {serve,submit,status,watch,events,webhooks,cancel}``.
 """
 
 from repro.service.bench import (
@@ -31,11 +35,22 @@ from repro.service.bench import (
     format_store_bench,
     run_store_bench,
 )
+from repro.service.eventbus import (
+    DEFAULT_MAX_SUBSCRIBER_QUEUE,
+    EventBus,
+    EventPlaneServer,
+    Subscription,
+    follow_events,
+)
 from repro.service.events import (
     EVENT_SCHEMA_VERSION,
     EVENTS_FILENAME,
+    EventIndex,
     EventLog,
+    SeqCounter,
+    event_matches,
     format_event,
+    read_events_since,
     tail_events,
 )
 from repro.service.jobs import (
@@ -49,9 +64,12 @@ from repro.service.jobs import (
     submit_provenance,
 )
 from repro.service.queue import (
+    ADMISSION_FILENAME,
     CLAIM_GRACE_S,
     DEFAULT_LEASE_S,
     DEFAULT_SERVICE_ROOT,
+    SHED_POLICIES,
+    AdmissionPolicy,
     JobQueue,
 )
 from repro.service.scheduler import DEFAULT_DRAIN_GRACE_S, DEFAULT_POLL_S, Scheduler
@@ -64,12 +82,26 @@ from repro.service.store import (
     migrate_jsonl,
     open_store,
 )
+from repro.service.webhooks import (
+    DEADLETTER_FILENAME,
+    WEBHOOKS_FILENAME,
+    Webhook,
+    WebhookDispatcher,
+    WebhookRegistry,
+    deliver_once,
+    sign_payload,
+    verify_signature,
+)
 
 __all__ = [
+    "ADMISSION_FILENAME",
+    "AdmissionPolicy",
     "ArtifactStore",
     "CLAIM_GRACE_S",
+    "DEADLETTER_FILENAME",
     "DEFAULT_DRAIN_GRACE_S",
     "DEFAULT_LEASE_S",
+    "DEFAULT_MAX_SUBSCRIBER_QUEUE",
     "DEFAULT_POLL_S",
     "DEFAULT_SERVICE_ROOT",
     "DEFAULT_SQLITE_STORE_PATH",
@@ -79,23 +111,39 @@ __all__ = [
     "DEFAULT_STORE_SHARDS",
     "EVENTS_FILENAME",
     "EVENT_SCHEMA_VERSION",
+    "EventBus",
+    "EventIndex",
     "EventLog",
+    "EventPlaneServer",
     "JOB_SCHEMA_VERSION",
     "Job",
     "JobQueue",
     "JobState",
+    "SHED_POLICIES",
     "STORE_SCHEMA_VERSION",
     "Scheduler",
+    "SeqCounter",
     "ShardedStore",
+    "Subscription",
     "TERMINAL_STATES",
+    "WEBHOOKS_FILENAME",
+    "Webhook",
+    "WebhookDispatcher",
+    "WebhookRegistry",
+    "deliver_once",
     "derive_lane",
+    "event_matches",
+    "follow_events",
     "format_event",
     "format_store_bench",
     "hash_lane",
     "make_job",
     "migrate_jsonl",
     "open_store",
+    "read_events_since",
     "run_store_bench",
+    "sign_payload",
     "submit_provenance",
     "tail_events",
+    "verify_signature",
 ]

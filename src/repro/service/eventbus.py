@@ -1,0 +1,417 @@
+"""Push-based fan-out over the event log: in-process subscriptions plus HTTP.
+
+The :class:`EventBus` runs one follower thread that tails ``events.jsonl`` with
+durable cursors (so it sees the appends of *every* process sharing the service
+root, not just its own) and fans each event out to in-process subscribers over
+bounded queues.  A subscriber that stops draining its queue is dropped with a
+synthetic ``subscriber_lagged`` event rather than ever blocking the follower —
+the scheduler's emit path never waits on a slow dashboard.
+
+:class:`EventPlaneServer` exposes the bus over a stdlib HTTP thread in the style
+of :class:`repro.telemetry.MetricsServer`:
+
+* ``GET /events?cursor=N&job=...&event=...&timeout=30`` — long-poll: replies
+  immediately when events past ``cursor`` exist, otherwise parks on the bus until
+  one arrives or the timeout lapses.  The JSON body carries the new resume cursor.
+* ``GET /events/stream?cursor=N&job=...`` — Server-Sent Events; each frame's
+  ``id:`` is the event's cursor so ``Last-Event-ID`` reconnect semantics work.
+
+``repro events sub --http`` and ``repro watch -f --http`` are thin clients of the
+long-poll endpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Iterable, Iterator
+from urllib.parse import parse_qs, urlsplit
+
+from repro import telemetry
+from repro.service.events import EventIndex, event_matches, read_events_since, tail_events
+
+__all__ = [
+    "DEFAULT_MAX_SUBSCRIBER_QUEUE",
+    "EventBus",
+    "EventPlaneServer",
+    "Subscription",
+]
+
+#: Events buffered per subscriber before it is declared lagged and dropped.
+DEFAULT_MAX_SUBSCRIBER_QUEUE = 1024
+
+#: Long-poll timeouts are clamped to this many seconds.
+MAX_LONG_POLL_S = 300.0
+
+#: Most events one long-poll response will carry (the cursor lets callers page).
+DEFAULT_MAX_BATCH = 500
+
+
+class Subscription:
+    """One bounded in-process event feed handed out by :meth:`EventBus.subscribe`."""
+
+    def __init__(
+        self,
+        bus: "EventBus",
+        sub_id: int,
+        job: str | None,
+        events: tuple[str, ...] | None,
+        max_queue: int,
+    ) -> None:
+        self.bus = bus
+        self.sub_id = sub_id
+        self.job = job
+        self.events = events
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self.lagged = False
+        self.closed = False
+
+    def _offer(self, payload: dict) -> bool:
+        """Enqueue without blocking; a full queue marks the subscriber lagged."""
+        try:
+            self._queue.put_nowait(payload)
+            return True
+        except queue.Full:
+            self.lagged = True
+            return False
+
+    def get(self, timeout: float | None = None) -> dict | None:
+        """Pop the next event (``None`` on timeout or when the feed is exhausted)."""
+        if self.closed and self._queue.empty():
+            return self._pop_lagged_marker()
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return self._pop_lagged_marker() if self.closed else None
+
+    def _pop_lagged_marker(self) -> dict | None:
+        if self.lagged:
+            self.lagged = False  # Deliver the marker once.
+            return {"event": "subscriber_lagged", "ts": time.time()}
+        return None
+
+    def stream(self, stop=None, poll_s: float = 0.2) -> Iterator[dict]:
+        """Yield events until the feed closes; a lagged feed ends with the marker."""
+        while True:
+            payload = self.get(timeout=poll_s)
+            if payload is not None:
+                yield payload
+                if payload.get("event") == "subscriber_lagged":
+                    return
+            elif self.closed and self._queue.empty():
+                return
+            if stop is not None and stop():
+                return
+
+    def close(self) -> None:
+        self.bus.unsubscribe(self)
+
+
+class EventBus:
+    """Single-follower fan-out over one event log, with durable-cursor tracking.
+
+    The follower reads via :func:`read_events_since`, so each delivered payload
+    carries its ``cursor`` and :meth:`wait_for` can park long-poll handlers until
+    the bus has consumed past a given cursor.  ``since_cursor=None`` starts at the
+    current end of the log (subscribers see only new events); pass ``0`` to replay
+    everything through the bus.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        poll_s: float = 0.2,
+        since_cursor: int | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.poll_s = poll_s
+        self._since_cursor = since_cursor
+        self._cursor = 0
+        self._subscribers: list[Subscription] = []
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._advanced = threading.Condition(self._lock)
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def cursor(self) -> int:
+        """The highest cursor the follower has consumed so far."""
+        with self._lock:
+            return self._cursor
+
+    def start(self) -> "EventBus":
+        if self._thread is not None:
+            return self
+        if self._since_cursor is None:
+            # Default: subscribers get *new* events, not a replay of the history.
+            self._cursor = EventIndex(self.path).refresh(save=False).count
+        else:
+            self._cursor = self._since_cursor
+        self._thread = threading.Thread(target=self._follow, name="repro-event-bus", daemon=True)
+        self._thread.start()
+        return self
+
+    def poke(self) -> None:
+        """Wake the follower immediately (called by ``EventLog.emit`` in-process)."""
+        self._wake.set()
+
+    def subscribe(
+        self,
+        job: str | None = None,
+        events: Iterable[str] | None = None,
+        max_queue: int = DEFAULT_MAX_SUBSCRIBER_QUEUE,
+    ) -> Subscription:
+        subscription = Subscription(
+            self,
+            next(self._ids),
+            job,
+            tuple(events) if events else None,
+            max_queue,
+        )
+        with self._lock:
+            self._subscribers.append(subscription)
+            count = len(self._subscribers)
+        self._set_subscriber_gauge(count)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        subscription.closed = True
+        with self._lock:
+            try:
+                self._subscribers.remove(subscription)
+            except ValueError:
+                return
+            count = len(self._subscribers)
+        self._set_subscriber_gauge(count)
+
+    def wait_for(self, cursor: int, timeout: float | None = None) -> int:
+        """Block until the bus has consumed past ``cursor``; returns its cursor."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._advanced:
+            while self._cursor <= cursor and not self._stop.is_set():
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    break
+                self._advanced.wait(remaining if remaining is not None else 1.0)
+            return self._cursor
+
+    def close(self) -> None:
+        self._stop.set()
+        self._wake.set()
+        with self._advanced:
+            self._advanced.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._lock:
+            leftovers = list(self._subscribers)
+        for subscription in leftovers:
+            self.unsubscribe(subscription)
+
+    # -- follower ----------------------------------------------------------
+
+    def _follow(self) -> None:
+        while not self._stop.is_set():
+            batch, last = read_events_since(self.path, self.cursor)
+            if last > self.cursor or batch:
+                self._publish(batch, last)
+            else:
+                self._wake.wait(self.poll_s)
+                self._wake.clear()
+
+    def _publish(self, batch: list[dict], last: int) -> None:
+        with self._lock:
+            targets = list(self._subscribers)
+        dropped: list[Subscription] = []
+        for payload in batch:
+            for subscription in targets:
+                if subscription in dropped or subscription.closed:
+                    continue
+                if not event_matches(payload, job=subscription.job, events=subscription.events):
+                    continue
+                if not subscription._offer(payload):
+                    dropped.append(subscription)
+        for subscription in dropped:
+            self.unsubscribe(subscription)
+            registry = telemetry.get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "repro_subscriber_lagged_total",
+                    help="In-process subscribers dropped for not draining their queue.",
+                ).inc()
+        with self._advanced:
+            self._cursor = last
+            self._advanced.notify_all()
+
+    def _set_subscriber_gauge(self, count: int) -> None:
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            registry.gauge(
+                "repro_event_subscribers",
+                help="Live in-process event-bus subscribers.",
+            ).set(float(count))
+
+
+class EventPlaneServer:
+    """Long-poll + SSE exposition of an :class:`EventBus` (stdlib HTTP thread)."""
+
+    def __init__(
+        self,
+        bus: EventBus,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        self.bus = bus
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - http.server API
+                parts = urlsplit(self.path)
+                route = parts.path.rstrip("/") or "/"
+                params = parse_qs(parts.query)
+                try:
+                    if route in ("/", "/events"):
+                        outer._handle_long_poll(self, params)
+                    elif route == "/events/stream":
+                        outer._handle_stream(self, params)
+                    elif route == "/healthz":
+                        outer._respond(self, 200, b"ok\n", "text/plain; charset=utf-8")
+                    else:
+                        self.send_error(404, "unknown path (try /events)")
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # Client went away mid-write: routine for long-poll/SSE.
+
+            def log_message(self, *args):  # noqa: A002 - silence per-request logging
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self.host = host
+        self.port = self._server.server_address[1]
+        self.max_batch = max_batch
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-event-plane", daemon=True
+        )
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/events"
+
+    def start(self) -> "EventPlaneServer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    # -- handlers ----------------------------------------------------------
+
+    @staticmethod
+    def _param(params: dict, key: str, default=None):
+        values = params.get(key)
+        return values[0] if values else default
+
+    def _filters(self, params: dict) -> tuple[int, str | None, tuple[str, ...] | None, int]:
+        try:
+            cursor = int(self._param(params, "cursor", 0))
+        except ValueError:
+            cursor = 0
+        job = self._param(params, "job")
+        events = tuple(params["event"]) if params.get("event") else None
+        try:
+            limit = min(int(self._param(params, "limit", self.max_batch)), self.max_batch)
+        except ValueError:
+            limit = self.max_batch
+        return max(cursor, 0), job, events, max(limit, 1)
+
+    def _respond(self, handler, status: int, body: bytes, content_type: str) -> None:
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+
+    def _handle_long_poll(self, handler, params: dict) -> None:
+        cursor, job, events, limit = self._filters(params)
+        try:
+            timeout = float(self._param(params, "timeout", 0.0))
+        except ValueError:
+            timeout = 0.0
+        timeout = min(max(timeout, 0.0), MAX_LONG_POLL_S)
+        deadline = time.monotonic() + timeout
+        while True:
+            batch, last = read_events_since(
+                self.bus.path, cursor, job=job, events=events, limit=limit
+            )
+            remaining = deadline - time.monotonic()
+            if batch or remaining <= 0:
+                break
+            # Nothing matched yet: park on the bus until it consumes past what we
+            # just read (any later event may match), then re-read from there.
+            cursor = last
+            self.bus.wait_for(last, timeout=remaining)
+        body = json.dumps({"cursor": last, "events": batch}, sort_keys=True).encode("utf-8")
+        self._respond(handler, 200, body, "application/json")
+
+    def _handle_stream(self, handler, params: dict) -> None:
+        cursor, job, events, _ = self._filters(params)
+        # Subscribe *before* the catch-up read: anything emitted during catch-up is
+        # queued, so the switchover from file replay to live feed has no gap.
+        subscription = self.bus.subscribe(job=job, events=events)
+        try:
+            handler.send_response(200)
+            handler.send_header("Content-Type", "text/event-stream")
+            handler.send_header("Cache-Control", "no-cache")
+            handler.end_headers()
+            last = cursor
+            backlog, caught_up = read_events_since(self.bus.path, cursor, job=job, events=events)
+            for payload in backlog:
+                last = payload["cursor"]
+                self._write_sse(handler, payload)
+            last = max(last, caught_up)
+            while not subscription.closed or not subscription._queue.empty():
+                payload = subscription.get(timeout=1.0)
+                if payload is None:
+                    continue
+                if payload.get("event") == "subscriber_lagged":
+                    self._write_sse(handler, payload)
+                    return
+                if payload.get("cursor", 0) <= last:
+                    continue  # Queued during catch-up and already replayed from file.
+                last = payload["cursor"]
+                self._write_sse(handler, payload)
+        finally:
+            subscription.close()
+
+    @staticmethod
+    def _write_sse(handler, payload: dict) -> None:
+        frame = ""
+        if "cursor" in payload:
+            frame += f"id: {payload['cursor']}\n"
+        frame += f"data: {json.dumps(payload, sort_keys=True)}\n\n"
+        handler.wfile.write(frame.encode("utf-8"))
+        handler.wfile.flush()
+
+
+def follow_events(
+    path: str | Path,
+    since_cursor: int = 0,
+    job: str | None = None,
+    events: Iterable[str] | None = None,
+    stop=None,
+    poll_s: float = 0.2,
+) -> Iterator[dict]:
+    """File-tail convenience used by the CLI when no HTTP endpoint is given."""
+    for payload in tail_events(path, follow=True, poll_s=poll_s, stop=stop, since_cursor=since_cursor):
+        if event_matches(payload, job=job, events=events):
+            yield payload

@@ -36,14 +36,16 @@ scheduler checks between grid points.
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
 import time
 import uuid
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro import telemetry
-from repro.exceptions import ServiceError
+from repro.exceptions import QueueSaturated, ServiceError
 from repro.service.jobs import TERMINAL_STATES, Job, JobState
 
 #: Default lease duration; workers renew at half this interval while a job runs.
@@ -58,6 +60,60 @@ CLAIM_GRACE_S = 5.0
 
 #: Default on-disk location of the service root (queue + event log).
 DEFAULT_SERVICE_ROOT = Path(".repro-service")
+
+#: What a saturated queue does with a new submission: refuse it outright, or shed
+#: a strictly-lower-priority queued job to make room (refusing when none exists).
+SHED_POLICIES = ("reject", "drop-lowest-priority")
+
+#: Admission policy persisted inside the queue root by ``serve`` so ``submit``
+#: (usually a different process) enforces the same thresholds.
+ADMISSION_FILENAME = "admission.json"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Backpressure thresholds a queue enforces at submit time.
+
+    ``max_depth`` caps the number of queued jobs; ``max_store_p95_s`` additionally
+    refuses submissions while the store's p95 operation latency (as measured by the
+    scheduler and read from the metrics snapshot) is above the limit — a store
+    falling over is saturation even when the queue itself looks shallow.
+    """
+
+    max_depth: int | None = None
+    shed_policy: str = "reject"
+    max_store_p95_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.shed_policy not in SHED_POLICIES:
+            raise ServiceError(
+                f"unknown shed policy {self.shed_policy!r} (choose from {SHED_POLICIES})"
+            )
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ServiceError(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.max_store_p95_s is not None and self.max_store_p95_s <= 0:
+            raise ServiceError(
+                f"max_store_p95_s must be positive, got {self.max_store_p95_s}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        return self.max_depth is None and self.max_store_p95_s is None
+
+    def to_dict(self) -> dict:
+        return {
+            "max_depth": self.max_depth,
+            "shed_policy": self.shed_policy,
+            "max_store_p95_s": self.max_store_p95_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AdmissionPolicy":
+        return cls(
+            max_depth=payload.get("max_depth"),
+            shed_policy=payload.get("shed_policy", "reject"),
+            max_store_p95_s=payload.get("max_store_p95_s"),
+        )
 
 #: Directory name per job state.
 _STATE_DIRS: dict[JobState, str] = {
@@ -436,6 +492,129 @@ class JobQueue:
         """Number of jobs currently waiting in ``queued/``."""
         return sum(1 for _ in self._dir(JobState.QUEUED).glob("*.json"))
 
+    def depth(self) -> int:
+        """Alias of :meth:`pending` — the admission-control view of the backlog."""
+        return self.pending()
+
+    # ------------------------------------------------------------------ admission
+    @property
+    def _admission_path(self) -> Path:
+        return self.root / ADMISSION_FILENAME
+
+    def set_admission(self, policy: AdmissionPolicy | None) -> None:
+        """Persist (or, with ``None``/an empty policy, clear) the admission policy.
+
+        The policy lives inside the queue root so every submitter sharing the
+        directory enforces it, regardless of which ``serve`` host configured it.
+        """
+        if policy is None or policy.empty:
+            try:
+                self._admission_path.unlink()
+            except FileNotFoundError:
+                pass
+            return
+        self._write_json(self._admission_path, policy.to_dict())
+
+    def admission(self) -> AdmissionPolicy | None:
+        """The persisted admission policy, or ``None`` when admission is open."""
+        payload = self._read_json(self._admission_path)
+        return AdmissionPolicy.from_dict(payload) if payload is not None else None
+
+    def admit(self, job: Job, store_p95_s: float | None = None) -> Job | None:
+        """Enforce the admission policy for one submission *before* it is queued.
+
+        Returns ``None`` when the queue is open, or the job that was shed to make
+        room under ``drop-lowest-priority``.  Raises :class:`QueueSaturated` (and
+        bumps ``repro_queue_saturated_total``) when the submission must be refused.
+        """
+        policy = self.admission()
+        if policy is None:
+            return None
+        if (
+            policy.max_store_p95_s is not None
+            and store_p95_s is not None
+            and not math.isnan(store_p95_s)
+            and store_p95_s > policy.max_store_p95_s
+        ):
+            self._refuse(
+                "store-latency",
+                f"store p95 latency {store_p95_s:.3f}s exceeds the admission limit "
+                f"of {policy.max_store_p95_s:.3f}s; back off and retry",
+            )
+        if policy.max_depth is None:
+            return None
+        depth = self.depth()
+        if depth < policy.max_depth:
+            return None
+        if policy.shed_policy == "drop-lowest-priority":
+            shed = self.shed_lowest_priority(above_priority=job.priority)
+            if shed is not None:
+                return shed
+            self._refuse(
+                "depth",
+                f"queue depth {depth} is at the admission limit of {policy.max_depth} "
+                f"and no queued job has lower priority than {job.priority}; "
+                "back off and retry",
+            )
+        self._refuse(
+            "depth",
+            f"queue depth {depth} is at the admission limit of {policy.max_depth}; "
+            "back off and retry",
+        )
+
+    @staticmethod
+    def _refuse(reason: str, message: str) -> None:
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_queue_saturated_total",
+                help="Submissions refused by admission control, by reason.",
+            ).inc(reason=reason)
+        raise QueueSaturated(message)
+
+    def shed_lowest_priority(self, above_priority: int) -> Job | None:
+        """Fail the lowest-priority (then youngest) queued job strictly below
+        ``above_priority`` to make room; ``None`` when no such victim exists.
+
+        The victim is moved with the same atomic claim rename used by
+        :meth:`claim`/:meth:`cancel`, so racing a worker's claim is safe — if the
+        worker wins, the next victim is tried.
+        """
+        order = self._scan_queued()
+        victims = sorted(
+            (
+                (rank, stamp, job_id)
+                for job_id, (rank, stamp, _lane, _weight) in order.items()
+                if -rank < above_priority
+            ),
+            key=lambda item: (-item[0], -item[1], item[2]),
+        )
+        for _rank, _stamp, job_id in victims:
+            source = self._job_path(JobState.QUEUED, job_id)
+            target = self._job_path(JobState.RUNNING, job_id)
+            try:
+                os.rename(source, target)
+            except FileNotFoundError:
+                continue  # Claimed, cancelled or already shed by a racer.
+            job = self._load_job(target)
+            if job is None:  # pragma: no cover - defensive
+                continue
+            job.transition(JobState.FAILED)
+            job.error = (
+                f"shed by admission control to make room for a priority-"
+                f"{above_priority} submission"
+            )
+            self._write_job(job)
+            self._remove_claim(job_id)
+            registry = telemetry.get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "repro_jobs_shed_total",
+                    help="Queued jobs shed by drop-lowest-priority admission control.",
+                ).inc()
+            return job
+        return None
+
     def lane_depths(self, now: float | None = None) -> dict[str, dict[str, float]]:
         """Per-lane view of ``queued/``: ``{lane: {depth, weight, oldest_wait_s}}``."""
         now = time.time() if now is None else now
@@ -487,6 +666,16 @@ class JobQueue:
             for lane, entry in lanes.items():
                 depth_gauge.set(float(entry["depth"]), lane=lane)
                 wait_gauge.set(float(entry["oldest_wait_s"]), lane=lane)
+            policy = self.admission()
+            saturated = (
+                policy is not None
+                and policy.max_depth is not None
+                and counts[JobState.QUEUED.value] >= policy.max_depth
+            )
+            registry.gauge(
+                "repro_queue_saturated",
+                help="1 when the queue depth is at or past the admission limit.",
+            ).set(1.0 if saturated else 0.0)
         return counts
 
     def __len__(self) -> int:

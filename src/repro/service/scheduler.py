@@ -313,7 +313,7 @@ class Scheduler:
                     dur_s=self._job_finished("cancelled", claimed_at),
                 )
                 return
-            if self.store.get(spec_hash) is not None:
+            if self._timed_store_op("get", lambda: self.store.get(spec_hash)) is not None:
                 job.cache_hits += 1
                 self.queue.update(job)
                 if registry.enabled:
@@ -452,11 +452,32 @@ class Scheduler:
                 retries_left=job.retries_left,
             )
 
+    @staticmethod
+    def _timed_store_op(op: str, call):
+        """Run one store operation under the ``repro_store_op_s{op=...}`` histogram.
+
+        The p95 of this series feeds admission control's ``--max-store-p95``
+        threshold (read from the metrics snapshot by ``submit``), so a store that
+        starts thrashing pushes back on new submissions.
+        """
+        registry = telemetry.get_registry()
+        if not registry.enabled:
+            return call()
+        started = time.perf_counter()
+        try:
+            return call()
+        finally:
+            registry.histogram(
+                "repro_store_op_s", help="Result-store operation latency, by op."
+            ).observe(time.perf_counter() - started, op=op)
+
     def _store_result(self, result: ExperimentResult, job: Job) -> None:
         if hasattr(self.store, "put_artifact"):  # Artifact-grade stores index presets.
-            self.store.put(result, preset=job.provenance.get("preset"))
+            self._timed_store_op(
+                "put", lambda: self.store.put(result, preset=job.provenance.get("preset"))
+            )
         else:
-            self.store.put(result)
+            self._timed_store_op("put", lambda: self.store.put(result))
 
     # ------------------------------------------------------------------ child process
     def _run_spec_in_child(

@@ -1,0 +1,406 @@
+"""Webhook delivery: push job-lifecycle events to registered HTTP callbacks.
+
+Hooks are registered in the service root (``webhooks.json``) with an optional
+event-type filter.  A background :class:`WebhookDispatcher` thread follows the
+event log with a durable per-hook cursor (``webhooks-state.json``) and POSTs each
+matching event as JSON with an HMAC-SHA256 signature header, giving **at-least-
+once** delivery: the cursor only advances after a delivery attempt concludes, so
+a crash between delivery and persist causes a redelivery, never a loss.  Failures
+retry with exponential backoff up to a budget; exhausted deliveries land in a
+dead-letter JSONL (``webhooks-deadletter.jsonl``) and the cursor moves on so one
+dead endpoint cannot dam the feed for the others.
+
+Receivers authenticate payloads by recomputing the signature::
+
+    import hmac, hashlib
+    expected = "sha256=" + hmac.new(secret.encode(), body, hashlib.sha256).hexdigest()
+    ok = hmac.compare_digest(expected, request.headers["X-Repro-Signature"])
+
+``webhook_*`` housekeeping events are never delivered to hooks, so a hook that
+(say) logs its own failures back into the service root cannot feed back on itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+import secrets
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable
+from urllib.parse import urlsplit
+
+from repro import telemetry
+from repro.exceptions import WebhookError
+from repro.service.events import EVENTS_FILENAME, EventIndex, event_matches, read_events_since
+
+__all__ = [
+    "DEADLETTER_FILENAME",
+    "DEFAULT_BACKOFF_FACTOR",
+    "DEFAULT_BACKOFF_S",
+    "DEFAULT_RETRY_BUDGET",
+    "DEFAULT_TIMEOUT_S",
+    "SIGNATURE_HEADER",
+    "STATE_FILENAME",
+    "Webhook",
+    "WebhookDispatcher",
+    "WebhookRegistry",
+    "WEBHOOKS_FILENAME",
+    "deliver_once",
+    "sign_payload",
+    "verify_signature",
+]
+
+WEBHOOKS_SCHEMA_VERSION = 1
+
+WEBHOOKS_FILENAME = "webhooks.json"
+STATE_FILENAME = "webhooks-state.json"
+DEADLETTER_FILENAME = "webhooks-deadletter.jsonl"
+
+SIGNATURE_HEADER = "X-Repro-Signature"
+EVENT_HEADER = "X-Repro-Event"
+CURSOR_HEADER = "X-Repro-Cursor"
+DELIVERY_HEADER = "X-Repro-Delivery"
+
+#: Delivery attempts per event per hook before it is dead-lettered.
+DEFAULT_RETRY_BUDGET = 4
+#: First-retry backoff; doubles each retry.
+DEFAULT_BACKOFF_S = 0.5
+DEFAULT_BACKOFF_FACTOR = 2.0
+#: Per-request socket timeout.
+DEFAULT_TIMEOUT_S = 5.0
+
+
+def sign_payload(secret: str, body: bytes) -> str:
+    """HMAC-SHA256 signature of a delivery body, in GitHub-style ``sha256=`` form."""
+    digest = hmac.new(secret.encode("utf-8"), body, hashlib.sha256).hexdigest()
+    return f"sha256={digest}"
+
+
+def verify_signature(secret: str, body: bytes, signature: str) -> bool:
+    """Constant-time check of a received ``X-Repro-Signature`` header."""
+    return hmac.compare_digest(sign_payload(secret, body), signature or "")
+
+
+@dataclass(frozen=True)
+class Webhook:
+    """One registered callback: a URL, its signing secret and an event filter."""
+
+    hook_id: str
+    url: str
+    secret: str
+    events: tuple[str, ...] | None = None
+    #: Cursor at registration time — only events *after* this one are delivered,
+    #: so adding a hook to a root with history does not replay the whole log.
+    from_cursor: int = 0
+    created_at: float = field(default_factory=time.time)
+
+    def matches(self, payload: dict) -> bool:
+        if str(payload.get("event", "")).startswith("webhook_"):
+            return False  # Never feed webhook housekeeping back into webhooks.
+        return event_matches(payload, events=self.events)
+
+    def to_dict(self) -> dict:
+        return {
+            "hook_id": self.hook_id,
+            "url": self.url,
+            "secret": self.secret,
+            "events": list(self.events) if self.events else None,
+            "from_cursor": self.from_cursor,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Webhook":
+        events = payload.get("events")
+        return cls(
+            hook_id=payload["hook_id"],
+            url=payload["url"],
+            secret=payload["secret"],
+            events=tuple(events) if events else None,
+            from_cursor=int(payload.get("from_cursor", 0)),
+            created_at=float(payload.get("created_at", 0.0)),
+        )
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    staging = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+    staging.write_text(text, encoding="utf-8")
+    os.replace(staging, path)
+
+
+class WebhookRegistry:
+    """The set of hooks registered in one service root (``webhooks.json``)."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.path = self.root / WEBHOOKS_FILENAME
+        self.state_path = self.root / STATE_FILENAME
+        self.deadletter_path = self.root / DEADLETTER_FILENAME
+
+    def load(self) -> list[Webhook]:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+            return [Webhook.from_dict(entry) for entry in payload.get("hooks", [])]
+        except FileNotFoundError:
+            return []
+        except (ValueError, KeyError, TypeError) as exc:
+            raise WebhookError(f"corrupt webhook registry {self.path}: {exc}") from exc
+
+    def _save(self, hooks: list[Webhook]) -> None:
+        payload = {
+            "schema": WEBHOOKS_SCHEMA_VERSION,
+            "hooks": [hook.to_dict() for hook in hooks],
+        }
+        _atomic_write(self.path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def add(
+        self,
+        url: str,
+        events: Iterable[str] | None = None,
+        secret: str | None = None,
+        events_path: str | os.PathLike | None = None,
+    ) -> Webhook:
+        """Register a callback; returns the hook (with its generated id/secret)."""
+        scheme = urlsplit(url).scheme
+        if scheme not in ("http", "https"):
+            raise WebhookError(f"webhook URL must be http(s), got {url!r}")
+        log_path = Path(events_path) if events_path is not None else self.root / EVENTS_FILENAME
+        hook = Webhook(
+            hook_id=f"wh-{secrets.token_hex(4)}",
+            url=url,
+            secret=secret if secret else secrets.token_hex(16),
+            events=tuple(events) if events else None,
+            from_cursor=EventIndex(log_path).refresh(save=False).count,
+        )
+        self._save(self.load() + [hook])
+        return hook
+
+    def remove(self, hook_id: str) -> Webhook:
+        hooks = self.load()
+        kept = [hook for hook in hooks if hook.hook_id != hook_id]
+        if len(kept) == len(hooks):
+            raise WebhookError(f"unknown webhook id {hook_id!r}")
+        self._save(kept)
+        removed = next(hook for hook in hooks if hook.hook_id == hook_id)
+        state = self._load_state()
+        if state.pop(hook_id, None) is not None:
+            self._save_state(state)
+        return removed
+
+    def get(self, hook_id: str) -> Webhook:
+        for hook in self.load():
+            if hook.hook_id == hook_id:
+                return hook
+        raise WebhookError(f"unknown webhook id {hook_id!r}")
+
+    # -- per-hook durable cursors -----------------------------------------
+
+    def _load_state(self) -> dict:
+        try:
+            return json.loads(self.state_path.read_text(encoding="utf-8")).get("cursors", {})
+        except (FileNotFoundError, ValueError, AttributeError):
+            return {}
+
+    def _save_state(self, cursors: dict) -> None:
+        _atomic_write(
+            self.state_path,
+            json.dumps({"schema": WEBHOOKS_SCHEMA_VERSION, "cursors": cursors}, sort_keys=True)
+            + "\n",
+        )
+
+    def cursor_of(self, hook: Webhook) -> int:
+        return int(self._load_state().get(hook.hook_id, hook.from_cursor))
+
+    def advance(self, hook_id: str, cursor: int) -> None:
+        state = self._load_state()
+        if cursor > int(state.get(hook_id, 0)):
+            state[hook_id] = cursor
+            self._save_state(state)
+
+    def dead_letter(self, hook: Webhook, payload: dict, attempts: int, error: str) -> None:
+        entry = {
+            "ts": time.time(),
+            "hook_id": hook.hook_id,
+            "url": hook.url,
+            "attempts": attempts,
+            "error": error,
+            "event": payload,
+        }
+        self.deadletter_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.deadletter_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def deliver_once(
+    hook: Webhook,
+    payload: dict,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    opener: Callable | None = None,
+) -> int:
+    """POST one signed delivery; returns the HTTP status, raises on failure.
+
+    ``opener`` (tests) replaces ``urllib.request.urlopen``; it receives the
+    prepared ``Request`` and the timeout and must return a response object with
+    a ``status`` attribute.
+    """
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    request = urllib.request.Request(
+        hook.url,
+        data=body,
+        method="POST",
+        headers={
+            "Content-Type": "application/json",
+            SIGNATURE_HEADER: sign_payload(hook.secret, body),
+            EVENT_HEADER: str(payload.get("event", "")),
+            CURSOR_HEADER: str(payload.get("cursor", "")),
+            DELIVERY_HEADER: hook.hook_id,
+        },
+    )
+    open_fn = opener if opener is not None else urllib.request.urlopen
+    try:
+        with open_fn(request, timeout=timeout_s) as response:
+            status = getattr(response, "status", 200)
+    except urllib.error.HTTPError as exc:
+        raise WebhookError(f"{hook.url} answered HTTP {exc.code}") from exc
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise WebhookError(f"delivery to {hook.url} failed: {exc}") from exc
+    if status >= 400:
+        raise WebhookError(f"{hook.url} answered HTTP {status}")
+    return status
+
+
+class WebhookDispatcher:
+    """Background at-least-once delivery loop over the registered hooks.
+
+    The registry is re-read every pass, so hooks added while ``serve`` runs are
+    picked up without a restart.  Each hook has its own durable cursor: one dead
+    endpoint retries and dead-letters on its own clock without delaying others.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        events_path: str | os.PathLike | None = None,
+        poll_s: float = 0.5,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+        backoff_s: float = DEFAULT_BACKOFF_S,
+        backoff_factor: float = DEFAULT_BACKOFF_FACTOR,
+        opener: Callable | None = None,
+    ) -> None:
+        self.registry = WebhookRegistry(root)
+        self.events_path = (
+            Path(events_path) if events_path is not None else Path(root) / EVENTS_FILENAME
+        )
+        self.poll_s = poll_s
+        self.timeout_s = timeout_s
+        self.retry_budget = max(int(retry_budget), 1)
+        self.backoff_s = backoff_s
+        self.backoff_factor = backoff_factor
+        self.opener = opener
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "WebhookDispatcher":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-webhooks", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the loop, then flush anything already in the log one last time."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._stop.clear()
+        try:
+            self.run_pending()
+        finally:
+            self._stop.set()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.run_pending()
+            except WebhookError:
+                pass  # A corrupt registry must not kill the serve process.
+            self._stop.wait(self.poll_s)
+
+    def run_pending(self) -> int:
+        """One dispatch pass over every hook; returns deliveries attempted."""
+        attempted = 0
+        for hook in self.registry.load():
+            cursor = self.registry.cursor_of(hook)
+            while not self._stop.is_set():
+                batch, last = read_events_since(self.events_path, cursor, limit=50)
+                if not batch:
+                    # Everything left was filtered out; persist the skip so the
+                    # next pass does not re-read it.
+                    if last > cursor:
+                        self.registry.advance(hook.hook_id, last)
+                    break
+                for payload in batch:
+                    if self._stop.is_set():
+                        break
+                    if hook.matches(payload):
+                        attempted += 1
+                        if not self._deliver(hook, payload):
+                            return attempted  # Stopped mid-backoff: keep cursor put.
+                    cursor = payload["cursor"]
+                    self.registry.advance(hook.hook_id, cursor)
+        return attempted
+
+    def _deliver(self, hook: Webhook, payload: dict) -> bool:
+        """Deliver with retries; True when concluded (ok or dead-lettered)."""
+        registry = telemetry.get_registry()
+        delay = self.backoff_s
+        error = ""
+        for attempt in range(1, self.retry_budget + 1):
+            started = time.perf_counter()
+            try:
+                deliver_once(hook, payload, timeout_s=self.timeout_s, opener=self.opener)
+                self._observe(registry, started, "ok" if attempt == 1 else "retried")
+                return True
+            except WebhookError as exc:
+                error = str(exc)
+                self._observe(registry, started, "error")
+            if attempt < self.retry_budget:
+                if self._stop.wait(delay):
+                    return False  # Shutting down mid-backoff: redeliver next start.
+                delay *= self.backoff_factor
+        self.registry.dead_letter(hook, payload, attempts=self.retry_budget, error=error)
+        if registry.enabled:
+            registry.counter(
+                "repro_webhook_deliveries_total",
+                help="Webhook delivery conclusions, by outcome.",
+            ).inc(outcome="dead_letter")
+        return True
+
+    @staticmethod
+    def _observe(registry, started: float, outcome: str) -> None:
+        if not registry.enabled:
+            return
+        registry.histogram(
+            "repro_webhook_delivery_s",
+            help="Webhook delivery attempt latency.",
+        ).observe(time.perf_counter() - started, outcome=outcome)
+        if outcome != "error":
+            registry.counter(
+                "repro_webhook_deliveries_total",
+                help="Webhook delivery conclusions, by outcome.",
+            ).inc(outcome=outcome)
+
+
+# Re-exported for callers that adjust a loaded hook (e.g. ``webhooks test``).
+replace_hook = replace

@@ -1,0 +1,185 @@
+"""Tests for admission control: depth caps, shed policies, store-latency gating."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.exceptions import QueueSaturated, ServiceError
+from repro.experiments.spec import ExperimentSpec
+from repro.service.jobs import JobState, make_job
+from repro.service.queue import AdmissionPolicy, JobQueue
+from repro.sim.scenarios import ScenarioSpec
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def _spec(seed=0):
+    return ExperimentSpec(
+        scenario=ScenarioSpec(num_devices=25, max_rounds=3, seed=seed),
+        policy="fedavg-random",
+    )
+
+
+def _job(seed=0, priority=0):
+    return make_job(_spec(seed), priority=priority)
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path / "queue")
+
+
+class TestPolicy:
+    def test_roundtrip_and_clear(self, queue):
+        assert queue.admission() is None
+        policy = AdmissionPolicy(max_depth=5, shed_policy="drop-lowest-priority")
+        queue.set_admission(policy)
+        assert queue.admission() == policy
+        # A second queue instance over the same root sees the persisted policy —
+        # that is how submit (another process) enforces what serve configured.
+        assert JobQueue(queue.root).admission() == policy
+        queue.set_admission(None)
+        assert queue.admission() is None
+
+    def test_empty_policy_clears(self, queue):
+        queue.set_admission(AdmissionPolicy(max_depth=5))
+        queue.set_admission(AdmissionPolicy())
+        assert queue.admission() is None
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            AdmissionPolicy(max_depth=0)
+        with pytest.raises(ServiceError):
+            AdmissionPolicy(shed_policy="explode")
+        with pytest.raises(ServiceError):
+            AdmissionPolicy(max_store_p95_s=0.0)
+
+
+class TestDepthAdmission:
+    def test_open_queue_admits(self, queue):
+        assert queue.admit(_job()) is None
+        queue.set_admission(AdmissionPolicy(max_depth=3))
+        assert queue.admit(_job()) is None
+
+    def test_reject_at_depth_raises_and_counts(self, queue):
+        telemetry.configure(enabled=True)
+        queue.set_admission(AdmissionPolicy(max_depth=2))
+        queue.submit(_job(0))
+        queue.submit(_job(1))
+        assert queue.depth() == 2
+        with pytest.raises(QueueSaturated):
+            queue.admit(_job(2))
+        counter = telemetry.get_registry().counter("repro_queue_saturated_total")
+        assert counter.value(reason="depth") == 1
+
+    def test_drop_lowest_priority_sheds_the_youngest_lowest(self, queue):
+        queue.set_admission(
+            AdmissionPolicy(max_depth=2, shed_policy="drop-lowest-priority")
+        )
+        old_low = queue.submit(_job(0, priority=1))
+        young_low = queue.submit(_job(1, priority=1))
+        shed = queue.admit(_job(2, priority=5))
+        assert shed is not None and shed.job_id == young_low
+        assert queue.get(young_low).state is JobState.FAILED
+        assert "shed by admission control" in queue.get(young_low).error
+        assert queue.get(old_low).state is JobState.QUEUED
+        assert queue.depth() == 1  # Room was actually made.
+
+    def test_drop_lowest_priority_refuses_without_a_victim(self, queue):
+        queue.set_admission(
+            AdmissionPolicy(max_depth=1, shed_policy="drop-lowest-priority")
+        )
+        queue.submit(_job(0, priority=5))
+        with pytest.raises(QueueSaturated):
+            queue.admit(_job(1, priority=5))  # Equal priority is never shed.
+        with pytest.raises(QueueSaturated):
+            queue.admit(_job(2, priority=3))
+
+
+class TestStoreLatencyAdmission:
+    def test_slow_store_refuses_even_when_shallow(self, queue):
+        telemetry.configure(enabled=True)
+        queue.set_admission(AdmissionPolicy(max_store_p95_s=0.5))
+        assert queue.depth() == 0
+        with pytest.raises(QueueSaturated):
+            queue.admit(_job(), store_p95_s=1.2)
+        counter = telemetry.get_registry().counter("repro_queue_saturated_total")
+        assert counter.value(reason="store-latency") == 1
+
+    def test_fast_or_unknown_store_admits(self, queue):
+        queue.set_admission(AdmissionPolicy(max_store_p95_s=0.5))
+        assert queue.admit(_job(), store_p95_s=0.1) is None
+        assert queue.admit(_job(), store_p95_s=None) is None
+
+
+class TestSaturatedGauge:
+    def test_gauge_tracks_saturation(self, queue):
+        registry = telemetry.MetricsRegistry(enabled=True)
+        queue.set_admission(AdmissionPolicy(max_depth=1))
+        queue.export_gauges(registry)
+        assert registry.gauge("repro_queue_saturated").value() == 0.0
+        queue.submit(_job())
+        queue.export_gauges(registry)
+        assert registry.gauge("repro_queue_saturated").value() == 1.0
+
+
+class TestBackpressureCLI:
+    def _submit(self, root, *extra):
+        from repro.cli import main
+
+        return main(
+            ["submit", "--devices", "20", "--rounds", "2", "--root", str(root), *extra]
+        )
+
+    def test_serve_persists_policy_and_submit_exits_3(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = tmp_path / "svc"
+        assert (
+            main(
+                ["serve", "--workers", "1", "--drain", "--quiet", "--no-webhooks",
+                 "--root", str(root), "--max-depth", "1"]
+            )
+            == 0
+        )
+        policy = JobQueue(root / "queue").admission()
+        assert policy is not None and policy.max_depth == 1
+        assert self._submit(root, "--seed", "1") == 0
+        assert self._submit(root, "--seed", "2") == 3  # Saturated: typed exit code.
+        err = capsys.readouterr().err
+        assert "admission limit" in err
+        # The refusal is visible in the event stream and in status.
+        events = (root / "events.jsonl").read_text()
+        assert "queue_saturated" in events
+        assert main(["status", "--json", "--root", str(root)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["admission"]["max_depth"] == 1
+
+    def test_max_depth_zero_clears(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = tmp_path / "svc"
+        assert (
+            main(
+                ["serve", "--workers", "1", "--drain", "--quiet", "--no-webhooks",
+                 "--root", str(root), "--max-depth", "1"]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["serve", "--workers", "1", "--drain", "--quiet", "--no-webhooks",
+                 "--root", str(root), "--max-depth", "0"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert JobQueue(root / "queue").admission() is None
+        assert self._submit(root, "--seed", "1") == 0
+        assert self._submit(root, "--seed", "2") == 0  # No cap any more.

@@ -1,0 +1,248 @@
+"""Tests for the event bus: in-process fan-out, long-poll/SSE server, live drains."""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.experiments.spec import ExperimentSpec
+from repro.service.eventbus import EventBus, EventPlaneServer
+from repro.service.events import EventLog, tail_events
+from repro.service.jobs import make_job
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.store import ArtifactStore
+from repro.sim.scenarios import ScenarioSpec
+
+
+def _spec(seed=0, devices=25, rounds=3):
+    return ExperimentSpec(
+        scenario=ScenarioSpec(num_devices=devices, max_rounds=rounds, seed=seed),
+        policy="fedavg-random",
+    )
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "events.jsonl"
+
+
+@pytest.fixture
+def log(path):
+    return EventLog(path)
+
+
+@pytest.fixture
+def bus(path, log):
+    bus = EventBus(path, poll_s=0.05, since_cursor=0).start()
+    log.attach_bus(bus)
+    yield bus
+    bus.close()
+
+
+@pytest.fixture
+def server(bus):
+    server = EventPlaneServer(bus).start()
+    yield server
+    server.close()
+
+
+def _get_json(url):
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+class TestBusFanOut:
+    def test_subscribers_see_events_in_order_with_cursors(self, bus, log):
+        subscription = bus.subscribe()
+        for name in ("a", "b", "c"):
+            log.emit(name)
+        got = [subscription.get(timeout=2.0) for _ in range(3)]
+        assert [(g["event"], g["cursor"]) for g in got] == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_filters_apply_per_subscriber(self, bus, log):
+        by_job = bus.subscribe(job="job-a")
+        by_type = bus.subscribe(events=("job_done",))
+        log.emit("job_started", job_id="job-a")
+        log.emit("job_done", job_id="job-b")
+        assert by_job.get(timeout=2.0)["event"] == "job_started"
+        assert by_type.get(timeout=2.0)["event"] == "job_done"
+        assert by_job.get(timeout=0.2) is None
+        assert by_type.get(timeout=0.2) is None
+
+    def test_lagged_subscriber_is_dropped_with_marker_not_blocking(self, bus, log):
+        slow = bus.subscribe(max_queue=2)
+        keeper = bus.subscribe()
+        for index in range(10):
+            log.emit("tick", index=index)
+        assert [keeper.get(timeout=2.0)["index"] for _ in range(10)] == list(range(10))
+        drained = list(slow.stream(poll_s=0.05))
+        assert drained[-1]["event"] == "subscriber_lagged"
+        assert len(drained) <= 3  # two buffered + the marker
+        assert slow.closed  # dropped, never blocking the emitter
+
+    def test_bus_started_at_end_of_log_skips_history(self, path, log):
+        log.emit("old")
+        bus = EventBus(path, poll_s=0.05).start()  # since_cursor=None: end of log
+        log.attach_bus(bus)
+        try:
+            subscription = bus.subscribe()
+            log.emit("new")
+            got = subscription.get(timeout=2.0)
+            assert got["event"] == "new" and got["cursor"] == 2
+        finally:
+            bus.close()
+
+    def test_wait_for_unblocks_on_emit(self, bus, log):
+        log.emit("first")
+        assert bus.wait_for(0, timeout=2.0) >= 1
+        result = {}
+
+        def wait():
+            result["cursor"] = bus.wait_for(1, timeout=5.0)
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        log.emit("second")
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert result["cursor"] >= 2
+
+
+class TestLongPoll:
+    def test_immediate_batch_and_cursor(self, server, log):
+        log.emit("a", job_id="job-1")
+        log.emit("b", job_id="job-2")
+        body = _get_json(f"{server.url}?cursor=0")
+        assert [e["event"] for e in body["events"]] == ["a", "b"]
+        assert body["cursor"] == 2
+
+    def test_job_and_event_filters(self, server, log):
+        log.emit("job_started", job_id="job-1")
+        log.emit("job_started", job_id="job-2")
+        log.emit("job_done", job_id="job-1")
+        body = _get_json(f"{server.url}?cursor=0&job=job-1")
+        assert [e["event"] for e in body["events"]] == ["job_started", "job_done"]
+        body = _get_json(f"{server.url}?cursor=0&event=job_done")
+        assert [e["event"] for e in body["events"]] == ["job_done"]
+        body = _get_json(f"{server.url}?cursor=0&event=job_done&event=job_started")
+        assert len(body["events"]) == 3
+
+    def test_long_poll_parks_until_an_event_arrives(self, server, log):
+        log.emit("first")
+        result = {}
+
+        def poll():
+            result["body"] = _get_json(f"{server.url}?cursor=1&timeout=10")
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        time.sleep(0.2)  # Let the handler park on the bus.
+        log.emit("second")
+        poller.join(timeout=5.0)
+        assert not poller.is_alive()
+        assert [e["event"] for e in result["body"]["events"]] == ["second"]
+
+    def test_timeout_returns_empty_batch_with_cursor(self, server, log):
+        log.emit("only")
+        body = _get_json(f"{server.url}?cursor=1&timeout=0.2")
+        assert body["events"] == [] and body["cursor"] == 1
+
+    def test_disconnect_resume_at_saved_cursor_no_duplicates(self, server, log):
+        for index in range(10):
+            log.emit("tick", index=index)
+        first = _get_json(f"{server.url}?cursor=0&limit=4")
+        saved = first["cursor"]
+        for index in range(10, 13):
+            log.emit("tick", index=index)
+        # A brand-new connection (simulated disconnect) resumes at the cursor.
+        rest = _get_json(f"{server.url}?cursor={saved}")
+        indices = [e["index"] for e in first["events"] + rest["events"]]
+        assert indices == list(range(13))
+
+    def test_events_sub_http_accepts_schemeless_host_port(self, server, log, capsys):
+        from repro.cli import main
+
+        log.emit("job_submitted", job_id="job-1")
+        address = f"{server.host}:{server.port}"  # as printed by serve, no scheme
+        assert main(["events", "sub", "--http", address, "--limit", "1"]) == 0
+        line = json.loads(capsys.readouterr().out)
+        assert line["event"] == "job_submitted" and line["cursor"] == 1
+
+    def test_healthz(self, server):
+        with urllib.request.urlopen(f"http://{server.host}:{server.port}/healthz") as resp:
+            assert resp.status == 200
+
+
+class TestSSE:
+    def test_stream_replays_backlog_then_follows_live(self, server, log):
+        log.emit("old-1")
+        log.emit("old-2")
+        frames = []
+        done = threading.Event()
+
+        def consume():
+            url = f"http://{server.host}:{server.port}/events/stream?cursor=0"
+            with urllib.request.urlopen(url) as response:
+                for raw in response:
+                    line = raw.decode("utf-8").strip()
+                    if line.startswith("data: "):
+                        frames.append(json.loads(line[len("data: "):]))
+                        if frames[-1].get("event") == "live":
+                            done.set()
+                            return
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        time.sleep(0.3)  # Backlog replay + subscription switchover.
+        log.emit("live")
+        assert done.wait(timeout=5.0)
+        assert [f["event"] for f in frames] == ["old-1", "old-2", "live"]
+        assert [f["cursor"] for f in frames] == [1, 2, 3]
+
+
+class TestLiveDrainAcceptance:
+    def test_midflight_subscriber_sees_exactly_the_file_tail(self, tmp_path, path):
+        """A long-poll consumer started mid-drain with cursor=0 receives every event
+        the file tail sees, in order, with no duplicates across a simulated
+        disconnect/resume at a saved cursor."""
+        queue = JobQueue(tmp_path / "queue")
+        store = ArtifactStore(tmp_path / "results.sqlite")
+        log = EventLog(path)
+        scheduler = Scheduler(queue, store, log, poll_s=0.05, worker_prefix="t")
+        for seed in range(3):
+            queue.submit(make_job(_spec(seed), label=f"s{seed}"))
+        bus = EventBus(path, poll_s=0.05, since_cursor=0).start()
+        log.attach_bus(bus)
+        server = EventPlaneServer(bus).start()
+        drain = threading.Thread(
+            target=lambda: scheduler.serve(workers=2, drain=True, install_signals=False)
+        )
+        drain.start()
+        received = []
+        cursor = 0
+        disconnected = False
+        try:
+            while True:
+                body = _get_json(f"{server.url}?cursor={cursor}&timeout=2&limit=50")
+                received.extend(body["events"])
+                cursor = body["cursor"]
+                if not disconnected and len(received) >= 4:
+                    disconnected = True  # Resume from the saved cursor, fresh request.
+                    continue
+                if not body["events"] and not drain.is_alive():
+                    break
+        finally:
+            drain.join(timeout=60.0)
+            server.close()
+            bus.close()
+        assert not drain.is_alive()
+        expected = list(tail_events(path, since_cursor=0))
+        assert [e["cursor"] for e in received] == [e["cursor"] for e in expected]
+        assert [e["event"] for e in received] == [e["event"] for e in expected]
+        assert len({e["cursor"] for e in received}) == len(received)  # no duplicates
+        names = [e["event"] for e in received]
+        assert names.count("job_done") == 3
+        assert names[-1] == "scheduler_stopped"

@@ -1,9 +1,19 @@
-"""Tests for the JSONL event log and its tail stream."""
+"""Tests for the JSONL event log, durable cursors, seq counters and the tail stream."""
 
 import json
+import multiprocessing
 import threading
 
-from repro.service.events import EventLog, format_event, tail_events
+from repro import telemetry
+from repro.service.events import (
+    INDEX_CHECKPOINT_EVERY,
+    EventIndex,
+    EventLog,
+    SeqCounter,
+    format_event,
+    read_events_since,
+    tail_events,
+)
 
 
 class TestEmitAndRead:
@@ -75,6 +85,205 @@ class TestTail:
         assert seen == ["first", "second"]
 
 
+class TestDurableCursors:
+    def test_since_cursor_annotates_and_skips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        for name in ("a", "b", "c", "d"):
+            log.emit(name)
+        events = list(tail_events(path, since_cursor=0))
+        assert [(e["event"], e["cursor"]) for e in events] == [
+            ("a", 1), ("b", 2), ("c", 3), ("d", 4)
+        ]
+        assert [e["event"] for e in tail_events(path, since_cursor=2)] == ["c", "d"]
+
+    def test_resume_at_saved_cursor_has_no_duplicates_or_gaps(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        for index in range(20):
+            log.emit("tick", index=index)
+        first = list(tail_events(path, since_cursor=0))[:7]
+        saved = first[-1]["cursor"]
+        for index in range(20, 25):
+            log.emit("tick", index=index)
+        rest = list(tail_events(path, since_cursor=saved))
+        indices = [e["index"] for e in first + rest]
+        assert indices == list(range(25))
+
+    def test_read_events_since_filters_but_advances_cursor(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("keep", job_id="job-a")
+        log.emit("drop", job_id="job-b")
+        log.emit("keep", job_id="job-a")
+        events, last = read_events_since(path, 0, job="job-a")
+        assert [e["cursor"] for e in events] == [1, 3]
+        assert last == 3  # The filtered-out line is consumed, never re-read.
+        events, last = read_events_since(path, last, job="job-a")
+        assert events == [] and last == 3
+
+    def test_read_events_since_limit_stops_cursor_at_last_returned(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        for index in range(10):
+            log.emit("tick", index=index)
+        events, last = read_events_since(path, 0, limit=4)
+        assert [e["index"] for e in events] == [0, 1, 2, 3] and last == 4
+        events, last = read_events_since(path, last, limit=100)
+        assert [e["index"] for e in events] == list(range(4, 10)) and last == 10
+
+    def test_index_checkpoints_let_deep_cursors_seek(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        total = INDEX_CHECKPOINT_EVERY * 2 + 10
+        for index in range(total):
+            log.emit("tick", index=index)
+        index = EventIndex(path).refresh()
+        assert index.count == total
+        assert len(index.checkpoints) == 3  # (0,0) + one per 256 complete lines
+        cursor, offset = index.checkpoint_for(total - 5)
+        assert cursor == INDEX_CHECKPOINT_EVERY * 2 and offset > 0
+        events = list(tail_events(path, since_cursor=total - 5))
+        assert [e["index"] for e in events] == list(range(total - 5, total))
+
+    def test_stale_index_is_rebuilt_after_rotation(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        for _ in range(10):
+            log.emit("old")
+        EventIndex(path).refresh()  # Persist an index covering 10 lines.
+        path.unlink()
+        log.emit("new")  # The rotated log is much shorter than the index claims.
+        index = EventIndex(path).refresh()
+        assert index.count == 1
+        assert [e["event"] for e in tail_events(path, since_cursor=0)] == ["new"]
+
+    def test_cursor_past_rotated_log_restarts_from_top(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        for _ in range(10):
+            log.emit("old")
+        path.unlink()
+        log.emit("new")
+        # A consumer that saved cursor 10 against the old log must not hang forever.
+        events = list(tail_events(path, since_cursor=10))
+        assert [(e["event"], e["cursor"]) for e in events] == [("new", 1)]
+
+    def test_corrupt_index_file_is_ignored(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("a")
+        index_path = EventIndex(path).path
+        index_path.write_text("not json at all")
+        assert EventIndex(path).refresh().count == 1
+
+
+class TestTruncationRecovery:
+    def test_follow_resets_after_truncation_instead_of_stalling(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        for _ in range(5):
+            log.emit("before")
+        seen = []
+        done = threading.Event()
+
+        def consume():
+            for event in tail_events(path, follow=True, poll_s=0.01, stop=done.is_set):
+                seen.append(event["event"])
+                if event["event"] == "after":
+                    done.set()
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for _ in range(50):
+            if len(seen) >= 5:
+                break
+            done.wait(0.05)
+        path.write_text("")  # Rotation: the file shrinks under the follower.
+        log.emit("after")
+        consumer.join(timeout=5.0)
+        assert not consumer.is_alive()
+        assert seen == ["before"] * 5 + ["after"]
+
+
+class TestSeqCounter:
+    def test_seq_survives_new_log_instances(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        EventLog(path).emit("a", job_id="job-1")
+        EventLog(path).emit("b", job_id="job-1")  # Fresh instance, same counter file.
+        assert [event["seq"] for event in EventLog(path).read()] == [1, 2]
+
+    def test_peek_reflects_last_minted(self, tmp_path):
+        counter = SeqCounter(tmp_path / "seq")
+        assert counter.peek("job-1") == 0
+        assert counter.next("job-1") == 1
+        assert counter.next("job-2") == 1
+        assert counter.next("job-1") == 2
+        assert counter.peek("job-1") == 2
+
+    def test_forked_processes_mint_unique_monotone_seqs(self, tmp_path):
+        # Two scheduler processes sharing one service root must never mint
+        # duplicate seqs for the same job — the counter is file-backed + locked.
+        path = tmp_path / "events.jsonl"
+        ctx = multiprocessing.get_context()
+
+        def spam(tag):
+            log = EventLog(path)
+            for _ in range(40):
+                log.emit("tick", job_id="job-shared", worker=tag)
+
+        workers = [ctx.Process(target=spam, args=(f"p{n}",)) for n in range(2)]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=60.0)
+            assert process.exitcode == 0
+        seqs = [event["seq"] for event in EventLog(path).read()]
+        assert sorted(seqs) == list(range(1, 81))  # unique AND gap-free
+
+    def test_forked_processes_interleave_monotonically_per_writer(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        ctx = multiprocessing.get_context()
+
+        def spam(tag):
+            log = EventLog(path)
+            for _ in range(25):
+                log.emit("tick", job_id="job-shared", worker=tag)
+
+        workers = [ctx.Process(target=spam, args=(f"p{n}",)) for n in range(2)]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=60.0)
+            assert process.exitcode == 0
+        by_worker: dict[str, list[int]] = {}
+        for event in EventLog(path).read():
+            by_worker.setdefault(event["worker"], []).append(event["seq"])
+        # Each writer's own seqs strictly increase in file order (file order is
+        # append order, and the shared counter never goes backwards).
+        for seqs in by_worker.values():
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)
+
+
+class TestEmitTelemetry:
+    def test_emit_counts_events_by_type(self, tmp_path):
+        telemetry.configure(enabled=True)
+        try:
+            registry = telemetry.get_registry()
+            registry.reset()
+            log = EventLog(tmp_path / "events.jsonl")
+            log.emit("job_started", job_id="job-1")
+            log.emit("spec_done", job_id="job-1")
+            log.emit("spec_done", job_id="job-1")
+            counter = registry.counter("repro_events_emitted_total")
+            assert counter.value(event="job_started") == 1
+            assert counter.value(event="spec_done") == 2
+        finally:
+            telemetry.get_registry().reset()
+            telemetry.configure(enabled=False)
+
+
 class TestFormat:
     def test_format_includes_extras_sorted(self):
         line = format_event(
@@ -83,3 +292,8 @@ class TestFormat:
         )
         assert "spec_done" in line and "job-1" in line and "[w0]" in line
         assert "elapsed_s=1.5 spec=abc" in line
+
+    def test_missing_or_zero_ts_renders_placeholder_not_1970(self):
+        assert format_event({"event": "x"}).startswith("--:--:--")
+        assert format_event({"event": "x", "ts": 0.0}).startswith("--:--:--")
+        assert not format_event({"event": "x", "ts": 0.0}).startswith("00:")

@@ -55,8 +55,8 @@ class TestQueueGauges:
 
 
 class TestEventSequencing:
-    def test_schema_version_is_two(self):
-        assert EVENT_SCHEMA_VERSION == 2
+    def test_schema_version_is_three(self):
+        assert EVENT_SCHEMA_VERSION == 3
 
     def test_seq_increments_per_job(self, events):
         events.emit("job_started", job_id="job-a")

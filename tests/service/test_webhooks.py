@@ -1,0 +1,248 @@
+"""Tests for webhooks: registry, HMAC signatures, delivery, retry and dead-letter."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.exceptions import WebhookError
+from repro.service.events import EventLog
+from repro.service.webhooks import (
+    SIGNATURE_HEADER,
+    Webhook,
+    WebhookDispatcher,
+    WebhookRegistry,
+    deliver_once,
+    sign_payload,
+    verify_signature,
+)
+
+
+class _Receiver:
+    """Local HTTP endpoint capturing every delivery (body + headers)."""
+
+    def __init__(self, fail_first: int = 0):
+        self.deliveries = []
+        self.fail_remaining = fail_first
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self):
+                body = self.rfile.read(int(self.headers.get("Content-Length", 0)))
+                if outer.fail_remaining > 0:
+                    outer.fail_remaining -= 1
+                    self.send_response(503)
+                    self.end_headers()
+                    return
+                outer.deliveries.append((body, dict(self.headers)))
+                self.send_response(200)
+                self.end_headers()
+
+            def log_message(self, *args):
+                pass
+
+        self._server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self._server.daemon_threads = True
+        self.url = f"http://127.0.0.1:{self._server.server_address[1]}/hook"
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+
+    def close(self):
+        self._server.shutdown()
+        self._server.server_close()
+
+
+@pytest.fixture
+def receiver():
+    receiver = _Receiver()
+    yield receiver
+    receiver.close()
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return WebhookRegistry(tmp_path)
+
+
+@pytest.fixture
+def log(tmp_path):
+    return EventLog(tmp_path / "events.jsonl")
+
+
+def _dispatcher(tmp_path, **kwargs):
+    kwargs.setdefault("backoff_s", 0.01)
+    kwargs.setdefault("retry_budget", 3)
+    return WebhookDispatcher(tmp_path, **kwargs)
+
+
+class TestSignatures:
+    def test_sign_and_verify_roundtrip(self):
+        signature = sign_payload("secret", b'{"event":"x"}')
+        assert signature.startswith("sha256=")
+        assert verify_signature("secret", b'{"event":"x"}', signature)
+        assert not verify_signature("other", b'{"event":"x"}', signature)
+        assert not verify_signature("secret", b'{"event":"y"}', signature)
+        assert not verify_signature("secret", b'{"event":"x"}', "")
+
+    def test_known_vector(self):
+        # Pinned so receivers implemented in other languages can test against it.
+        assert sign_payload("k", b"body") == (
+            "sha256=c6d811ef3aeb02437cd423f1abe13209041864630bdc4e2c04def5c7b0031a23"
+        )
+
+
+class TestRegistry:
+    def test_add_list_remove_roundtrip(self, registry, log):
+        log.emit("historic")
+        hook = registry.add("http://example.test/hook", events=("job_done",))
+        assert hook.hook_id.startswith("wh-")
+        assert hook.secret
+        assert hook.from_cursor == 1  # Only events after registration deliver.
+        loaded = registry.load()
+        assert [h.hook_id for h in loaded] == [hook.hook_id]
+        assert loaded[0].events == ("job_done",)
+        removed = registry.remove(hook.hook_id)
+        assert removed.hook_id == hook.hook_id
+        assert registry.load() == []
+
+    def test_add_rejects_non_http_urls(self, registry):
+        with pytest.raises(WebhookError):
+            registry.add("ftp://example.test/hook")
+        with pytest.raises(WebhookError):
+            registry.add("not a url")
+
+    def test_remove_unknown_hook_raises(self, registry):
+        with pytest.raises(WebhookError):
+            registry.remove("wh-missing")
+
+    def test_webhook_events_never_match_hooks(self):
+        hook = Webhook(hook_id="wh-1", url="http://x/h", secret="s")
+        assert hook.matches({"event": "job_done"})
+        assert not hook.matches({"event": "webhook_test"})
+        assert not hook.matches({"event": "webhook_added"})
+
+    def test_event_filter(self):
+        hook = Webhook(hook_id="wh-1", url="http://x/h", secret="s", events=("job_done",))
+        assert hook.matches({"event": "job_done"})
+        assert not hook.matches({"event": "job_started"})
+
+
+class TestDelivery:
+    def test_deliver_once_signs_the_body(self, receiver):
+        hook = Webhook(hook_id="wh-1", url=receiver.url, secret="s3cr3t")
+        payload = {"event": "job_done", "job_id": "job-1", "cursor": 7}
+        assert deliver_once(hook, payload) == 200
+        body, headers = receiver.deliveries[0]
+        assert json.loads(body) == payload
+        assert verify_signature("s3cr3t", body, headers[SIGNATURE_HEADER])
+        assert headers["X-Repro-Event"] == "job_done"
+        assert headers["X-Repro-Cursor"] == "7"
+        assert headers["X-Repro-Delivery"] == "wh-1"
+
+    def test_deliver_once_raises_on_http_error(self):
+        failing = _Receiver(fail_first=1)
+        try:
+            hook = Webhook(hook_id="wh-1", url=failing.url, secret="s")
+            with pytest.raises(WebhookError):
+                deliver_once(hook, {"event": "x"})
+        finally:
+            failing.close()
+
+    def test_deliver_once_raises_on_unreachable_endpoint(self):
+        hook = Webhook(hook_id="wh-1", url="http://127.0.0.1:9/hook", secret="s")
+        with pytest.raises(WebhookError):
+            deliver_once(hook, {"event": "x"}, timeout_s=0.5)
+
+
+class TestDispatcher:
+    def test_delivers_matching_events_once(self, tmp_path, registry, log, receiver):
+        registry.add(receiver.url, events=("job_done",), secret="s")
+        log.emit("job_started", job_id="job-1")
+        log.emit("job_done", job_id="job-1")
+        dispatcher = _dispatcher(tmp_path)
+        assert dispatcher.run_pending() == 1
+        assert dispatcher.run_pending() == 0  # Cursor advanced: no redelivery.
+        body, headers = receiver.deliveries[0]
+        payload = json.loads(body)
+        assert payload["event"] == "job_done" and payload["cursor"] == 2
+        assert verify_signature("s", body, headers[SIGNATURE_HEADER])
+
+    def test_retries_with_backoff_then_succeeds(self, tmp_path, registry, log):
+        flaky = _Receiver(fail_first=2)
+        try:
+            registry.add(flaky.url, secret="s")
+            log.emit("job_done", job_id="job-1")
+            dispatcher = _dispatcher(tmp_path)
+            assert dispatcher.run_pending() == 1
+            assert len(flaky.deliveries) == 1  # Two 503s, then the retry landed.
+        finally:
+            flaky.close()
+
+    def test_dead_letters_after_budget_and_moves_on(self, tmp_path, registry, log, receiver):
+        hook = registry.add("http://127.0.0.1:9/hook", secret="s")  # Unreachable.
+        log.emit("job_done", job_id="job-1")
+        dispatcher = _dispatcher(tmp_path, retry_budget=2, timeout_s=0.5)
+        dispatcher.run_pending()
+        letters = [
+            json.loads(line)
+            for line in registry.deadletter_path.read_text().splitlines()
+        ]
+        assert len(letters) == 1
+        assert letters[0]["hook_id"] == hook.hook_id
+        assert letters[0]["attempts"] == 2
+        assert letters[0]["event"]["event"] == "job_done"
+        # The cursor advanced past the dead-lettered event: the feed is not dammed.
+        assert registry.cursor_of(registry.get(hook.hook_id)) == 1
+        assert dispatcher.run_pending() == 0
+
+    def test_at_least_once_across_dispatcher_restarts(self, tmp_path, registry, log, receiver):
+        registry.add(receiver.url, secret="s")
+        log.emit("job_done", job_id="job-1")
+        _dispatcher(tmp_path).run_pending()
+        log.emit("job_done", job_id="job-2")
+        _dispatcher(tmp_path).run_pending()  # Fresh instance resumes at the cursor.
+        jobs = [json.loads(body)["job_id"] for body, _ in receiver.deliveries]
+        assert jobs == ["job-1", "job-2"]
+
+    def test_only_events_after_registration_deliver(self, tmp_path, registry, log, receiver):
+        log.emit("job_done", job_id="job-old")
+        registry.add(receiver.url, secret="s")
+        log.emit("job_done", job_id="job-new")
+        _dispatcher(tmp_path).run_pending()
+        jobs = [json.loads(body)["job_id"] for body, _ in receiver.deliveries]
+        assert jobs == ["job-new"]
+
+    def test_background_thread_delivers_and_close_flushes(self, tmp_path, registry, log, receiver):
+        registry.add(receiver.url, secret="s")
+        dispatcher = _dispatcher(tmp_path, poll_s=0.05).start()
+        log.emit("job_done", job_id="job-1")
+        for _ in range(100):
+            if receiver.deliveries:
+                break
+            threading.Event().wait(0.05)
+        log.emit("job_done", job_id="job-2")
+        dispatcher.close()  # Final flush delivers anything already in the log.
+        jobs = [json.loads(body)["job_id"] for body, _ in receiver.deliveries]
+        assert jobs == ["job-1", "job-2"]
+
+
+class TestWebhooksCLI:
+    def test_add_list_test_rm(self, tmp_path, receiver, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["webhooks", "add", receiver.url, "--secret", "cli-secret"]) == 0
+        out = capsys.readouterr().out
+        assert "secret: cli-secret" in out
+        hook_id = out.split()[1]
+        assert main(["webhooks", "list"]) == 0
+        assert hook_id in capsys.readouterr().out
+        assert main(["webhooks", "test", hook_id]) == 0
+        assert "HTTP 200" in capsys.readouterr().out
+        body, headers = receiver.deliveries[0]
+        assert json.loads(body)["event"] == "webhook_test"
+        assert verify_signature("cli-secret", body, headers[SIGNATURE_HEADER])
+        assert main(["webhooks", "rm", hook_id]) == 0
+        assert main(["webhooks", "list"]) == 0
+        assert "no webhooks registered" in capsys.readouterr().out
